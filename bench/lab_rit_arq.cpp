@@ -1,0 +1,124 @@
+// Experiment CS-RIT (part 1) — the RIT breadth course's protocol unit
+// (paper §IV-C: connections/datagrams, application protocol design).
+//
+// Reliability built by hand over lossy datagrams: stop-and-wait vs
+// go-back-N across loss rates and window sizes. Textbook shapes: the
+// window hides the RTT (GBN >> SAW at low loss), GBN efficiency degrades
+// with loss (each loss throws away a window), and wider windows only help
+// up to the bandwidth-delay product.
+#include <iostream>
+#include <thread>
+
+#include "net/arq.hpp"
+#include "support/table.hpp"
+
+using namespace pdc::net;
+using pdc::support::TextTable;
+
+namespace {
+
+struct RunResult {
+  ArqStats stats;
+  bool ok = false;
+};
+
+enum class Protocol { kStopAndWait, kGoBackN, kSelectiveRepeat };
+
+const char* name_of(Protocol protocol, std::size_t window) {
+  static std::string buffer;
+  switch (protocol) {
+    case Protocol::kStopAndWait: return "stop-and-wait";
+    case Protocol::kGoBackN:
+      buffer = "go-back-" + std::to_string(window);
+      return buffer.c_str();
+    case Protocol::kSelectiveRepeat: return "selective repeat";
+  }
+  return "?";
+}
+
+RunResult run_transfer(double loss, Protocol protocol, std::size_t window,
+                       std::size_t bytes) {
+  NetConfig net_config;
+  net_config.latency_ms = 0.5;
+  net_config.loss = loss;
+  net_config.seed = 42 + static_cast<std::uint64_t>(loss * 100) + window;
+  Network net(2, net_config);
+  auto tx = net.open_datagram(0, 1);
+  auto rx = net.open_datagram(1, 2);
+
+  Bytes data(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    data[i] = static_cast<std::byte>(i & 0xff);
+  }
+  RunResult result;
+  std::thread receiver([&] {
+    const auto received = protocol == Protocol::kSelectiveRepeat
+                              ? arq_receive_selective(*rx)
+                              : arq_receive(*rx);
+    result.ok = received.is_ok() && received.value() == data;
+  });
+  ArqConfig arq;
+  arq.window = window;
+  arq.timeout = std::chrono::milliseconds(5);
+  const auto stats = [&] {
+    switch (protocol) {
+      case Protocol::kStopAndWait:
+        return arq_send_stop_and_wait(*tx, rx->local(), data, arq);
+      case Protocol::kGoBackN:
+        return arq_send_go_back_n(*tx, rx->local(), data, arq);
+      case Protocol::kSelectiveRepeat:
+        return arq_send_selective_repeat(*tx, rx->local(), data, arq);
+    }
+    return arq_send_stop_and_wait(*tx, rx->local(), data, arq);
+  }();
+  receiver.join();
+  if (stats.is_ok()) result.stats = stats.value();
+  result.ok = result.ok && stats.is_ok();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== CS-RIT: reliable transfer over lossy datagrams ===\n\n";
+  constexpr std::size_t kBytes = 64 * 1024;
+
+  {
+    TextTable table("1. Protocol x loss rate (64 KiB, 1ms RTT, window 16)");
+    table.set_header({"protocol", "loss", "time (ms)", "goodput (KB/s)",
+                      "retransmissions", "efficiency", "delivered"});
+    for (double loss : {0.0, 0.02, 0.1, 0.2}) {
+      for (Protocol protocol : {Protocol::kStopAndWait, Protocol::kGoBackN,
+                                Protocol::kSelectiveRepeat}) {
+        const auto result = run_transfer(loss, protocol, 16, kBytes);
+        table.add_row({name_of(protocol, 16), TextTable::num(loss, 2),
+                       TextTable::num(result.stats.seconds * 1e3, 1),
+                       TextTable::num(result.stats.goodput_bytes_per_sec() / 1024, 0),
+                       std::to_string(result.stats.retransmissions),
+                       TextTable::num(result.stats.efficiency(), 3),
+                       result.ok ? "yes" : "NO"});
+      }
+    }
+    table.render(std::cout);
+    std::cout << "(selective repeat keeps efficiency near stop-and-wait's "
+                 "while keeping go-back-N's pipelining — at the cost of "
+                 "receiver buffering)\n";
+  }
+  std::cout << '\n';
+  {
+    TextTable table("2. Go-back-N window sweep (loss 0.05)");
+    table.set_header({"window", "time (ms)", "goodput (KB/s)", "efficiency"});
+    for (std::size_t window : {1, 2, 4, 8, 16, 32, 64}) {
+      const auto result = run_transfer(0.05, Protocol::kGoBackN, window, kBytes);
+      table.add_row({std::to_string(window),
+                     TextTable::num(result.stats.seconds * 1e3, 1),
+                     TextTable::num(result.stats.goodput_bytes_per_sec() / 1024, 0),
+                     TextTable::num(result.stats.efficiency(), 3)});
+    }
+    table.render(std::cout);
+    std::cout << "(window 1 is stop-and-wait; throughput saturates once the "
+                 "window covers the bandwidth-delay product, and efficiency "
+                 "falls as bigger windows discard more per loss)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Experiment CS-RIT (part 2) — client-server programming and middleware
+// (paper §IV-C: socket programming, distributed objects/middleware).
+//
+// Two sweeps over the simulated fabric:
+//   1. server threading model (thread-per-connection vs worker pool) ×
+//      client count, measuring request throughput with a CPU-light
+//      handler: the pool model serializes beyond its worker count;
+//   2. RPC round-trip latency vs the fabric's one-way latency: middleware
+//      cost tracks the network, not the dispatch.
+#include <iostream>
+#include <thread>
+
+#include "net/server.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+
+using namespace pdc::net;
+using pdc::support::TextTable;
+
+namespace {
+
+double run_server_experiment(ThreadingModel model, int clients,
+                             int requests_per_client) {
+  NetConfig net_config;
+  net_config.latency_ms = 0.02;
+  Network net(clients + 1, net_config);
+  ServerConfig server_config;
+  server_config.model = model;
+  server_config.workers = 2;
+  Server server(net, 0, 80, [](const Bytes& request) { return request; },
+                server_config);
+
+  pdc::support::Stopwatch clock;
+  std::vector<std::thread> workers;
+  for (int c = 1; c <= clients; ++c) {
+    workers.emplace_back([&, c] {
+      Client client(net, c);
+      if (!client.connect(server.address()).is_ok()) return;
+      for (int i = 0; i < requests_per_client; ++i) {
+        (void)client.call_text("ping");
+      }
+      client.close();
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double seconds = clock.elapsed_seconds();
+  server.stop();
+  return static_cast<double>(clients * requests_per_client) / seconds;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== CS-RIT: client-server and middleware labs ===\n\n";
+  {
+    TextTable table("1. Threading model x concurrent clients (echo, 200 req/client)");
+    table.set_header({"clients", "thread-per-connection (req/s)",
+                      "worker pool of 2 (req/s)"});
+    for (int clients : {1, 2, 4, 8}) {
+      const double tpc = run_server_experiment(
+          ThreadingModel::kThreadPerConnection, clients, 200);
+      const double pool =
+          run_server_experiment(ThreadingModel::kWorkerPool, clients, 200);
+      table.add_row({std::to_string(clients), TextTable::num(tpc, 0),
+                     TextTable::num(pool, 0)});
+    }
+    table.render(std::cout);
+    std::cout << "(a 2-worker pool serves at most 2 connections concurrently; "
+                 "excess clients queue — the classic sizing trade-off)\n\n";
+  }
+  {
+    TextTable table("2. RPC round-trip vs fabric latency");
+    table.set_header({"one-way latency (ms)", "mean RPC time (ms)",
+                      "vs 2x latency"});
+    for (double latency : {0.02, 0.1, 0.5, 1.0}) {
+      NetConfig net_config;
+      net_config.latency_ms = latency;
+      Network net(2, net_config);
+      RpcServer server(net, 0, 90);
+      server.register_procedure("square", [](const Bytes& in) {
+        const long x = std::stol(to_string(in));
+        return to_bytes(std::to_string(x * x));
+      });
+      RpcClient client(net, 1);
+      if (!client.connect(server.address()).is_ok()) continue;
+      constexpr int kCalls = 100;
+      pdc::support::Stopwatch clock;
+      for (int i = 0; i < kCalls; ++i) {
+        (void)client.call_text("square", std::to_string(i));
+      }
+      const double mean_ms = clock.elapsed_millis() / kCalls;
+      table.add_row({TextTable::num(latency, 2), TextTable::num(mean_ms, 3),
+                     TextTable::num(mean_ms / (2 * latency), 2)});
+      server.stop();
+    }
+    table.render(std::cout);
+    std::cout << "(each framed RPC costs two messages, i.e. ~2x the one-way "
+                 "latency once the fabric dominates dispatch)\n";
+  }
+  return 0;
+}

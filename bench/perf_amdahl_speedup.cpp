@@ -1,0 +1,102 @@
+// Experiment PERF-AMDAHL — "Amdahl's law and its implication on the
+// performance of a particular parallel algorithm, speedup and scalability"
+// (paper §III item 3).
+//
+//   1. the analytic Amdahl curves with their saturation limits, next to
+//      Gustafson's scaled speedup for the same f;
+//   2. a structural check: a fork-join task graph with a serial fraction f
+//      is list-scheduled onto p simulated processors; the resulting
+//      speedup must track the Amdahl curve (it is the same law, reached by
+//      an actual schedule rather than algebra);
+//   3. Karp–Flatt: recovering the serial fraction from those "measured"
+//      speedups.
+#include <iostream>
+
+#include "arch/models.hpp"
+#include "parallel/task_graph.hpp"
+#include "support/table.hpp"
+
+using namespace pdc::arch;
+using pdc::parallel::TaskGraph;
+using pdc::support::TextTable;
+
+namespace {
+
+/// Fork-join graph: serial prologue of cost f*T, then (1-f)*T split into
+/// `chunks` equal parallel tasks, then a zero-cost join.
+TaskGraph make_amdahl_graph(double f, std::size_t chunks) {
+  TaskGraph graph;
+  const double total = 1000.0;
+  const auto serial = graph.add_task("serial", (1.0 - f) * total);
+  const auto join = graph.add_task("join", 0.0);
+  for (std::size_t i = 0; i < chunks; ++i) {
+    const auto task =
+        graph.add_task("par", f * total / static_cast<double>(chunks));
+    graph.add_dependency(serial, task);
+    graph.add_dependency(task, join);
+  }
+  return graph;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== PERF-AMDAHL: speedup, scalability, and the serial "
+               "fraction ===\n\n";
+  const std::size_t procs[] = {1, 2, 4, 8, 16, 64, 256, 1024};
+
+  {
+    TextTable table("1. Analytic speedup curves (Amdahl | Gustafson)");
+    std::vector<std::string> header{"f \\ p"};
+    for (std::size_t p : procs) header.push_back(std::to_string(p));
+    header.push_back("limit 1/(1-f)");
+    table.set_header(header);
+    for (double f : {0.5, 0.75, 0.9, 0.95, 0.99}) {
+      std::vector<std::string> row{TextTable::num(f, 2)};
+      for (std::size_t p : procs) {
+        row.push_back(TextTable::num(amdahl_speedup(f, p), 2) + " | " +
+                      TextTable::num(gustafson_speedup(f, p), 1));
+      }
+      row.push_back(TextTable::num(amdahl_limit(f), 1));
+      table.add_row(row);
+    }
+    table.render(std::cout);
+    std::cout << "(Amdahl saturates at 1/(1-f); Gustafson grows linearly "
+                 "because the problem scales with p)\n\n";
+  }
+  {
+    TextTable table("2. List-scheduled fork-join graph vs the Amdahl model");
+    table.set_header({"f", "p", "model speedup", "scheduled speedup", "ratio"});
+    for (double f : {0.5, 0.9, 0.99}) {
+      const auto graph = make_amdahl_graph(f, 1024);
+      const double t1 = graph.simulated_makespan(1);
+      for (std::size_t p : {2, 8, 64, 1024}) {
+        const double model = amdahl_speedup(f, p);
+        const double scheduled = t1 / graph.simulated_makespan(p);
+        table.add_row({TextTable::num(f, 2), std::to_string(p),
+                       TextTable::num(model, 2), TextTable::num(scheduled, 2),
+                       TextTable::num(scheduled / model, 3)});
+      }
+    }
+    table.render(std::cout);
+    std::cout << "(ratio ~1: the schedule realizes the law)\n\n";
+  }
+  {
+    TextTable table("3. Karp-Flatt experimentally determined serial fraction");
+    table.set_header({"true 1-f", "p", "measured speedup", "Karp-Flatt e"});
+    for (double f : {0.75, 0.9, 0.95}) {
+      const auto graph = make_amdahl_graph(f, 1024);
+      const double t1 = graph.simulated_makespan(1);
+      for (std::size_t p : {4, 16, 64}) {
+        const double speedup = t1 / graph.simulated_makespan(p);
+        table.add_row({TextTable::num(1.0 - f, 3), std::to_string(p),
+                       TextTable::num(speedup, 2),
+                       TextTable::num(karp_flatt_serial_fraction(speedup, p), 3)});
+      }
+    }
+    table.render(std::cout);
+    std::cout << "(e stays at the true serial fraction across p — the "
+                 "Karp-Flatt diagnostic)\n";
+  }
+  return 0;
+}

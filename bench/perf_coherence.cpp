@@ -1,0 +1,130 @@
+// Experiment PERF-COHER — "multiprocessor caches and cache coherence"
+// plus the false-sharing lab (paper §III item 3; LAU course part 2 covers
+// false sharing explicitly).
+//
+// Trace-driven MESI experiments with exact counter outputs:
+//   1. per-core counters packed into one line vs padded to separate lines;
+//   2. write ping-pong between two cores;
+//   3. read-mostly sharing (no invalidation traffic after warm-up);
+//   4. sharing-miss classification (true vs false) across layouts.
+#include <iostream>
+
+#include "arch/mesi.hpp"
+#include "support/table.hpp"
+
+using namespace pdc::arch;
+using pdc::support::TextTable;
+
+namespace {
+
+CacheConfig cache_config() {
+  CacheConfig config;
+  config.size_bytes = 32 * 1024;
+  config.line_bytes = 64;
+  config.associativity = 4;
+  return config;
+}
+
+CoherenceStats run_counters(std::size_t cores, std::uint64_t stride,
+                            int rounds) {
+  MesiSystem sys(cores, cache_config());
+  for (int r = 0; r < rounds; ++r) {
+    for (std::size_t c = 0; c < cores; ++c) {
+      sys.write(c, 0x1000 + c * stride);  // c-th counter
+    }
+  }
+  return sys.stats();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== PERF-COHER: MESI coherence and false sharing ===\n\n";
+  constexpr int kRounds = 1000;
+
+  {
+    TextTable table("1. Per-core counters: packed (4B apart) vs padded (64B apart)");
+    table.set_header({"cores", "layout", "misses", "invalidations",
+                      "false-sharing misses", "true-sharing misses",
+                      "miss rate"});
+    for (std::size_t cores : {2, 4, 8}) {
+      for (const auto& [name, stride] :
+           std::vector<std::pair<std::string, std::uint64_t>>{{"packed", 4},
+                                                              {"padded", 64}}) {
+        const auto stats = run_counters(cores, stride, kRounds);
+        table.add_row({std::to_string(cores), name,
+                       std::to_string(stats.misses),
+                       std::to_string(stats.invalidations),
+                       std::to_string(stats.false_sharing_misses),
+                       std::to_string(stats.true_sharing_misses),
+                       TextTable::num(stats.miss_rate(), 4)});
+      }
+    }
+    table.render(std::cout);
+    std::cout << "(padding eliminates ALL coherence traffic: the counters "
+                 "never actually share data)\n\n";
+  }
+  {
+    TextTable table("2. Write ping-pong on one word, 2 cores");
+    table.set_header({"rounds", "invalidations", "coherence misses",
+                      "true-sharing misses", "writebacks"});
+    for (int rounds : {10, 100, 1000}) {
+      MesiSystem sys(2, cache_config());
+      for (int r = 0; r < rounds; ++r) {
+        sys.write(0, 0x2000);
+        sys.write(1, 0x2000);
+      }
+      const auto& stats = sys.stats();
+      table.add_row({std::to_string(rounds), std::to_string(stats.invalidations),
+                     std::to_string(stats.coherence_misses),
+                     std::to_string(stats.true_sharing_misses),
+                     std::to_string(stats.writebacks)});
+    }
+    table.render(std::cout);
+    std::cout << "(every write invalidates the peer: traffic linear in "
+                 "rounds — TRUE sharing, unlike experiment 1's packed "
+                 "case)\n\n";
+  }
+  {
+    TextTable table("3. Read-mostly sharing, 4 cores");
+    table.set_header({"phase", "misses", "invalidations", "bus reads"});
+    MesiSystem sys(4, cache_config());
+    for (std::size_t c = 0; c < 4; ++c) sys.read(c, 0x3000);
+    const auto warm = sys.stats();
+    table.add_row({"after first read each", std::to_string(warm.misses),
+                   std::to_string(warm.invalidations),
+                   std::to_string(warm.bus_reads)});
+    for (int r = 0; r < 1000; ++r) {
+      for (std::size_t c = 0; c < 4; ++c) sys.read(c, 0x3000);
+    }
+    const auto after = sys.stats();
+    table.add_row({"after 1000 more rounds", std::to_string(after.misses),
+                   std::to_string(after.invalidations),
+                   std::to_string(after.bus_reads)});
+    table.render(std::cout);
+    std::cout << "(shared lines are free to read: no further bus traffic "
+                 "after the four cold misses)\n\n";
+  }
+  {
+    TextTable table("4. Ablation: MSI vs MESI (private read-then-write, 1000 lines)");
+    table.set_header({"protocol", "misses", "bus upgrades", "invalidations"});
+    for (CoherenceProtocol protocol :
+         {CoherenceProtocol::kMsi, CoherenceProtocol::kMesi}) {
+      MesiSystem sys(2, cache_config(), 4, protocol);
+      for (std::uint64_t i = 0; i < 1000; ++i) {
+        // One core touches its private data: read, then update.
+        sys.read(0, 0x10000 + i * 64);
+        sys.write(0, 0x10000 + i * 64);
+      }
+      const auto& stats = sys.stats();
+      table.add_row({to_string(protocol), std::to_string(stats.misses),
+                     std::to_string(stats.upgrades),
+                     std::to_string(stats.invalidations)});
+    }
+    table.render(std::cout);
+    std::cout << "(the Exclusive state exists for exactly this: private "
+                 "read-then-write upgrades silently under MESI, but costs "
+                 "a bus transaction per line under MSI)\n";
+  }
+  return 0;
+}

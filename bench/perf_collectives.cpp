@@ -1,0 +1,99 @@
+// Experiment PERF-COLL — message-passing collectives (LLNL MPI guide;
+// Table I rows IPC and shared vs. distributed memory).
+//
+// google-benchmark over the in-process runtime: broadcast and the two
+// allreduce algorithms across world sizes and message lengths. Expected
+// shape: tree allreduce (latency-bound, log p rounds of the FULL message)
+// wins for small messages; ring allreduce (bandwidth-bound, 2(p-1)/p of
+// the data per rank) wins for large ones.
+#include <benchmark/benchmark.h>
+
+#include "mp/world.hpp"
+
+namespace {
+
+using namespace pdc::mp;
+
+void BM_Broadcast(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const std::size_t count = static_cast<std::size_t>(state.range(1));
+  World world(ranks);
+  for (auto _ : state) {
+    world.run([&](Communicator& comm) {
+      std::vector<double> data(count, comm.rank() == 0 ? 1.0 : 0.0);
+      comm.broadcast(data.data(), data.size(), 0);
+      benchmark::DoNotOptimize(data[0]);
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count * sizeof(double)));
+}
+BENCHMARK(BM_Broadcast)
+    ->ArgsProduct({{2, 4, 8}, {64, 4096, 65536}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_AllreduceTree(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const std::size_t count = static_cast<std::size_t>(state.range(1));
+  World world(ranks);
+  for (auto _ : state) {
+    world.run([&](Communicator& comm) {
+      std::vector<double> in(count, comm.rank() + 1.0), out(count);
+      comm.allreduce(in.data(), out.data(), count, std::plus<double>{});
+      benchmark::DoNotOptimize(out[0]);
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count * sizeof(double)));
+}
+BENCHMARK(BM_AllreduceTree)
+    ->ArgsProduct({{2, 4, 8}, {64, 4096, 65536}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_AllreduceRing(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const std::size_t count = static_cast<std::size_t>(state.range(1));
+  World world(ranks);
+  for (auto _ : state) {
+    world.run([&](Communicator& comm) {
+      std::vector<double> in(count, comm.rank() + 1.0), out(count);
+      comm.allreduce_ring(in.data(), out.data(), count, std::plus<double>{});
+      benchmark::DoNotOptimize(out[0]);
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count * sizeof(double)));
+}
+BENCHMARK(BM_AllreduceRing)
+    ->ArgsProduct({{2, 4, 8}, {64, 4096, 65536}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Alltoall(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  constexpr std::size_t kPer = 1024;
+  World world(ranks);
+  for (auto _ : state) {
+    world.run([&](Communicator& comm) {
+      const auto p = static_cast<std::size_t>(comm.size());
+      std::vector<int> send(p * kPer, comm.rank()), recv(p * kPer);
+      comm.alltoall(send.data(), recv.data(), kPer);
+      benchmark::DoNotOptimize(recv[0]);
+    });
+  }
+}
+BENCHMARK(BM_Alltoall)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+void BM_Barrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  World world(ranks);
+  for (auto _ : state) {
+    world.run([&](Communicator& comm) {
+      for (int i = 0; i < 10; ++i) comm.barrier();
+    });
+  }
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Experiment PERF-LOCKS — "efficient synchronization" (LAU course part 2;
+// SE2014's concurrency primitives at application level).
+//
+// google-benchmark microbenchmarks of the lock family guarding a shared
+// counter, single-threaded (pure overhead) and with benchmark's threaded
+// mode (contention). Expected shape: TAS ~ TTAS uncontended; under
+// contention TTAS beats TAS (read-spin vs write-spin) and the ticket lock
+// pays for fairness; std::mutex is the baseline.
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+
+#include "concurrency/rwlock.hpp"
+#include "concurrency/semaphore.hpp"
+#include "concurrency/spinlock.hpp"
+
+namespace {
+
+using namespace pdc::concurrency;
+
+template <typename Lock>
+void lock_counter_benchmark(benchmark::State& state) {
+  static Lock lock;
+  static long counter = 0;
+  for (auto _ : state) {
+    std::scoped_lock guard(lock);
+    benchmark::DoNotOptimize(++counter);
+  }
+}
+
+void BM_StdMutex(benchmark::State& state) { lock_counter_benchmark<std::mutex>(state); }
+void BM_TasLock(benchmark::State& state) { lock_counter_benchmark<TasLock>(state); }
+void BM_TtasLock(benchmark::State& state) { lock_counter_benchmark<TtasLock>(state); }
+void BM_TicketLock(benchmark::State& state) { lock_counter_benchmark<TicketLock>(state); }
+
+BENCHMARK(BM_StdMutex);
+BENCHMARK(BM_TasLock);
+BENCHMARK(BM_TtasLock);
+BENCHMARK(BM_TicketLock);
+BENCHMARK(BM_StdMutex)->Threads(2)->Threads(4);
+BENCHMARK(BM_TasLock)->Threads(2)->Threads(4);
+BENCHMARK(BM_TtasLock)->Threads(2)->Threads(4);
+BENCHMARK(BM_TicketLock)->Threads(2)->Threads(4);
+
+void BM_McsLock(benchmark::State& state) {
+  static McsLock lock;
+  static long counter = 0;
+  for (auto _ : state) {
+    McsLock::Guard guard(lock);
+    benchmark::DoNotOptimize(++counter);
+  }
+}
+BENCHMARK(BM_McsLock)->Threads(1)->Threads(2)->Threads(4);
+
+void BM_BinarySemaphore(benchmark::State& state) {
+  static BinarySemaphore semaphore(true);
+  static long counter = 0;
+  for (auto _ : state) {
+    semaphore.acquire();
+    benchmark::DoNotOptimize(++counter);
+    semaphore.release();
+  }
+}
+BENCHMARK(BM_BinarySemaphore)->Threads(1)->Threads(4);
+
+void BM_RwLockReaders(benchmark::State& state) {
+  static RwLock lock;
+  static long value = 42;
+  for (auto _ : state) {
+    SharedGuard guard(lock);
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_RwLockReaders)->Threads(1)->Threads(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,30 @@
+// Experiment T2 — regenerates Table II of the paper: "PDC in computer
+// engineering knowledge areas [CE2016]".
+//
+// Filters the CE2016 body-of-knowledge model to the knowledge areas that
+// carry PDC-related core units; the rows must match the published table
+// exactly (four areas, five units, two of them under Architecture and
+// Organization).
+#include <iostream>
+
+#include "core/bok.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace pdc::core;
+  pdc::support::TextTable table(
+      "TABLE II — PDC IN COMPUTER ENGINEERING KNOWLEDGE AREAS (CE2016)");
+  table.set_header({"Knowledge Area", "PDC-related Core Knowledge Units"});
+  for (const KnowledgeArea* area : pdc_areas(ce2016())) {
+    bool first = true;
+    for (const KnowledgeUnit& unit : area->pdc_core_units()) {
+      table.add_row({first ? area->name : "", unit.name});
+      first = false;
+    }
+  }
+  table.render(std::cout);
+  std::cout << "\n(CE2016 modelled with " << ce2016().size()
+            << " knowledge areas; non-PDC units omitted from the table as in "
+               "the paper)\n";
+  return 0;
+}

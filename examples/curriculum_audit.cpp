@@ -1,0 +1,89 @@
+// Curriculum audit: the paper's §IV analysis as a runnable tool.
+//
+// Audits the three case-study programs (LAU, AUC, RIT) plus a deliberately
+// deficient program against the ABET CAC CS criterion, prints each
+// program's PDC profile (coverage, pillars, weighted score, dedicated
+// course or scattered), and — via the exemplar registry — shows where in
+// PDCkit an instructor finds a working implementation of any topic a
+// program covers.
+#include <iostream>
+
+#include "core/case_studies.hpp"
+#include "core/registry.hpp"
+#include "core/survey.hpp"
+#include "support/table.hpp"
+
+using namespace pdc::core;
+using pdc::support::TextTable;
+
+namespace {
+
+void audit(const Program& program) {
+  const auto result = check_abet_cs(program);
+  const auto coverage = program.required_coverage();
+
+  std::cout << "== " << program.institution << " — " << program.name << " ==\n";
+  std::cout << "approach: "
+            << (program.has_dedicated_pdc_course()
+                    ? "dedicated required PDC course"
+                    : "PDC scattered across required courses")
+            << "  |  PDC-carrying required courses: "
+            << program.pdc_carrying_courses().size()
+            << "  |  weighted PDC score: " << program.weighted_pdc_score()
+            << '\n';
+  std::cout << "ABET CAC areas: architecture=" << result.architecture
+            << " info-mgmt=" << result.information_management
+            << " networking=" << result.networking
+            << " os=" << result.operating_systems << " pdc=" << result.pdc
+            << "  =>  " << (result.compliant() ? "COMPLIANT" : "NOT COMPLIANT")
+            << '\n';
+  if (!result.missing_pillars.empty()) {
+    std::cout << "missing PDC pillars:";
+    for (Pillar pillar : result.missing_pillars) {
+      std::cout << ' ' << to_string(pillar);
+    }
+    std::cout << '\n';
+  }
+  std::cout << "required PDC coverage (" << coverage.size() << " of "
+            << all_concepts().size() << " topics):\n";
+  for (PdcConcept topic : coverage) {
+    std::cout << "  - " << to_string(topic) << '\n';
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== PDCkit curriculum audit ===\n\n";
+  for (const Program& program : case_study_programs()) audit(program);
+
+  // A program that forgot distribution entirely.
+  Program deficient;
+  deficient.institution = "Hypothetical State";
+  deficient.name = "BS Computer Science (pre-2018 catalog)";
+  Course os = make_template_course(CourseCategory::kOperatingSystems);
+  os.topics.erase(PdcConcept::kInterProcessCommunication);
+  os.topics.erase(PdcConcept::kSharedVsDistributedMemory);
+  Course org = make_template_course(CourseCategory::kComputerOrganization);
+  org.topics.erase(PdcConcept::kSharedVsDistributedMemory);
+  deficient.courses = {os, org,
+                       make_template_course(CourseCategory::kDatabaseSystems)};
+  audit(deficient);
+
+  // Fix suggestion straight from the registry.
+  std::cout << "=== remediation: topics -> PDCkit exemplars ===\n";
+  TextTable table;
+  table.set_header({"missing topic", "module", "bench"});
+  for (PdcConcept topic :
+       {PdcConcept::kClientServerProgramming, PdcConcept::kInterProcessCommunication}) {
+    for (const Exemplar& exemplar : exemplars_for(topic)) {
+      table.add_row({to_string(topic), exemplar.module,
+                     exemplar.bench.empty() ? "-" : exemplar.bench});
+    }
+  }
+  table.render(std::cout);
+  std::cout << "(every taxonomy topic maps to working code in this repo — "
+               "see src/core/registry.cpp)\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "arch/cache.hpp"
+
+namespace pdc::arch {
+
+namespace {
+bool is_pow2(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+Cache::Cache(CacheConfig config) : config_(config) {
+  PDC_CHECK_MSG(is_pow2(config_.line_bytes), "line size must be a power of two");
+  PDC_CHECK(config_.size_bytes >= config_.line_bytes);
+  PDC_CHECK(config_.size_bytes % config_.line_bytes == 0);
+  const std::size_t total_lines = config_.size_bytes / config_.line_bytes;
+  if (config_.associativity == 0 || config_.associativity > total_lines) {
+    config_.associativity = total_lines;  // fully associative
+  }
+  PDC_CHECK_MSG(total_lines % config_.associativity == 0,
+                "line count not divisible by associativity");
+  sets_ = total_lines / config_.associativity;
+  PDC_CHECK_MSG(is_pow2(sets_), "set count must be a power of two");
+  lines_.resize(total_lines);
+}
+
+Cache::Location Cache::locate(std::uint64_t address) const {
+  const std::uint64_t line = address / config_.line_bytes;
+  return {static_cast<std::size_t>(line % sets_), line / sets_};
+}
+
+Cache::Line* Cache::find(const Location& loc) {
+  Line* base = &lines_[loc.set * config_.associativity];
+  for (std::size_t w = 0; w < config_.associativity; ++w) {
+    if (base[w].valid && base[w].tag == loc.tag) return &base[w];
+  }
+  return nullptr;
+}
+
+const Cache::Line* Cache::find(const Location& loc) const {
+  const Line* base = &lines_[loc.set * config_.associativity];
+  for (std::size_t w = 0; w < config_.associativity; ++w) {
+    if (base[w].valid && base[w].tag == loc.tag) return &base[w];
+  }
+  return nullptr;
+}
+
+Cache::Line& Cache::choose_victim(std::size_t set) {
+  Line* base = &lines_[set * config_.associativity];
+  Line* victim = base;
+  for (std::size_t w = 0; w < config_.associativity; ++w) {
+    if (!base[w].valid) return base[w];  // free way
+    if (base[w].stamp < victim->stamp) victim = &base[w];
+  }
+  return *victim;
+}
+
+bool Cache::access(std::uint64_t address, bool is_write) {
+  return access_detailed(address, is_write).hit;
+}
+
+Cache::AccessResult Cache::access_detailed(std::uint64_t address,
+                                           bool is_write) {
+  ++tick_;
+  ++stats_.accesses;
+  AccessResult result;
+  const Location loc = locate(address);
+  if (Line* line = find(loc)) {
+    ++stats_.hits;
+    result.hit = true;
+    if (config_.replacement == Replacement::kLru) line->stamp = tick_;
+    if (is_write) {
+      if (config_.write_policy == WritePolicy::kWriteBackAllocate) {
+        line->dirty = true;
+      } else {
+        ++stats_.memory_writes;  // write-through
+      }
+    }
+    return result;
+  }
+
+  ++stats_.misses;
+  if (is_write && config_.write_policy == WritePolicy::kWriteThroughNoAllocate) {
+    ++stats_.memory_writes;  // no-allocate: the store bypasses the cache
+    return result;
+  }
+  Line& victim = choose_victim(loc.set);
+  if (victim.valid) {
+    ++stats_.evictions;
+    if (victim.dirty) ++stats_.writebacks;
+    result.evicted = true;
+    // Reconstruct the evicted line id from (set, tag); inverse of locate().
+    result.evicted_line = victim.tag * sets_ + loc.set;
+    result.evicted_dirty = victim.dirty;
+  }
+  victim.valid = true;
+  victim.tag = loc.tag;
+  victim.dirty = is_write && config_.write_policy == WritePolicy::kWriteBackAllocate;
+  victim.stamp = tick_;  // both policies stamp on fill; LRU re-stamps on use
+  return result;
+}
+
+bool Cache::contains(std::uint64_t address) const {
+  return find(locate(address)) != nullptr;
+}
+
+bool Cache::invalidate(std::uint64_t address) {
+  if (Line* line = find(locate(address))) {
+    const bool was_dirty = line->dirty;
+    line->valid = false;
+    line->dirty = false;
+    return was_dirty;
+  }
+  return false;
+}
+
+void Cache::flush() {
+  for (auto& line : lines_) {
+    if (line.valid && line.dirty) ++stats_.writebacks;
+    line.valid = false;
+    line.dirty = false;
+  }
+}
+
+}  // namespace pdc::arch

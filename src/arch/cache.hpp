@@ -1,0 +1,107 @@
+// Set-associative cache simulator.
+//
+// The survey in the paper (§III, Table I) places "memory and caching" and
+// "multicore processors" in the architecture course; this model is the
+// single-core building block, reused per-core by the MESI system in
+// mesi.hpp. Addresses are byte addresses; an access touches one line.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pdc::arch {
+
+enum class Replacement { kLru, kFifo };
+enum class WritePolicy {
+  kWriteBackAllocate,     // dirty lines, write-allocate on store miss
+  kWriteThroughNoAllocate // stores go to memory; store misses don't allocate
+};
+
+struct CacheConfig {
+  std::size_t size_bytes = 32 * 1024;
+  std::size_t line_bytes = 64;
+  std::size_t associativity = 4;  // 0 = fully associative
+  Replacement replacement = Replacement::kLru;
+  WritePolicy write_policy = WritePolicy::kWriteBackAllocate;
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;      // dirty evictions
+  std::uint64_t memory_writes = 0;   // write-through traffic
+
+  [[nodiscard]] double hit_rate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(hits) / static_cast<double>(accesses);
+  }
+  [[nodiscard]] double miss_rate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses) / static_cast<double>(accesses);
+  }
+};
+
+class Cache {
+ public:
+  explicit Cache(CacheConfig config);
+
+  /// Performs one access; returns true on hit.
+  bool access(std::uint64_t address, bool is_write);
+
+  /// Outcome of one access including any eviction it caused — needed by
+  /// the coherence layer to keep protocol metadata in sync with residency.
+  struct AccessResult {
+    bool hit = false;
+    bool evicted = false;
+    std::uint64_t evicted_line = 0;  // line id (address / line_bytes)
+    bool evicted_dirty = false;
+  };
+  AccessResult access_detailed(std::uint64_t address, bool is_write);
+
+  /// True if the line containing `address` is resident.
+  [[nodiscard]] bool contains(std::uint64_t address) const;
+
+  /// Invalidates the line containing `address` if resident; returns true
+  /// if a dirty line was dropped (caller accounts the writeback).
+  bool invalidate(std::uint64_t address);
+
+  /// Writes back and invalidates everything.
+  void flush();
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+
+  [[nodiscard]] std::size_t num_sets() const { return sets_; }
+  [[nodiscard]] std::uint64_t line_of(std::uint64_t address) const {
+    return address / config_.line_bytes;
+  }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t stamp = 0;  // LRU: last use; FIFO: fill time
+  };
+
+  struct Location {
+    std::size_t set;
+    std::uint64_t tag;
+  };
+  [[nodiscard]] Location locate(std::uint64_t address) const;
+  Line* find(const Location& loc);
+  [[nodiscard]] const Line* find(const Location& loc) const;
+  Line& choose_victim(std::size_t set);
+
+  CacheConfig config_;
+  std::size_t sets_;
+  std::vector<Line> lines_;  // sets_ × associativity, row-major
+  CacheStats stats_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace pdc::arch

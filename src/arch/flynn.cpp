@@ -1,0 +1,47 @@
+#include "arch/flynn.hpp"
+
+#include "support/check.hpp"
+
+namespace pdc::arch {
+
+FlynnClass classify_flynn(std::size_t instruction_streams,
+                          std::size_t data_streams) {
+  PDC_CHECK(instruction_streams >= 1);
+  PDC_CHECK(data_streams >= 1);
+  const bool mi = instruction_streams > 1;
+  const bool md = data_streams > 1;
+  if (!mi && !md) return FlynnClass::kSisd;
+  if (!mi) return FlynnClass::kSimd;
+  if (!md) return FlynnClass::kMisd;
+  return FlynnClass::kMimd;
+}
+
+const char* to_string(FlynnClass c) {
+  switch (c) {
+    case FlynnClass::kSisd: return "SISD";
+    case FlynnClass::kSimd: return "SIMD";
+    case FlynnClass::kMisd: return "MISD";
+    case FlynnClass::kMimd: return "MIMD";
+  }
+  return "?";
+}
+
+std::string describe(FlynnClass c) {
+  switch (c) {
+    case FlynnClass::kSisd:
+      return "SISD: one instruction stream, one data stream — the classic "
+             "uniprocessor.";
+    case FlynnClass::kSimd:
+      return "SIMD: one instruction stream applied to many data elements — "
+             "vector units and GPU warps.";
+    case FlynnClass::kMisd:
+      return "MISD: many instruction streams over one data stream — rare; "
+             "fault-tolerant replicated pipelines are the usual example.";
+    case FlynnClass::kMimd:
+      return "MIMD: many instruction streams, many data streams — "
+             "multicores, clusters, and distributed systems.";
+  }
+  return {};
+}
+
+}  // namespace pdc::arch

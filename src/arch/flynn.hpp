@@ -1,0 +1,22 @@
+// Flynn's taxonomy (Table I row "Flynn's taxonomy").
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace pdc::arch {
+
+enum class FlynnClass { kSisd, kSimd, kMisd, kMimd };
+
+/// Classifies by the number of concurrent instruction and data streams.
+FlynnClass classify_flynn(std::size_t instruction_streams,
+                          std::size_t data_streams);
+
+/// "SISD", "SIMD", "MISD", "MIMD".
+const char* to_string(FlynnClass c);
+
+/// One-sentence description with a canonical machine example, as a course
+/// handout would phrase it.
+std::string describe(FlynnClass c);
+
+}  // namespace pdc::arch

@@ -1,0 +1,165 @@
+#include "arch/mesi.hpp"
+
+namespace pdc::arch {
+
+const char* to_string(MesiState state) {
+  switch (state) {
+    case MesiState::kInvalid: return "I";
+    case MesiState::kShared: return "S";
+    case MesiState::kExclusive: return "E";
+    case MesiState::kModified: return "M";
+  }
+  return "?";
+}
+
+const char* to_string(CoherenceProtocol protocol) {
+  return protocol == CoherenceProtocol::kMsi ? "MSI" : "MESI";
+}
+
+MesiSystem::MesiSystem(std::size_t cores, CacheConfig config,
+                       std::size_t word_bytes, CoherenceProtocol protocol)
+    : config_(config), word_bytes_(word_bytes), protocol_(protocol),
+      meta_(cores) {
+  PDC_CHECK(cores >= 1);
+  PDC_CHECK(word_bytes >= 1 && word_bytes <= config.line_bytes);
+  // Coherence requires write-back private caches.
+  config_.write_policy = WritePolicy::kWriteBackAllocate;
+  caches_.reserve(cores);
+  for (std::size_t c = 0; c < cores; ++c) caches_.emplace_back(config_);
+}
+
+MesiState MesiSystem::state_of(std::size_t core, std::uint64_t address) const {
+  PDC_CHECK(core < meta_.size());
+  const auto it = meta_[core].find(address / config_.line_bytes);
+  return it == meta_[core].end() ? MesiState::kInvalid : it->second.state;
+}
+
+void MesiSystem::classify_miss(std::size_t core, LineId line,
+                               std::uint64_t word) {
+  LineMeta& m = meta(core, line);
+  if (!m.lost_to_invalidation) return;  // cold or capacity miss
+  ++stats_.coherence_misses;
+  if (m.peer_written_words.count(word) != 0) {
+    ++stats_.true_sharing_misses;
+  } else {
+    ++stats_.false_sharing_misses;
+  }
+  m.lost_to_invalidation = false;
+  m.peer_written_words.clear();
+}
+
+void MesiSystem::invalidate_peers(std::size_t writer, LineId line,
+                                  std::uint64_t word) {
+  const std::uint64_t address = line * config_.line_bytes;
+  for (std::size_t c = 0; c < caches_.size(); ++c) {
+    if (c == writer) continue;
+    auto it = meta_[c].find(line);
+    if (it == meta_[c].end()) continue;
+    LineMeta& m = it->second;
+    if (m.state != MesiState::kInvalid) {
+      if (m.state == MesiState::kModified) {
+        ++stats_.writebacks;
+        ++stats_.interventions;  // dirty data supplied to the requester
+      }
+      caches_[c].invalidate(address);
+      m.state = MesiState::kInvalid;
+      m.lost_to_invalidation = true;
+      ++stats_.invalidations;
+    }
+    // Whether just invalidated or lost earlier, accumulate the written word
+    // so the peer's next miss can be classified true/false sharing.
+    if (m.lost_to_invalidation) m.peer_written_words.insert(word);
+  }
+}
+
+void MesiSystem::read(std::size_t core, std::uint64_t address) {
+  PDC_CHECK(core < caches_.size());
+  ++stats_.reads;
+  const LineId line = line_of(address);
+  LineMeta& m = meta(core, line);
+
+  if (m.state != MesiState::kInvalid) {
+    ++stats_.hits;
+    const bool hit = caches_[core].access(address, false);
+    PDC_CHECK_MSG(hit, "meta says resident but cache missed");
+    return;
+  }
+
+  // Read miss: BusRd.
+  ++stats_.misses;
+  ++stats_.bus_reads;
+  classify_miss(core, line, word_of(address));
+
+  bool shared = false;
+  for (std::size_t c = 0; c < caches_.size(); ++c) {
+    if (c == core) continue;
+    auto it = meta_[c].find(line);
+    if (it == meta_[c].end() || it->second.state == MesiState::kInvalid) continue;
+    shared = true;
+    if (it->second.state == MesiState::kModified) {
+      ++stats_.writebacks;     // M owner flushes
+      ++stats_.interventions;  // and supplies the data
+    }
+    it->second.state = MesiState::kShared;  // M/E/S all degrade to S
+  }
+
+  // MSI has no Exclusive state: a private read still lands in Shared, so
+  // the later write will need a bus upgrade MESI avoids.
+  m.state = (shared || protocol_ == CoherenceProtocol::kMsi)
+                ? MesiState::kShared
+                : MesiState::kExclusive;
+  const auto result = caches_[core].access_detailed(address, false);
+  PDC_CHECK(!result.hit);
+  if (result.evicted) {
+    if (result.evicted_dirty) ++stats_.writebacks;
+    meta_[core].erase(result.evicted_line);  // capacity loss, not coherence
+  }
+}
+
+void MesiSystem::write(std::size_t core, std::uint64_t address) {
+  PDC_CHECK(core < caches_.size());
+  ++stats_.writes;
+  const LineId line = line_of(address);
+  const std::uint64_t word = word_of(address);
+  LineMeta& m = meta(core, line);
+
+  switch (m.state) {
+    case MesiState::kModified:
+    case MesiState::kExclusive: {
+      ++stats_.hits;
+      m.state = MesiState::kModified;  // E -> M is a silent upgrade
+      const bool hit = caches_[core].access(address, true);
+      PDC_CHECK_MSG(hit, "meta says resident but cache missed");
+      // Peers that lost this line earlier keep accumulating written words.
+      invalidate_peers(core, line, word);
+      return;
+    }
+    case MesiState::kShared: {
+      // Data is local; only ownership must be acquired (BusUpgr).
+      ++stats_.hits;
+      ++stats_.upgrades;
+      invalidate_peers(core, line, word);
+      m.state = MesiState::kModified;
+      const bool hit = caches_[core].access(address, true);
+      PDC_CHECK_MSG(hit, "meta says resident but cache missed");
+      return;
+    }
+    case MesiState::kInvalid:
+      break;
+  }
+
+  // Write miss: BusRdX.
+  ++stats_.misses;
+  ++stats_.bus_read_exclusive;
+  classify_miss(core, line, word);
+  invalidate_peers(core, line, word);
+  m.state = MesiState::kModified;
+  const auto result = caches_[core].access_detailed(address, true);
+  PDC_CHECK(!result.hit);
+  if (result.evicted) {
+    if (result.evicted_dirty) ++stats_.writebacks;
+    meta_[core].erase(result.evicted_line);
+  }
+}
+
+}  // namespace pdc::arch

@@ -1,0 +1,103 @@
+// Bus-snooping MESI cache-coherence simulator with sharing classification.
+//
+// Models the "multiprocessor caches and cache coherence" unit the surveyed
+// architecture courses carry (paper §III item 3). Each core owns a private
+// cache; a shared bus serializes transactions. Beyond the protocol itself
+// the simulator classifies every coherence miss as TRUE or FALSE sharing
+// (did the missing core touch a word somebody actually wrote, or merely a
+// neighbouring word of the same line?) — the diagnosis behind the padded-
+// counter experiment in bench/perf_coherence.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "arch/cache.hpp"
+
+namespace pdc::arch {
+
+enum class MesiState : std::uint8_t { kInvalid, kShared, kExclusive, kModified };
+
+const char* to_string(MesiState state);
+
+/// Protocol variant: MSI lacks the Exclusive state, so a private
+/// read-then-write pays a bus upgrade that MESI's silent E->M avoids —
+/// the ablation bench/perf_coherence measures.
+enum class CoherenceProtocol : std::uint8_t { kMsi, kMesi };
+
+const char* to_string(CoherenceProtocol protocol);
+
+struct CoherenceStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;              // lines fetched over the bus
+  std::uint64_t coherence_misses = 0;    // misses caused by invalidations
+  std::uint64_t true_sharing_misses = 0;
+  std::uint64_t false_sharing_misses = 0;
+  std::uint64_t bus_reads = 0;        // BusRd
+  std::uint64_t bus_read_exclusive = 0;  // BusRdX
+  std::uint64_t upgrades = 0;         // BusUpgr (S -> M without data fetch)
+  std::uint64_t invalidations = 0;    // lines invalidated in peer caches
+  std::uint64_t writebacks = 0;       // M lines flushed (eviction or snoop)
+  std::uint64_t interventions = 0;    // cache-to-cache transfers
+
+  [[nodiscard]] double miss_rate() const {
+    const auto total = reads + writes;
+    return total == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(total);
+  }
+};
+
+class MesiSystem {
+ public:
+  /// `word_bytes` is the sharing-classification granularity.
+  MesiSystem(std::size_t cores, CacheConfig config, std::size_t word_bytes = 4,
+             CoherenceProtocol protocol = CoherenceProtocol::kMesi);
+
+  /// One load by `core` at byte address `address`.
+  void read(std::size_t core, std::uint64_t address);
+
+  /// One store by `core` at byte address `address`.
+  void write(std::size_t core, std::uint64_t address);
+
+  [[nodiscard]] std::size_t cores() const { return caches_.size(); }
+  [[nodiscard]] const CoherenceStats& stats() const { return stats_; }
+
+  /// Protocol state of (core, line-of-address) — kInvalid when absent.
+  [[nodiscard]] MesiState state_of(std::size_t core, std::uint64_t address) const;
+
+ private:
+  struct LineMeta {
+    MesiState state = MesiState::kInvalid;
+    bool lost_to_invalidation = false;  // we held it, a peer's write took it
+    // Words written by peers since we lost the line (classification set).
+    std::set<std::uint64_t> peer_written_words;
+  };
+
+  using LineId = std::uint64_t;
+  [[nodiscard]] LineId line_of(std::uint64_t address) const {
+    return address / config_.line_bytes;
+  }
+  [[nodiscard]] std::uint64_t word_of(std::uint64_t address) const {
+    return (address % config_.line_bytes) / word_bytes_;
+  }
+
+  LineMeta& meta(std::size_t core, LineId line) { return meta_[core][line]; }
+
+  /// Invalidate peers' copies of `line` because `writer` stores `word`.
+  void invalidate_peers(std::size_t writer, LineId line, std::uint64_t word);
+
+  /// On a miss, account sharing classification for `core`.
+  void classify_miss(std::size_t core, LineId line, std::uint64_t word);
+
+  CacheConfig config_;
+  std::size_t word_bytes_;
+  CoherenceProtocol protocol_;
+  std::vector<Cache> caches_;
+  std::vector<std::map<LineId, LineMeta>> meta_;  // per core
+  CoherenceStats stats_;
+};
+
+}  // namespace pdc::arch

@@ -1,0 +1,42 @@
+#include "arch/models.hpp"
+
+#include "support/check.hpp"
+
+namespace pdc::arch {
+
+double amdahl_speedup(double f, std::size_t p) {
+  PDC_CHECK(f >= 0.0 && f <= 1.0);
+  PDC_CHECK(p >= 1);
+  return 1.0 / ((1.0 - f) + f / static_cast<double>(p));
+}
+
+double amdahl_limit(double f) {
+  PDC_CHECK(f >= 0.0 && f < 1.0);
+  return 1.0 / (1.0 - f);
+}
+
+double gustafson_speedup(double f, std::size_t p) {
+  PDC_CHECK(f >= 0.0 && f <= 1.0);
+  PDC_CHECK(p >= 1);
+  return (1.0 - f) + f * static_cast<double>(p);
+}
+
+double karp_flatt_serial_fraction(double speedup, std::size_t p) {
+  PDC_CHECK(p >= 2);
+  PDC_CHECK(speedup > 0.0);
+  const double invp = 1.0 / static_cast<double>(p);
+  return (1.0 / speedup - invp) / (1.0 - invp);
+}
+
+double efficiency(double speedup, std::size_t p) {
+  PDC_CHECK(p >= 1);
+  return speedup / static_cast<double>(p);
+}
+
+double measured_speedup(double serial_seconds, double parallel_seconds) {
+  PDC_CHECK(serial_seconds >= 0.0);
+  PDC_CHECK(parallel_seconds > 0.0);
+  return serial_seconds / parallel_seconds;
+}
+
+}  // namespace pdc::arch

@@ -1,0 +1,37 @@
+// Analytic performance models: Amdahl, Gustafson, Karp–Flatt, efficiency.
+//
+// "A computer organization or architecture course can incorporate Amdahl's
+// law and its implication on the performance of a particular parallel
+// algorithm, speedup and scalability" (paper §III item 3). These are the
+// curves bench/perf_amdahl_speedup regenerates and compares against
+// measured task-graph executions.
+#pragma once
+
+#include <cstddef>
+
+namespace pdc::arch {
+
+/// Amdahl's law: speedup on p processors when fraction `f` of the serial
+/// runtime is parallelizable. f in [0,1], p >= 1.
+double amdahl_speedup(double f, std::size_t p);
+
+/// The Amdahl asymptote: lim p->inf = 1 / (1 - f). f in [0,1).
+double amdahl_limit(double f);
+
+/// Gustafson's scaled speedup: with the parallel fraction `f` measured on
+/// the parallel system itself, the same wall time solves a problem
+/// (1-f) + f*p times larger. f in [0,1], p >= 1.
+double gustafson_speedup(double f, std::size_t p);
+
+/// Karp–Flatt experimentally determined serial fraction from a measured
+/// speedup on p > 1 processors. Rising e with p indicates overhead growth;
+/// constant e indicates a genuinely serial component.
+double karp_flatt_serial_fraction(double speedup, std::size_t p);
+
+/// Parallel efficiency: speedup / p.
+double efficiency(double speedup, std::size_t p);
+
+/// Speedup from measured times.
+double measured_speedup(double serial_seconds, double parallel_seconds);
+
+}  // namespace pdc::arch

@@ -1,0 +1,158 @@
+#include "arch/pipeline.hpp"
+
+#include "support/check.hpp"
+
+namespace pdc::arch {
+
+const char* to_string(BranchPredictor predictor) {
+  switch (predictor) {
+    case BranchPredictor::kAlwaysNotTaken: return "not-taken";
+    case BranchPredictor::kAlwaysTaken: return "taken";
+    case BranchPredictor::kOneBit: return "1-bit";
+    case BranchPredictor::kTwoBit: return "2-bit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Per-pc predictor state: 1-bit uses {0,1}; 2-bit a saturating counter
+/// 0..3 (>=2 predicts taken), initialized weakly not-taken (1).
+class PredictorState {
+ public:
+  explicit PredictorState(BranchPredictor kind) : kind_(kind) {}
+
+  bool predict(std::uint64_t pc) {
+    switch (kind_) {
+      case BranchPredictor::kAlwaysNotTaken: return false;
+      case BranchPredictor::kAlwaysTaken: return true;
+      case BranchPredictor::kOneBit: {
+        const auto it = last_.find(pc);
+        return it != last_.end() && it->second;
+      }
+      case BranchPredictor::kTwoBit: {
+        const auto it = counter_.find(pc);
+        return it != counter_.end() && it->second >= 2;
+      }
+    }
+    return false;
+  }
+
+  void update(std::uint64_t pc, bool taken) {
+    switch (kind_) {
+      case BranchPredictor::kAlwaysNotTaken:
+      case BranchPredictor::kAlwaysTaken:
+        return;
+      case BranchPredictor::kOneBit:
+        last_[pc] = taken;
+        return;
+      case BranchPredictor::kTwoBit: {
+        auto [it, inserted] = counter_.try_emplace(pc, 1);
+        int& c = it->second;
+        c = taken ? std::min(3, c + 1) : std::max(0, c - 1);
+        return;
+      }
+    }
+  }
+
+ private:
+  BranchPredictor kind_;
+  std::map<std::uint64_t, bool> last_;
+  std::map<std::uint64_t, int> counter_;
+};
+
+}  // namespace
+
+PipelineStats simulate_pipeline(const std::vector<TraceInstr>& trace,
+                                const PipelineConfig& config) {
+  PipelineStats stats;
+  if (trace.empty()) return stats;
+
+  PredictorState predictor(config.predictor);
+
+  // writer_distance[r]: how many instructions ago register r was written,
+  // and whether that writer was a load. Distances advance by 1 per issued
+  // instruction and by stall bubbles.
+  struct Writer {
+    std::uint64_t position = 0;  // issue index of the writing instruction
+    bool is_load = false;
+    bool valid = false;
+  };
+  std::map<int, Writer> writers;
+
+  std::uint64_t issue_index = 0;
+  std::uint64_t extra_cycles = 0;  // stalls + flushes
+
+  auto hazard_stalls = [&](int reg) -> std::uint64_t {
+    if (reg < 0) return 0;
+    const auto it = writers.find(reg);
+    if (it == writers.end() || !it->second.valid) return 0;
+    const std::uint64_t distance = issue_index - it->second.position;
+    if (config.forwarding) {
+      // Full forwarding: only a load's value is late (available after MEM).
+      if (it->second.is_load && distance == 1) return 1;
+      return 0;
+    }
+    // No forwarding: value available via the register file in the cycle
+    // after WB; write-first/read-second gives distance-3 a free pass.
+    if (distance == 1) return 2;
+    if (distance == 2) return 1;
+    return 0;
+  };
+
+  for (const TraceInstr& instr : trace) {
+    ++stats.instructions;
+
+    const std::uint64_t stall =
+        std::max(hazard_stalls(instr.src1), hazard_stalls(instr.src2));
+    if (stall > 0) {
+      extra_cycles += stall;
+      stats.raw_stalls += stall;
+      // A stall lets older writers drift further away.
+      issue_index += stall;
+      if (config.forwarding) stats.load_use_stalls += stall;
+    }
+
+    if (instr.op == Op::kBranch) {
+      ++stats.branches;
+      const bool predicted = predictor.predict(instr.pc);
+      predictor.update(instr.pc, instr.taken);
+      if (predicted != instr.taken) {
+        ++stats.mispredictions;
+        extra_cycles += config.mispredict_penalty;
+        stats.flush_cycles += config.mispredict_penalty;
+        issue_index += config.mispredict_penalty;
+      }
+    }
+
+    if (instr.dst >= 0) {
+      writers[instr.dst] = Writer{issue_index, instr.op == Op::kLoad, true};
+    }
+    ++issue_index;
+  }
+
+  // Filled-pipeline time: depth + (n-1) + bubbles.
+  stats.cycles = 5 + (stats.instructions - 1) + extra_cycles;
+  return stats;
+}
+
+std::vector<TraceInstr> make_loop_trace(std::size_t iterations,
+                                        std::size_t body_alu) {
+  PDC_CHECK(iterations >= 1);
+  std::vector<TraceInstr> trace;
+  trace.reserve(iterations * (body_alu + 2));
+  for (std::size_t i = 0; i < iterations; ++i) {
+    // r1 = load; dependent ALU chain on r2; backward branch on r2.
+    trace.push_back({Op::kLoad, 1, 10, -1, 100, false});
+    int prev = 1;
+    for (std::size_t a = 0; a < body_alu; ++a) {
+      trace.push_back({Op::kAlu, 2, prev, 2, 104 + a * 4, false});
+      prev = 2;
+    }
+    trace.push_back(
+        {Op::kBranch, -1, 2, -1, 200, /*taken=*/i + 1 < iterations});
+  }
+  return trace;
+}
+
+}  // namespace pdc::arch

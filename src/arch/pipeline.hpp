@@ -1,0 +1,82 @@
+// Classic 5-stage in-order pipeline model (IF ID EX MEM WB).
+//
+// Covers the "pipelining / instruction level parallelism" rows of Table I
+// and the AUC case study's architecture sequence. The simulator is
+// trace-driven: it consumes the dynamic instruction stream (so loops are
+// simply repeated entries with their per-iteration branch outcomes) and
+// charges the standard hazard penalties:
+//
+//   - RAW without forwarding: 2 stalls at distance 1, 1 stall at distance 2
+//     (register file writes in the first half-cycle, reads in the second);
+//   - with forwarding: only the load-use case stalls (1 cycle);
+//   - branches resolve in EX: a misprediction flushes the 2 younger
+//     instructions already fetched.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace pdc::arch {
+
+enum class Op : std::uint8_t { kAlu, kLoad, kStore, kBranch, kNop };
+
+/// One dynamically executed instruction. Register numbers are small ints
+/// (< 0 = unused). `pc` identifies the static instruction (predictor
+/// index); `taken` is the actual branch outcome.
+struct TraceInstr {
+  Op op = Op::kNop;
+  int dst = -1;
+  int src1 = -1;
+  int src2 = -1;
+  std::uint64_t pc = 0;
+  bool taken = false;
+};
+
+enum class BranchPredictor {
+  kAlwaysNotTaken,
+  kAlwaysTaken,
+  kOneBit,   // last-outcome per pc
+  kTwoBit,   // saturating counter per pc
+};
+
+const char* to_string(BranchPredictor predictor);
+
+struct PipelineConfig {
+  bool forwarding = true;
+  BranchPredictor predictor = BranchPredictor::kTwoBit;
+  std::uint32_t mispredict_penalty = 2;  // bubbles (resolve in EX)
+};
+
+struct PipelineStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t raw_stalls = 0;       // data-hazard bubble cycles
+  std::uint64_t load_use_stalls = 0;  // subset of raw_stalls due to loads
+  std::uint64_t branches = 0;
+  std::uint64_t mispredictions = 0;
+  std::uint64_t flush_cycles = 0;     // control-hazard bubbles
+
+  [[nodiscard]] double cpi() const {
+    return instructions == 0
+               ? 0.0
+               : static_cast<double>(cycles) / static_cast<double>(instructions);
+  }
+  [[nodiscard]] double misprediction_rate() const {
+    return branches == 0 ? 0.0
+                         : static_cast<double>(mispredictions) /
+                               static_cast<double>(branches);
+  }
+};
+
+/// Runs the trace through the pipeline model.
+PipelineStats simulate_pipeline(const std::vector<TraceInstr>& trace,
+                                const PipelineConfig& config = {});
+
+/// Builds the dynamic trace of a counted loop: `body_alu` dependent ALU ops
+/// and one load per iteration, closed by a backward branch taken on every
+/// iteration but the last. A standard predictor/forwarding workload.
+std::vector<TraceInstr> make_loop_trace(std::size_t iterations,
+                                        std::size_t body_alu);
+
+}  // namespace pdc::arch

@@ -1,0 +1,307 @@
+#include "arch/tomasulo.hpp"
+
+#include <map>
+#include <optional>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace pdc::arch {
+
+const char* to_string(FpOp op) {
+  switch (op) {
+    case FpOp::kFAdd: return "fadd";
+    case FpOp::kFMul: return "fmul";
+    case FpOp::kFDiv: return "fdiv";
+    case FpOp::kLoad: return "load";
+    case FpOp::kStore: return "store";
+    case FpOp::kBranch: return "branch";
+  }
+  return "?";
+}
+
+namespace {
+
+enum class Unit { kAdder, kMultiplier, kMemory };
+
+Unit unit_of(FpOp op) {
+  switch (op) {
+    case FpOp::kFAdd:
+    case FpOp::kBranch:
+      return Unit::kAdder;
+    case FpOp::kFMul:
+    case FpOp::kFDiv:
+      return Unit::kMultiplier;
+    case FpOp::kLoad:
+    case FpOp::kStore:
+      return Unit::kMemory;
+  }
+  return Unit::kAdder;
+}
+
+struct Station {
+  bool busy = false;
+  std::size_t instr_index = 0;   // program order, for oldest-first CDB
+  FpOp op = FpOp::kFAdd;
+  // Producers still owed for each operand (station id + 1; 0 = ready).
+  std::size_t q1 = 0, q2 = 0;
+  std::uint32_t remaining = 0;
+  bool executing = false;
+  bool completed = false;  // result ready, waiting for the CDB
+  bool written = false;    // broadcast done (awaiting commit in spec mode)
+};
+
+// Same per-pc predictor logic as the pipeline model (duplicated locally to
+// keep that detail private to each simulator).
+class Predictor {
+ public:
+  explicit Predictor(BranchPredictor kind) : kind_(kind) {}
+  bool predict(std::uint64_t pc) {
+    switch (kind_) {
+      case BranchPredictor::kAlwaysNotTaken: return false;
+      case BranchPredictor::kAlwaysTaken: return true;
+      case BranchPredictor::kOneBit: {
+        const auto it = last_.find(pc);
+        return it != last_.end() && it->second;
+      }
+      case BranchPredictor::kTwoBit: {
+        const auto it = counter_.find(pc);
+        return it != counter_.end() && it->second >= 2;
+      }
+    }
+    return false;
+  }
+  void update(std::uint64_t pc, bool taken) {
+    switch (kind_) {
+      case BranchPredictor::kAlwaysNotTaken:
+      case BranchPredictor::kAlwaysTaken:
+        return;
+      case BranchPredictor::kOneBit:
+        last_[pc] = taken;
+        return;
+      case BranchPredictor::kTwoBit: {
+        auto [it, inserted] = counter_.try_emplace(pc, 1);
+        it->second = taken ? std::min(3, it->second + 1)
+                           : std::max(0, it->second - 1);
+        return;
+      }
+    }
+  }
+
+ private:
+  BranchPredictor kind_;
+  std::map<std::uint64_t, bool> last_;
+  std::map<std::uint64_t, int> counter_;
+};
+
+}  // namespace
+
+TomasuloStats simulate_tomasulo(const std::vector<FpInstr>& trace,
+                                const TomasuloConfig& config) {
+  TomasuloStats stats;
+  stats.instructions = trace.size();
+  if (trace.empty()) return stats;
+
+  std::vector<Station> stations(config.adder_stations +
+                                config.multiplier_stations +
+                                config.memory_stations);
+  auto unit_range = [&](Unit unit) -> std::pair<std::size_t, std::size_t> {
+    switch (unit) {
+      case Unit::kAdder: return {0, config.adder_stations};
+      case Unit::kMultiplier:
+        return {config.adder_stations,
+                config.adder_stations + config.multiplier_stations};
+      case Unit::kMemory:
+        return {config.adder_stations + config.multiplier_stations,
+                stations.size()};
+    }
+    return {0, 0};
+  };
+
+  auto latency_of = [&](FpOp op) -> std::uint32_t {
+    switch (op) {
+      case FpOp::kFAdd: return config.fadd_latency;
+      case FpOp::kFMul: return config.fmul_latency;
+      case FpOp::kFDiv: return config.fdiv_latency;
+      case FpOp::kLoad: return config.load_latency;
+      case FpOp::kStore: return config.store_latency;
+      case FpOp::kBranch: return config.branch_latency;
+    }
+    return 1;
+  };
+
+  Predictor predictor(config.predictor);
+
+  std::map<int, std::size_t> register_status;  // reg -> producing station+1
+  std::size_t next_issue = 0;       // trace index
+  std::size_t committed = 0;        // spec mode: in-order retirement count
+  std::size_t written_total = 0;    // non-spec completion criterion
+  std::size_t in_flight = 0;        // issued, not yet committed/written
+  std::vector<bool> commit_ready(trace.size(), false);
+
+  // Issue barrier: set when an unresolved branch blocks further issue
+  // (every branch in non-spec mode; mispredicted branches in spec mode).
+  std::optional<std::size_t> blocking_branch_station;
+  std::uint64_t issue_resume_delay = 0;  // refetch bubble after mispredict
+
+  std::uint64_t cycle = 0;
+  const std::uint64_t kCycleCap = 10'000'000;
+
+  auto done = [&] {
+    return config.speculative ? committed == trace.size()
+                              : written_total == trace.size();
+  };
+
+  while (!done()) {
+    ++cycle;
+    PDC_CHECK_MSG(cycle < kCycleCap, "tomasulo simulation did not converge");
+
+    // ---- write result (one CDB broadcast per cycle, oldest first) ----
+    std::size_t best = SIZE_MAX;
+    std::size_t waiting = 0;
+    for (std::size_t s = 0; s < stations.size(); ++s) {
+      if (stations[s].busy && stations[s].completed && !stations[s].written) {
+        ++waiting;
+        if (best == SIZE_MAX ||
+            stations[s].instr_index < stations[best].instr_index) {
+          best = s;
+        }
+      }
+    }
+    if (waiting > 1) stats.cdb_conflict_cycles += waiting - 1;
+    if (best != SIZE_MAX) {
+      Station& station = stations[best];
+      station.written = true;
+      const FpInstr& instr = trace[station.instr_index];
+      // Broadcast: satisfy consumers and the register-status table.
+      for (auto& other : stations) {
+        if (!other.busy) continue;
+        if (other.q1 == best + 1) other.q1 = 0;
+        if (other.q2 == best + 1) other.q2 = 0;
+      }
+      if (instr.dst >= 0) {
+        auto it = register_status.find(instr.dst);
+        if (it != register_status.end() && it->second == best + 1) {
+          register_status.erase(it);
+        }
+      }
+      // Branch resolution.
+      if (instr.op == FpOp::kBranch && blocking_branch_station &&
+          *blocking_branch_station == best) {
+        blocking_branch_station.reset();
+      }
+      if (config.speculative) {
+        commit_ready[station.instr_index] = true;
+        station.busy = false;  // RS freed at write; ROB entry remains
+      } else {
+        station.busy = false;
+        ++written_total;
+        --in_flight;
+      }
+    }
+
+    // ---- commit (speculative only; in order, one per cycle) ----
+    if (config.speculative && committed < trace.size() &&
+        commit_ready[committed]) {
+      ++committed;
+      --in_flight;
+    }
+
+    // ---- execute ----
+    for (auto& station : stations) {
+      if (!station.busy || station.completed) continue;
+      if (!station.executing) {
+        if (station.q1 == 0 && station.q2 == 0) {
+          station.executing = true;
+          station.remaining = latency_of(station.op);
+        } else {
+          continue;
+        }
+      }
+      if (station.remaining > 0) --station.remaining;
+      if (station.remaining == 0) station.completed = true;
+    }
+
+    // ---- issue (one instruction per cycle) ----
+    if (next_issue >= trace.size()) continue;
+    if (issue_resume_delay > 0) {
+      --issue_resume_delay;
+      stats.branch_stall_cycles++;
+      continue;
+    }
+    if (blocking_branch_station) {
+      ++stats.branch_stall_cycles;
+      continue;
+    }
+    if (config.speculative && in_flight >= config.rob_entries) {
+      ++stats.rob_full_stall_cycles;
+      continue;
+    }
+    const FpInstr& instr = trace[next_issue];
+    const auto [lo, hi] = unit_range(unit_of(instr.op));
+    std::size_t free_station = SIZE_MAX;
+    for (std::size_t s = lo; s < hi; ++s) {
+      if (!stations[s].busy) {
+        free_station = s;
+        break;
+      }
+    }
+    if (free_station == SIZE_MAX) {
+      ++stats.rs_full_stall_cycles;
+      continue;
+    }
+
+    Station& station = stations[free_station];
+    station = Station{};
+    station.busy = true;
+    station.instr_index = next_issue;
+    station.op = instr.op;
+    auto producer_of = [&](int reg) -> std::size_t {
+      if (reg < 0) return 0;
+      const auto it = register_status.find(reg);
+      return it == register_status.end() ? 0 : it->second;
+    };
+    station.q1 = producer_of(instr.src1);
+    station.q2 = producer_of(instr.src2);
+    if (instr.dst >= 0) register_status[instr.dst] = free_station + 1;
+
+    if (instr.op == FpOp::kBranch) {
+      ++stats.branches;
+      const bool predicted = predictor.predict(instr.pc);
+      predictor.update(instr.pc, instr.taken);
+      const bool mispredicted = predicted != instr.taken;
+      if (mispredicted) ++stats.mispredictions;
+      if (!config.speculative || mispredicted) {
+        // Non-speculative: always wait for resolution. Speculative: the
+        // wrong path would be fetched — correct-path issue resumes after
+        // resolution plus the refetch bubble.
+        blocking_branch_station = free_station;
+        if (config.speculative && mispredicted) {
+          issue_resume_delay = config.mispredict_penalty;
+        }
+      }
+    }
+    ++next_issue;
+    ++in_flight;
+  }
+
+  stats.cycles = cycle;
+  return stats;
+}
+
+std::vector<FpInstr> make_fp_loop_trace(std::size_t iterations,
+                                        double taken_bias) {
+  PDC_CHECK(taken_bias >= 0.0 && taken_bias <= 1.0);
+  support::Rng rng(0xB0B0 + static_cast<std::uint64_t>(taken_bias * 1000));
+  std::vector<FpInstr> trace;
+  trace.reserve(iterations * 4);
+  for (std::size_t i = 0; i < iterations; ++i) {
+    trace.push_back({FpOp::kLoad, 2, 1, -1, 0x10, false});
+    trace.push_back({FpOp::kFMul, 3, 2, 4, 0x14, false});
+    trace.push_back({FpOp::kFAdd, 5, 3, 5, 0x18, false});
+    trace.push_back({FpOp::kBranch, -1, 5, -1, 0x1c, rng.bernoulli(taken_bias)});
+  }
+  return trace;
+}
+
+}  // namespace pdc::arch

@@ -1,0 +1,84 @@
+// Tomasulo dynamic-scheduling simulator, non-speculative and speculative.
+//
+// The AUC case study (paper §IV-B) explicitly covers "architectures based
+// on dynamic scheduling such as the non-speculative and the speculative
+// versions of Tomasulo's architecture". This model implements both:
+//
+//  - reservation stations per functional-unit class with register renaming
+//    through the register-status (Qi) table, and a single CDB arbitrated
+//    oldest-first (so CDB contention is a measurable effect);
+//  - NON-SPECULATIVE: issue stops at every branch until it resolves;
+//  - SPECULATIVE: a reorder buffer bounds the in-flight window, commit is
+//    in order (1/cycle), and issue continues past predicted branches; a
+//    misprediction costs the wait for resolution plus a refetch bubble
+//    (wrong-path resource usage is not modelled — documented
+//    simplification).
+//
+// The trace is the dynamic correct-path instruction stream, as in
+// pipeline.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/pipeline.hpp"  // BranchPredictor
+
+namespace pdc::arch {
+
+enum class FpOp : std::uint8_t { kFAdd, kFMul, kFDiv, kLoad, kStore, kBranch };
+
+const char* to_string(FpOp op);
+
+struct FpInstr {
+  FpOp op = FpOp::kFAdd;
+  int dst = -1;   // destination register (< 0 for stores/branches)
+  int src1 = -1;
+  int src2 = -1;
+  std::uint64_t pc = 0;
+  bool taken = false;  // branch outcome
+};
+
+struct TomasuloConfig {
+  bool speculative = false;
+  std::size_t rob_entries = 16;       // speculative only
+  std::size_t adder_stations = 3;     // FAdd + branch compare
+  std::size_t multiplier_stations = 2;  // FMul/FDiv
+  std::size_t memory_stations = 3;    // loads/stores
+  std::uint32_t fadd_latency = 2;
+  std::uint32_t fmul_latency = 6;
+  std::uint32_t fdiv_latency = 12;
+  std::uint32_t load_latency = 2;
+  std::uint32_t store_latency = 1;
+  std::uint32_t branch_latency = 1;
+  BranchPredictor predictor = BranchPredictor::kTwoBit;
+  std::uint32_t mispredict_penalty = 1;  // refetch bubble after resolution
+};
+
+struct TomasuloStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t rs_full_stall_cycles = 0;
+  std::uint64_t rob_full_stall_cycles = 0;
+  std::uint64_t branch_stall_cycles = 0;  // issue blocked by an unresolved branch
+  std::uint64_t branches = 0;
+  std::uint64_t mispredictions = 0;
+  std::uint64_t cdb_conflict_cycles = 0;  // results ready but CDB busy
+
+  [[nodiscard]] double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+  }
+};
+
+TomasuloStats simulate_tomasulo(const std::vector<FpInstr>& trace,
+                                const TomasuloConfig& config = {});
+
+/// Dynamic trace of a loop body with FP work and a data-dependent branch:
+/// per iteration — load, fmul (dependent), fadd (dependent), branch taken
+/// with probability `taken_bias` (deterministic pattern derived from the
+/// iteration index and bias).
+std::vector<FpInstr> make_fp_loop_trace(std::size_t iterations,
+                                        double taken_bias);
+
+}  // namespace pdc::arch

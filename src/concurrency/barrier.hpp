@@ -1,0 +1,128 @@
+// Thread barriers: the blocking CyclicBarrier used by the runtime, and a
+// SenseReversingBarrier that demonstrates the classic spin-based design
+// covered in parallel-programming courses (LAU case study, part 2).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "support/check.hpp"
+
+namespace pdc::concurrency {
+
+/// Reusable barrier for a fixed party count; optionally runs a completion
+/// action exactly once per generation (in the last-arriving thread).
+class CyclicBarrier {
+ public:
+  explicit CyclicBarrier(std::size_t parties,
+                         std::function<void()> on_completion = {})
+      : parties_(parties), waiting_(0), generation_(0),
+        on_completion_(std::move(on_completion)) {
+    PDC_CHECK(parties > 0);
+  }
+
+  CyclicBarrier(const CyclicBarrier&) = delete;
+  CyclicBarrier& operator=(const CyclicBarrier&) = delete;
+
+  /// Blocks until `parties` threads have arrived; returns the generation
+  /// index that completed (useful for phase-numbered algorithms).
+  std::size_t arrive_and_wait() {
+    std::unique_lock lock(mutex_);
+    const std::size_t my_generation = generation_;
+    if (++waiting_ == parties_) {
+      if (on_completion_) on_completion_();
+      waiting_ = 0;
+      ++generation_;
+      lock.unlock();
+      released_.notify_all();
+      return my_generation;
+    }
+    released_.wait(lock, [&] { return generation_ != my_generation; });
+    return my_generation;
+  }
+
+  [[nodiscard]] std::size_t parties() const { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  std::size_t waiting_;
+  std::size_t generation_;
+  std::function<void()> on_completion_;
+  std::mutex mutex_;
+  std::condition_variable released_;
+};
+
+/// Spin barrier with per-thread sense reversal. All waiting is busy-waiting
+/// on a single shared flag — cheap for short phases on dedicated cores, and
+/// the standard teaching contrast to the blocking barrier above.
+class SenseReversingBarrier {
+ public:
+  explicit SenseReversingBarrier(std::size_t parties)
+      : parties_(parties), remaining_(parties), sense_(false) {
+    PDC_CHECK(parties > 0);
+  }
+
+  SenseReversingBarrier(const SenseReversingBarrier&) = delete;
+  SenseReversingBarrier& operator=(const SenseReversingBarrier&) = delete;
+
+  /// Each participating thread must own one LocalSense for the barrier's
+  /// lifetime and pass the same object to every arrive_and_wait call.
+  struct LocalSense {
+    bool sense = true;
+  };
+
+  void arrive_and_wait(LocalSense& local) {
+    const bool my_sense = local.sense;
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(parties_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);  // release the phase
+    } else {
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        std::this_thread::yield();  // single-core friendliness; a dedicated
+                                    // core would pure-spin here
+      }
+    }
+    local.sense = !my_sense;
+  }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> remaining_;
+  std::atomic<bool> sense_;
+};
+
+/// One-shot countdown latch (thread-count independent).
+class CountdownLatch {
+ public:
+  explicit CountdownLatch(std::size_t count) : count_(count) {}
+
+  void count_down(std::size_t n = 1) {
+    std::unique_lock lock(mutex_);
+    PDC_CHECK_MSG(n <= count_, "latch counted below zero");
+    count_ -= n;
+    if (count_ == 0) {
+      lock.unlock();
+      zero_.notify_all();
+    }
+  }
+
+  void wait() {
+    std::unique_lock lock(mutex_);
+    zero_.wait(lock, [&] { return count_ == 0; });
+  }
+
+  [[nodiscard]] bool try_wait() const {
+    std::scoped_lock lock(mutex_);
+    return count_ == 0;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable zero_;
+  std::size_t count_;
+};
+
+}  // namespace pdc::concurrency

@@ -1,0 +1,131 @@
+// BoundedQueue<T>: the "properly synchronized queue" of CC2020's PDC
+// competency list — a multi-producer multi-consumer blocking bounded
+// buffer with orderly shutdown.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "support/check.hpp"
+#include "support/status.hpp"
+
+namespace pdc::concurrency {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    PDC_CHECK(capacity > 0);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while full. Returns kClosed (item dropped) after close().
+  support::Status push(T item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return {support::StatusCode::kClosed, "queue closed"};
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return support::Status::ok();
+  }
+
+  /// Non-blocking push; kUnavailable when full.
+  support::Status try_push(T item) {
+    {
+      std::scoped_lock lock(mutex_);
+      if (closed_) return {support::StatusCode::kClosed, "queue closed"};
+      if (items_.size() >= capacity_)
+        return {support::StatusCode::kUnavailable, "queue full"};
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return support::Status::ok();
+  }
+
+  /// Blocks while empty. Returns kClosed only when the queue is closed AND
+  /// drained, so no pushed item is ever lost.
+  support::Result<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) {
+      return support::Status{support::StatusCode::kClosed, "queue closed and drained"};
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  support::Result<T> try_pop() {
+    std::unique_lock lock(mutex_);
+    if (items_.empty()) {
+      if (closed_)
+        return support::Status{support::StatusCode::kClosed, "queue closed and drained"};
+      return support::Status{support::StatusCode::kUnavailable, "queue empty"};
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Timed pop; kTimeout if nothing arrives in time.
+  template <typename Rep, typename Period>
+  support::Result<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [&] { return !items_.empty() || closed_; })) {
+      return support::Status{support::StatusCode::kTimeout, "pop timed out"};
+    }
+    if (items_.empty()) {
+      return support::Status{support::StatusCode::kClosed, "queue closed and drained"};
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Wakes all blocked producers/consumers; producers fail immediately,
+  /// consumers drain the remaining items then observe kClosed.
+  void close() {
+    {
+      std::scoped_lock lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::scoped_lock lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::scoped_lock lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace pdc::concurrency

@@ -1,0 +1,91 @@
+#include "concurrency/lock_order.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace pdc::concurrency {
+
+namespace {
+// Per-thread stack of currently held OrderedMutex ids. thread_local keeps
+// the hot path allocation-free after the first acquisition.
+thread_local std::vector<std::uint32_t> t_held;
+}  // namespace
+
+OrderedMutex::OrderedMutex(LockOrderRegistry& registry, std::string name)
+    : registry_(registry), name_(std::move(name)),
+      id_(registry_.register_mutex(name_)) {}
+
+OrderedMutex::~OrderedMutex() { registry_.unregister_mutex(id_); }
+
+void OrderedMutex::lock() {
+  registry_.on_acquire(id_);
+  mutex_.lock();
+  t_held.push_back(id_);
+}
+
+void OrderedMutex::unlock() {
+  registry_.on_release(id_);
+  auto it = std::find(t_held.rbegin(), t_held.rend(), id_);
+  PDC_CHECK_MSG(it != t_held.rend(), "unlock of mutex not held by this thread");
+  t_held.erase(std::next(it).base());
+  mutex_.unlock();
+}
+
+std::uint32_t LockOrderRegistry::register_mutex(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  names_.push_back(name);
+  edges_.emplace_back();
+  return static_cast<std::uint32_t>(names_.size() - 1);
+}
+
+void LockOrderRegistry::unregister_mutex(std::uint32_t) {
+  // Ids are never reused; keeping the node preserves reports that already
+  // reference it. Nothing to do.
+}
+
+void LockOrderRegistry::on_acquire(std::uint32_t id) {
+  if (t_held.empty()) return;
+  std::scoped_lock lock(mutex_);
+  for (std::uint32_t held : t_held) {
+    if (held == id) continue;  // recursive patterns are out of scope
+    // Establishing held -> id. If id -> held is already reachable, the
+    // global graph would gain a cycle: report it.
+    if (reachable_locked(id, held)) {
+      violations_.push_back("lock-order inversion: '" + names_[id] +
+                            "' acquired while holding '" + names_[held] +
+                            "', but the reverse order was already established");
+    }
+    auto& out = edges_[held];
+    if (std::find(out.begin(), out.end(), id) == out.end()) out.push_back(id);
+  }
+}
+
+void LockOrderRegistry::on_release(std::uint32_t) {}
+
+bool LockOrderRegistry::reachable_locked(std::uint32_t from,
+                                         std::uint32_t to) const {
+  if (from == to) return true;
+  std::vector<bool> seen(edges_.size(), false);
+  std::vector<std::uint32_t> stack{from};
+  seen[from] = true;
+  while (!stack.empty()) {
+    const std::uint32_t node = stack.back();
+    stack.pop_back();
+    for (std::uint32_t next : edges_[node]) {
+      if (next == to) return true;
+      if (!seen[next]) {
+        seen[next] = true;
+        stack.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> LockOrderRegistry::violations() const {
+  std::scoped_lock lock(mutex_);
+  return violations_;
+}
+
+}  // namespace pdc::concurrency

@@ -1,0 +1,92 @@
+// Runtime lock-order (deadlock-potential) checker.
+//
+// CC2020's PDC competencies call out deadlocks explicitly, and Core
+// Guidelines CP.9 says to validate concurrent code with tools. OrderedMutex
+// records the global "acquired-while-holding" graph; a cycle in that graph
+// means two threads can deadlock even if this run happened not to. The
+// checker flags the *potential* at the moment the inverted acquisition is
+// attempted, which is what lock-order analyzers (e.g. pthread lockdep)
+// teach.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace pdc::concurrency {
+
+class LockOrderRegistry;
+
+/// A mutex that reports its acquisitions to a LockOrderRegistry.
+class OrderedMutex {
+ public:
+  /// `name` identifies the mutex in violation reports.
+  OrderedMutex(LockOrderRegistry& registry, std::string name);
+  ~OrderedMutex();
+
+  OrderedMutex(const OrderedMutex&) = delete;
+  OrderedMutex& operator=(const OrderedMutex&) = delete;
+
+  /// Acquires; if this acquisition creates a cycle in the global order
+  /// graph the violation is recorded in the registry (the lock is still
+  /// taken so the program proceeds).
+  void lock();
+  void unlock();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+
+ private:
+  LockOrderRegistry& registry_;
+  std::string name_;
+  std::uint32_t id_;
+  std::mutex mutex_;
+};
+
+/// Shared state for a family of OrderedMutex objects.
+class LockOrderRegistry {
+ public:
+  LockOrderRegistry() = default;
+  LockOrderRegistry(const LockOrderRegistry&) = delete;
+  LockOrderRegistry& operator=(const LockOrderRegistry&) = delete;
+
+  /// Human-readable reports like "lock-order inversion: B acquired while
+  /// holding A, but A->B order was already established".
+  [[nodiscard]] std::vector<std::string> violations() const;
+
+  [[nodiscard]] bool clean() const { return violations().empty(); }
+
+ private:
+  friend class OrderedMutex;
+
+  std::uint32_t register_mutex(const std::string& name);
+  void unregister_mutex(std::uint32_t id);
+  void on_acquire(std::uint32_t id);
+  void on_release(std::uint32_t id);
+
+  /// True if `to` is reachable from `from` in the established-order graph.
+  bool reachable_locked(std::uint32_t from, std::uint32_t to) const;
+
+  mutable std::mutex mutex_;
+  std::vector<std::string> names_;
+  // edges_[a] lists b where order a-then-b was observed.
+  std::vector<std::vector<std::uint32_t>> edges_;
+  std::vector<std::string> violations_;
+};
+
+/// RAII guard for OrderedMutex.
+class OrderedGuard {
+ public:
+  explicit OrderedGuard(OrderedMutex& m) : m_(m) { m_.lock(); }
+  ~OrderedGuard() { m_.unlock(); }
+  OrderedGuard(const OrderedGuard&) = delete;
+  OrderedGuard& operator=(const OrderedGuard&) = delete;
+
+ private:
+  OrderedMutex& m_;
+};
+
+}  // namespace pdc::concurrency

@@ -1,0 +1,88 @@
+// Monitor<T>: data bundled with its mutex and condition variable.
+//
+// Implements Core Guidelines CP.50 ("define a mutex together with the data
+// it guards; use synchronized_value<T> where possible") and serves as the
+// library's monitor exemplar (SE2014 "concurrency primitives: semaphores
+// and monitors"). All access happens inside `with`/`wait`, so the guarded
+// state can never be touched without holding the lock.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+namespace pdc::concurrency {
+
+template <typename T>
+class Monitor {
+ public:
+  Monitor() = default;
+  explicit Monitor(T initial) : data_(std::move(initial)) {}
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  /// Runs `fn(T&)` with the lock held; returns fn's result.
+  /// Signals the condition afterwards since `fn` may have changed state
+  /// some waiter is blocked on.
+  template <typename Fn>
+  auto with(Fn&& fn) -> decltype(fn(std::declval<T&>())) {
+    std::unique_lock lock(mutex_);
+    if constexpr (std::is_void_v<decltype(fn(data_))>) {
+      std::forward<Fn>(fn)(data_);
+      lock.unlock();
+      changed_.notify_all();
+    } else {
+      auto result = std::forward<Fn>(fn)(data_);
+      lock.unlock();
+      changed_.notify_all();
+      return result;
+    }
+  }
+
+  /// Read-only access without notification.
+  template <typename Fn>
+  auto read(Fn&& fn) const -> decltype(fn(std::declval<const T&>())) {
+    std::scoped_lock lock(mutex_);
+    return std::forward<Fn>(fn)(data_);
+  }
+
+  /// Blocks until `pred(const T&)` holds, then runs `fn(T&)` under the lock.
+  template <typename Pred, typename Fn>
+  auto wait(Pred&& pred, Fn&& fn) -> decltype(fn(std::declval<T&>())) {
+    std::unique_lock lock(mutex_);
+    changed_.wait(lock, [&] { return pred(std::as_const(data_)); });
+    if constexpr (std::is_void_v<decltype(fn(data_))>) {
+      std::forward<Fn>(fn)(data_);
+      lock.unlock();
+      changed_.notify_all();
+    } else {
+      auto result = std::forward<Fn>(fn)(data_);
+      lock.unlock();
+      changed_.notify_all();
+      return result;
+    }
+  }
+
+  /// Timed variant of `wait`; returns false on timeout (fn not run).
+  template <typename Rep, typename Period, typename Pred, typename Fn>
+  bool wait_for(std::chrono::duration<Rep, Period> timeout, Pred&& pred,
+                Fn&& fn) {
+    std::unique_lock lock(mutex_);
+    if (!changed_.wait_for(lock, timeout,
+                           [&] { return pred(std::as_const(data_)); })) {
+      return false;
+    }
+    std::forward<Fn>(fn)(data_);
+    lock.unlock();
+    changed_.notify_all();
+    return true;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable changed_;
+  T data_{};
+};
+
+}  // namespace pdc::concurrency

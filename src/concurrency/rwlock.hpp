@@ -1,0 +1,91 @@
+// Reader-writer lock with writer preference, built from one mutex and two
+// condition variables — the construction OS courses derive from first
+// principles (readers share, writers exclude, waiting writers block new
+// readers to avoid writer starvation).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "support/check.hpp"
+
+namespace pdc::concurrency {
+
+class RwLock {
+ public:
+  RwLock() = default;
+  RwLock(const RwLock&) = delete;
+  RwLock& operator=(const RwLock&) = delete;
+
+  void lock_shared() {
+    std::unique_lock lock(mutex_);
+    readers_turn_.wait(lock, [&] { return !writer_active_ && writers_waiting_ == 0; });
+    ++readers_active_;
+  }
+
+  void unlock_shared() {
+    std::unique_lock lock(mutex_);
+    PDC_CHECK(readers_active_ > 0);
+    if (--readers_active_ == 0) {
+      lock.unlock();
+      writers_turn_.notify_one();
+    }
+  }
+
+  void lock() {
+    std::unique_lock lock(mutex_);
+    ++writers_waiting_;
+    writers_turn_.wait(lock, [&] { return !writer_active_ && readers_active_ == 0; });
+    --writers_waiting_;
+    writer_active_ = true;
+  }
+
+  void unlock() {
+    std::unique_lock lock(mutex_);
+    PDC_CHECK(writer_active_);
+    writer_active_ = false;
+    const bool writers_pending = writers_waiting_ > 0;
+    lock.unlock();
+    if (writers_pending) {
+      writers_turn_.notify_one();
+    } else {
+      readers_turn_.notify_all();
+    }
+  }
+
+  bool try_lock() {
+    std::scoped_lock lock(mutex_);
+    if (writer_active_ || readers_active_ > 0) return false;
+    writer_active_ = true;
+    return true;
+  }
+
+  bool try_lock_shared() {
+    std::scoped_lock lock(mutex_);
+    if (writer_active_ || writers_waiting_ > 0) return false;
+    ++readers_active_;
+    return true;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable readers_turn_;
+  std::condition_variable writers_turn_;
+  std::size_t readers_active_ = 0;
+  std::size_t writers_waiting_ = 0;
+  bool writer_active_ = false;
+};
+
+/// RAII shared (read) guard for RwLock.
+class SharedGuard {
+ public:
+  explicit SharedGuard(RwLock& lock) : lock_(lock) { lock_.lock_shared(); }
+  ~SharedGuard() { lock_.unlock_shared(); }
+  SharedGuard(const SharedGuard&) = delete;
+  SharedGuard& operator=(const SharedGuard&) = delete;
+
+ private:
+  RwLock& lock_;
+};
+
+}  // namespace pdc::concurrency

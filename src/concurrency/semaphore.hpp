@@ -1,0 +1,95 @@
+// Counting and binary semaphores.
+//
+// SE2014 lists "concurrency primitives (e.g., semaphores and monitors)" as
+// an essential, application-level topic (paper, Table III). These are
+// condition-variable based so the implementation itself demonstrates the
+// guarded-wait idiom (Core Guidelines CP.42: don't wait without a
+// condition).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "support/check.hpp"
+
+namespace pdc::concurrency {
+
+/// Classic counting semaphore with optional bound.
+///
+/// `max_count == 0` means unbounded (release never blocks the invariant).
+/// With a bound, release() checks the ceiling — catching the common student
+/// bug of releasing more permits than exist.
+class CountingSemaphore {
+ public:
+  explicit CountingSemaphore(std::size_t initial, std::size_t max_count = 0)
+      : count_(initial), max_(max_count) {
+    if (max_ != 0) PDC_CHECK_MSG(initial <= max_, "initial exceeds max_count");
+  }
+
+  CountingSemaphore(const CountingSemaphore&) = delete;
+  CountingSemaphore& operator=(const CountingSemaphore&) = delete;
+
+  /// P / wait / down: blocks until a permit is available.
+  void acquire() {
+    std::unique_lock lock(mutex_);
+    available_.wait(lock, [&] { return count_ > 0; });
+    --count_;
+  }
+
+  /// Non-blocking acquire.
+  bool try_acquire() {
+    std::scoped_lock lock(mutex_);
+    if (count_ == 0) return false;
+    --count_;
+    return true;
+  }
+
+  /// Timed acquire; false on timeout.
+  template <typename Rep, typename Period>
+  bool try_acquire_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    if (!available_.wait_for(lock, timeout, [&] { return count_ > 0; })) {
+      return false;
+    }
+    --count_;
+    return true;
+  }
+
+  /// V / signal / up: returns `n` permits.
+  void release(std::size_t n = 1) {
+    {
+      std::scoped_lock lock(mutex_);
+      if (max_ != 0) {
+        PDC_CHECK_MSG(count_ + n <= max_, "semaphore released past max_count");
+      }
+      count_ += n;
+    }
+    if (n == 1) {
+      available_.notify_one();
+    } else {
+      available_.notify_all();
+    }
+  }
+
+  /// Instantaneous permit count (diagnostic only; racy by nature).
+  std::size_t permits() const {
+    std::scoped_lock lock(mutex_);
+    return count_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable available_;
+  std::size_t count_;
+  const std::size_t max_;
+};
+
+/// Binary semaphore == CountingSemaphore bounded at one permit.
+class BinarySemaphore : public CountingSemaphore {
+ public:
+  explicit BinarySemaphore(bool initially_available)
+      : CountingSemaphore(initially_available ? 1 : 0, 1) {}
+};
+
+}  // namespace pdc::concurrency

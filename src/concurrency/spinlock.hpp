@@ -1,0 +1,197 @@
+// Spinlock family: test-and-set, test-and-test-and-set, and ticket locks.
+//
+// These are the standard "efficient synchronization" unit of a multicore
+// programming course (LAU case study): identical BasicLockable interfaces
+// so `std::scoped_lock` works over all of them, and the coherence-traffic
+// differences between them are measured in bench/perf_locks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace pdc::concurrency {
+
+namespace detail {
+/// Bounded exponential backoff: spin a few times, then yield so the lock
+/// family behaves on oversubscribed/single-core hosts too.
+class Backoff {
+ public:
+  void pause() {
+    if (spins_ < kMaxSpins) {
+      for (std::uint32_t i = 0; i < spins_; ++i) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+      spins_ *= 2;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t kMaxSpins = 1024;
+  std::uint32_t spins_ = 4;
+};
+}  // namespace detail
+
+/// Naive test-and-set lock: every acquisition attempt is a write, so
+/// contended use ping-pongs the cache line between cores.
+class TasLock {
+ public:
+  void lock() {
+    detail::Backoff backoff;
+    while (flag_.exchange(true, std::memory_order_acquire)) backoff.pause();
+  }
+
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Test-and-test-and-set: spins on a read (local cache hit) and only
+/// attempts the RMW when the lock looks free — the canonical fix for TAS.
+class TtasLock {
+ public:
+  void lock() {
+    detail::Backoff backoff;
+    for (;;) {
+      while (flag_.load(std::memory_order_relaxed)) backoff.pause();
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+    }
+  }
+
+  bool try_lock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Ticket lock: FIFO-fair; each thread takes a ticket and waits for its
+/// turn, eliminating starvation at the cost of all waiters polling one
+/// counter.
+class TicketLock {
+ public:
+  void lock() {
+    const std::uint64_t ticket =
+        next_ticket_.fetch_add(1, std::memory_order_relaxed);
+    detail::Backoff backoff;
+    while (now_serving_.load(std::memory_order_acquire) != ticket) {
+      backoff.pause();
+    }
+  }
+
+  bool try_lock() {
+    std::uint64_t serving = now_serving_.load(std::memory_order_acquire);
+    std::uint64_t expected = serving;
+    // Succeed only when no one holds or awaits the lock.
+    return next_ticket_.compare_exchange_strong(expected, serving + 1,
+                                                std::memory_order_acquire,
+                                                std::memory_order_relaxed);
+  }
+
+  void unlock() {
+    now_serving_.fetch_add(1, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint64_t> next_ticket_{0};
+  std::atomic<std::uint64_t> now_serving_{0};
+};
+
+/// MCS queue lock: each waiter spins on a flag in its OWN node, so under
+/// contention every thread spins on a distinct cache line (no global
+/// ping-pong) and handoff is FIFO. The design that made large-machine
+/// locking scalable, and the classic contrast to TAS/TTAS in the
+/// synchronization lecture.
+class McsLock {
+ public:
+  /// Queue node, owned by the locking thread for the duration of the
+  /// critical section (typically on its stack).
+  struct alignas(64) Node {
+    std::atomic<Node*> next{nullptr};
+    std::atomic<bool> locked{false};
+  };
+
+  void lock(Node& node) {
+    node.next.store(nullptr, std::memory_order_relaxed);
+    Node* predecessor = tail_.exchange(&node, std::memory_order_acq_rel);
+    if (predecessor != nullptr) {
+      node.locked.store(true, std::memory_order_relaxed);
+      predecessor->next.store(&node, std::memory_order_release);
+      detail::Backoff backoff;
+      while (node.locked.load(std::memory_order_acquire)) backoff.pause();
+    }
+  }
+
+  void unlock(Node& node) {
+    Node* successor = node.next.load(std::memory_order_acquire);
+    if (successor == nullptr) {
+      // Nobody visibly queued: try to close the queue.
+      Node* expected = &node;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        return;
+      }
+      // A successor is mid-enqueue; wait for its link to appear.
+      detail::Backoff backoff;
+      while ((successor = node.next.load(std::memory_order_acquire)) == nullptr) {
+        backoff.pause();
+      }
+    }
+    successor->locked.store(false, std::memory_order_release);
+  }
+
+  /// RAII guard carrying the queue node.
+  class Guard {
+   public:
+    explicit Guard(McsLock& lock) : lock_(lock) { lock_.lock(node_); }
+    ~Guard() { lock_.unlock(node_); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    McsLock& lock_;
+    Node node_;
+  };
+
+ private:
+  std::atomic<Node*> tail_{nullptr};
+};
+
+/// Peterson's two-thread mutual exclusion, expressed with seq_cst atomics
+/// (the plain-variable textbook version is incorrect on real memory
+/// models — that contrast is the lesson; see tests/concurrency_test).
+class PetersonLock {
+ public:
+  /// `self` must be 0 or 1 and unique per thread.
+  void lock(int self) {
+    const int other = 1 - self;
+    interested_[self].store(true, std::memory_order_seq_cst);
+    turn_.store(other, std::memory_order_seq_cst);
+    while (interested_[other].load(std::memory_order_seq_cst) &&
+           turn_.load(std::memory_order_seq_cst) == other) {
+      std::this_thread::yield();
+    }
+  }
+
+  void unlock(int self) {
+    interested_[self].store(false, std::memory_order_seq_cst);
+  }
+
+ private:
+  std::atomic<bool> interested_[2] = {false, false};
+  std::atomic<int> turn_{0};
+};
+
+}  // namespace pdc::concurrency

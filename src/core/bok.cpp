@@ -1,0 +1,124 @@
+#include "core/bok.hpp"
+
+namespace pdc::core {
+
+const char* to_string(CognitiveLevel level) {
+  switch (level) {
+    case CognitiveLevel::kKnowledge: return "knowledge";
+    case CognitiveLevel::kComprehension: return "comprehension";
+    case CognitiveLevel::kApplication: return "application";
+  }
+  return "?";
+}
+
+std::vector<KnowledgeUnit> KnowledgeArea::pdc_core_units() const {
+  std::vector<KnowledgeUnit> result;
+  for (const KnowledgeUnit& unit : units) {
+    if (unit.core && unit.pdc_related) result.push_back(unit);
+  }
+  return result;
+}
+
+const std::vector<KnowledgeArea>& ce2016() {
+  // Twelve knowledge areas per CE2016; PDC-related core units exactly as
+  // Table II lists them, in the four areas the paper names. Non-PDC units
+  // are representative core content (structural placeholders only — the
+  // benches never print them).
+  static const std::vector<KnowledgeArea> bok{
+      {"Circuits and Electronics",
+       {{"Electrical circuit fundamentals", true, false,
+         CognitiveLevel::kComprehension}}},
+      {"Computing Algorithms",
+       {{"Basic algorithm analysis", true, false, CognitiveLevel::kApplication},
+        {"Parallel algorithms/threading", true, true,
+         CognitiveLevel::kApplication},
+        {"Analysis and design of application-specific algorithms", true, false,
+         CognitiveLevel::kApplication}}},
+      {"Computer Architecture and Organization",
+       {{"Processor organization", true, false, CognitiveLevel::kComprehension},
+        {"Multi/Many-core architectures", true, true,
+         CognitiveLevel::kComprehension},
+        {"Distributed system architectures", true, true,
+         CognitiveLevel::kComprehension},
+        {"Memory hierarchies", true, false, CognitiveLevel::kComprehension}}},
+      {"Digital Design",
+       {{"Combinational and sequential logic", true, false,
+         CognitiveLevel::kApplication}}},
+      {"Embedded Systems",
+       {{"Embedded platforms and interfacing", true, false,
+         CognitiveLevel::kApplication}}},
+      {"Information Security",
+       {{"Security foundations", true, false, CognitiveLevel::kComprehension}}},
+      {"Computer Networks",
+       {{"Network protocols and layering", true, false,
+         CognitiveLevel::kComprehension}}},
+      {"Professional Practice",
+       {{"Ethics and professional conduct", true, false,
+         CognitiveLevel::kComprehension}}},
+      {"Signal Processing",
+       {{"Discrete-time signals", true, false, CognitiveLevel::kComprehension}}},
+      {"Software Design",
+       {{"Design principles and patterns", true, false,
+         CognitiveLevel::kApplication},
+        {"Event-driven and concurrent programming", true, true,
+         CognitiveLevel::kApplication}}},
+      {"Systems and Project Engineering",
+       {{"Requirements and lifecycle", true, false,
+         CognitiveLevel::kComprehension}}},
+      {"Systems Resource Management",
+       {{"Operating system roles", true, false, CognitiveLevel::kComprehension},
+        {"Concurrent processing support", true, true,
+         CognitiveLevel::kComprehension}}},
+  };
+  return bok;
+}
+
+const std::vector<KnowledgeArea>& se2014() {
+  // Ten SEEK knowledge areas; the PDC-related essential topics of Table III
+  // live in Computing Essentials at application level.
+  static const std::vector<KnowledgeArea> bok{
+      {"Computing Essentials",
+       {{"Computer science foundations", true, false,
+         CognitiveLevel::kApplication},
+        {"Concurrency primitives (e.g., semaphores and monitors)", true, true,
+         CognitiveLevel::kApplication},
+        {"Construction methods for distributed software (e.g., cloud and "
+         "mobile computing)",
+         true, true, CognitiveLevel::kApplication},
+        {"Construction technologies", true, false,
+         CognitiveLevel::kApplication}}},
+      {"Mathematical and Engineering Fundamentals",
+       {{"Discrete mathematics", true, false, CognitiveLevel::kApplication}}},
+      {"Professional Practice",
+       {{"Group dynamics and communication", true, false,
+         CognitiveLevel::kComprehension}}},
+      {"Software Modeling and Analysis",
+       {{"Modeling foundations", true, false, CognitiveLevel::kApplication}}},
+      {"Requirements Analysis and Specification",
+       {{"Eliciting requirements", true, false, CognitiveLevel::kApplication}}},
+      {"Software Design",
+       {{"Design strategies", true, false, CognitiveLevel::kApplication}}},
+      {"Software Verification and Validation",
+       {{"Testing", true, false, CognitiveLevel::kApplication}}},
+      {"Software Process",
+       {{"Process concepts", true, false, CognitiveLevel::kComprehension}}},
+      {"Software Quality",
+       {{"Quality concepts and culture", true, false,
+         CognitiveLevel::kComprehension}}},
+      {"Security",
+       {{"Secure software construction", true, false,
+         CognitiveLevel::kApplication}}},
+  };
+  return bok;
+}
+
+std::vector<const KnowledgeArea*> pdc_areas(
+    const std::vector<KnowledgeArea>& bok) {
+  std::vector<const KnowledgeArea*> areas;
+  for (const KnowledgeArea& area : bok) {
+    if (!area.pdc_core_units().empty()) areas.push_back(&area);
+  }
+  return areas;
+}
+
+}  // namespace pdc::core

@@ -1,0 +1,46 @@
+// Bodies of knowledge for the engineering programs (paper §V):
+// CE2016 (computer engineering) and SE2014/SEEK (software engineering).
+//
+// Knowledge areas decompose into units/topics flagged core/essential and,
+// where applicable, PDC-related; Tables II and III are derived by
+// filtering these models (bench/table2_ce2016_pdc, bench/table3_se2014_pdc).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pdc::core {
+
+/// SE2014's three cognitive attainment levels (§V).
+enum class CognitiveLevel { kKnowledge, kComprehension, kApplication };
+
+const char* to_string(CognitiveLevel level);
+
+struct KnowledgeUnit {
+  std::string name;
+  bool core = false;          // CE2016 core / SEEK essential
+  bool pdc_related = false;
+  CognitiveLevel level = CognitiveLevel::kComprehension;
+};
+
+struct KnowledgeArea {
+  std::string name;
+  std::vector<KnowledgeUnit> units;
+
+  [[nodiscard]] std::vector<KnowledgeUnit> pdc_core_units() const;
+};
+
+/// CE2016's twelve knowledge areas, with the PDC-related core units of
+/// Table II carried by the four areas the paper names.
+const std::vector<KnowledgeArea>& ce2016();
+
+/// SE2014's ten SEEK knowledge areas, with the two PDC-related essential
+/// topics of Table III in Computing Essentials (application level).
+const std::vector<KnowledgeArea>& se2014();
+
+/// Areas of a body of knowledge that carry at least one PDC-related core
+/// unit — the rows of Tables II/III.
+std::vector<const KnowledgeArea*> pdc_areas(
+    const std::vector<KnowledgeArea>& bok);
+
+}  // namespace pdc::core

@@ -1,0 +1,138 @@
+#include "core/case_studies.hpp"
+
+namespace pdc::core {
+
+namespace {
+using C = PdcConcept;
+
+Course course(std::string code, std::string title, CourseCategory category,
+              bool required, std::set<PdcConcept> topics) {
+  return Course{std::move(code), std::move(title), category, required,
+                std::move(topics)};
+}
+}  // namespace
+
+Program lau_program() {
+  Program program;
+  program.institution = "Lebanese American University";
+  program.name = "BS Computer Science";
+  // The dedicated course: multicore programming, SIMD/data parallelism,
+  // synchronization, profiling/tuning, message-passing clusters, manycore
+  // SIMT (§IV-A course description).
+  program.courses.push_back(course(
+      "CSC447", "Parallel Programming", CourseCategory::kParallelProgramming,
+      /*required=*/true,
+      {C::kProgrammingWithThreads, C::kParallelismAndConcurrency,
+       C::kSharedMemoryProgramming, C::kSimdVectorProcessors,
+       C::kPerformanceMeasurement, C::kMulticoreProcessors,
+       C::kSharedVsDistributedMemory, C::kInterProcessCommunication,
+       C::kAtomicity}));
+  program.courses.push_back(
+      course("CSC326", "Operating Systems", CourseCategory::kOperatingSystems,
+             true, template_topics(CourseCategory::kOperatingSystems)));
+  program.courses.push_back(course(
+      "CSC320", "Computer Organization", CourseCategory::kComputerOrganization,
+      true, template_topics(CourseCategory::kComputerOrganization)));
+  program.courses.push_back(course(
+      "CSC375", "Database Management Systems", CourseCategory::kDatabaseSystems,
+      true, template_topics(CourseCategory::kDatabaseSystems)));
+  program.courses.push_back(
+      course("CSC245", "Data Structures & Algorithms", CourseCategory::kAlgorithms,
+             true, template_topics(CourseCategory::kAlgorithms)));
+  program.courses.push_back(
+      course("CSC430", "Computer Networks", CourseCategory::kComputerNetworks,
+             true, template_topics(CourseCategory::kComputerNetworks)));
+  return program;
+}
+
+Program auc_program() {
+  Program program;
+  program.institution = "The American University in Cairo";
+  program.name = "BS Computer Science";
+  // Early-maturity scattered approach (§IV-B): no dedicated PDC course.
+  program.courses.push_back(course(
+      "CSCE1102", "Fundamentals of Computing II",
+      CourseCategory::kIntroProgramming, true,
+      {C::kProgrammingWithThreads, C::kClientServerProgramming}));
+  program.courses.push_back(course(
+      "CSCE2301", "Computer Organization & Assembly",
+      CourseCategory::kComputerOrganization, true,
+      {C::kParallelismAndConcurrency, C::kMulticoreProcessors,
+       C::kInstructionLevelParallelism, C::kMemoryAndCaching,
+       C::kFlynnsTaxonomy}));
+  program.courses.push_back(course(
+      "CSCE3301", "Computer Architecture", CourseCategory::kComputerOrganization,
+      true,
+      {C::kInstructionLevelParallelism, C::kMulticoreProcessors,
+       C::kSimdVectorProcessors, C::kSharedVsDistributedMemory,
+       C::kPerformanceMeasurement}));  // incl. Tomasulo (speculative and not)
+  program.courses.push_back(course(
+      "CSCE3401", "Operating Systems", CourseCategory::kOperatingSystems, true,
+      {C::kProgrammingWithThreads, C::kParallelismAndConcurrency,
+       C::kAtomicity, C::kInterProcessCommunication,
+       C::kPerformanceMeasurement, C::kSharedMemoryProgramming,
+       C::kMemoryAndCaching}));
+  program.courses.push_back(course(
+      "CSCE3701", "Software Engineering", CourseCategory::kSoftwareEngineering,
+      true, {C::kParallelismAndConcurrency, C::kClientServerProgramming}));
+  program.courses.push_back(course(
+      "CSCE3601", "Concepts of Programming Languages",
+      CourseCategory::kProgrammingLanguages, true,
+      {C::kProgrammingWithThreads, C::kClientServerProgramming,
+       C::kParallelismAndConcurrency}));
+  program.courses.push_back(course(
+      "CSCE4501", "Database Systems", CourseCategory::kDatabaseSystems, true,
+      template_topics(CourseCategory::kDatabaseSystems)));
+  // Required for Computer Engineering only — elective here (§IV-B item 6).
+  program.courses.push_back(course(
+      "CSCE4301", "Fundamentals of Distributed Computing",
+      CourseCategory::kDistributedSystems, /*required=*/false,
+      template_topics(CourseCategory::kDistributedSystems)));
+  return program;
+}
+
+Program rit_program() {
+  Program program;
+  program.institution = "Rochester Institute of Technology";
+  program.name = "BS Computer Science";
+  // A single required breadth course (§IV-C) plus earlier thread coverage.
+  program.courses.push_back(course(
+      "CSCI251", "Concepts of Parallel and Distributed Systems",
+      CourseCategory::kParallelProgramming, true,
+      {C::kProgrammingWithThreads, C::kParallelismAndConcurrency,
+       C::kClientServerProgramming, C::kInterProcessCommunication,
+       C::kSharedVsDistributedMemory, C::kMulticoreProcessors,
+       C::kAtomicity, C::kPerformanceMeasurement}));
+  program.courses.push_back(course(
+      "CSCI142", "Computer Science II (Java threads)",
+      CourseCategory::kIntroProgramming, true, {C::kProgrammingWithThreads}));
+  program.courses.push_back(course(
+      "CSCI243", "Mechanics of Programming (pthreads)",
+      CourseCategory::kSystemsProgramming, true,
+      {C::kProgrammingWithThreads, C::kSharedMemoryProgramming,
+       C::kAtomicity, C::kInterProcessCommunication, C::kMemoryAndCaching}));
+  program.courses.push_back(course(
+      "CSCI250", "Concepts of Computer Systems",
+      CourseCategory::kComputerOrganization, true,
+      {C::kInstructionLevelParallelism, C::kParallelismAndConcurrency,
+       C::kMemoryAndCaching, C::kFlynnsTaxonomy}));
+  program.courses.push_back(course(
+      "CSCI320", "Principles of Data Management",
+      CourseCategory::kDatabaseSystems, true,
+      template_topics(CourseCategory::kDatabaseSystems)));
+  // Post-2010 restructuring made OS and networking advanced electives.
+  program.courses.push_back(course(
+      "CSCI352", "Operating Systems", CourseCategory::kOperatingSystems,
+      /*required=*/false, template_topics(CourseCategory::kOperatingSystems)));
+  program.courses.push_back(course(
+      "CSCI351", "Data Communications and Networks",
+      CourseCategory::kComputerNetworks, /*required=*/false,
+      template_topics(CourseCategory::kComputerNetworks)));
+  return program;
+}
+
+std::vector<Program> case_study_programs() {
+  return {lau_program(), auc_program(), rit_program()};
+}
+
+}  // namespace pdc::core

@@ -1,0 +1,23 @@
+// The three case-study programs of paper §IV as curriculum models.
+//
+// LAU: dedicated required parallel-programming course (multicore + MPI +
+// manycore/SIMT) plus PDC in OS / organization / DBMS. AUC: no dedicated
+// course — PDC scattered across fundamentals, architecture (incl.
+// Tomasulo), OS, SE, PL (the distributed-systems course is required only
+// for the CE program). RIT: a single required breadth course (Concepts of
+// Parallel and Distributed Systems) plus thread coverage in earlier
+// required courses.
+#pragma once
+
+#include "core/curriculum.hpp"
+
+namespace pdc::core {
+
+Program lau_program();
+Program auc_program();
+Program rit_program();
+
+/// All three, for iteration in tests/benches.
+std::vector<Program> case_study_programs();
+
+}  // namespace pdc::core

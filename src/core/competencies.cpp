@@ -1,0 +1,39 @@
+#include "core/competencies.hpp"
+
+namespace pdc::core {
+
+const std::vector<Competency>& cc2020_competencies() {
+  static const std::vector<Competency> competencies{
+      {"parallel divide-and-conquer algorithm",
+       "decompose a problem recursively and run the halves in parallel with "
+       "a join",
+       Pillar::kParallelism, "parallel/sort.hpp",
+       "parallel_test::ParallelSortTest"},
+      {"critical path",
+       "identify the dependency chain that bounds parallel speedup and "
+       "compute work/span",
+       Pillar::kParallelism, "parallel/task_graph.hpp",
+       "parallel_test::TaskGraph"},
+      {"race conditions",
+       "recognize unsynchronized conflicting accesses and repair them with "
+       "mutual exclusion",
+       Pillar::kConcurrency, "concurrency/lock_order.hpp",
+       "concurrency_test::LockOrder"},
+      {"processes",
+       "structure a computation as communicating processes with private "
+       "state",
+       Pillar::kDistribution, "mp/world.hpp", "mp_test::P2P"},
+      {"deadlocks",
+       "construct, detect, and break circular waits",
+       Pillar::kConcurrency, "db/lock_manager.hpp",
+       "db_test::LockManager"},
+      {"properly synchronized queues",
+       "build a bounded buffer safe for concurrent producers and consumers "
+       "with orderly shutdown",
+       Pillar::kConcurrency, "concurrency/bounded_queue.hpp",
+       "concurrency_test::BoundedQueue"},
+  };
+  return competencies;
+}
+
+}  // namespace pdc::core

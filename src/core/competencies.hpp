@@ -1,0 +1,26 @@
+// CC2020 draft PDC competencies (paper §II): "a parallel divide-and-conquer
+// algorithm, critical path, race conditions, processes, deadlocks, and
+// properly synchronized queues" — each mapped to the PDCkit module that
+// implements it and the test that exercises it. Completeness (every
+// competency has a live exemplar on disk) is enforced by core_test.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/taxonomy.hpp"
+
+namespace pdc::core {
+
+struct Competency {
+  std::string name;         // CC2020's phrasing
+  std::string description;  // what a student must be able to do
+  Pillar pillar;            // which CDER pillar it grounds
+  std::string module;       // implementing PDCkit module (repo-relative)
+  std::string test;         // gtest suite exercising it
+};
+
+/// The six CC2020 PDC competencies the paper quotes, with exemplars.
+const std::vector<Competency>& cc2020_competencies();
+
+}  // namespace pdc::core

@@ -1,0 +1,144 @@
+#include "core/curriculum.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace pdc::core {
+
+std::set<PdcConcept> Program::required_coverage() const {
+  std::set<PdcConcept> covered;
+  for (const Course& course : courses) {
+    if (!course.required) continue;
+    covered.insert(course.topics.begin(), course.topics.end());
+  }
+  return covered;
+}
+
+bool Program::has_dedicated_pdc_course() const {
+  return std::any_of(courses.begin(), courses.end(), [](const Course& c) {
+    return c.required && c.category == CourseCategory::kParallelProgramming;
+  });
+}
+
+std::vector<const Course*> Program::pdc_carrying_courses() const {
+  std::vector<const Course*> carrying;
+  for (const Course& course : courses) {
+    if (course.required && !course.topics.empty()) carrying.push_back(&course);
+  }
+  return carrying;
+}
+
+double Program::weighted_pdc_score() const {
+  double score = 0.0;
+  for (const Course& course : courses) {
+    if (!course.required) continue;
+    score += static_cast<double>(course.topics.size());
+  }
+  // Breadth bonus: all three pillars present in required coverage.
+  std::set<Pillar> pillars;
+  for (PdcConcept topic : required_coverage()) {
+    pillars.insert(pillar_of(topic));
+  }
+  if (pillars.size() == 3) score *= 1.5;
+  return score;
+}
+
+AbetCheckResult check_abet_cs(const Program& program) {
+  AbetCheckResult result;
+  const auto covered = program.required_coverage();
+  auto covers = [&](PdcConcept topic) { return covered.count(topic) > 0; };
+  auto has_required = [&](CourseCategory category) {
+    return std::any_of(program.courses.begin(), program.courses.end(),
+                       [&](const Course& c) {
+                         return c.required && c.category == category;
+                       });
+  };
+
+  // The criteria "do not necessarily ask for courses ... but rather topics
+  // or knowledge areas covered somewhere in the program requirements"
+  // (§II-A) — so each area is satisfied by a matching required course OR
+  // by enough of its signature topics embedded elsewhere.
+  result.architecture =
+      has_required(CourseCategory::kComputerOrganization) ||
+      static_cast<int>(covers(PdcConcept::kMulticoreProcessors)) +
+              static_cast<int>(covers(PdcConcept::kInstructionLevelParallelism)) +
+              static_cast<int>(covers(PdcConcept::kMemoryAndCaching)) +
+              static_cast<int>(covers(PdcConcept::kSimdVectorProcessors)) >= 2;
+  result.information_management =
+      has_required(CourseCategory::kDatabaseSystems) ||
+      covers(PdcConcept::kTransactionsProcessing);
+  result.networking = has_required(CourseCategory::kComputerNetworks) ||
+                      covers(PdcConcept::kClientServerProgramming);
+  result.operating_systems =
+      has_required(CourseCategory::kOperatingSystems) ||
+      static_cast<int>(covers(PdcConcept::kProgrammingWithThreads)) +
+              static_cast<int>(covers(PdcConcept::kInterProcessCommunication)) +
+              static_cast<int>(covers(PdcConcept::kAtomicity)) >= 2;
+
+  std::set<Pillar> pillars;
+  for (PdcConcept topic : covered) pillars.insert(pillar_of(topic));
+  for (Pillar pillar :
+       {Pillar::kConcurrency, Pillar::kParallelism, Pillar::kDistribution}) {
+    if (pillars.count(pillar) == 0) result.missing_pillars.push_back(pillar);
+  }
+  result.pdc = result.missing_pillars.empty();
+  return result;
+}
+
+const std::set<PdcConcept>& template_topics(CourseCategory category) {
+  using C = PdcConcept;
+  // Inverse of Table I for its five columns; §III/§IV content for the rest.
+  static const std::map<CourseCategory, std::set<PdcConcept>> templates{
+      {CourseCategory::kSystemsProgramming,
+       {C::kProgrammingWithThreads, C::kParallelismAndConcurrency,
+        C::kSharedMemoryProgramming, C::kInterProcessCommunication,
+        C::kAtomicity, C::kSharedVsDistributedMemory,
+        C::kClientServerProgramming, C::kMemoryAndCaching}},
+      {CourseCategory::kComputerOrganization,
+       {C::kParallelismAndConcurrency, C::kPerformanceMeasurement,
+        C::kMulticoreProcessors, C::kSharedVsDistributedMemory,
+        C::kSimdVectorProcessors, C::kInstructionLevelParallelism,
+        C::kFlynnsTaxonomy, C::kMemoryAndCaching}},
+      {CourseCategory::kOperatingSystems,
+       {C::kProgrammingWithThreads, C::kParallelismAndConcurrency,
+        C::kSharedMemoryProgramming, C::kInterProcessCommunication,
+        C::kAtomicity, C::kSharedVsDistributedMemory, C::kMemoryAndCaching}},
+      {CourseCategory::kDatabaseSystems,
+       {C::kTransactionsProcessing, C::kParallelismAndConcurrency}},
+      {CourseCategory::kComputerNetworks,
+       {C::kProgrammingWithThreads, C::kParallelismAndConcurrency,
+        C::kInterProcessCommunication, C::kClientServerProgramming}},
+      {CourseCategory::kParallelProgramming,
+       {C::kProgrammingWithThreads, C::kParallelismAndConcurrency,
+        C::kSharedMemoryProgramming, C::kPerformanceMeasurement,
+        C::kMulticoreProcessors, C::kSimdVectorProcessors,
+        C::kSharedVsDistributedMemory, C::kInterProcessCommunication}},
+      {CourseCategory::kAlgorithms,
+       {C::kParallelismAndConcurrency, C::kPerformanceMeasurement}},
+      {CourseCategory::kProgrammingLanguages,
+       {C::kProgrammingWithThreads, C::kParallelismAndConcurrency,
+        C::kClientServerProgramming}},
+      {CourseCategory::kSoftwareEngineering,
+       {C::kParallelismAndConcurrency, C::kClientServerProgramming}},
+      {CourseCategory::kDistributedSystems,
+       {C::kInterProcessCommunication, C::kClientServerProgramming,
+        C::kSharedVsDistributedMemory, C::kParallelismAndConcurrency}},
+      {CourseCategory::kIntroProgramming, {C::kProgrammingWithThreads}},
+  };
+  const auto it = templates.find(category);
+  PDC_CHECK_MSG(it != templates.end(), "no template for category");
+  return it->second;
+}
+
+Course make_template_course(CourseCategory category, bool required) {
+  Course course;
+  course.code = std::string("C-") + to_string(category);
+  course.title = to_string(category);
+  course.category = category;
+  course.required = required;
+  course.topics = template_topics(category);
+  return course;
+}
+
+}  // namespace pdc::core

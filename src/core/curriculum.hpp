@@ -1,0 +1,77 @@
+// Curriculum model and ABET CAC compliance checking (paper §II).
+//
+// Programs are sets of courses carrying PDC topics; the checker implements
+// the Fig.-1 curriculum criterion — exposure, in *required* coursework, to
+// computer architecture/organization, information management, networking
+// and communication, operating systems, and parallel and distributed
+// computing. PDC exposure itself is judged by CDER's three pillars: a
+// program is exposed when its required courses cover at least one topic
+// from each of concurrency, parallelism, and distribution.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/taxonomy.hpp"
+
+namespace pdc::core {
+
+struct Course {
+  std::string code;
+  std::string title;
+  CourseCategory category = CourseCategory::kIntroProgramming;
+  bool required = false;
+  std::set<PdcConcept> topics;
+};
+
+struct Program {
+  std::string institution;
+  std::string name;
+  std::vector<Course> courses;
+
+  /// Concepts covered across required courses only (what accreditation
+  /// credits — every graduating student must receive the exposure).
+  [[nodiscard]] std::set<PdcConcept> required_coverage() const;
+
+  /// True when a *required* dedicated PDC course exists.
+  [[nodiscard]] bool has_dedicated_pdc_course() const;
+
+  /// Required courses carrying at least one PDC topic.
+  [[nodiscard]] std::vector<const Course*> pdc_carrying_courses() const;
+
+  /// §III's "weighted sum of all courses that tackle specific components
+  /// of the PDC knowledge area": each required course contributes one unit
+  /// per PDC topic it carries, with a 50% bonus when the program's overall
+  /// coverage spans all three pillars (breadth matters, §II-B).
+  [[nodiscard]] double weighted_pdc_score() const;
+};
+
+/// Outcome of checking a program against the CAC CS curriculum criterion.
+struct AbetCheckResult {
+  bool architecture = false;          // computer architecture & organization
+  bool information_management = false;
+  bool networking = false;
+  bool operating_systems = false;
+  bool pdc = false;                   // the 2018+ PDC exposure requirement
+  std::vector<Pillar> missing_pillars;  // why pdc failed, when it did
+
+  [[nodiscard]] bool compliant() const {
+    return architecture && information_management && networking &&
+           operating_systems && pdc;
+  }
+};
+
+/// Checks the Fig.-1 curriculum requirement.
+AbetCheckResult check_abet_cs(const Program& program);
+
+/// Canonical topic set for a course of `category` — the distilled content
+/// of §III's course inventory. Table I is *derived* from these templates
+/// (bench/table1_concept_matrix), not hard-coded.
+const std::set<PdcConcept>& template_topics(CourseCategory category);
+
+/// Builds a typical required course from its template.
+Course make_template_course(CourseCategory category, bool required = true);
+
+}  // namespace pdc::core

@@ -1,0 +1,81 @@
+#include "core/registry.hpp"
+
+#include "support/check.hpp"
+
+namespace pdc::core {
+
+const std::map<PdcConcept, std::vector<Exemplar>>& exemplar_registry() {
+  using C = PdcConcept;
+  static const std::map<PdcConcept, std::vector<Exemplar>> registry{
+      {C::kProgrammingWithThreads,
+       {{"parallel/thread_pool.hpp", "task-based thread management",
+         "parallel_test::ThreadPool", "lab_lau_multicore"},
+        {"concurrency/barrier.hpp", "thread phase synchronization",
+         "concurrency_test::CyclicBarrier", ""}}},
+      {C::kTransactionsProcessing,
+       {{"db/transaction.hpp", "strict-2PL transactions with rollback",
+         "db_test::Transaction", "perf_txn_sched"},
+        {"db/timestamp.hpp", "timestamp-ordering scheduler",
+         "db_test::TimestampOrdering", "perf_txn_sched"}}},
+      {C::kParallelismAndConcurrency,
+       {{"parallel/parallel_for.hpp", "worksharing with schedules",
+         "parallel_test::ScheduleTest", "lab_lau_multicore"},
+        {"parallel/task_graph.hpp", "dataflow task parallelism",
+         "parallel_test::TaskGraph", "perf_amdahl_speedup"}}},
+      {C::kSharedMemoryProgramming,
+       {{"concurrency/monitor.hpp", "monitor-guarded shared state",
+         "concurrency_test::Monitor", ""},
+        {"parallel/parallel_for.hpp", "shared-array parallel loops",
+         "parallel_test::ParallelScan", "lab_lau_multicore"}}},
+      {C::kInterProcessCommunication,
+       {{"mp/comm.hpp", "message passing: p2p + collectives",
+         "mp_test::P2P", "perf_collectives"},
+        {"net/network.hpp", "sockets over a simulated fabric",
+         "net_test::Datagram", "lab_rit_arq"}}},
+      {C::kAtomicity,
+       {{"concurrency/spinlock.hpp", "atomic RMW lock construction",
+         "concurrency_test::Spinlock", "perf_locks"},
+        {"concurrency/semaphore.hpp", "semaphores and mutual exclusion",
+         "concurrency_test::Semaphore", "perf_locks"}}},
+      {C::kPerformanceMeasurement,
+       {{"arch/models.hpp", "Amdahl/Gustafson/Karp–Flatt",
+         "arch_test::Models", "perf_amdahl_speedup"}}},
+      {C::kMulticoreProcessors,
+       {{"arch/mesi.hpp", "private caches with MESI coherence",
+         "arch_test::Mesi", "perf_coherence"}}},
+      {C::kSharedVsDistributedMemory,
+       {{"mp/comm.hpp", "distributed-memory model over shared hardware",
+         "mp_test::CollectiveTest", "perf_collectives"},
+        {"dist/balance.hpp", "distribution-aware placement",
+         "dist_test::Balance", "lab_rit_netserver"}}},
+      {C::kSimdVectorProcessors,
+       {{"simt/device.hpp", "SIMT manycore execution model",
+         "simt_test::Device", "lab_lau_simt"},
+        {"simt/occupancy.hpp", "occupancy/resource modelling",
+         "simt_test::Occupancy", "lab_lau_simt"}}},
+      {C::kInstructionLevelParallelism,
+       {{"arch/pipeline.hpp", "5-stage pipeline hazards & prediction",
+         "arch_test::Pipeline", "lab_auc_pipeline"},
+        {"arch/tomasulo.hpp", "dynamic scheduling (Tomasulo, ROB)",
+         "arch_test::Tomasulo", "lab_auc_tomasulo"}}},
+      {C::kFlynnsTaxonomy,
+       {{"arch/flynn.hpp", "SISD/SIMD/MISD/MIMD classification",
+         "arch_test::Flynn", ""}}},
+      {C::kClientServerProgramming,
+       {{"net/server.hpp", "request-response servers and RPC",
+         "net_test::ServerModelTest", "lab_rit_netserver"}}},
+      {C::kMemoryAndCaching,
+       {{"arch/cache.hpp", "set-associative cache behaviour",
+         "arch_test::Cache", "perf_coherence"}}},
+  };
+  return registry;
+}
+
+const std::vector<Exemplar>& exemplars_for(PdcConcept topic) {
+  const auto& registry = exemplar_registry();
+  const auto it = registry.find(topic);
+  PDC_CHECK_MSG(it != registry.end(), "topic missing from registry");
+  return it->second;
+}
+
+}  // namespace pdc::core

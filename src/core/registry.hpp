@@ -1,0 +1,32 @@
+// Topic -> exemplar registry: where in this repository each PDC topic is
+// implemented, tested, and measured.
+//
+// This is the bridge between the paper's curriculum taxonomy and the
+// executable library: an instructor (or test) can ask "where do I show
+// students X?" and get module paths, the test suite covering it, and the
+// bench that measures it. Completeness — every taxonomy topic has at
+// least one exemplar — is enforced by tests/core_test.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/taxonomy.hpp"
+
+namespace pdc::core {
+
+struct Exemplar {
+  std::string module;       // e.g. "concurrency/semaphore.hpp"
+  std::string description;  // what it demonstrates
+  std::string test;         // gtest binary::suite covering it
+  std::string bench;        // bench binary measuring it ("" if test-only)
+};
+
+/// Exemplars for one topic (at least one per topic).
+const std::vector<Exemplar>& exemplars_for(PdcConcept topic);
+
+/// The whole registry.
+const std::map<PdcConcept, std::vector<Exemplar>>& exemplar_registry();
+
+}  // namespace pdc::core

@@ -1,0 +1,154 @@
+#include "core/survey.hpp"
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace pdc::core {
+
+namespace {
+
+/// One synthetic program. Dedicated-course programs get a required
+/// parallel-programming course; scattered programs rely on the Table-I
+/// columns plus a random selection of the other PDC-carrying categories.
+Program make_program(std::size_t index, bool dedicated, support::Rng& rng) {
+  Program program;
+  program.institution = "University " + std::to_string(index + 1);
+  program.name = "BS Computer Science";
+
+  // The backbone every accredited program has (§III: "most modern CS
+  // programs offer the following courses, several of which are required").
+  for (CourseCategory category :
+       {CourseCategory::kIntroProgramming, CourseCategory::kComputerOrganization,
+        CourseCategory::kOperatingSystems, CourseCategory::kDatabaseSystems,
+        CourseCategory::kComputerNetworks, CourseCategory::kAlgorithms}) {
+    program.courses.push_back(make_template_course(category));
+  }
+  if (dedicated) {
+    program.courses.push_back(
+        make_template_course(CourseCategory::kParallelProgramming));
+  }
+  // Optional additional carriers, with survey-plausible frequencies.
+  const std::pair<CourseCategory, double> optional[] = {
+      {CourseCategory::kSystemsProgramming, 0.55},
+      {CourseCategory::kProgrammingLanguages, 0.45},
+      {CourseCategory::kSoftwareEngineering, 0.60},
+      {CourseCategory::kDistributedSystems, 0.15},
+  };
+  for (const auto& [category, probability] : optional) {
+    if (rng.bernoulli(probability)) {
+      program.courses.push_back(make_template_course(category));
+    }
+  }
+
+  // Institutional variation: each course drops a few template topics
+  // (local emphasis differs), re-drawn until the program still clears the
+  // ABET bar — the survey population is *accredited* programs.
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    Program trial = program;
+    for (Course& course : trial.courses) {
+      std::set<PdcConcept> kept;
+      for (PdcConcept topic : course.topics) {
+        if (!rng.bernoulli(0.25)) kept.insert(topic);
+      }
+      course.topics = std::move(kept);
+    }
+    if (check_abet_cs(trial).compliant()) return trial;
+  }
+  return program;  // fall back to full templates (always compliant)
+}
+
+}  // namespace
+
+std::vector<Program> generate_survey(const SurveyConfig& config) {
+  PDC_CHECK(config.dedicated_course_programs <= config.programs);
+  support::Rng rng(config.seed);
+  std::vector<Program> programs;
+  programs.reserve(config.programs);
+  for (std::size_t i = 0; i < config.programs; ++i) {
+    const bool dedicated = i < config.dedicated_course_programs;
+    programs.push_back(make_program(i, dedicated, rng));
+  }
+  return programs;
+}
+
+std::map<PdcConcept, std::size_t> topic_program_counts(
+    const std::vector<Program>& programs) {
+  std::map<PdcConcept, std::size_t> counts;
+  for (PdcConcept topic : all_concepts()) counts[topic] = 0;
+  for (const Program& program : programs) {
+    for (PdcConcept topic : program.required_coverage()) {
+      ++counts[topic];
+    }
+  }
+  return counts;
+}
+
+std::map<CourseCategory, double> course_share_for_pdc(
+    const std::vector<Program>& programs) {
+  std::map<CourseCategory, double> share;
+  if (programs.empty()) return share;
+  for (CourseCategory category : all_categories()) {
+    std::size_t carrying = 0;
+    for (const Program& program : programs) {
+      for (const Course* course : program.pdc_carrying_courses()) {
+        if (course->category == category) {
+          ++carrying;
+          break;
+        }
+      }
+    }
+    share[category] = 100.0 * static_cast<double>(carrying) /
+                      static_cast<double>(programs.size());
+  }
+  return share;
+}
+
+std::map<std::string, double> weighted_scores(
+    const std::vector<Program>& programs) {
+  std::map<std::string, double> scores;
+  for (const Program& program : programs) {
+    scores[program.institution] = program.weighted_pdc_score();
+  }
+  return scores;
+}
+
+ApproachComparison compare_approaches(const std::vector<Program>& programs) {
+  ApproachComparison comparison;
+  double dedicated_score = 0.0, scattered_score = 0.0;
+  double dedicated_breadth = 0.0, scattered_breadth = 0.0;
+  std::size_t dedicated_compliant = 0, scattered_compliant = 0;
+
+  for (const Program& program : programs) {
+    const double score = program.weighted_pdc_score();
+    const auto breadth = static_cast<double>(program.required_coverage().size());
+    const bool compliant = check_abet_cs(program).compliant();
+    if (program.has_dedicated_pdc_course()) {
+      ++comparison.dedicated_programs;
+      dedicated_score += score;
+      dedicated_breadth += breadth;
+      dedicated_compliant += compliant;
+    } else {
+      ++comparison.scattered_programs;
+      scattered_score += score;
+      scattered_breadth += breadth;
+      scattered_compliant += compliant;
+    }
+  }
+  if (comparison.dedicated_programs > 0) {
+    const auto n = static_cast<double>(comparison.dedicated_programs);
+    comparison.dedicated_mean_score = dedicated_score / n;
+    comparison.dedicated_mean_breadth = dedicated_breadth / n;
+    comparison.dedicated_compliance_rate =
+        static_cast<double>(dedicated_compliant) / n;
+  }
+  if (comparison.scattered_programs > 0) {
+    const auto n = static_cast<double>(comparison.scattered_programs);
+    comparison.scattered_mean_score = scattered_score / n;
+    comparison.scattered_mean_breadth = scattered_breadth / n;
+    comparison.scattered_compliance_rate =
+        static_cast<double>(scattered_compliant) / n;
+  }
+  return comparison;
+}
+
+}  // namespace pdc::core

@@ -1,0 +1,133 @@
+#include "core/taxonomy.hpp"
+
+#include "support/check.hpp"
+
+namespace pdc::core {
+
+const std::vector<PdcConcept>& all_concepts() {
+  static const std::vector<PdcConcept> concepts{
+      PdcConcept::kProgrammingWithThreads,
+      PdcConcept::kTransactionsProcessing,
+      PdcConcept::kParallelismAndConcurrency,
+      PdcConcept::kSharedMemoryProgramming,
+      PdcConcept::kInterProcessCommunication,
+      PdcConcept::kAtomicity,
+      PdcConcept::kPerformanceMeasurement,
+      PdcConcept::kMulticoreProcessors,
+      PdcConcept::kSharedVsDistributedMemory,
+      PdcConcept::kSimdVectorProcessors,
+      PdcConcept::kInstructionLevelParallelism,
+      PdcConcept::kFlynnsTaxonomy,
+      PdcConcept::kClientServerProgramming,
+      PdcConcept::kMemoryAndCaching,
+  };
+  return concepts;
+}
+
+const std::vector<CourseCategory>& all_categories() {
+  static const std::vector<CourseCategory> categories{
+      CourseCategory::kSystemsProgramming,
+      CourseCategory::kComputerOrganization,
+      CourseCategory::kOperatingSystems,
+      CourseCategory::kDatabaseSystems,
+      CourseCategory::kComputerNetworks,
+      CourseCategory::kParallelProgramming,
+      CourseCategory::kAlgorithms,
+      CourseCategory::kProgrammingLanguages,
+      CourseCategory::kSoftwareEngineering,
+      CourseCategory::kDistributedSystems,
+      CourseCategory::kIntroProgramming,
+  };
+  return categories;
+}
+
+const std::vector<CourseCategory>& table1_categories() {
+  static const std::vector<CourseCategory> categories{
+      CourseCategory::kSystemsProgramming,
+      CourseCategory::kComputerOrganization,
+      CourseCategory::kOperatingSystems,
+      CourseCategory::kDatabaseSystems,
+      CourseCategory::kComputerNetworks,
+  };
+  return categories;
+}
+
+const char* to_string(PdcConcept topic) {
+  switch (topic) {
+    case PdcConcept::kProgrammingWithThreads: return "Programming with threads";
+    case PdcConcept::kTransactionsProcessing: return "Transactions processing";
+    case PdcConcept::kParallelismAndConcurrency:
+      return "Parallelism and concurrency";
+    case PdcConcept::kSharedMemoryProgramming:
+      return "Shared-Memory programming";
+    case PdcConcept::kInterProcessCommunication:
+      return "Inter-Process Communication (IPC)";
+    case PdcConcept::kAtomicity: return "Atomicity";
+    case PdcConcept::kPerformanceMeasurement:
+      return "Performance measurement, speed-up, and scalability";
+    case PdcConcept::kMulticoreProcessors: return "Multicore processors";
+    case PdcConcept::kSharedVsDistributedMemory:
+      return "Shared vs. distributed memory";
+    case PdcConcept::kSimdVectorProcessors: return "SIMD and vector processors";
+    case PdcConcept::kInstructionLevelParallelism:
+      return "Instruction Level Parallelism";
+    case PdcConcept::kFlynnsTaxonomy: return "Flynn's taxonomy";
+    case PdcConcept::kClientServerProgramming:
+      return "Client-server programming";
+    case PdcConcept::kMemoryAndCaching: return "Memory and caching";
+  }
+  return "?";
+}
+
+const char* to_string(CourseCategory category) {
+  switch (category) {
+    case CourseCategory::kSystemsProgramming: return "Systems Programming";
+    case CourseCategory::kComputerOrganization:
+      return "Computer Organization/Architecture";
+    case CourseCategory::kOperatingSystems: return "Operating Systems";
+    case CourseCategory::kDatabaseSystems: return "Database Systems";
+    case CourseCategory::kComputerNetworks: return "Computer Networks";
+    case CourseCategory::kParallelProgramming: return "Parallel Programming";
+    case CourseCategory::kAlgorithms: return "Design & Analysis of Algorithms";
+    case CourseCategory::kProgrammingLanguages: return "Programming Languages";
+    case CourseCategory::kSoftwareEngineering: return "Software Engineering";
+    case CourseCategory::kDistributedSystems: return "Distributed Systems";
+    case CourseCategory::kIntroProgramming: return "Introductory Programming";
+  }
+  return "?";
+}
+
+const char* to_string(Pillar pillar) {
+  switch (pillar) {
+    case Pillar::kConcurrency: return "concurrency";
+    case Pillar::kParallelism: return "parallelism";
+    case Pillar::kDistribution: return "distribution";
+  }
+  return "?";
+}
+
+Pillar pillar_of(PdcConcept topic) {
+  switch (topic) {
+    case PdcConcept::kProgrammingWithThreads:
+    case PdcConcept::kParallelismAndConcurrency:
+    case PdcConcept::kAtomicity:
+    case PdcConcept::kTransactionsProcessing:
+      return Pillar::kConcurrency;
+    case PdcConcept::kSharedMemoryProgramming:
+    case PdcConcept::kPerformanceMeasurement:
+    case PdcConcept::kMulticoreProcessors:
+    case PdcConcept::kSimdVectorProcessors:
+    case PdcConcept::kInstructionLevelParallelism:
+    case PdcConcept::kFlynnsTaxonomy:
+    case PdcConcept::kMemoryAndCaching:
+      return Pillar::kParallelism;
+    case PdcConcept::kInterProcessCommunication:
+    case PdcConcept::kSharedVsDistributedMemory:
+    case PdcConcept::kClientServerProgramming:
+      return Pillar::kDistribution;
+  }
+  PDC_CHECK_MSG(false, "unknown topic");
+  return Pillar::kConcurrency;
+}
+
+}  // namespace pdc::core

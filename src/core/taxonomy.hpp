@@ -1,0 +1,66 @@
+// The PDC topic taxonomy of the paper.
+//
+// PdcConcept enumerates the 14 rows of Table I; CourseCategory the course
+// columns plus the additional course kinds named in §III and the case
+// studies. Pillar groups concepts into CDER's three core PDC ideas
+// (concurrency, parallelism, distribution — §II-B), which the ABET
+// checker uses to decide whether "exposure to parallel and distributed
+// computing" is genuinely broad.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pdc::core {
+
+/// Rows of Table I.
+enum class PdcConcept {
+  kProgrammingWithThreads,
+  kTransactionsProcessing,
+  kParallelismAndConcurrency,
+  kSharedMemoryProgramming,
+  kInterProcessCommunication,
+  kAtomicity,
+  kPerformanceMeasurement,  // performance measurement, speed-up, scalability
+  kMulticoreProcessors,
+  kSharedVsDistributedMemory,
+  kSimdVectorProcessors,
+  kInstructionLevelParallelism,
+  kFlynnsTaxonomy,
+  kClientServerProgramming,
+  kMemoryAndCaching,
+};
+
+/// CDER's three core PDC ideas (§II-B).
+enum class Pillar { kConcurrency, kParallelism, kDistribution };
+
+/// Course kinds: the five Table-I columns first, then the other course
+/// types the paper's survey and case studies mention.
+enum class CourseCategory {
+  // Table I columns.
+  kSystemsProgramming,
+  kComputerOrganization,  // computer organization / architecture
+  kOperatingSystems,
+  kDatabaseSystems,
+  kComputerNetworks,
+  // Additional categories from §III and §IV.
+  kParallelProgramming,  // a dedicated PDC course
+  kAlgorithms,
+  kProgrammingLanguages,
+  kSoftwareEngineering,
+  kDistributedSystems,
+  kIntroProgramming,
+};
+
+const std::vector<PdcConcept>& all_concepts();
+const std::vector<CourseCategory>& all_categories();
+const std::vector<CourseCategory>& table1_categories();  // the 5 columns
+
+const char* to_string(PdcConcept topic);
+const char* to_string(CourseCategory category);
+const char* to_string(Pillar pillar);
+
+/// The pillar each topic belongs to.
+Pillar pillar_of(PdcConcept topic);
+
+}  // namespace pdc::core

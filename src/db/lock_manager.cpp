@@ -1,0 +1,138 @@
+#include "db/lock_manager.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "support/check.hpp"
+
+namespace pdc::db {
+
+using support::Status;
+using support::StatusCode;
+
+bool LockManager::grantable(const KeyLock& entry, TxnId txn, LockMode mode) {
+  if (mode == LockMode::kShared) {
+    return !entry.has_exclusive || entry.exclusive_owner == txn;
+  }
+  // Exclusive: sole ownership required; an S->X upgrade is grantable when
+  // the requester is the only sharer.
+  if (entry.has_exclusive) return entry.exclusive_owner == txn;
+  if (entry.sharers.empty()) return true;
+  return entry.sharers.size() == 1 && entry.sharers.count(txn) == 1;
+}
+
+std::vector<TxnId> LockManager::conflicting_holders(const KeyLock& entry,
+                                                    TxnId txn, LockMode mode) {
+  std::vector<TxnId> holders;
+  if (entry.has_exclusive && entry.exclusive_owner != txn) {
+    holders.push_back(entry.exclusive_owner);
+  }
+  if (mode == LockMode::kExclusive) {
+    for (TxnId sharer : entry.sharers) {
+      if (sharer != txn) holders.push_back(sharer);
+    }
+  }
+  return holders;
+}
+
+TxnId LockManager::detect_and_resolve_locked(TxnId start) {
+  // DFS from `start` over waiting_for_ edges looking for a path back to
+  // `start`; the youngest transaction on that path is sacrificed.
+  std::vector<TxnId> path{start};
+  std::set<TxnId> visited{start};
+  TxnId found_victim = 0;
+
+  std::function<bool(TxnId)> dfs = [&](TxnId node) -> bool {
+    const auto it = waiting_for_.find(node);
+    if (it == waiting_for_.end()) return false;
+    for (TxnId next : it->second) {
+      if (next == start) return true;  // cycle closed
+      if (visited.insert(next).second) {
+        path.push_back(next);
+        if (dfs(next)) return true;
+        path.pop_back();
+      }
+    }
+    return false;
+  };
+
+  if (!dfs(start)) return 0;
+  found_victim = *std::max_element(path.begin(), path.end());
+  victims_.insert(found_victim);
+  ++deadlocks_;
+  return found_victim;
+}
+
+Status LockManager::lock(TxnId txn, const std::string& key, LockMode mode) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (victims_.erase(txn) > 0) {
+      waiting_for_.erase(txn);
+      return {StatusCode::kAborted, "chosen as deadlock victim"};
+    }
+    KeyLock& entry = keys_[key];
+    if (grantable(entry, txn, mode)) {
+      waiting_for_.erase(txn);
+      if (mode == LockMode::kShared) {
+        if (!entry.has_exclusive) {
+          entry.sharers.insert(txn);
+        }
+        // else: txn already owns X, which subsumes S.
+      } else {
+        entry.sharers.erase(txn);  // upgrade consumes the S lock
+        entry.has_exclusive = true;
+        entry.exclusive_owner = txn;
+      }
+      return Status::ok();
+    }
+
+    // Record wait edges, look for a cycle, then sleep.
+    waiting_for_[txn] = conflicting_holders(entry, txn, mode);
+    const TxnId victim = detect_and_resolve_locked(txn);
+    if (victim == txn) {
+      victims_.erase(txn);
+      waiting_for_.erase(txn);
+      return {StatusCode::kAborted, "chosen as deadlock victim"};
+    }
+    if (victim != 0) {
+      changed_.notify_all();  // wake the victim so it can observe its fate
+    }
+    changed_.wait(lock);
+  }
+}
+
+void LockManager::unlock_all(TxnId txn) {
+  std::unique_lock lock(mutex_);
+  for (auto it = keys_.begin(); it != keys_.end();) {
+    KeyLock& entry = it->second;
+    entry.sharers.erase(txn);
+    if (entry.has_exclusive && entry.exclusive_owner == txn) {
+      entry.has_exclusive = false;
+      entry.exclusive_owner = 0;
+    }
+    if (entry.sharers.empty() && !entry.has_exclusive) {
+      it = keys_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  waiting_for_.erase(txn);
+  victims_.erase(txn);
+  lock.unlock();
+  changed_.notify_all();
+}
+
+std::uint64_t LockManager::deadlocks_detected() const {
+  std::scoped_lock lock(mutex_);
+  return deadlocks_;
+}
+
+bool LockManager::holds(TxnId txn, const std::string& key) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = keys_.find(key);
+  if (it == keys_.end()) return false;
+  return it->second.sharers.count(txn) > 0 ||
+         (it->second.has_exclusive && it->second.exclusive_owner == txn);
+}
+
+}  // namespace pdc::db

@@ -1,0 +1,77 @@
+// Key-granularity lock manager with deadlock detection.
+//
+// Table I places "transactions processing", "scheduling concurrent
+// transactions", "transaction locks", and "deadlocks" in the database
+// course. This lock manager grants shared/exclusive locks per key,
+// supports S->X upgrade, and — before any requester sleeps — runs cycle
+// detection on the waits-for graph, aborting the youngest transaction of
+// the cycle (the victim observes kAborted from its pending lock call).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace pdc::db {
+
+using TxnId = std::uint64_t;
+
+enum class LockMode : std::uint8_t { kShared, kExclusive };
+
+class LockManager {
+ public:
+  LockManager() = default;
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Acquires (or upgrades) a lock for `txn` on `key`. Blocks while
+  /// conflicting. Returns kAborted when this transaction was chosen as a
+  /// deadlock victim while waiting (its locks remain; the caller's abort
+  /// path must call unlock_all).
+  support::Status lock(TxnId txn, const std::string& key, LockMode mode);
+
+  /// Releases every lock held by `txn` and wakes waiters (strict 2PL
+  /// release at commit/abort).
+  void unlock_all(TxnId txn);
+
+  /// Deadlock victims chosen so far.
+  [[nodiscard]] std::uint64_t deadlocks_detected() const;
+
+  /// Diagnostic: does `txn` hold a lock on `key` (any mode)?
+  [[nodiscard]] bool holds(TxnId txn, const std::string& key) const;
+
+ private:
+  struct KeyLock {
+    std::set<TxnId> sharers;
+    TxnId exclusive_owner = 0;
+    bool has_exclusive = false;
+  };
+
+  /// True when `txn` may take `mode` on `entry` right now.
+  static bool grantable(const KeyLock& entry, TxnId txn, LockMode mode);
+
+  /// Transactions currently blocking `txn` on `entry` (the wait edges).
+  static std::vector<TxnId> conflicting_holders(const KeyLock& entry,
+                                                TxnId txn, LockMode mode);
+
+  /// Runs cycle detection from `txn`; if a cycle exists, aborts the
+  /// youngest (largest-id) transaction on it and returns it. Caller holds
+  /// mutex_.
+  TxnId detect_and_resolve_locked(TxnId txn);
+
+  mutable std::mutex mutex_;
+  std::condition_variable changed_;
+  std::map<std::string, KeyLock> keys_;
+  // waiting_for_[t]: the holders t is currently blocked on.
+  std::map<TxnId, std::vector<TxnId>> waiting_for_;
+  std::set<TxnId> victims_;  // chosen, not yet observed
+  std::uint64_t deadlocks_ = 0;
+};
+
+}  // namespace pdc::db

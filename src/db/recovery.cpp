@@ -1,0 +1,179 @@
+#include "db/recovery.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace pdc::db {
+
+std::uint64_t WalStore::begin() {
+  const std::uint64_t txn = next_txn_++;
+  log_.push_back({next_lsn_++, txn, RecordType::kBegin, {}, {}, {}});
+  active_.insert(txn);
+  return txn;
+}
+
+std::optional<std::string> WalStore::read(const std::string& key) const {
+  if (cached_keys_.count(key)) {
+    const auto it = cache_.find(key);
+    if (it == cache_.end()) return std::nullopt;  // volatile deletion
+    return it->second;
+  }
+  const auto it = stable_.find(key);
+  if (it == stable_.end()) return std::nullopt;
+  return it->second;
+}
+
+void WalStore::put(std::uint64_t txn, const std::string& key,
+                   const std::string& value) {
+  PDC_CHECK_MSG(active_.count(txn), "put() on an inactive transaction");
+  const auto lock = write_locks_.find(key);
+  PDC_CHECK_MSG(lock == write_locks_.end() || lock->second == txn,
+                "two in-flight transactions wrote one key (2PL violation)");
+  write_locks_[key] = txn;
+  // WAL rule: the log record precedes any data modification.
+  log_.push_back({next_lsn_++, txn, RecordType::kUpdate, key, read(key), value});
+  cache_[key] = value;
+  cached_keys_.insert(key);
+}
+
+void WalStore::erase(std::uint64_t txn, const std::string& key) {
+  PDC_CHECK_MSG(active_.count(txn), "erase() on an inactive transaction");
+  const auto lock = write_locks_.find(key);
+  PDC_CHECK_MSG(lock == write_locks_.end() || lock->second == txn,
+                "two in-flight transactions wrote one key (2PL violation)");
+  write_locks_[key] = txn;
+  log_.push_back(
+      {next_lsn_++, txn, RecordType::kUpdate, key, read(key), std::nullopt});
+  cache_.erase(key);
+  cached_keys_.insert(key);
+}
+
+void WalStore::commit(std::uint64_t txn) {
+  PDC_CHECK_MSG(active_.count(txn), "commit() on an inactive transaction");
+  // Appending (and "forcing") the commit record is the durability point.
+  log_.push_back({next_lsn_++, txn, RecordType::kCommit, {}, {}, {}});
+  active_.erase(txn);
+  for (auto it = write_locks_.begin(); it != write_locks_.end();) {
+    it = it->second == txn ? write_locks_.erase(it) : std::next(it);
+  }
+}
+
+void WalStore::abort(std::uint64_t txn) {
+  PDC_CHECK_MSG(active_.count(txn), "abort() on an inactive transaction");
+  // Undo this transaction's updates in the volatile cache, newest first,
+  // logging a compensation record (CLR) for each so recovery's
+  // repeat-history redo reproduces the rollback too (ARIES-style; without
+  // CLRs a page stolen between update and abort would stay dirty forever).
+  struct Compensation {
+    std::string key;
+    std::optional<std::string> restore;
+  };
+  std::vector<Compensation> compensations;
+  for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
+    if (it->txn != txn || it->type != RecordType::kUpdate) continue;
+    compensations.push_back({it->key, it->before});
+  }
+  for (const Compensation& clr : compensations) {
+    log_.push_back({next_lsn_++, txn, RecordType::kUpdate, clr.key,
+                    read(clr.key), clr.restore});
+    apply(cache_, clr.key, clr.restore);
+    cached_keys_.insert(clr.key);
+  }
+  log_.push_back({next_lsn_++, txn, RecordType::kAbort, {}, {}, {}});
+  active_.erase(txn);
+  for (auto it = write_locks_.begin(); it != write_locks_.end();) {
+    it = it->second == txn ? write_locks_.erase(it) : std::next(it);
+  }
+}
+
+void WalStore::flush_page(const std::string& key) {
+  if (!cached_keys_.count(key)) return;  // nothing volatile to steal
+  const auto it = cache_.find(key);
+  apply(stable_, key,
+        it == cache_.end() ? std::nullopt : std::optional<std::string>(it->second));
+}
+
+void WalStore::crash() {
+  cache_.clear();
+  cached_keys_.clear();
+  active_.clear();
+  write_locks_.clear();
+}
+
+WalStore::RecoveryStats WalStore::recover() {
+  RecoveryStats stats;
+  crash();  // recovery starts from stable state only
+
+  // Analysis: a transaction is RESOLVED if its fate record (commit or
+  // abort-with-CLRs) is in the log; unresolved updaters are losers.
+  std::set<std::uint64_t> committed;
+  std::set<std::uint64_t> resolved;
+  std::set<std::uint64_t> updaters;
+  for (const LogRecord& record : log_) {
+    if (record.type == RecordType::kCommit) {
+      committed.insert(record.txn);
+      resolved.insert(record.txn);
+    }
+    if (record.type == RecordType::kAbort) resolved.insert(record.txn);
+    if (record.type == RecordType::kUpdate) updaters.insert(record.txn);
+  }
+  stats.committed_txns = committed.size();
+
+  // Redo: repeat history — ALL updates (including losers' and CLRs) in LSN
+  // order, so stable pages reach exactly the pre-crash logged state.
+  for (const LogRecord& record : log_) {
+    if (record.type != RecordType::kUpdate) continue;
+    apply(stable_, record.key, record.after);
+    ++stats.redone;
+  }
+
+  // Undo: roll back unresolved losers, newest update first. (2PL means a
+  // loser held its write locks until the crash, so its updates are the
+  // final ones on their keys; backward before-images are therefore exact.)
+  // Each undo is itself LOGGED as a compensation record and the loser is
+  // closed with an abort record — otherwise a later recovery's
+  // repeat-history redo would replay the loser's updates and re-undo them
+  // with by-then-stale images, clobbering younger committed data.
+  struct PendingClr {
+    std::uint64_t txn;
+    std::string key;
+    std::optional<std::string> current;
+    std::optional<std::string> restore;
+  };
+  std::vector<PendingClr> clrs;
+  for (auto it = log_.rbegin(); it != log_.rend(); ++it) {
+    if (it->type != RecordType::kUpdate || resolved.count(it->txn)) continue;
+    const auto current_it = stable_.find(it->key);
+    clrs.push_back({it->txn, it->key,
+                    current_it == stable_.end()
+                        ? std::nullopt
+                        : std::optional<std::string>(current_it->second),
+                    it->before});
+    apply(stable_, it->key, it->before);
+    ++stats.undone;
+  }
+  for (const PendingClr& clr : clrs) {
+    log_.push_back({next_lsn_++, clr.txn, RecordType::kUpdate, clr.key,
+                    clr.current, clr.restore});
+  }
+  for (std::uint64_t txn : updaters) {
+    if (!resolved.count(txn)) {
+      ++stats.losers;
+      log_.push_back({next_lsn_++, txn, RecordType::kAbort, {}, {}, {}});
+    }
+  }
+  return stats;
+}
+
+void WalStore::apply(std::map<std::string, std::string>& target,
+                     const std::string& key,
+                     const std::optional<std::string>& value) {
+  if (value.has_value()) {
+    target[key] = *value;
+  } else {
+    target.erase(key);
+  }
+}
+
+}  // namespace pdc::db

@@ -1,0 +1,105 @@
+// Write-ahead logging and crash recovery (undo/redo).
+//
+// The durability half of the DB course's transactions unit: a STEAL /
+// NO-FORCE buffer manager (dirty pages may hit stable storage before
+// commit; commit does not force data pages) made safe by a write-ahead
+// log. Crash + recover follows the textbook three phases: analysis (who
+// committed?), redo (repeat history for committed work), undo (roll back
+// stolen uncommitted writes). Tests assert the two invariants any
+// schedule of puts/flushes/crashes must keep: committed data survives,
+// uncommitted data never becomes visible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace pdc::db {
+
+/// A recoverable key-value store with an explicit crash button.
+class WalStore {
+ public:
+  enum class RecordType : std::uint8_t { kBegin, kUpdate, kCommit, kAbort };
+
+  struct LogRecord {
+    std::uint64_t lsn = 0;
+    std::uint64_t txn = 0;
+    RecordType type = RecordType::kBegin;
+    std::string key;
+    std::optional<std::string> before;  // undo image
+    std::optional<std::string> after;   // redo image (nullopt = erase)
+  };
+
+  struct RecoveryStats {
+    std::size_t committed_txns = 0;
+    std::size_t losers = 0;        // in-flight transactions rolled back
+    std::size_t redone = 0;        // update records replayed
+    std::size_t undone = 0;        // update records reverted
+  };
+
+  WalStore() = default;
+
+  /// Starts a transaction (logged).
+  std::uint64_t begin();
+
+  /// Transactional write: logs the update (WAL rule: log before data),
+  /// then applies it to the volatile cache.
+  void put(std::uint64_t txn, const std::string& key, const std::string& value);
+
+  /// Transactional delete.
+  void erase(std::uint64_t txn, const std::string& key);
+
+  /// Commit: the commit record reaching the log IS durability (no-force).
+  void commit(std::uint64_t txn);
+
+  /// Clean abort (no crash): undoes via before-images, logs kAbort.
+  void abort(std::uint64_t txn);
+
+  /// STEAL: flushes the volatile value of `key` to stable data pages right
+  /// now, regardless of the owning transaction's fate. The reason undo
+  /// exists.
+  void flush_page(const std::string& key);
+
+  /// Power failure: volatile cache and active-transaction table vanish;
+  /// the log and stable pages survive.
+  void crash();
+
+  /// Restart recovery: analysis + redo committed + undo losers.
+  RecoveryStats recover();
+
+  /// Read through the cache (normal operation). Sees only the caller's
+  /// own uncommitted writes in this simplified single-version model.
+  [[nodiscard]] std::optional<std::string> read(const std::string& key) const;
+
+  [[nodiscard]] const std::vector<LogRecord>& log() const { return log_; }
+  [[nodiscard]] bool in_doubt(std::uint64_t txn) const {
+    return active_.count(txn) > 0;
+  }
+
+ private:
+  void apply(std::map<std::string, std::string>& target, const std::string& key,
+             const std::optional<std::string>& value);
+
+  // Stable storage (survives crash()).
+  std::vector<LogRecord> log_;
+  std::map<std::string, std::string> stable_;
+
+  // Volatile state (lost at crash()).
+  std::map<std::string, std::string> cache_;
+  std::set<std::string> cached_keys_;  // keys whose cache entry overrides
+                                       // stable (incl. deletions)
+  std::set<std::uint64_t> active_;
+  // Strict-2PL discipline enforced structurally: one writer per key at a
+  // time (otherwise redo/undo images could interleave incorrectly —
+  // PDC_CHECK fires instead of silently corrupting).
+  std::map<std::string, std::uint64_t> write_locks_;
+  std::uint64_t next_txn_ = 1;
+  std::uint64_t next_lsn_ = 1;
+};
+
+}  // namespace pdc::db

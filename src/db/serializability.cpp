@@ -1,0 +1,70 @@
+#include "db/serializability.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace pdc::db {
+
+std::vector<std::pair<std::size_t, std::size_t>> precedence_edges(
+    const Schedule& schedule) {
+  std::set<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    for (std::size_t j = i + 1; j < schedule.size(); ++j) {
+      const auto& a = schedule[i];
+      const auto& b = schedule[j];
+      if (a.txn == b.txn || a.key != b.key) continue;
+      if (a.type == OpType::kWrite || b.type == OpType::kWrite) {
+        edges.insert({a.txn, b.txn});
+      }
+    }
+  }
+  return {edges.begin(), edges.end()};
+}
+
+namespace {
+
+/// Kahn topological sort over the precedence graph; nullopt on a cycle.
+std::optional<std::vector<std::size_t>> topo_sort(
+    const std::set<std::size_t>& nodes,
+    const std::vector<std::pair<std::size_t, std::size_t>>& edges) {
+  std::map<std::size_t, std::size_t> in_degree;
+  std::map<std::size_t, std::vector<std::size_t>> out;
+  for (std::size_t node : nodes) in_degree[node] = 0;
+  for (const auto& [from, to] : edges) {
+    out[from].push_back(to);
+    ++in_degree[to];
+  }
+  std::vector<std::size_t> ready;
+  for (const auto& [node, degree] : in_degree) {
+    if (degree == 0) ready.push_back(node);
+  }
+  std::vector<std::size_t> order;
+  while (!ready.empty()) {
+    // Smallest id first: deterministic output.
+    const auto it = std::min_element(ready.begin(), ready.end());
+    const std::size_t node = *it;
+    ready.erase(it);
+    order.push_back(node);
+    for (std::size_t next : out[node]) {
+      if (--in_degree[next] == 0) ready.push_back(next);
+    }
+  }
+  if (order.size() != nodes.size()) return std::nullopt;
+  return order;
+}
+
+}  // namespace
+
+bool conflict_serializable(const Schedule& schedule) {
+  return serialization_order(schedule).has_value();
+}
+
+std::optional<std::vector<std::size_t>> serialization_order(
+    const Schedule& schedule) {
+  std::set<std::size_t> nodes;
+  for (const auto& op : schedule) nodes.insert(op.txn);
+  return topo_sort(nodes, precedence_edges(schedule));
+}
+
+}  // namespace pdc::db

@@ -1,0 +1,40 @@
+// Conflict-serializability analysis of transaction schedules.
+//
+// The theory half of the DB course's concurrency unit: a schedule is
+// conflict-serializable iff its precedence graph is acyclic; the
+// topological order of that graph is an equivalent serial order. Used in
+// tests to verify that every schedule strict 2PL produces is serializable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pdc::db {
+
+enum class OpType : std::uint8_t { kRead, kWrite };
+
+struct ScheduleOp {
+  std::size_t txn = 0;
+  OpType type = OpType::kRead;
+  std::string key;
+};
+
+using Schedule = std::vector<ScheduleOp>;
+
+/// Precedence (conflict) edges: (a, b) when some operation of `a` conflicts
+/// with a LATER operation of `b` (same key, at least one write, different
+/// transactions). Deduplicated.
+std::vector<std::pair<std::size_t, std::size_t>> precedence_edges(
+    const Schedule& schedule);
+
+/// True iff the precedence graph is acyclic.
+bool conflict_serializable(const Schedule& schedule);
+
+/// An equivalent serial order of transaction ids when one exists.
+std::optional<std::vector<std::size_t>> serialization_order(
+    const Schedule& schedule);
+
+}  // namespace pdc::db

@@ -1,0 +1,60 @@
+#include "db/timestamp.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace pdc::db {
+
+ToStats run_timestamp_ordering(const Schedule& schedule,
+                               bool thomas_write_rule) {
+  ToStats stats;
+  struct KeyStamps {
+    std::size_t read_ts = 0;   // 0 = never; txn ids start at their own scale
+    std::size_t write_ts = 0;
+    bool read_seen = false;
+    bool write_seen = false;
+  };
+  std::map<std::string, KeyStamps> keys;
+  std::set<std::size_t> seen, dead;
+
+  for (const auto& op : schedule) {
+    seen.insert(op.txn);
+    if (dead.count(op.txn)) continue;  // already aborted: ops ignored
+    KeyStamps& k = keys[op.key];
+    const std::size_t ts = op.txn;
+
+    if (op.type == OpType::kRead) {
+      if (k.write_seen && ts < k.write_ts) {
+        dead.insert(op.txn);  // reading a value from its future
+        continue;
+      }
+      k.read_seen = true;
+      k.read_ts = std::max(k.read_ts, ts);
+    } else {
+      if (k.read_seen && ts < k.read_ts) {
+        dead.insert(op.txn);  // a younger txn already read around this write
+        continue;
+      }
+      if (k.write_seen && ts < k.write_ts) {
+        if (thomas_write_rule) {
+          ++stats.thomas_skips;  // obsolete write: skip, don't abort
+          ++stats.operations_executed;
+          continue;
+        }
+        dead.insert(op.txn);
+        continue;
+      }
+      k.write_seen = true;
+      k.write_ts = std::max(k.write_ts, ts);
+    }
+    ++stats.operations_executed;
+  }
+
+  stats.transactions = seen.size();
+  stats.aborted = dead.size();
+  stats.committed = stats.transactions - stats.aborted;
+  return stats;
+}
+
+}  // namespace pdc::db

@@ -1,0 +1,37 @@
+// Basic timestamp-ordering (T/O) concurrency control.
+//
+// The optimistic counterpart to 2PL for the scheduler comparison in
+// bench/perf_txn_sched: no locks, no deadlocks, but stale operations abort.
+// Transactions are timestamped by arrival (txn id); each key remembers the
+// largest read/write timestamps it served. The optional Thomas write rule
+// silently skips obsolete writes instead of aborting.
+#pragma once
+
+#include <cstdint>
+
+#include "db/serializability.hpp"
+
+namespace pdc::db {
+
+struct ToStats {
+  std::size_t transactions = 0;
+  std::size_t committed = 0;
+  std::size_t aborted = 0;
+  std::size_t operations_executed = 0;
+  std::size_t thomas_skips = 0;
+
+  [[nodiscard]] double abort_rate() const {
+    return transactions == 0
+               ? 0.0
+               : static_cast<double>(aborted) / static_cast<double>(transactions);
+  }
+};
+
+/// Executes `schedule` (operations in arrival order, timestamp = txn id)
+/// under basic T/O. A transaction aborts at its first stale operation; its
+/// later operations are ignored. No restarts are simulated — the abort
+/// count is the figure of interest.
+ToStats run_timestamp_ordering(const Schedule& schedule,
+                               bool thomas_write_rule = false);
+
+}  // namespace pdc::db

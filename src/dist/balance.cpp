@@ -1,0 +1,212 @@
+#include "dist/balance.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace pdc::dist {
+
+double BalanceResult::utilization() const {
+  if (makespan <= 0.0 || worker_busy.empty()) return 1.0;
+  double total = 0.0;
+  for (double b : worker_busy) total += b;
+  return total / (static_cast<double>(worker_busy.size()) * makespan);
+}
+
+BalanceResult simulate_round_robin(const std::vector<double>& durations,
+                                   std::size_t workers) {
+  PDC_CHECK(workers >= 1);
+  BalanceResult result;
+  result.worker_busy.assign(workers, 0.0);
+  for (std::size_t i = 0; i < durations.size(); ++i) {
+    result.worker_busy[i % workers] += durations[i];
+  }
+  result.makespan =
+      *std::max_element(result.worker_busy.begin(), result.worker_busy.end());
+  return result;
+}
+
+BalanceResult simulate_least_loaded(const std::vector<double>& durations,
+                                    std::size_t workers) {
+  PDC_CHECK(workers >= 1);
+  BalanceResult result;
+  result.worker_busy.assign(workers, 0.0);
+  for (double d : durations) {
+    auto lightest =
+        std::min_element(result.worker_busy.begin(), result.worker_busy.end());
+    *lightest += d;
+  }
+  result.makespan =
+      *std::max_element(result.worker_busy.begin(), result.worker_busy.end());
+  return result;
+}
+
+BalanceResult simulate_work_stealing(const std::vector<double>& durations,
+                                     std::size_t workers) {
+  PDC_CHECK(workers >= 1);
+  BalanceResult result;
+  result.worker_busy.assign(workers, 0.0);
+
+  std::vector<std::deque<double>> queues(workers);
+  for (std::size_t i = 0; i < durations.size(); ++i) {
+    queues[i % workers].push_back(durations[i]);
+  }
+  std::vector<double> clock(workers, 0.0);
+  std::vector<bool> done(workers, false);
+  std::size_t done_count = 0;
+
+  // Time-ordered greedy: the worker whose clock is lowest acts next —
+  // exactly the order events occur in real time.
+  while (done_count < workers) {
+    std::size_t w = SIZE_MAX;
+    for (std::size_t c = 0; c < workers; ++c) {
+      if (done[c]) continue;
+      if (w == SIZE_MAX || clock[c] < clock[w]) w = c;
+    }
+    double task = -1.0;
+    if (!queues[w].empty()) {
+      task = queues[w].front();
+      queues[w].pop_front();
+    } else {
+      // Steal from the victim with the most queued work (back of deque).
+      std::size_t victim = SIZE_MAX;
+      double victim_load = 0.0;
+      for (std::size_t c = 0; c < workers; ++c) {
+        double queued = 0.0;
+        for (double d : queues[c]) queued += d;
+        if (queued > victim_load) {
+          victim_load = queued;
+          victim = c;
+        }
+      }
+      if (victim == SIZE_MAX) {
+        done[w] = true;
+        ++done_count;
+        continue;
+      }
+      task = queues[victim].back();
+      queues[victim].pop_back();
+      ++result.steals;
+      // A steal is only legal if the victim has not yet started that task:
+      // the victim's clock must not already be past the thief's. In this
+      // time-ordered loop the thief has the minimum clock, so it is.
+    }
+    clock[w] += task;
+    result.worker_busy[w] += task;
+  }
+  result.makespan = *std::max_element(clock.begin(), clock.end());
+  return result;
+}
+
+std::vector<double> make_skewed_tasks(std::size_t n, std::uint64_t seed) {
+  support::Rng rng(seed);
+  std::vector<double> tasks(n);
+  for (auto& t : tasks) {
+    // 5% heavy tail: the workload shape that defeats static assignment.
+    t = rng.bernoulli(0.05) ? rng.uniform(30.0, 60.0) : rng.uniform(0.5, 2.0);
+  }
+  return tasks;
+}
+
+// --------------------------------------------------------------------------
+
+namespace {
+std::uint64_t hash_string(const std::string& s) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char ch : s) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+}  // namespace
+
+ConsistentHashRing::ConsistentHashRing(std::size_t virtual_nodes)
+    : virtual_nodes_(virtual_nodes) {
+  PDC_CHECK(virtual_nodes >= 1);
+}
+
+void ConsistentHashRing::add_node(const std::string& node) {
+  for (std::size_t v = 0; v < virtual_nodes_; ++v) {
+    ring_[hash_string(node + "#" + std::to_string(v))] = node;
+  }
+  ++nodes_;
+}
+
+void ConsistentHashRing::remove_node(const std::string& node) {
+  std::size_t erased = 0;
+  for (std::size_t v = 0; v < virtual_nodes_; ++v) {
+    erased += ring_.erase(hash_string(node + "#" + std::to_string(v)));
+  }
+  PDC_CHECK_MSG(erased == virtual_nodes_, "node was not on the ring");
+  --nodes_;
+}
+
+const std::string& ConsistentHashRing::node_for(const std::string& key) const {
+  PDC_CHECK_MSG(!ring_.empty(), "lookup on an empty ring");
+  auto it = ring_.lower_bound(hash_string(key));
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+// --------------------------------------------------------------------------
+
+namespace {
+double host_load(const std::vector<double>& host) {
+  double total = 0.0;
+  for (double p : host) total += p;
+  return total;
+}
+}  // namespace
+
+MigrationResult rebalance_by_migration(std::vector<std::vector<double>>& hosts,
+                                       double threshold,
+                                       std::size_t max_migrations) {
+  PDC_CHECK(!hosts.empty());
+  MigrationResult result;
+
+  auto spread = [&] {
+    double lo = std::numeric_limits<double>::max(), hi = 0.0;
+    for (const auto& host : hosts) {
+      const double load = host_load(host);
+      lo = std::min(lo, load);
+      hi = std::max(hi, load);
+    }
+    return std::pair{lo, hi};
+  };
+
+  auto [lo0, hi0] = spread();
+  result.initial_imbalance = hi0 - lo0;
+
+  while (result.migrations < max_migrations) {
+    const auto [lo, hi] = spread();
+    if (hi - lo <= threshold) break;
+    std::size_t heavy = 0, light = 0;
+    for (std::size_t h = 0; h < hosts.size(); ++h) {
+      if (host_load(hosts[h]) == hi) heavy = h;
+      if (host_load(hosts[h]) == lo) light = h;
+    }
+    // Move the largest process that still reduces the imbalance (load at
+    // most the gap; moving more would just swap the roles).
+    const double gap = hi - lo;
+    std::size_t best = SIZE_MAX;
+    for (std::size_t p = 0; p < hosts[heavy].size(); ++p) {
+      if (hosts[heavy][p] < gap &&
+          (best == SIZE_MAX || hosts[heavy][p] > hosts[heavy][best])) {
+        best = p;
+      }
+    }
+    if (best == SIZE_MAX) break;  // nothing movable without overshooting
+    hosts[light].push_back(hosts[heavy][best]);
+    hosts[heavy].erase(hosts[heavy].begin() + static_cast<std::ptrdiff_t>(best));
+    ++result.migrations;
+  }
+
+  const auto [lo1, hi1] = spread();
+  result.final_imbalance = hi1 - lo1;
+  return result;
+}
+
+}  // namespace pdc::dist

@@ -1,0 +1,84 @@
+// Load balancing and placement: scheduling policies, consistent hashing,
+// and process migration (AUC distributed-systems course topics: "load
+// balancing, process migration").
+//
+// The policy comparison is a deterministic discrete-event simulation over
+// task durations, so the classic shapes are exact: round-robin suffers on
+// skewed workloads, least-loaded fixes assignment-time imbalance, work
+// stealing additionally fixes imbalance discovered *after* assignment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace pdc::dist {
+
+struct BalanceResult {
+  double makespan = 0.0;               // finish time of the last worker
+  std::vector<double> worker_busy;     // per-worker busy time
+  std::uint64_t steals = 0;            // work-stealing only
+
+  /// Mean busy time / makespan — 1.0 is a perfectly balanced schedule.
+  [[nodiscard]] double utilization() const;
+};
+
+/// Tasks dealt round-robin at submission; no later correction.
+BalanceResult simulate_round_robin(const std::vector<double>& durations,
+                                   std::size_t workers);
+
+/// Each task goes to the currently least-loaded worker (work sharing).
+BalanceResult simulate_least_loaded(const std::vector<double>& durations,
+                                    std::size_t workers);
+
+/// Round-robin initial placement, but an idle worker steals the last
+/// queued task from the most-loaded victim (work stealing).
+BalanceResult simulate_work_stealing(const std::vector<double>& durations,
+                                     std::size_t workers);
+
+/// Deterministic skewed workload: `n` tasks, mostly short with a heavy
+/// tail (Zipf-weighted durations), seeded.
+std::vector<double> make_skewed_tasks(std::size_t n, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+
+/// Consistent-hash ring with virtual nodes: the placement structure behind
+/// distributed caches/stores; adding or removing a node moves only ~1/n of
+/// the keys (asserted by tests).
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(std::size_t virtual_nodes = 64);
+
+  void add_node(const std::string& node);
+  void remove_node(const std::string& node);
+
+  /// Owner of `key`; empty ring is a precondition violation.
+  [[nodiscard]] const std::string& node_for(const std::string& key) const;
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_; }
+
+ private:
+  std::size_t virtual_nodes_;
+  std::size_t nodes_ = 0;
+  std::map<std::uint64_t, std::string> ring_;  // hash point -> node
+};
+
+// ---------------------------------------------------------------------------
+
+/// Process-migration simulation: hosts carry processes with fixed loads;
+/// each rebalance round migrates the heaviest process from the most loaded
+/// host to the least loaded one while the spread exceeds `threshold`.
+struct MigrationResult {
+  std::size_t migrations = 0;
+  double initial_imbalance = 0.0;  // max load - min load before
+  double final_imbalance = 0.0;    // after rebalancing
+};
+
+MigrationResult rebalance_by_migration(std::vector<std::vector<double>>& hosts,
+                                       double threshold,
+                                       std::size_t max_migrations = 1000);
+
+}  // namespace pdc::dist

@@ -1,0 +1,60 @@
+// Physical clock synchronization: Cristian's algorithm and the Berkeley
+// algorithm, over simulated drifting clocks.
+//
+// Logical clocks (clocks.hpp) order events; these bound *physical* skew —
+// the other half of the distributed-systems time lecture. The simulation
+// gives each node a skewed/drifting clock and a symmetric message delay,
+// so the classic accuracy result (error bounded by half the round-trip
+// asymmetry) is directly observable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace pdc::dist {
+
+/// A node's physical clock: true time plus a fixed offset (skew) and a
+/// multiplicative drift rate.
+class DriftingClock {
+ public:
+  DriftingClock(double offset_seconds, double drift_rate)
+      : offset_(offset_seconds), drift_(drift_rate) {}
+
+  /// Local reading when the true time is `true_time`.
+  [[nodiscard]] double read(double true_time) const {
+    return true_time * (1.0 + drift_) + offset_;
+  }
+
+  /// Applies a correction (what a sync protocol adjusts).
+  void adjust(double delta) { offset_ += delta; }
+
+  [[nodiscard]] double offset() const { return offset_; }
+
+ private:
+  double offset_;
+  double drift_;
+};
+
+struct SyncResult {
+  double max_error_before = 0.0;  // max |node - reference| pre-sync
+  double max_error_after = 0.0;
+  std::uint64_t messages = 0;
+};
+
+/// Cristian's algorithm: each client asks a time server and sets its clock
+/// to server_time + RTT/2. `delay(rng)` models one-way network delay; the
+/// residual error is bounded by the delay asymmetry.
+/// clocks[0] is the reference server.
+SyncResult cristian_sync(std::vector<DriftingClock>& clocks, double true_time,
+                         double mean_delay, support::Rng& rng);
+
+/// Berkeley algorithm: the master polls everyone (RTT-compensated),
+/// averages the readings (its own included), and sends each node the delta
+/// to the average — no node needs an authoritative source.
+/// clocks[0] acts as master; errors are measured against the average.
+SyncResult berkeley_sync(std::vector<DriftingClock>& clocks, double true_time,
+                         double mean_delay, support::Rng& rng);
+
+}  // namespace pdc::dist

@@ -1,0 +1,42 @@
+#include "dist/clocks.hpp"
+
+#include <sstream>
+
+namespace pdc::dist {
+
+const char* to_string(Causality c) {
+  switch (c) {
+    case Causality::kBefore: return "before";
+    case Causality::kAfter: return "after";
+    case Causality::kConcurrent: return "concurrent";
+    case Causality::kEqual: return "equal";
+  }
+  return "?";
+}
+
+std::string VectorClock::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < clock_.size(); ++i) {
+    if (i) os << ' ';
+    os << clock_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Causality VectorClock::compare(const std::vector<std::uint64_t>& a,
+                               const std::vector<std::uint64_t>& b) {
+  PDC_CHECK(a.size() == b.size());
+  bool a_le_b = true, b_le_a = true;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) a_le_b = false;
+    if (b[i] > a[i]) b_le_a = false;
+  }
+  if (a_le_b && b_le_a) return Causality::kEqual;
+  if (a_le_b) return Causality::kBefore;
+  if (b_le_a) return Causality::kAfter;
+  return Causality::kConcurrent;
+}
+
+}  // namespace pdc::dist

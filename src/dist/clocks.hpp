@@ -1,0 +1,87 @@
+// Logical time: Lamport clocks, vector clocks, happened-before.
+//
+// The AUC distributed-computing course covers "modeling and specification
+// to consistency"; causality tracking is its first tool. VectorClock
+// implements the full happened-before partial order; LamportClock the
+// scalar compression of it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pdc::dist {
+
+/// Scalar logical clock (Lamport 1978). Rules: tick before every local
+/// event; on receive, clock = max(local, received) + 1.
+class LamportClock {
+ public:
+  /// Advances for a local event (including sends); returns the new time.
+  std::uint64_t tick() { return ++time_; }
+
+  /// Folds in a received timestamp; returns the new local time.
+  std::uint64_t merge(std::uint64_t received) {
+    time_ = std::max(time_, received) + 1;
+    return time_;
+  }
+
+  [[nodiscard]] std::uint64_t now() const { return time_; }
+
+ private:
+  std::uint64_t time_ = 0;
+};
+
+/// Outcome of comparing two vector timestamps.
+enum class Causality { kBefore, kAfter, kConcurrent, kEqual };
+
+const char* to_string(Causality c);
+
+/// Vector clock for `processes` participants.
+class VectorClock {
+ public:
+  VectorClock(std::size_t processes, std::size_t self)
+      : clock_(processes, 0), self_(self) {
+    PDC_CHECK(self < processes);
+  }
+
+  /// Advances own component for a local event (including sends).
+  void tick() { ++clock_[self_]; }
+
+  /// Component-wise max with a received timestamp, then tick (receive rule).
+  void merge(const std::vector<std::uint64_t>& received) {
+    PDC_CHECK(received.size() == clock_.size());
+    for (std::size_t i = 0; i < clock_.size(); ++i) {
+      clock_[i] = std::max(clock_[i], received[i]);
+    }
+    tick();
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& now() const { return clock_; }
+  [[nodiscard]] std::size_t self() const { return self_; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Happened-before comparison of two timestamps.
+  static Causality compare(const std::vector<std::uint64_t>& a,
+                           const std::vector<std::uint64_t>& b);
+
+ private:
+  std::vector<std::uint64_t> clock_;
+  std::size_t self_;
+};
+
+/// a happened-before b (strictly).
+inline bool happened_before(const std::vector<std::uint64_t>& a,
+                            const std::vector<std::uint64_t>& b) {
+  return VectorClock::compare(a, b) == Causality::kBefore;
+}
+
+/// Neither ordered: concurrent events.
+inline bool concurrent(const std::vector<std::uint64_t>& a,
+                       const std::vector<std::uint64_t>& b) {
+  return VectorClock::compare(a, b) == Causality::kConcurrent;
+}
+
+}  // namespace pdc::dist

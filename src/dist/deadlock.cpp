@@ -1,0 +1,62 @@
+#include "dist/deadlock.hpp"
+
+#include <deque>
+
+namespace pdc::dist {
+
+CmhDeadlockDetector::CmhDeadlockDetector(std::size_t processes)
+    : waits_for_(processes) {}
+
+void CmhDeadlockDetector::add_wait(std::size_t waiter, std::size_t holder) {
+  PDC_CHECK(waiter < waits_for_.size());
+  PDC_CHECK(holder < waits_for_.size());
+  PDC_CHECK_MSG(waiter != holder, "a process cannot wait on itself");
+  waits_for_[waiter].insert(holder);
+}
+
+void CmhDeadlockDetector::remove_wait(std::size_t waiter, std::size_t holder) {
+  PDC_CHECK(waiter < waits_for_.size());
+  waits_for_[waiter].erase(holder);
+}
+
+bool CmhDeadlockDetector::detect(std::size_t initiator) {
+  PDC_CHECK(initiator < waits_for_.size());
+  probes_sent_ = 0;
+
+  struct Probe {
+    std::size_t initiator;
+    std::size_t to;
+  };
+  // dependent[k]: process k already propagated a probe of this initiator —
+  // the duplicate-suppression state each site keeps.
+  std::vector<bool> dependent(waits_for_.size(), false);
+  std::deque<Probe> wire;
+
+  // A blocked initiator probes everything it waits for.
+  for (std::size_t holder : waits_for_[initiator]) {
+    wire.push_back({initiator, holder});
+    ++probes_sent_;
+  }
+
+  while (!wire.empty()) {
+    const Probe probe = wire.front();
+    wire.pop_front();
+    if (probe.to == probe.initiator) return true;  // the probe came home
+    if (dependent[probe.to]) continue;
+    dependent[probe.to] = true;
+    for (std::size_t next : waits_for_[probe.to]) {
+      wire.push_back({probe.initiator, next});
+      ++probes_sent_;
+    }
+  }
+  return false;
+}
+
+bool CmhDeadlockDetector::detect_any() {
+  for (std::size_t k = 0; k < waits_for_.size(); ++k) {
+    if (!waits_for_[k].empty() && detect(k)) return true;
+  }
+  return false;
+}
+
+}  // namespace pdc::dist

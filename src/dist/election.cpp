@@ -1,0 +1,182 @@
+#include "dist/election.hpp"
+
+#include <thread>
+
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace pdc::dist {
+
+namespace {
+constexpr int kTagElect = 20;
+constexpr int kTagCoord = 21;
+constexpr int kTagElection = 30;
+constexpr int kTagOk = 31;
+constexpr int kTagCoordinator = 32;
+
+int next_alive(const std::vector<bool>& alive, int from) {
+  const int p = static_cast<int>(alive.size());
+  for (int step = 1; step <= p; ++step) {
+    const int candidate = (from + step) % p;
+    if (alive[static_cast<std::size_t>(candidate)]) return candidate;
+  }
+  PDC_CHECK_MSG(false, "no alive rank in the ring");
+  return -1;
+}
+}  // namespace
+
+ElectionResult ring_election(mp::Communicator& comm,
+                             const std::vector<bool>& alive, bool initiate) {
+  PDC_CHECK(static_cast<int>(alive.size()) == comm.size());
+  ElectionResult result;
+  const int me = comm.rank();
+  if (!alive[static_cast<std::size_t>(me)]) return result;  // dead: not playing
+
+  const int successor = next_alive(alive, me);
+  bool participated = false;
+
+  if (initiate) {
+    comm.send_value(me, successor, kTagElect);
+    ++result.messages_sent;
+    participated = true;
+  }
+
+  for (;;) {
+    const mp::RecvInfo info = comm.probe(mp::kAnySource, mp::kAnyTag);
+    if (info.tag == kTagElect) {
+      const int candidate = comm.recv_value<int>(info.source, kTagElect);
+      if (candidate == me) {
+        // My own id came all the way around: I have the highest id.
+        result.leader = me;
+        comm.send_value(me, successor, kTagCoord);
+        ++result.messages_sent;
+        return result;
+      }
+      if (candidate > me) {
+        comm.send_value(candidate, successor, kTagElect);
+        ++result.messages_sent;
+        participated = true;
+      } else if (!participated) {
+        // Replace the weaker candidacy with my own.
+        comm.send_value(me, successor, kTagElect);
+        ++result.messages_sent;
+        participated = true;
+      }
+      // candidate < me && participated: swallow (my candidacy is ahead).
+    } else if (info.tag == kTagCoord) {
+      const int leader = comm.recv_value<int>(info.source, kTagCoord);
+      result.leader = leader;
+      if (leader != me) {
+        comm.send_value(leader, successor, kTagCoord);
+        ++result.messages_sent;
+      }
+      return result;
+    } else {
+      PDC_CHECK_MSG(false, "unexpected tag in ring_election");
+    }
+  }
+}
+
+ElectionResult bully_election(mp::Communicator& comm,
+                              const std::vector<bool>& alive, int initiator,
+                              std::chrono::milliseconds timeout) {
+  PDC_CHECK(static_cast<int>(alive.size()) == comm.size());
+  ElectionResult result;
+  const int me = comm.rank();
+  const int p = comm.size();
+  if (!alive[static_cast<std::size_t>(me)]) return result;
+
+  bool electing = me == initiator;
+  int retries = 0;
+
+  auto broadcast_victory = [&] {
+    for (int peer = 0; peer < p; ++peer) {
+      if (peer == me) continue;
+      comm.send_value(me, peer, kTagCoordinator);
+      ++result.messages_sent;
+    }
+    result.leader = me;
+  };
+
+  auto challenge_higher = [&] {
+    int sent = 0;
+    for (int peer = me + 1; peer < p; ++peer) {
+      comm.send_value(me, peer, kTagElection);
+      ++result.messages_sent;
+      ++sent;
+    }
+    return sent;
+  };
+
+  // Pump handling shared by all wait states. Returns true when a
+  // coordinator announcement ended the election.
+  auto drain_one = [&](const mp::RecvInfo& info, bool* saw_ok) {
+    if (info.tag == kTagElection) {
+      const int challenger = comm.recv_value<int>(info.source, kTagElection);
+      comm.send_value(me, challenger, kTagOk);
+      ++result.messages_sent;
+      electing = true;  // a lower rank is electing: I must bully upward too
+      return false;
+    }
+    if (info.tag == kTagOk) {
+      (void)comm.recv_value<int>(info.source, kTagOk);
+      if (saw_ok) *saw_ok = true;
+      return false;
+    }
+    if (info.tag == kTagCoordinator) {
+      result.leader = comm.recv_value<int>(info.source, kTagCoordinator);
+      return true;
+    }
+    PDC_CHECK_MSG(false, "unexpected tag in bully_election");
+    return false;
+  };
+
+  for (;;) {
+    if (electing) {
+      electing = false;
+      if (challenge_higher() == 0) {
+        broadcast_victory();
+        return result;
+      }
+      // Wait for any OK (a live superior) within the timeout.
+      bool saw_ok = false;
+      support::Stopwatch clock;
+      while (clock.elapsed_millis() < static_cast<double>(timeout.count())) {
+        if (auto info = comm.iprobe(mp::kAnySource, mp::kAnyTag)) {
+          if (drain_one(*info, &saw_ok)) return result;
+          if (saw_ok) break;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+      if (!saw_ok) {
+        broadcast_victory();
+        return result;
+      }
+      // A superior took over: await its coordinator announcement, bounded.
+      support::Stopwatch coord_clock;
+      const double coord_budget =
+          static_cast<double>(timeout.count()) * (p + 2);
+      while (coord_clock.elapsed_millis() < coord_budget) {
+        if (auto info = comm.iprobe(mp::kAnySource, mp::kAnyTag)) {
+          if (drain_one(*info, nullptr)) return result;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+      PDC_CHECK_MSG(++retries < 5, "bully election failed to converge");
+      electing = true;  // superior vanished: restart
+      continue;
+    }
+
+    // Passive: serve challenges until a coordinator emerges (or a
+    // challenge flips us into electing mode).
+    if (auto info = comm.iprobe(mp::kAnySource, mp::kAnyTag)) {
+      if (drain_one(*info, nullptr)) return result;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace pdc::dist

@@ -1,0 +1,37 @@
+// Leader election: Chang–Roberts ring and the bully algorithm.
+//
+// Both run over the message-passing runtime with explicit liveness masks —
+// a "dead" rank simply never sends or answers, which is exactly how
+// failure manifests to the algorithms. Chang–Roberts is deterministic and
+// message-frugal; bully trades many messages for fast takeover by the
+// highest surviving id (detected through reply timeouts).
+#pragma once
+
+#include <chrono>
+#include <vector>
+
+#include "mp/comm.hpp"
+
+namespace pdc::dist {
+
+struct ElectionResult {
+  int leader = -1;
+  std::uint64_t messages_sent = 0;
+};
+
+/// Chang–Roberts election on the ring of alive ranks. Every alive rank
+/// must call this; ranks with `initiate` true start an election (at least
+/// one must). Dead ranks (alive[rank] == false) return immediately with
+/// leader -1. The elected leader is the highest alive rank.
+ElectionResult ring_election(mp::Communicator& comm,
+                             const std::vector<bool>& alive, bool initiate);
+
+/// Bully election. `initiator` starts it; alive ranks serve until a
+/// coordinator announcement arrives. Timeouts (real time) detect dead
+/// higher-ups. The winner is the highest alive rank.
+ElectionResult bully_election(mp::Communicator& comm,
+                              const std::vector<bool>& alive, int initiator,
+                              std::chrono::milliseconds timeout =
+                                  std::chrono::milliseconds(50));
+
+}  // namespace pdc::dist

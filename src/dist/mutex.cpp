@@ -1,0 +1,127 @@
+#include "dist/mutex.hpp"
+
+#include "support/check.hpp"
+
+namespace pdc::dist {
+
+RicartAgrawala::RicartAgrawala(mp::Communicator& comm) : comm_(comm) {}
+
+bool RicartAgrawala::theirs_wins(const RequestMsg& theirs) const {
+  if (!requesting_) return true;  // I don't want it: always grant
+  if (theirs.timestamp != my_timestamp_) {
+    return theirs.timestamp < my_timestamp_;
+  }
+  return theirs.rank < comm_.rank();  // rank breaks timestamp ties
+}
+
+void RicartAgrawala::pump_one() {
+  // Wildcard probe keeps per-sender FIFO order across message kinds.
+  const mp::RecvInfo info = comm_.probe(mp::kAnySource, mp::kAnyTag);
+  switch (info.tag) {
+    case kTagRequest: {
+      const auto request = comm_.recv_value<RequestMsg>(info.source, kTagRequest);
+      clock_.merge(request.timestamp);
+      if (theirs_wins(request)) {
+        comm_.send_value(char{1}, request.rank, kTagReply);
+        ++messages_sent_;
+      } else {
+        deferred_.push_back(request.rank);
+      }
+      return;
+    }
+    case kTagReply: {
+      (void)comm_.recv_value<char>(info.source, kTagReply);
+      --replies_pending_;
+      return;
+    }
+    case kTagDone: {
+      (void)comm_.recv_value<char>(info.source, kTagDone);
+      ++done_received_;
+      return;
+    }
+    default:
+      PDC_CHECK_MSG(false, "unexpected message tag in RicartAgrawala");
+  }
+}
+
+void RicartAgrawala::enter() {
+  PDC_CHECK_MSG(!requesting_, "enter() while already holding/awaiting the CS");
+  requesting_ = true;
+  my_timestamp_ = clock_.tick();
+  const RequestMsg request{my_timestamp_, comm_.rank()};
+  replies_pending_ = comm_.size() - 1;
+  for (int peer = 0; peer < comm_.size(); ++peer) {
+    if (peer == comm_.rank()) continue;
+    comm_.send_value(request, peer, kTagRequest);
+    ++messages_sent_;
+  }
+  while (replies_pending_ > 0) pump_one();
+}
+
+void RicartAgrawala::leave() {
+  PDC_CHECK_MSG(requesting_, "leave() without enter()");
+  requesting_ = false;
+  for (int peer : deferred_) {
+    comm_.send_value(char{1}, peer, kTagReply);
+    ++messages_sent_;
+  }
+  deferred_.clear();
+}
+
+void RicartAgrawala::finish() {
+  for (int peer = 0; peer < comm_.size(); ++peer) {
+    if (peer == comm_.rank()) continue;
+    comm_.send_value(char{1}, peer, kTagDone);
+    ++messages_sent_;
+  }
+  // Keep serving requests until everyone announced completion; per-sender
+  // FIFO guarantees no request can arrive after its sender's DONE.
+  while (done_received_ < comm_.size() - 1) pump_one();
+}
+
+std::uint64_t run_token_ring(mp::Communicator& comm, std::size_t entries,
+                             const std::function<void()>& critical_section) {
+  constexpr int kTagToken = 10;
+  constexpr std::uint64_t kStop = UINT64_MAX;
+
+  const int p = comm.size();
+  const int next = (comm.rank() + 1) % p;
+  const std::uint64_t total_needed = static_cast<std::uint64_t>(p) * entries;
+  std::size_t mine_left = entries;
+  std::uint64_t hops = 0;
+
+  if (p == 1) {
+    for (std::size_t i = 0; i < entries; ++i) critical_section();
+    return 0;
+  }
+
+  // Token value = critical sections completed so far. Rank 0 mints it.
+  std::uint64_t token = 0;
+  bool holding = comm.rank() == 0;
+  for (;;) {
+    if (!holding) {
+      token = comm.recv_value<std::uint64_t>((comm.rank() - 1 + p) % p, kTagToken);
+      if (token == kStop) {
+        // Forward the stop marker once, then leave the ring.
+        comm.send_value(kStop, next, kTagToken);
+        ++hops;
+        return hops;
+      }
+    }
+    holding = false;
+    if (mine_left > 0) {
+      critical_section();
+      --mine_left;
+      ++token;
+    }
+    if (token == total_needed) {
+      comm.send_value(kStop, next, kTagToken);
+      ++hops;
+      return hops;  // originator exits; the marker circles the ring once
+    }
+    comm.send_value(token, next, kTagToken);
+    ++hops;
+  }
+}
+
+}  // namespace pdc::dist

@@ -1,0 +1,80 @@
+#include "dist/two_phase_commit.hpp"
+
+#include <thread>
+
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace pdc::dist {
+
+namespace {
+constexpr int kTagPrepare = 40;
+constexpr int kTagVote = 41;
+constexpr int kTagDecision = 42;
+}  // namespace
+
+const char* to_string(TxnDecision d) {
+  return d == TxnDecision::kCommitted ? "committed" : "aborted";
+}
+
+TpcStats run_2pc_coordinator(mp::Communicator& comm,
+                             bool crash_before_decision) {
+  PDC_CHECK_MSG(comm.rank() == 0, "coordinator must be rank 0");
+  TpcStats stats;
+  const int p = comm.size();
+
+  // Phase 1: solicit votes.
+  for (int peer = 1; peer < p; ++peer) {
+    comm.send_value(char{1}, peer, kTagPrepare);
+    ++stats.messages_sent;
+  }
+  bool all_commit = true;
+  for (int peer = 1; peer < p; ++peer) {
+    all_commit &= comm.recv_value<char>(peer, kTagVote) != 0;
+  }
+
+  if (crash_before_decision) {
+    // The injected failure: votes collected, decision never sent. The
+    // "recovered" coordinator must abort (it cannot know whether any
+    // participant already presumed abort).
+    stats.decision = TxnDecision::kAborted;
+    return stats;
+  }
+
+  // Phase 2: distribute the decision.
+  stats.decision = all_commit ? TxnDecision::kCommitted : TxnDecision::kAborted;
+  const char wire = stats.decision == TxnDecision::kCommitted ? 1 : 0;
+  for (int peer = 1; peer < p; ++peer) {
+    comm.send_value(wire, peer, kTagDecision);
+    ++stats.messages_sent;
+  }
+  return stats;
+}
+
+TpcStats run_2pc_participant(mp::Communicator& comm, bool vote_commit,
+                             std::chrono::milliseconds decision_timeout) {
+  PDC_CHECK_MSG(comm.rank() != 0, "participants are ranks 1..p-1");
+  TpcStats stats;
+
+  (void)comm.recv_value<char>(0, kTagPrepare);
+  comm.send_value(char{vote_commit ? 1 : 0}, 0, kTagVote);
+  ++stats.messages_sent;
+
+  // Await the decision; presume abort on timeout (termination protocol).
+  support::Stopwatch clock;
+  for (;;) {
+    if (auto info = comm.iprobe(0, kTagDecision)) {
+      const char wire = comm.recv_value<char>(0, kTagDecision);
+      stats.decision = wire != 0 ? TxnDecision::kCommitted : TxnDecision::kAborted;
+      return stats;
+    }
+    if (clock.elapsed_millis() >= static_cast<double>(decision_timeout.count())) {
+      stats.decision = TxnDecision::kAborted;
+      stats.timed_out = true;
+      return stats;
+    }
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace pdc::dist

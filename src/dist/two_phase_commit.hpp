@@ -1,0 +1,40 @@
+// Two-phase commit over the message-passing runtime.
+//
+// The distributed-transactions unit shared by the AUC distributed-systems
+// course and the database courses of Table I. Rank 0 coordinates; all other
+// ranks participate. Failure injection covers the two classic cases: a
+// participant voting abort (unanimity is required), and a coordinator
+// crash after collecting votes (participants resolve by presumed-abort
+// timeout — the standard termination protocol; classic 2PC would block).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "mp/comm.hpp"
+
+namespace pdc::dist {
+
+enum class TxnDecision : std::uint8_t { kCommitted, kAborted };
+
+const char* to_string(TxnDecision d);
+
+struct TpcStats {
+  TxnDecision decision = TxnDecision::kAborted;
+  std::uint64_t messages_sent = 0;
+  bool timed_out = false;  // participant resolved by presumed abort
+};
+
+/// Coordinator (call from rank 0). Collects votes from every other rank,
+/// decides commit iff all voted commit, and distributes the decision —
+/// unless `crash_before_decision` injects a failure after votes are in.
+TpcStats run_2pc_coordinator(mp::Communicator& comm,
+                             bool crash_before_decision = false);
+
+/// Participant (call from ranks != 0). Votes `vote_commit`; waits up to
+/// `decision_timeout` for the decision, then presumes abort.
+TpcStats run_2pc_participant(mp::Communicator& comm, bool vote_commit,
+                             std::chrono::milliseconds decision_timeout =
+                                 std::chrono::milliseconds(200));
+
+}  // namespace pdc::dist

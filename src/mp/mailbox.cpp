@@ -1,0 +1,81 @@
+#include "mp/mailbox.hpp"
+
+namespace pdc::mp {
+
+namespace {
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+bool matches(const Envelope& envelope, std::uint32_t context, int source,
+             int tag) {
+  return envelope.context == context &&
+         (source == kAnySource || envelope.source == source) &&
+         (tag == kAnyTag || envelope.tag == tag);
+}
+}  // namespace
+
+void Mailbox::deliver(Message message) {
+  {
+    std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(message));
+  }
+  arrived_.notify_all();
+}
+
+std::size_t Mailbox::find_locked(std::uint32_t context, int source,
+                                 int tag) const {
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (matches(queue_[i].envelope, context, source, tag)) return i;
+  }
+  return kNpos;
+}
+
+Message Mailbox::match(std::uint32_t context, int source, int tag) {
+  std::unique_lock lock(mutex_);
+  std::size_t idx;
+  arrived_.wait(lock, [&] {
+    idx = find_locked(context, source, tag);
+    return idx != kNpos;
+  });
+  Message message = std::move(queue_[idx]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+  return message;
+}
+
+std::optional<Message> Mailbox::try_match(std::uint32_t context, int source,
+                                          int tag) {
+  std::scoped_lock lock(mutex_);
+  const std::size_t idx = find_locked(context, source, tag);
+  if (idx == kNpos) return std::nullopt;
+  Message message = std::move(queue_[idx]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+  return message;
+}
+
+RecvInfo Mailbox::probe(std::uint32_t context, int source, int tag) {
+  std::unique_lock lock(mutex_);
+  std::size_t idx;
+  arrived_.wait(lock, [&] {
+    idx = find_locked(context, source, tag);
+    return idx != kNpos;
+  });
+  const Message& message = queue_[idx];
+  return RecvInfo{message.envelope.source, message.envelope.tag,
+                  message.payload.size()};
+}
+
+std::optional<RecvInfo> Mailbox::try_probe(std::uint32_t context, int source,
+                                           int tag) {
+  std::scoped_lock lock(mutex_);
+  const std::size_t idx = find_locked(context, source, tag);
+  if (idx == kNpos) return std::nullopt;
+  const Message& message = queue_[idx];
+  return RecvInfo{message.envelope.source, message.envelope.tag,
+                  message.payload.size()};
+}
+
+std::size_t Mailbox::pending() const {
+  std::scoped_lock lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace pdc::mp

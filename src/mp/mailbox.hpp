@@ -1,0 +1,55 @@
+// Per-rank mailbox: the delivery substrate under Communicator.
+//
+// Messages are matched MPI-style: a receive names (context, source, tag)
+// where source/tag may be wildcards; candidates are considered in arrival
+// order, which yields MPI's non-overtaking guarantee for any fixed
+// (context, source, tag) triple.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "mp/message.hpp"
+#include "support/status.hpp"
+
+namespace pdc::mp {
+
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueues a delivered message (called by the sender's thread).
+  void deliver(Message message);
+
+  /// Blocks until a matching message arrives, then removes and returns it.
+  Message match(std::uint32_t context, int source, int tag);
+
+  /// Non-blocking match; nullopt when nothing matches right now.
+  std::optional<Message> try_match(std::uint32_t context, int source, int tag);
+
+  /// Blocks until a matching message is queued and returns a copy of its
+  /// envelope and size without removing it (MPI_Probe analogue).
+  RecvInfo probe(std::uint32_t context, int source, int tag);
+
+  /// Non-blocking probe (MPI_Iprobe analogue): envelope of the first
+  /// matching queued message, or nullopt.
+  std::optional<RecvInfo> try_probe(std::uint32_t context, int source, int tag);
+
+  /// Number of queued (unreceived) messages — diagnostics only.
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  /// Index of the first queued message matching the triple, or npos.
+  [[nodiscard]] std::size_t find_locked(std::uint32_t context, int source,
+                                        int tag) const;
+
+  mutable std::mutex mutex_;
+  std::condition_variable arrived_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace pdc::mp

@@ -1,0 +1,42 @@
+#include "mp/world.hpp"
+
+#include <exception>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pdc::mp {
+
+World::World(int size) : size_(size) {
+  PDC_CHECK_MSG(size >= 1, "world size must be at least 1");
+}
+
+void World::run(const std::function<void(Communicator&)>& fn) {
+  auto fabric = std::make_shared<detail::Fabric>(size_);
+  std::vector<int> members(static_cast<std::size_t>(size_));
+  std::iota(members.begin(), members.end(), 0);
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> ranks;
+  ranks.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    ranks.emplace_back([&, r] {
+      Communicator comm(fabric, members, r, /*user_context=*/0);
+      try {
+        fn(comm);
+      } catch (...) {
+        std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : ranks) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace pdc::mp

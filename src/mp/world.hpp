@@ -1,0 +1,28 @@
+// World: launches an SPMD program over N ranks (threads) and joins them.
+#pragma once
+
+#include <functional>
+
+#include "mp/comm.hpp"
+
+namespace pdc::mp {
+
+/// An SPMD launcher. `World(4).run(program)` starts four ranks executing
+/// `program(comm)` concurrently and returns when all have finished — the
+/// mpirun of the in-process runtime. A fresh delivery fabric is created per
+/// run, so consecutive runs cannot leak messages into each other.
+class World {
+ public:
+  explicit World(int size);
+
+  [[nodiscard]] int size() const { return size_; }
+
+  /// Runs one SPMD program. The first exception thrown by any rank is
+  /// rethrown here after every rank has been joined.
+  void run(const std::function<void(Communicator&)>& fn);
+
+ private:
+  int size_;
+};
+
+}  // namespace pdc::mp

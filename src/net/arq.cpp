@@ -1,0 +1,272 @@
+#include "net/arq.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "support/check.hpp"
+#include "support/stopwatch.hpp"
+
+namespace pdc::net {
+
+using support::Status;
+using support::StatusCode;
+
+namespace {
+
+/// Splits `data` into payload chunks of at most `frame_payload` bytes.
+/// A zero-byte transfer still produces one (empty, final) frame so the
+/// receiver terminates.
+std::vector<Frame> make_frames(const Bytes& data, std::size_t frame_payload) {
+  PDC_CHECK(frame_payload >= 1);
+  std::vector<Frame> frames;
+  std::size_t offset = 0;
+  do {
+    Frame frame;
+    frame.type = Frame::Type::kData;
+    frame.seq = static_cast<std::uint32_t>(frames.size());
+    const std::size_t n = std::min(frame_payload, data.size() - offset);
+    frame.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                         data.begin() + static_cast<std::ptrdiff_t>(offset + n));
+    offset += n;
+    frame.final = offset >= data.size();
+    frames.push_back(std::move(frame));
+  } while (offset < data.size());
+  return frames;
+}
+
+/// ACK frame carrying `next_expected` (cumulative).
+Bytes make_ack(std::uint32_t next_expected) {
+  Frame ack;
+  ack.type = Frame::Type::kAck;
+  ack.seq = next_expected;
+  return ack.encode();
+}
+
+}  // namespace
+
+support::Result<Bytes> arq_receive(DatagramSocket& socket,
+                                   std::chrono::milliseconds idle_timeout,
+                                   std::chrono::milliseconds linger) {
+  Bytes assembled;
+  std::uint32_t expected = 0;
+  bool finished = false;
+  for (;;) {
+    auto dgram = socket.recv_for(finished ? linger : idle_timeout);
+    if (!dgram.is_ok()) {
+      if (finished) return assembled;  // linger elapsed quietly: done
+      return Status{StatusCode::kTimeout, "transfer stalled (idle timeout)"};
+    }
+    const auto frame = Frame::decode(dgram.value().payload);
+    if (!frame || frame->type != Frame::Type::kData) continue;  // corrupt/ack
+
+    if (!finished && frame->seq == expected) {
+      assembled.insert(assembled.end(), frame->payload.begin(),
+                       frame->payload.end());
+      ++expected;
+      socket.send_to(dgram.value().from, make_ack(expected));
+      if (frame->final) finished = true;  // linger to re-ACK a lost final ACK
+    } else {
+      // Duplicate or out-of-order: re-ACK the cumulative position so the
+      // sender can advance (or go back) correctly.
+      socket.send_to(dgram.value().from, make_ack(expected));
+    }
+  }
+}
+
+support::Result<ArqStats> arq_send_stop_and_wait(DatagramSocket& socket,
+                                                 const Address& dest,
+                                                 const Bytes& data,
+                                                 const ArqConfig& config) {
+  const auto frames = make_frames(data, config.frame_payload);
+  ArqStats stats;
+  support::Stopwatch clock;
+
+  for (std::uint32_t i = 0; i < frames.size(); ++i) {
+    const Bytes wire = frames[i].encode();
+    std::size_t attempts = 0;
+    for (;;) {
+      if (attempts > config.max_retries) {
+        return Status{StatusCode::kTimeout, "frame " + std::to_string(i) +
+                                                " exceeded max retries"};
+      }
+      socket.send_to(dest, wire);
+      ++stats.data_frames_sent;
+      if (attempts > 0) ++stats.retransmissions;
+      ++attempts;
+
+      // Wait for the cumulative ACK covering this frame.
+      const auto dgram = socket.recv_for(config.timeout);
+      if (!dgram.is_ok()) {
+        ++stats.timeouts;
+        continue;
+      }
+      const auto ack = Frame::decode(dgram.value().payload);
+      if (ack && ack->type == Frame::Type::kAck) {
+        ++stats.acks_received;
+        if (ack->seq >= i + 1) break;
+      }
+    }
+  }
+
+  stats.seconds = clock.elapsed_seconds();
+  stats.bytes_delivered = data.size();
+  return stats;
+}
+
+support::Result<ArqStats> arq_send_go_back_n(DatagramSocket& socket,
+                                             const Address& dest,
+                                             const ::pdc::net::Bytes& data,
+                                             const ArqConfig& config) {
+  PDC_CHECK(config.window >= 1);
+  const auto frames = make_frames(data, config.frame_payload);
+  std::vector<Bytes> wires;
+  wires.reserve(frames.size());
+  for (const auto& frame : frames) wires.push_back(frame.encode());
+
+  ArqStats stats;
+  support::Stopwatch clock;
+
+  std::uint32_t base = 0;                  // oldest unacknowledged
+  std::uint32_t next = 0;                  // next frame to transmit
+  std::uint32_t highest_sent = 0;          // high-water mark (exclusive)
+  std::size_t stalls = 0;                  // consecutive timeouts, no progress
+
+  while (base < frames.size()) {
+    // Fill the window.
+    while (next < frames.size() &&
+           next < base + static_cast<std::uint32_t>(config.window)) {
+      socket.send_to(dest, wires[next]);
+      ++stats.data_frames_sent;
+      if (next < highest_sent) ++stats.retransmissions;
+      ++next;
+    }
+    highest_sent = std::max(highest_sent, next);
+
+    const auto dgram = socket.recv_for(config.timeout);
+    if (!dgram.is_ok()) {
+      ++stats.timeouts;
+      if (++stalls > config.max_retries) {
+        return Status{StatusCode::kTimeout, "window stalled past max retries"};
+      }
+      next = base;  // go back N: retransmit the whole window
+      continue;
+    }
+    const auto ack = Frame::decode(dgram.value().payload);
+    if (ack && ack->type == Frame::Type::kAck) {
+      ++stats.acks_received;
+      if (ack->seq > base) {
+        base = ack->seq;
+        stalls = 0;
+      }
+    }
+  }
+
+  stats.seconds = clock.elapsed_seconds();
+  stats.bytes_delivered = data.size();
+  return stats;
+}
+
+support::Result<Bytes> arq_receive_selective(DatagramSocket& socket,
+                                             std::chrono::milliseconds idle_timeout,
+                                             std::chrono::milliseconds linger) {
+  std::map<std::uint32_t, Bytes> buffered;
+  std::optional<std::uint32_t> final_seq;
+  bool finished = false;
+
+  auto complete = [&] {
+    if (!final_seq) return false;
+    for (std::uint32_t s = 0; s <= *final_seq; ++s) {
+      if (buffered.find(s) == buffered.end()) return false;
+    }
+    return true;
+  };
+
+  for (;;) {
+    auto dgram = socket.recv_for(finished ? linger : idle_timeout);
+    if (!dgram.is_ok()) {
+      if (!finished) {
+        return Status{StatusCode::kTimeout, "transfer stalled (idle timeout)"};
+      }
+      Bytes assembled;
+      for (std::uint32_t s = 0; s <= *final_seq; ++s) {
+        assembled.insert(assembled.end(), buffered[s].begin(), buffered[s].end());
+      }
+      return assembled;
+    }
+    const auto frame = Frame::decode(dgram.value().payload);
+    if (!frame || frame->type != Frame::Type::kData) continue;
+    // Per-frame ACK (selective semantics: this exact frame arrived).
+    Frame ack;
+    ack.type = Frame::Type::kAck;
+    ack.seq = frame->seq;
+    socket.send_to(dgram.value().from, ack.encode());
+    if (!finished) {
+      buffered.emplace(frame->seq, frame->payload);
+      if (frame->final) final_seq = frame->seq;
+      if (complete()) finished = true;  // linger to re-ACK stragglers
+    }
+  }
+}
+
+support::Result<ArqStats> arq_send_selective_repeat(DatagramSocket& socket,
+                                                    const Address& dest,
+                                                    const Bytes& data,
+                                                    const ArqConfig& config) {
+  PDC_CHECK(config.window >= 1);
+  const auto frames = make_frames(data, config.frame_payload);
+  std::vector<Bytes> wires;
+  wires.reserve(frames.size());
+  for (const auto& frame : frames) wires.push_back(frame.encode());
+
+  ArqStats stats;
+  support::Stopwatch clock;
+
+  const auto timeout_s = std::chrono::duration<double>(config.timeout).count();
+  std::vector<bool> acked(frames.size(), false);
+  std::vector<bool> ever_sent(frames.size(), false);
+  std::vector<double> sent_at(frames.size(), -1.0);
+  std::vector<std::size_t> attempts(frames.size(), 0);
+  std::uint32_t base = 0;
+
+  while (base < frames.size()) {
+    // (Re)transmit anything in the window that is unsent or timed out.
+    const double now = clock.elapsed_seconds();
+    const std::uint32_t window_end = std::min<std::uint32_t>(
+        static_cast<std::uint32_t>(frames.size()),
+        base + static_cast<std::uint32_t>(config.window));
+    for (std::uint32_t s = base; s < window_end; ++s) {
+      if (acked[s]) continue;
+      if (sent_at[s] >= 0.0 && now - sent_at[s] < timeout_s) continue;
+      if (sent_at[s] >= 0.0) {
+        ++stats.retransmissions;  // this specific frame timed out
+        ++stats.timeouts;
+      }
+      if (++attempts[s] > config.max_retries) {
+        return Status{StatusCode::kTimeout, "frame " + std::to_string(s) +
+                                                " exceeded max retries"};
+      }
+      socket.send_to(dest, wires[s]);
+      ever_sent[s] = true;
+      sent_at[s] = now;
+      ++stats.data_frames_sent;
+    }
+
+    // Collect ACKs for a slice of the timeout, then rescan.
+    const auto dgram = socket.recv_for(config.timeout / 4 +
+                                       std::chrono::milliseconds(1));
+    if (!dgram.is_ok()) continue;
+    const auto ack = Frame::decode(dgram.value().payload);
+    if (ack && ack->type == Frame::Type::kAck && ack->seq < frames.size()) {
+      ++stats.acks_received;
+      acked[ack->seq] = true;
+      while (base < frames.size() && acked[base]) ++base;
+    }
+  }
+
+  stats.seconds = clock.elapsed_seconds();
+  stats.bytes_delivered = data.size();
+  return stats;
+}
+
+}  // namespace pdc::net

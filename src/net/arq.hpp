@@ -1,0 +1,87 @@
+// Automatic repeat request (ARQ) protocols over lossy datagrams.
+//
+// Reliability from first principles — what StreamSocket gives for free,
+// built by hand so it can be measured: stop-and-wait (one frame in flight)
+// versus go-back-N (sliding window of W frames, cumulative ACKs,
+// retransmit-window-on-timeout). bench/lab_rit_arq sweeps loss rate and
+// window size; the textbook shapes (window hides latency, loss hurts GBN
+// more per event, stop-and-wait caps throughput at frame/RTT) must hold.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "net/framing.hpp"
+#include "net/network.hpp"
+
+namespace pdc::net {
+
+struct ArqConfig {
+  std::size_t frame_payload = 1024;  // bytes of data per frame
+  std::size_t window = 8;            // go-back-N only
+  std::chrono::milliseconds timeout{5};
+  std::size_t max_retries = 1000;  // give up threshold (per frame/window)
+};
+
+struct ArqStats {
+  std::uint64_t data_frames_sent = 0;  // including retransmissions
+  std::uint64_t retransmissions = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t timeouts = 0;
+  double seconds = 0.0;
+  std::size_t bytes_delivered = 0;
+
+  /// Useful frames / frames sent — the protocol-efficiency figure.
+  [[nodiscard]] double efficiency() const {
+    if (data_frames_sent == 0) return 0.0;
+    return static_cast<double>(data_frames_sent - retransmissions) /
+           static_cast<double>(data_frames_sent);
+  }
+  [[nodiscard]] double goodput_bytes_per_sec() const {
+    return seconds <= 0.0 ? 0.0 : static_cast<double>(bytes_delivered) / seconds;
+  }
+};
+
+/// Sends `data` to `dest` with the stop-and-wait protocol; the peer must be
+/// running `arq_receive` on the destination socket. Fails with kTimeout
+/// when `max_retries` expires.
+support::Result<ArqStats> arq_send_stop_and_wait(DatagramSocket& socket,
+                                                 const Address& dest,
+                                                 const Bytes& data,
+                                                 const ArqConfig& config = {});
+
+/// Sends `data` with go-back-N (window = config.window).
+support::Result<ArqStats> arq_send_go_back_n(DatagramSocket& socket,
+                                             const Address& dest,
+                                             const Bytes& data,
+                                             const ArqConfig& config = {});
+
+/// Sends `data` with selective repeat (window = config.window): only the
+/// specific frames that time out unacknowledged are retransmitted; the
+/// receiver buffers out-of-order frames. Must be paired with
+/// `arq_receive_selective` (per-frame ACKs, not cumulative).
+support::Result<ArqStats> arq_send_selective_repeat(
+    DatagramSocket& socket, const Address& dest, const Bytes& data,
+    const ArqConfig& config = {});
+
+/// Receiver for selective repeat: buffers out-of-order data frames, ACKs
+/// every frame individually, returns once all frames up to the final one
+/// have arrived (then lingers to re-ACK).
+support::Result<Bytes> arq_receive_selective(
+    DatagramSocket& socket,
+    std::chrono::milliseconds idle_timeout = std::chrono::milliseconds(2000),
+    std::chrono::milliseconds linger = std::chrono::milliseconds(50));
+
+/// Receiver side shared by both protocols: accepts in-order data frames,
+/// sends cumulative ACKs (also for out-of-order arrivals, re-ACKing the
+/// last in-order frame), returns the reassembled data when the final frame
+/// arrives in order. After the final frame it lingers for `linger`
+/// (TIME_WAIT analogue), re-ACKing retransmissions in case the final ACK
+/// was lost — without this the sender can stall forever, which is exactly
+/// the lesson the parameter teaches.
+support::Result<Bytes> arq_receive(
+    DatagramSocket& socket,
+    std::chrono::milliseconds idle_timeout = std::chrono::milliseconds(2000),
+    std::chrono::milliseconds linger = std::chrono::milliseconds(50));
+
+}  // namespace pdc::net

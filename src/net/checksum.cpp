@@ -1,0 +1,53 @@
+#include "net/checksum.hpp"
+
+#include "support/rng.hpp"
+
+namespace pdc::net {
+
+std::uint16_t fletcher16(const Bytes& data) {
+  std::uint32_t sum1 = 0, sum2 = 0;
+  for (std::byte b : data) {
+    sum1 = (sum1 + static_cast<std::uint32_t>(b)) % 255;
+    sum2 = (sum2 + sum1) % 255;
+  }
+  return static_cast<std::uint16_t>((sum2 << 8) | sum1);
+}
+
+std::uint64_t fnv1a(const Bytes& data) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::byte b : data) {
+    hash ^= static_cast<std::uint64_t>(b);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t keyed_tag(std::uint64_t key, const Bytes& data) {
+  Bytes keyed;
+  keyed.reserve(data.size() + 16);
+  for (int i = 0; i < 8; ++i) {
+    keyed.push_back(static_cast<std::byte>(key >> (8 * i)));
+  }
+  keyed.insert(keyed.end(), data.begin(), data.end());
+  for (int i = 7; i >= 0; --i) {
+    keyed.push_back(static_cast<std::byte>(key >> (8 * i)));
+  }
+  return fnv1a(keyed);
+}
+
+bool verify_tag(std::uint64_t key, const Bytes& data, std::uint64_t tag) {
+  return keyed_tag(key, data) == tag;
+}
+
+Bytes xor_cipher(std::uint64_t key, const Bytes& data) {
+  support::SplitMix64 keystream(key);
+  Bytes out(data.size());
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i % 8 == 0) word = keystream.next();
+    out[i] = data[i] ^ static_cast<std::byte>(word >> (8 * (i % 8)));
+  }
+  return out;
+}
+
+}  // namespace pdc::net

@@ -1,0 +1,38 @@
+// Integrity primitives for the network-security teaching unit.
+//
+// The RIT course covers "network protocols and security" at concept level
+// (paper §IV-C). These are *educational* implementations of the ideas —
+// error-detecting checksums, keyed integrity tags, and a toy stream
+// cipher — NOT cryptographically secure primitives; real systems use
+// vetted libraries. Tests demonstrate both the guarantees and the
+// limitations (e.g. checksums catch corruption but not deliberate
+// modification without a key).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/address.hpp"
+
+namespace pdc::net {
+
+/// Fletcher-16 checksum: catches the bit errors a lossy link introduces.
+std::uint16_t fletcher16(const Bytes& data);
+
+/// FNV-1a 64-bit hash (non-cryptographic).
+std::uint64_t fnv1a(const Bytes& data);
+
+/// Keyed integrity tag: FNV-1a over key || data || key (an HMAC-shaped
+/// construction for teaching the *concept* of authenticated messages).
+std::uint64_t keyed_tag(std::uint64_t key, const Bytes& data);
+
+/// Verifies a tag in constant structure (comparison is not timing-hardened;
+/// see the header note).
+bool verify_tag(std::uint64_t key, const Bytes& data, std::uint64_t tag);
+
+/// Toy stream cipher: XOR with a SplitMix64 keystream. Symmetric —
+/// applying it twice with the same key restores the plaintext.
+/// Demonstrates confidentiality as a layer concept only.
+Bytes xor_cipher(std::uint64_t key, const Bytes& data);
+
+}  // namespace pdc::net

@@ -1,0 +1,50 @@
+// Message framing over byte streams, and the datagram frame format used by
+// the ARQ protocols.
+//
+// "Application protocol design" in the RIT course starts here: a byte
+// stream has no message boundaries, so applications add them. The stream
+// codec is length-prefix + Fletcher checksum; the datagram frame adds the
+// type/sequence header ARQ needs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/address.hpp"
+#include "net/network.hpp"
+#include "support/status.hpp"
+
+namespace pdc::net {
+
+/// Length-prefixed, checksummed message framing over a StreamSocket.
+///
+/// Wire format: u32 length (LE) | u16 fletcher16 | payload.
+class MessageCodec {
+ public:
+  static constexpr std::size_t kMaxMessage = 16 * 1024 * 1024;
+
+  /// Sends one framed message.
+  static support::Status send_message(StreamSocket& socket, const Bytes& payload);
+
+  /// Receives one framed message; kAborted on checksum mismatch, kClosed
+  /// when the peer closed cleanly between messages.
+  static support::Result<Bytes> recv_message(StreamSocket& socket);
+};
+
+/// Datagram frame used by the ARQ implementations.
+struct Frame {
+  enum class Type : std::uint8_t { kData = 1, kAck = 2 };
+
+  Type type = Type::kData;
+  std::uint32_t seq = 0;
+  bool final = false;  // last data frame of the transfer
+  Bytes payload;
+
+  /// Serializes with a trailing Fletcher-16 over everything.
+  [[nodiscard]] Bytes encode() const;
+
+  /// Parses; nullopt on truncation or checksum failure.
+  static std::optional<Frame> decode(const Bytes& wire);
+};
+
+}  // namespace pdc::net

@@ -1,0 +1,349 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace pdc::net {
+
+using support::Status;
+using support::StatusCode;
+
+// ------------------------------------------------------------ DatagramSocket
+
+DatagramSocket::~DatagramSocket() { net_.unbind_datagram(local_); }
+
+void DatagramSocket::send_to(const Address& to, Bytes payload) {
+  net_.send_datagram(local_, to, std::move(payload));
+}
+
+void DatagramSocket::deliver(Datagram dgram) {
+  {
+    std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(dgram));
+  }
+  arrived_.notify_one();
+}
+
+support::Result<Datagram> DatagramSocket::recv() {
+  std::unique_lock lock(mutex_);
+  arrived_.wait(lock, [&] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return Status{StatusCode::kClosed, "socket closed"};
+  Datagram dgram = std::move(queue_.front());
+  queue_.pop_front();
+  return dgram;
+}
+
+support::Result<Datagram> DatagramSocket::recv_for(
+    std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mutex_);
+  if (!arrived_.wait_for(lock, timeout,
+                         [&] { return !queue_.empty() || closed_; })) {
+    return Status{StatusCode::kTimeout, "no datagram within timeout"};
+  }
+  if (queue_.empty()) return Status{StatusCode::kClosed, "socket closed"};
+  Datagram dgram = std::move(queue_.front());
+  queue_.pop_front();
+  return dgram;
+}
+
+// -------------------------------------------------------------- StreamSocket
+
+Address StreamSocket::peer() const {
+  PDC_CHECK(valid());
+  return is_a_ ? state_->b : state_->a;
+}
+
+Status StreamSocket::send(const Bytes& data) {
+  PDC_CHECK(valid());
+  {
+    std::scoped_lock lock(outbound().mutex);
+    if (outbound().closed) {
+      return {StatusCode::kClosed, "connection closed"};
+    }
+  }
+  net_->send_stream_bytes(state_, is_a_, data);
+  return Status::ok();
+}
+
+support::Result<Bytes> StreamSocket::recv(std::size_t max_bytes) {
+  PDC_CHECK(valid());
+  Half& half = inbound();
+  std::unique_lock lock(half.mutex);
+  half.arrived.wait(lock, [&] { return !half.buffer.empty() || half.closed; });
+  if (half.buffer.empty()) {
+    return Status{StatusCode::kClosed, "peer closed the connection"};
+  }
+  const std::size_t n = std::min(max_bytes, half.buffer.size());
+  Bytes out(half.buffer.begin(),
+            half.buffer.begin() + static_cast<std::ptrdiff_t>(n));
+  half.buffer.erase(half.buffer.begin(),
+                    half.buffer.begin() + static_cast<std::ptrdiff_t>(n));
+  return out;
+}
+
+support::Result<Bytes> StreamSocket::recv_exact(std::size_t n) {
+  PDC_CHECK(valid());
+  Half& half = inbound();
+  std::unique_lock lock(half.mutex);
+  half.arrived.wait(lock, [&] { return half.buffer.size() >= n || half.closed; });
+  if (half.buffer.size() < n) {
+    return Status{StatusCode::kClosed, "connection closed mid-message"};
+  }
+  Bytes out(half.buffer.begin(),
+            half.buffer.begin() + static_cast<std::ptrdiff_t>(n));
+  half.buffer.erase(half.buffer.begin(),
+                    half.buffer.begin() + static_cast<std::ptrdiff_t>(n));
+  return out;
+}
+
+void StreamSocket::close() {
+  if (!valid()) return;
+  net_->close_stream_half(state_, is_a_);
+}
+
+void StreamSocket::abort() {
+  if (!valid()) return;
+  for (Half* half : {&state_->a_to_b, &state_->b_to_a}) {
+    {
+      std::scoped_lock lock(half->mutex);
+      half->closed = true;
+    }
+    half->arrived.notify_all();
+  }
+}
+
+// ------------------------------------------------------------------ Listener
+
+Listener::~Listener() {
+  shutdown();
+  net_.unbind_listener(local_);
+}
+
+support::Result<StreamSocket> Listener::accept() {
+  std::unique_lock lock(mutex_);
+  arrived_.wait(lock, [&] { return !pending_.empty() || closed_; });
+  if (pending_.empty()) return Status{StatusCode::kClosed, "listener shut down"};
+  StreamSocket socket = std::move(pending_.front());
+  pending_.pop_front();
+  return socket;
+}
+
+void Listener::shutdown() {
+  {
+    std::scoped_lock lock(mutex_);
+    closed_ = true;
+  }
+  arrived_.notify_all();
+}
+
+void Listener::deliver(StreamSocket socket) {
+  {
+    std::scoped_lock lock(mutex_);
+    if (closed_) return;  // connection dropped: listener is gone
+    pending_.push_back(std::move(socket));
+  }
+  arrived_.notify_one();
+}
+
+// ------------------------------------------------------------------- Network
+
+Network::Network(int hosts, NetConfig config)
+    : hosts_(hosts), config_(config), rng_(config.seed),
+      dispatcher_([this] { dispatcher_loop(); }) {
+  PDC_CHECK(hosts >= 1);
+  PDC_CHECK(config.loss >= 0.0 && config.loss < 1.0);
+}
+
+Network::~Network() {
+  {
+    std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  dispatcher_.join();
+}
+
+double Network::now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Network::schedule(std::function<void()> deliver, bool impaired) {
+  std::size_t copies = 1;
+  double jitter = 0.0;
+  {
+    std::scoped_lock lock(mutex_);
+    if (impaired) {
+      if (rng_.bernoulli(config_.loss)) {
+        ++dropped_;
+        return;
+      }
+      if (rng_.bernoulli(config_.duplicate)) copies = 2;
+      if (config_.jitter_ms > 0.0) jitter = rng_.uniform(0.0, config_.jitter_ms);
+    }
+    const double due = now() + (config_.latency_ms + jitter) / 1e3;
+    for (std::size_t c = 0; c < copies; ++c) {
+      events_.push(Event{due, next_seq_++, deliver});
+    }
+  }
+  wake_.notify_all();
+}
+
+void Network::dispatcher_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (stopping_) return;
+    if (events_.empty()) {
+      wake_.wait(lock, [&] { return stopping_ || !events_.empty(); });
+      continue;
+    }
+    const double due = events_.top().due;
+    const double current = now();
+    if (current < due) {
+      wake_.wait_for(lock, std::chrono::duration<double>(due - current));
+      continue;  // re-check: new earlier events or shutdown
+    }
+    auto deliver = events_.top().deliver;
+    events_.pop();
+    lock.unlock();
+    deliver();  // outside the lock: delivery takes per-socket locks
+    lock.lock();
+  }
+}
+
+std::unique_ptr<DatagramSocket> Network::open_datagram(int host,
+                                                       std::uint16_t port) {
+  PDC_CHECK(host >= 0 && host < hosts_);
+  const Address addr{host, port};
+  std::unique_ptr<DatagramSocket> socket(new DatagramSocket(*this, addr));
+  std::scoped_lock lock(mutex_);
+  PDC_CHECK_MSG(datagram_sockets_.find(addr) == datagram_sockets_.end(),
+                "address already bound: " + addr.to_string());
+  datagram_sockets_[addr] = socket.get();
+  return socket;
+}
+
+std::unique_ptr<Listener> Network::listen(int host, std::uint16_t port) {
+  PDC_CHECK(host >= 0 && host < hosts_);
+  const Address addr{host, port};
+  std::unique_ptr<Listener> listener(new Listener(*this, addr));
+  std::scoped_lock lock(mutex_);
+  PDC_CHECK_MSG(listeners_.find(addr) == listeners_.end(),
+                "address already listening: " + addr.to_string());
+  listeners_[addr] = listener.get();
+  return listener;
+}
+
+support::Result<StreamSocket> Network::connect(int from_host,
+                                               const Address& to) {
+  PDC_CHECK(from_host >= 0 && from_host < hosts_);
+  Address local;
+  {
+    std::scoped_lock lock(mutex_);
+    if (listeners_.find(to) == listeners_.end()) {
+      return Status{StatusCode::kNotFound, "nothing listening at " + to.to_string()};
+    }
+    local = Address{from_host, next_ephemeral_++};
+  }
+  auto state = std::make_shared<StreamSocket::ConnState>();
+  state->a = local;
+  state->b = to;
+  StreamSocket client(this, state, /*is_a=*/true);
+  StreamSocket server(this, state, /*is_a=*/false);
+
+  // SYN travels one latency; the handshake completes when the listener
+  // receives its endpoint. (Abstracted two-way handshake: connect() itself
+  // waits one RTT below.)
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool accepted = false;
+  schedule(
+      [this, to, server = std::move(server), &done_mutex, &done_cv,
+       &accepted]() mutable {
+        {
+          std::scoped_lock net_lock(mutex_);
+          auto it = listeners_.find(to);
+          if (it != listeners_.end()) {
+            // Deliver outside the net lock would be nicer; listener
+            // delivery only takes its own mutex (no lock-order issue).
+            it->second->deliver(std::move(server));
+          }
+        }
+        {
+          std::scoped_lock lock(done_mutex);
+          accepted = true;
+        }
+        done_cv.notify_one();
+      },
+      /*impaired=*/false);
+  {
+    std::unique_lock lock(done_mutex);
+    done_cv.wait(lock, [&] { return accepted; });
+  }
+  return client;
+}
+
+std::uint64_t Network::dropped() const {
+  std::scoped_lock lock(mutex_);
+  return dropped_;
+}
+
+void Network::unbind_datagram(const Address& addr) {
+  std::scoped_lock lock(mutex_);
+  datagram_sockets_.erase(addr);
+}
+
+void Network::unbind_listener(const Address& addr) {
+  std::scoped_lock lock(mutex_);
+  listeners_.erase(addr);
+}
+
+void Network::send_datagram(const Address& from, const Address& to,
+                            Bytes payload) {
+  schedule(
+      [this, from, to, payload = std::move(payload)]() mutable {
+        // Deliver while holding the net mutex so the socket cannot be
+        // destroyed (its destructor unbinds under the same mutex). The
+        // socket's own mutex nests inside the net mutex — the one global
+        // lock order in this module.
+        std::scoped_lock lock(mutex_);
+        auto it = datagram_sockets_.find(to);
+        if (it == datagram_sockets_.end()) return;  // no receiver: dropped
+        it->second->deliver(Datagram{from, std::move(payload)});
+      },
+      /*impaired=*/true);
+}
+
+void Network::send_stream_bytes(
+    const std::shared_ptr<StreamSocket::ConnState>& state, bool from_a,
+    Bytes data) {
+  schedule(
+      [state, from_a, data = std::move(data)] {
+        auto& half = from_a ? state->a_to_b : state->b_to_a;
+        {
+          std::scoped_lock lock(half.mutex);
+          if (half.closed) return;
+          half.buffer.insert(half.buffer.end(), data.begin(), data.end());
+        }
+        half.arrived.notify_all();
+      },
+      /*impaired=*/false);
+}
+
+void Network::close_stream_half(
+    const std::shared_ptr<StreamSocket::ConnState>& state, bool from_a) {
+  schedule(
+      [state, from_a] {
+        auto& half = from_a ? state->a_to_b : state->b_to_a;
+        {
+          std::scoped_lock lock(half.mutex);
+          half.closed = true;
+        }
+        half.arrived.notify_all();
+      },
+      /*impaired=*/false);
+}
+
+}  // namespace pdc::net

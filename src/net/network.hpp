@@ -1,0 +1,235 @@
+// Simulated network fabric: hosts, lossy datagrams, reliable streams.
+//
+// The RIT breadth course (paper §IV-C) teaches "network communication with
+// connections and datagrams" — both live here over one fabric:
+//
+//  - DatagramSocket: unreliable, unordered delivery with configurable
+//    latency, jitter, loss and duplication (the substrate the ARQ lessons
+//    in arq.hpp are built on);
+//  - Listener/StreamSocket: connection-oriented, reliable, in-order byte
+//    streams (the kernel-TCP abstraction the client-server framework in
+//    server.hpp uses). Stream traffic ignores the loss/jitter knobs the
+//    way applications never see TCP's retransmissions — reliability as a
+//    *service*; how it is achieved is taught separately by arq.hpp.
+//
+// A single dispatcher thread delivers packets at their scheduled times, so
+// latency effects are real wall-clock effects observable in benches.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <thread>
+
+#include "net/address.hpp"
+#include "support/rng.hpp"
+#include "support/status.hpp"
+
+namespace pdc::net {
+
+struct NetConfig {
+  double latency_ms = 0.05;     // one-way propagation
+  double jitter_ms = 0.0;       // uniform [0, jitter) added per datagram
+  double loss = 0.0;            // datagram drop probability
+  double duplicate = 0.0;       // datagram duplication probability
+  std::uint64_t seed = 0x5eed;  // impairment randomness
+};
+
+class Network;
+
+/// Unreliable, unordered message socket (UDP analogue).
+class DatagramSocket {
+ public:
+  ~DatagramSocket();
+  DatagramSocket(const DatagramSocket&) = delete;
+  DatagramSocket& operator=(const DatagramSocket&) = delete;
+
+  [[nodiscard]] Address local() const { return local_; }
+
+  /// Fire-and-forget send; the fabric may drop, delay or duplicate it.
+  void send_to(const Address& to, Bytes payload);
+
+  /// Blocking receive.
+  support::Result<Datagram> recv();
+
+  /// Timed receive; kTimeout when nothing arrives in time.
+  support::Result<Datagram> recv_for(std::chrono::milliseconds timeout);
+
+ private:
+  friend class Network;
+  DatagramSocket(Network& net, Address local) : net_(net), local_(local) {}
+
+  void deliver(Datagram dgram);
+
+  Network& net_;
+  Address local_;
+  std::mutex mutex_;
+  std::condition_variable arrived_;
+  std::deque<Datagram> queue_;
+  bool closed_ = false;
+};
+
+/// Reliable, in-order, bidirectional byte stream (TCP analogue).
+class StreamSocket {
+ public:
+  StreamSocket() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] Address peer() const;
+
+  /// Sends the whole buffer (never partial). kClosed after either side
+  /// closed the connection.
+  support::Status send(const Bytes& data);
+  support::Status send_text(const std::string& text) { return send(to_bytes(text)); }
+
+  /// Receives up to `max_bytes` (at least 1 when data is available);
+  /// kClosed once the peer closed and the buffer is drained.
+  support::Result<Bytes> recv(std::size_t max_bytes = 64 * 1024);
+
+  /// Receives exactly `n` bytes or fails with kClosed.
+  support::Result<Bytes> recv_exact(std::size_t n);
+
+  /// Closes this direction; the peer's recv drains then reports kClosed.
+  void close();
+
+  /// Hard local teardown: immediately marks both directions closed and
+  /// wakes any blocked reader on either end (no latency; used by server
+  /// shutdown to unblock handler threads).
+  void abort();
+
+ private:
+  friend class Network;
+  friend class Listener;
+
+  struct Half {  // one direction's receive buffer
+    std::mutex mutex;
+    std::condition_variable arrived;
+    std::deque<std::byte> buffer;
+    bool closed = false;
+  };
+  struct ConnState {
+    Half a_to_b;
+    Half b_to_a;
+    Address a, b;
+  };
+
+  StreamSocket(Network* net, std::shared_ptr<ConnState> state, bool is_a)
+      : net_(net), state_(std::move(state)), is_a_(is_a) {}
+
+  Half& inbound() const { return is_a_ ? state_->b_to_a : state_->a_to_b; }
+  Half& outbound() const { return is_a_ ? state_->a_to_b : state_->b_to_a; }
+
+  Network* net_ = nullptr;
+  std::shared_ptr<ConnState> state_;
+  bool is_a_ = false;
+};
+
+/// Passive endpoint accepting stream connections (listening socket).
+class Listener {
+ public:
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  [[nodiscard]] Address local() const { return local_; }
+
+  /// Blocks for the next connection; kClosed after shutdown().
+  support::Result<StreamSocket> accept();
+
+  /// Unblocks pending and future accepts with kClosed.
+  void shutdown();
+
+ private:
+  friend class Network;
+  Listener(Network& net, Address local) : net_(net), local_(local) {}
+
+  void deliver(StreamSocket socket);
+
+  Network& net_;
+  Address local_;
+  std::mutex mutex_;
+  std::condition_variable arrived_;
+  std::deque<StreamSocket> pending_;
+  bool closed_ = false;
+};
+
+class Network {
+ public:
+  explicit Network(int hosts, NetConfig config = {});
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] int hosts() const { return hosts_; }
+  [[nodiscard]] const NetConfig& config() const { return config_; }
+
+  /// Binds a datagram socket; the address must be free. The returned
+  /// socket must not outlive the Network.
+  std::unique_ptr<DatagramSocket> open_datagram(int host, std::uint16_t port);
+
+  /// Starts listening; the address must be free.
+  std::unique_ptr<Listener> listen(int host, std::uint16_t port);
+
+  /// Connects from `from_host` (ephemeral port) to a listener at `to`.
+  /// Blocks for one round trip; kNotFound if nobody listens there.
+  support::Result<StreamSocket> connect(int from_host, const Address& to);
+
+  /// Datagrams dropped by the impairment model so far.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+ private:
+  friend class DatagramSocket;
+  friend class StreamSocket;
+  friend class Listener;
+
+  struct Event {
+    double due;  // seconds on the steady clock
+    std::uint64_t seq;
+    std::function<void()> deliver;
+  };
+  struct EventOrder {
+    bool operator()(const Event& x, const Event& y) const {
+      return x.due > y.due || (x.due == y.due && x.seq > y.seq);
+    }
+  };
+
+  static double now();
+  /// Schedules `deliver` after the configured latency (plus jitter when
+  /// `impaired`); applies loss/duplication when `impaired`.
+  void schedule(std::function<void()> deliver, bool impaired);
+  void dispatcher_loop();
+
+  void unbind_datagram(const Address& addr);
+  void unbind_listener(const Address& addr);
+  void send_datagram(const Address& from, const Address& to, Bytes payload);
+  void send_stream_bytes(const std::shared_ptr<StreamSocket::ConnState>& state,
+                         bool from_a, Bytes data);
+  void close_stream_half(const std::shared_ptr<StreamSocket::ConnState>& state,
+                         bool from_a);
+
+  int hosts_;
+  NetConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+  std::uint64_t next_seq_ = 0;
+  bool stopping_ = false;
+  std::uint64_t dropped_ = 0;
+  support::Rng rng_;
+  std::map<Address, DatagramSocket*> datagram_sockets_;
+  std::map<Address, Listener*> listeners_;
+  std::uint16_t next_ephemeral_ = 40000;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace pdc::net

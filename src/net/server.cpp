@@ -1,0 +1,210 @@
+#include "net/server.hpp"
+
+#include "support/check.hpp"
+
+namespace pdc::net {
+
+using support::Status;
+using support::StatusCode;
+
+Server::Server(Network& net, int host, std::uint16_t port, Handler handler,
+               ServerConfig config)
+    : net_(net), handler_(std::move(handler)), config_(config),
+      listener_(net.listen(host, port)), pending_(1024) {
+  PDC_CHECK(handler_ != nullptr);
+  if (config_.model == ThreadingModel::kWorkerPool) {
+    PDC_CHECK(config_.workers >= 1);
+    for (std::size_t w = 0; w < config_.workers; ++w) {
+      workers_.emplace_back([this] {
+        for (;;) {
+          auto socket = pending_.pop();
+          if (!socket.is_ok()) break;
+          serve_connection(std::move(socket).value());
+        }
+      });
+    }
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+Server::~Server() { stop(); }
+
+void Server::stop() {
+  if (stopping_.exchange(true)) {
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  listener_->shutdown();
+  pending_.close();
+  // Hard-abort live connections so handler threads blocked in recv wake up
+  // even when the client never closed its end.
+  {
+    std::scoped_lock lock(conn_mutex_);
+    for (auto& socket : active_) socket.abort();
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  std::vector<std::thread> connections;
+  {
+    std::scoped_lock lock(conn_mutex_);
+    connections.swap(conn_threads_);
+  }
+  for (auto& t : connections) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    auto accepted = listener_->accept();
+    if (!accepted.is_ok()) return;  // shut down
+    StreamSocket socket = std::move(accepted).value();
+    {
+      std::scoped_lock lock(conn_mutex_);
+      active_.push_back(socket);  // cheap handle copy, for abort on stop
+      if (stopping_.load()) {
+        socket.abort();
+        continue;
+      }
+      if (config_.model == ThreadingModel::kThreadPerConnection) {
+        conn_threads_.emplace_back(
+            [this, s = std::move(socket)]() mutable {
+              serve_connection(std::move(s));
+            });
+        continue;
+      }
+    }
+    // Worker pool: parks until a worker picks the connection up.
+    (void)pending_.push(std::move(socket));
+  }
+}
+
+void Server::serve_connection(StreamSocket socket) {
+  for (;;) {
+    auto request = MessageCodec::recv_message(socket);
+    if (!request.is_ok()) break;  // closed or corrupt stream
+    Bytes reply = handler_(request.value());
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (!MessageCodec::send_message(socket, reply).is_ok()) break;
+  }
+  socket.close();
+}
+
+Status Client::connect(const Address& server) {
+  auto socket = net_.connect(host_, server);
+  if (!socket.is_ok()) return socket.status();
+  socket_ = std::move(socket).value();
+  return Status::ok();
+}
+
+support::Result<Bytes> Client::call(const Bytes& request) {
+  PDC_CHECK_MSG(socket_.valid(), "call before connect");
+  if (auto status = MessageCodec::send_message(socket_, request); !status.is_ok()) {
+    return status;
+  }
+  return MessageCodec::recv_message(socket_);
+}
+
+support::Result<std::string> Client::call_text(const std::string& request) {
+  auto reply = call(to_bytes(request));
+  if (!reply.is_ok()) return reply.status();
+  return to_string(reply.value());
+}
+
+void Client::close() {
+  if (socket_.valid()) socket_.close();
+}
+
+// ----------------------------------------------------------------------- RPC
+
+namespace {
+constexpr std::uint8_t kRpcOk = 0;
+constexpr std::uint8_t kRpcNotFound = 1;
+constexpr std::uint8_t kRpcError = 2;
+}  // namespace
+
+RpcServer::RpcServer(Network& net, int host, std::uint16_t port,
+                     ServerConfig config)
+    : server_(std::make_unique<Server>(
+          net, host, port, [this](const Bytes& req) { return dispatch(req); },
+          config)) {}
+
+void RpcServer::register_procedure(const std::string& name, Handler handler) {
+  std::scoped_lock lock(mutex_);
+  procedures_[name] = std::move(handler);
+}
+
+Bytes RpcServer::dispatch(const Bytes& request) {
+  auto fail = [](std::uint8_t code, const std::string& text) {
+    Bytes reply;
+    reply.push_back(static_cast<std::byte>(code));
+    const Bytes body = to_bytes(text);
+    reply.insert(reply.end(), body.begin(), body.end());
+    return reply;
+  };
+  if (request.size() < 2) return fail(kRpcError, "malformed envelope");
+  const std::size_t name_len =
+      static_cast<std::size_t>(request[0]) |
+      (static_cast<std::size_t>(request[1]) << 8);
+  if (request.size() < 2 + name_len) return fail(kRpcError, "malformed envelope");
+  const std::string name =
+      to_string(Bytes(request.begin() + 2,
+                      request.begin() + 2 + static_cast<std::ptrdiff_t>(name_len)));
+  Handler handler;
+  {
+    std::scoped_lock lock(mutex_);
+    const auto it = procedures_.find(name);
+    if (it == procedures_.end()) {
+      return fail(kRpcNotFound, "no procedure '" + name + "'");
+    }
+    handler = it->second;
+  }
+  const Bytes payload(request.begin() + 2 + static_cast<std::ptrdiff_t>(name_len),
+                      request.end());
+  try {
+    Bytes body = handler(payload);
+    Bytes reply;
+    reply.push_back(std::byte{kRpcOk});
+    reply.insert(reply.end(), body.begin(), body.end());
+    return reply;
+  } catch (const std::exception& e) {
+    return fail(kRpcError, e.what());
+  }
+}
+
+support::Result<Bytes> RpcClient::call(const std::string& name,
+                                       const Bytes& payload) {
+  PDC_CHECK_MSG(name.size() < 65536, "procedure name too long");
+  Bytes request;
+  request.push_back(static_cast<std::byte>(name.size() & 0xff));
+  request.push_back(static_cast<std::byte>(name.size() >> 8));
+  const Bytes name_bytes = to_bytes(name);
+  request.insert(request.end(), name_bytes.begin(), name_bytes.end());
+  request.insert(request.end(), payload.begin(), payload.end());
+
+  auto reply = client_.call(request);
+  if (!reply.is_ok()) return reply.status();
+  const Bytes& wire = reply.value();
+  if (wire.empty()) return Status{StatusCode::kAborted, "empty rpc reply"};
+  const auto code = static_cast<std::uint8_t>(wire[0]);
+  Bytes body(wire.begin() + 1, wire.end());
+  switch (code) {
+    case kRpcOk:
+      return body;
+    case kRpcNotFound:
+      return Status{StatusCode::kNotFound, to_string(body)};
+    default:
+      return Status{StatusCode::kAborted, to_string(body)};
+  }
+}
+
+support::Result<std::string> RpcClient::call_text(const std::string& name,
+                                                  const std::string& payload) {
+  auto reply = call(name, to_bytes(payload));
+  if (!reply.is_ok()) return reply.status();
+  return to_string(reply.value());
+}
+
+}  // namespace pdc::net

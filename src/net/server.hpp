@@ -1,0 +1,137 @@
+// Client-server framework and a small RPC layer over framed streams.
+//
+// "Client-server programming" appears in Table I under both systems
+// programming and networks, and the RIT course builds network application
+// programs around it. Server supports the two canonical threading models —
+// thread-per-connection and a fixed worker pool — so their trade-off is
+// observable in bench/lab_rit_netserver. The RPC layer adds named-procedure
+// dispatch on top (the "middleware" rung of the distributed-systems
+// lecture).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "concurrency/bounded_queue.hpp"
+#include "net/framing.hpp"
+#include "net/network.hpp"
+
+namespace pdc::net {
+
+/// Computes the reply for one request (invoked concurrently).
+using Handler = std::function<Bytes(const Bytes& request)>;
+
+enum class ThreadingModel {
+  kThreadPerConnection,  // classic: simple, unbounded threads
+  kWorkerPool,           // fixed pool pulls connections from a queue
+};
+
+struct ServerConfig {
+  ThreadingModel model = ThreadingModel::kThreadPerConnection;
+  std::size_t workers = 4;  // worker-pool model only
+};
+
+/// Request-response server: each connection carries a sequence of framed
+/// requests, each answered with one framed reply.
+class Server {
+ public:
+  Server(Network& net, int host, std::uint16_t port, Handler handler,
+         ServerConfig config = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  [[nodiscard]] Address address() const { return listener_->local(); }
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops accepting; existing connections finish their current request.
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(StreamSocket socket);
+
+  Network& net_;
+  Handler handler_;
+  ServerConfig config_;
+  std::unique_ptr<Listener> listener_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<bool> stopping_{false};
+
+  concurrency::BoundedQueue<StreamSocket> pending_;  // worker-pool model
+  std::vector<std::thread> workers_;
+  std::thread acceptor_;
+  std::mutex conn_mutex_;
+  std::vector<std::thread> conn_threads_;  // thread-per-connection model
+  std::vector<StreamSocket> active_;       // for hard abort on stop()
+};
+
+/// Client endpoint issuing framed request-response calls.
+class Client {
+ public:
+  Client(Network& net, int host) : net_(net), host_(host) {}
+
+  /// Opens the connection (one per client).
+  support::Status connect(const Address& server);
+
+  /// One round trip; kClosed if the server went away.
+  support::Result<Bytes> call(const Bytes& request);
+  support::Result<std::string> call_text(const std::string& request);
+
+  void close();
+
+ private:
+  Network& net_;
+  int host_;
+  StreamSocket socket_;
+};
+
+// ----------------------------------------------------------------------- RPC
+
+/// Named-procedure server: dispatches `call(name, payload)` to registered
+/// handlers. Envelope: u16 name length | name | payload; replies are
+/// u8 status | body (body = error text on failure).
+class RpcServer {
+ public:
+  RpcServer(Network& net, int host, std::uint16_t port,
+            ServerConfig config = {});
+
+  /// Registers a procedure (before or between calls; thread-safe).
+  void register_procedure(const std::string& name, Handler handler);
+
+  [[nodiscard]] Address address() const { return server_->address(); }
+  void stop() { server_->stop(); }
+
+ private:
+  Bytes dispatch(const Bytes& request);
+
+  std::mutex mutex_;
+  std::map<std::string, Handler> procedures_;
+  std::unique_ptr<Server> server_;
+};
+
+class RpcClient {
+ public:
+  RpcClient(Network& net, int host) : client_(net, host) {}
+
+  support::Status connect(const Address& server) { return client_.connect(server); }
+
+  /// Calls a remote procedure; kNotFound if it is not registered remotely,
+  /// kAborted if the remote handler threw.
+  support::Result<Bytes> call(const std::string& name, const Bytes& payload);
+  support::Result<std::string> call_text(const std::string& name,
+                                         const std::string& payload);
+
+ private:
+  Client client_;
+};
+
+}  // namespace pdc::net

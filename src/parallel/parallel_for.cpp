@@ -1,0 +1,14 @@
+#include "parallel/parallel_for.hpp"
+
+namespace pdc::parallel {
+
+const char* to_string(Schedule s) {
+  switch (s) {
+    case Schedule::kStatic: return "static";
+    case Schedule::kDynamic: return "dynamic";
+    case Schedule::kGuided: return "guided";
+  }
+  return "unknown";
+}
+
+}  // namespace pdc::parallel

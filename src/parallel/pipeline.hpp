@@ -1,0 +1,93 @@
+// Pipeline parallelism: a chain of stages connected by bounded queues,
+// each stage running on its own thread.
+//
+// The third canonical decomposition after data parallelism (parallel_for)
+// and task parallelism (TaskGraph): throughput scales with the number of
+// stages while per-item latency stays the sum of stage times, and the
+// slowest stage sets the rate (measurable via per-stage busy times).
+// Items retain their order end-to-end because every queue is FIFO.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "concurrency/bounded_queue.hpp"
+#include "support/stopwatch.hpp"
+
+namespace pdc::parallel {
+
+template <typename T>
+class Pipeline {
+ public:
+  explicit Pipeline(std::size_t queue_capacity = 64)
+      : queue_capacity_(queue_capacity) {}
+
+  /// Appends a transform stage. Must be called before run().
+  Pipeline& add_stage(std::function<T(T)> fn) {
+    stages_.push_back(std::move(fn));
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t stage_count() const { return stages_.size(); }
+
+  /// Per-stage busy seconds of the last run (profiling the bottleneck).
+  [[nodiscard]] const std::vector<double>& stage_busy_seconds() const {
+    return busy_;
+  }
+
+  /// Feeds every input through all stages concurrently; returns the
+  /// outputs in input order.
+  std::vector<T> run(std::vector<T> inputs) {
+    PDC_CHECK_MSG(!stages_.empty(), "pipeline has no stages");
+    const std::size_t n_stages = stages_.size();
+    busy_.assign(n_stages, 0.0);
+
+    // queues[s] feeds stage s; the final stage writes straight to output.
+    std::vector<std::unique_ptr<concurrency::BoundedQueue<T>>> queues;
+    for (std::size_t s = 0; s < n_stages; ++s) {
+      queues.push_back(
+          std::make_unique<concurrency::BoundedQueue<T>>(queue_capacity_));
+    }
+
+    std::vector<T> output;
+    output.reserve(inputs.size());
+    std::mutex output_mutex;
+
+    std::vector<std::thread> workers;
+    workers.reserve(n_stages);
+    for (std::size_t s = 0; s < n_stages; ++s) {
+      workers.emplace_back([&, s] {
+        for (;;) {
+          auto item = queues[s]->pop();
+          if (!item.is_ok()) break;  // upstream closed and drained
+          support::Stopwatch clock;
+          T transformed = stages_[s](std::move(item).value());
+          busy_[s] += clock.elapsed_seconds();
+          if (s + 1 < n_stages) {
+            (void)queues[s + 1]->push(std::move(transformed));
+          } else {
+            std::scoped_lock lock(output_mutex);
+            output.push_back(std::move(transformed));
+          }
+        }
+        if (s + 1 < n_stages) queues[s + 1]->close();
+      });
+    }
+
+    for (T& item : inputs) {
+      (void)queues[0]->push(std::move(item));
+    }
+    queues[0]->close();
+    for (auto& worker : workers) worker.join();
+    return output;
+  }
+
+ private:
+  std::size_t queue_capacity_;
+  std::vector<std::function<T(T)>> stages_;
+  std::vector<double> busy_;
+};
+
+}  // namespace pdc::parallel

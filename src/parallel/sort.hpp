@@ -1,0 +1,120 @@
+// Parallel divide-and-conquer sorting on the work-stealing pool.
+//
+// CC2020 recommends covering "a parallel divide-and-conquer algorithm";
+// mergesort (stable, predictable splits) and quicksort (data-dependent
+// splits, exercising the load balancer) are the canonical pair. Both fall
+// back to std::sort below `cutoff` — the grain-size lesson.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "parallel/work_stealing.hpp"
+
+namespace pdc::parallel {
+
+namespace detail {
+
+template <typename T, typename Cmp>
+void merge_ranges(std::vector<T>& data, std::vector<T>& scratch,
+                  std::size_t lo, std::size_t mid, std::size_t hi, Cmp cmp) {
+  std::merge(data.begin() + static_cast<std::ptrdiff_t>(lo),
+             data.begin() + static_cast<std::ptrdiff_t>(mid),
+             data.begin() + static_cast<std::ptrdiff_t>(mid),
+             data.begin() + static_cast<std::ptrdiff_t>(hi),
+             scratch.begin() + static_cast<std::ptrdiff_t>(lo), cmp);
+  std::copy(scratch.begin() + static_cast<std::ptrdiff_t>(lo),
+            scratch.begin() + static_cast<std::ptrdiff_t>(hi),
+            data.begin() + static_cast<std::ptrdiff_t>(lo));
+}
+
+template <typename T, typename Cmp>
+void merge_sort_task(WorkStealingPool& pool, std::vector<T>& data,
+                     std::vector<T>& scratch, std::size_t lo, std::size_t hi,
+                     std::size_t cutoff, Cmp cmp) {
+  if (hi - lo <= cutoff) {
+    std::sort(data.begin() + static_cast<std::ptrdiff_t>(lo),
+              data.begin() + static_cast<std::ptrdiff_t>(hi), cmp);
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  std::atomic<bool> left_done{false};
+  pool.spawn([&, lo, mid] {
+    merge_sort_task(pool, data, scratch, lo, mid, cutoff, cmp);
+    left_done.store(true, std::memory_order_release);
+  });
+  merge_sort_task(pool, data, scratch, mid, hi, cutoff, cmp);
+  // Fork/join: help run other tasks instead of blocking while the sibling
+  // subtree finishes.
+  pool.help_while([&] { return left_done.load(std::memory_order_acquire); });
+  merge_ranges(data, scratch, lo, mid, hi, cmp);
+}
+
+/// Median-of-three + Lomuto partition. Returns the final pivot index p with
+/// lo <= p < hi; both [lo, p) and (p, hi) are strictly smaller subranges.
+template <typename T, typename Cmp>
+std::size_t partition_range(std::vector<T>& data, std::size_t lo,
+                            std::size_t hi, Cmp cmp) {
+  const std::size_t mid = lo + (hi - lo) / 2;
+  // Order the three samples, leaving the median at `mid`.
+  if (cmp(data[mid], data[lo])) std::swap(data[mid], data[lo]);
+  if (cmp(data[hi - 1], data[lo])) std::swap(data[hi - 1], data[lo]);
+  if (cmp(data[hi - 1], data[mid])) std::swap(data[hi - 1], data[mid]);
+  std::swap(data[mid], data[hi - 1]);  // pivot (median) to the end
+  const T& pivot = data[hi - 1];
+  std::size_t store = lo;
+  for (std::size_t k = lo; k + 1 < hi; ++k) {
+    if (cmp(data[k], pivot)) std::swap(data[store++], data[k]);
+  }
+  std::swap(data[store], data[hi - 1]);
+  return store;
+}
+
+template <typename T, typename Cmp>
+void quick_sort_task(WorkStealingPool& pool, std::vector<T>& data,
+                     std::size_t lo, std::size_t hi, std::size_t cutoff,
+                     Cmp cmp) {
+  if (hi - lo <= cutoff) {
+    std::sort(data.begin() + static_cast<std::ptrdiff_t>(lo),
+              data.begin() + static_cast<std::ptrdiff_t>(hi), cmp);
+    return;
+  }
+  const std::size_t p = partition_range(data, lo, hi, cmp);
+  // Spawn the smaller side; run the larger inline (bounds task-tree depth).
+  std::size_t spawn_lo = lo, spawn_hi = p, run_lo = p + 1, run_hi = hi;
+  if (spawn_hi - spawn_lo > run_hi - run_lo) {
+    std::swap(spawn_lo, run_lo);
+    std::swap(spawn_hi, run_hi);
+  }
+  std::atomic<bool> child_done{false};
+  pool.spawn([&, spawn_lo, spawn_hi] {
+    quick_sort_task(pool, data, spawn_lo, spawn_hi, cutoff, cmp);
+    child_done.store(true, std::memory_order_release);
+  });
+  quick_sort_task(pool, data, run_lo, run_hi, cutoff, cmp);
+  pool.help_while([&] { return child_done.load(std::memory_order_acquire); });
+}
+
+}  // namespace detail
+
+/// Stable-split parallel mergesort. Blocks until sorted.
+template <typename T, typename Cmp = std::less<T>>
+void parallel_merge_sort(WorkStealingPool& pool, std::vector<T>& data,
+                         std::size_t cutoff = 2048, Cmp cmp = {}) {
+  if (data.size() <= 1) return;
+  std::vector<T> scratch(data.size());
+  detail::merge_sort_task(pool, data, scratch, 0, data.size(),
+                          std::max<std::size_t>(cutoff, 1), cmp);
+}
+
+/// Parallel quicksort with median-of-three pivoting. Blocks until sorted.
+template <typename T, typename Cmp = std::less<T>>
+void parallel_quick_sort(WorkStealingPool& pool, std::vector<T>& data,
+                         std::size_t cutoff = 2048, Cmp cmp = {}) {
+  if (data.size() <= 1) return;
+  detail::quick_sort_task(pool, data, 0, data.size(),
+                          std::max<std::size_t>(cutoff, 16), cmp);
+}
+
+}  // namespace pdc::parallel

@@ -1,0 +1,246 @@
+#include "parallel/task_graph.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace pdc::parallel {
+
+TaskId TaskGraph::add_task(std::string name, double cost,
+                           std::function<void()> fn) {
+  PDC_CHECK_MSG(cost >= 0.0, "task cost must be non-negative");
+  tasks_.push_back(Task{std::move(name), cost, std::move(fn), {}, 0});
+  return tasks_.size() - 1;
+}
+
+void TaskGraph::add_dependency(TaskId before, TaskId after) {
+  PDC_CHECK(before < tasks_.size());
+  PDC_CHECK(after < tasks_.size());
+  PDC_CHECK_MSG(before != after, "a task cannot depend on itself");
+  tasks_[before].successors.push_back(after);
+  ++tasks_[after].predecessor_count;
+}
+
+const std::string& TaskGraph::name(TaskId id) const {
+  PDC_CHECK(id < tasks_.size());
+  return tasks_[id].name;
+}
+
+double TaskGraph::cost(TaskId id) const {
+  PDC_CHECK(id < tasks_.size());
+  return tasks_[id].cost;
+}
+
+std::vector<TaskId> TaskGraph::topo_order() const {
+  std::vector<std::size_t> in_degree(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    in_degree[i] = tasks_[i].predecessor_count;
+  }
+  std::vector<TaskId> ready;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (in_degree[i] == 0) ready.push_back(i);
+  }
+  std::vector<TaskId> order;
+  order.reserve(tasks_.size());
+  while (!ready.empty()) {
+    const TaskId id = ready.back();
+    ready.pop_back();
+    order.push_back(id);
+    for (TaskId next : tasks_[id].successors) {
+      if (--in_degree[next] == 0) ready.push_back(next);
+    }
+  }
+  if (order.size() != tasks_.size()) order.clear();  // cycle
+  return order;
+}
+
+bool TaskGraph::is_acyclic() const {
+  return tasks_.empty() || !topo_order().empty();
+}
+
+double TaskGraph::work() const {
+  double total = 0.0;
+  for (const auto& t : tasks_) total += t.cost;
+  return total;
+}
+
+std::vector<double> TaskGraph::earliest_finish() const {
+  const auto order = topo_order();
+  PDC_CHECK_MSG(tasks_.empty() || !order.empty(),
+                "span/critical_path require an acyclic graph");
+  std::vector<double> finish(tasks_.size(), 0.0);
+  for (TaskId id : order) {
+    // Predecessor finishes were finalized earlier in topological order,
+    // so start = max over preds is already folded into finish[id].
+    finish[id] += tasks_[id].cost;
+    for (TaskId next : tasks_[id].successors) {
+      finish[next] = std::max(finish[next], finish[id]);
+    }
+  }
+  return finish;
+}
+
+double TaskGraph::span() const {
+  if (tasks_.empty()) return 0.0;
+  const auto finish = earliest_finish();
+  return *std::max_element(finish.begin(), finish.end());
+}
+
+double TaskGraph::parallelism() const {
+  const double s = span();
+  if (s == 0.0) return 0.0;
+  return work() / s;
+}
+
+std::vector<TaskId> TaskGraph::critical_path() const {
+  if (tasks_.empty()) return {};
+  const auto finish = earliest_finish();
+  // Walk backwards from the globally latest-finishing task, at each step
+  // choosing the predecessor whose finish time equals our start time.
+  std::vector<std::vector<TaskId>> predecessors(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    for (TaskId next : tasks_[i].successors) predecessors[next].push_back(i);
+  }
+  TaskId current = static_cast<TaskId>(std::distance(
+      finish.begin(), std::max_element(finish.begin(), finish.end())));
+  std::vector<TaskId> path{current};
+  for (;;) {
+    // The chain continues through any predecessor whose finish time equals
+    // our start time. Termination: each step follows a DAG edge backwards.
+    const double start = finish[current] - tasks_[current].cost;
+    bool extended = false;
+    for (TaskId pred : predecessors[current]) {
+      if (finish[pred] == start) {
+        current = pred;
+        path.push_back(current);
+        extended = true;
+        break;
+      }
+    }
+    if (!extended) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double TaskGraph::simulated_makespan(std::size_t processors) const {
+  PDC_CHECK(processors >= 1);
+  if (tasks_.empty()) return 0.0;
+  const auto order = topo_order();
+  PDC_CHECK_MSG(!order.empty(), "simulated_makespan requires an acyclic graph");
+
+  // Event-driven greedy list scheduling: at each step start as many ready
+  // tasks as idle processors allow, then advance time to the next finish.
+  std::vector<std::size_t> remaining_preds(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    remaining_preds[i] = tasks_[i].predecessor_count;
+  }
+  std::vector<TaskId> ready;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (remaining_preds[i] == 0) ready.push_back(i);
+  }
+  std::sort(ready.begin(), ready.end());
+
+  struct Running {
+    double finish;
+    TaskId id;
+    bool operator>(const Running& other) const {
+      return finish > other.finish || (finish == other.finish && id > other.id);
+    }
+  };
+  std::priority_queue<Running, std::vector<Running>, std::greater<>> running;
+  double now = 0.0;
+  std::size_t completed = 0;
+
+  while (completed < tasks_.size()) {
+    while (!ready.empty() && running.size() < processors) {
+      const TaskId id = ready.front();
+      ready.erase(ready.begin());
+      running.push(Running{now + tasks_[id].cost, id});
+    }
+    PDC_CHECK_MSG(!running.empty(), "scheduler stalled with work pending");
+    const Running done = running.top();
+    running.pop();
+    now = done.finish;
+    ++completed;
+    for (TaskId next : tasks_[done.id].successors) {
+      if (--remaining_preds[next] == 0) {
+        ready.insert(std::upper_bound(ready.begin(), ready.end(), next), next);
+      }
+    }
+  }
+  return now;
+}
+
+support::Status TaskGraph::run(ThreadPool& pool) {
+  if (tasks_.empty()) return support::Status::ok();
+  if (!is_acyclic()) {
+    return {support::StatusCode::kFailedPrecondition,
+            "task graph contains a dependency cycle"};
+  }
+
+  struct RunState {
+    std::vector<std::atomic<std::size_t>> remaining;
+    std::atomic<std::size_t> outstanding;
+    std::mutex mutex;
+    std::condition_variable all_done;
+    std::vector<TaskId> completion_order;
+    std::exception_ptr first_error;
+    explicit RunState(std::size_t n) : remaining(n), outstanding(n) {}
+  };
+  auto state = std::make_shared<RunState>(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    state->remaining[i].store(tasks_[i].predecessor_count,
+                              std::memory_order_relaxed);
+  }
+
+  // Each task, when finished, decrements its successors' counters and
+  // schedules those that become ready — the standard dataflow execution.
+  std::function<void(TaskId)> execute = [&, state](TaskId id) {
+    const auto& task = tasks_[id];
+    try {
+      if (task.fn) task.fn();
+    } catch (...) {
+      std::scoped_lock lock(state->mutex);
+      if (!state->first_error) state->first_error = std::current_exception();
+    }
+    {
+      std::scoped_lock lock(state->mutex);
+      state->completion_order.push_back(id);
+    }
+    for (TaskId next : task.successors) {
+      if (state->remaining[next].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        pool.post([&execute, next] { execute(next); });
+      }
+    }
+    if (state->outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      state->all_done.notify_all();
+    }
+  };
+
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].predecessor_count == 0) {
+      pool.post([&execute, i] { execute(i); });
+    }
+  }
+
+  {
+    std::unique_lock lock(state->mutex);
+    state->all_done.wait(lock, [&] {
+      return state->outstanding.load(std::memory_order_acquire) == 0;
+    });
+    completion_order_ = state->completion_order;
+  }
+  if (state->first_error) std::rethrow_exception(state->first_error);
+  return support::Status::ok();
+}
+
+std::vector<TaskId> TaskGraph::last_completion_order() const {
+  return completion_order_;
+}
+
+}  // namespace pdc::parallel

@@ -1,0 +1,52 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace pdc::parallel {
+
+namespace {
+thread_local const ThreadPool* t_current_pool = nullptr;
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : queue_(std::size_t{1} << 22) {
+  const std::size_t n = resolve_threads(threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  queue_.close();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::post(std::function<void()> fn) {
+  const auto status = queue_.push(std::move(fn));
+  PDC_CHECK_MSG(status.is_ok(), "post after ThreadPool shutdown");
+}
+
+bool ThreadPool::inside_worker() const { return t_current_pool == this; }
+
+void ThreadPool::worker_loop() {
+  t_current_pool = this;
+  for (;;) {
+    auto task = queue_.pop();
+    if (!task.is_ok()) break;  // closed and drained
+    task.value()();
+  }
+  t_current_pool = nullptr;
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace pdc::parallel

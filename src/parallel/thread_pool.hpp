@@ -1,0 +1,63 @@
+// Fixed-size thread pool: the "think in terms of tasks, not threads"
+// foundation (Core Guidelines CP.4, CP.41) used by parallel_for and the
+// task graph. Destruction joins all workers after draining submitted work.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "concurrency/bounded_queue.hpp"
+
+namespace pdc::parallel {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` uses the hardware concurrency (at least 1).
+  /// The task queue is effectively unbounded (2^22 entries) so tasks that
+  /// schedule further tasks — the task-graph executor does — can never
+  /// deadlock the pool by blocking on their own queue.
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains queued tasks, then joins every worker (no detach; CP.26).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules `fn()` and returns a future for its result. Exceptions
+  /// thrown by `fn` surface through the future.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    const auto status = queue_.push([task] { (*task)(); });
+    PDC_CHECK_MSG(status.is_ok(), "submit after ThreadPool shutdown");
+    return result;
+  }
+
+  /// Fire-and-forget variant for void work the caller synchronizes itself
+  /// (e.g. via a latch); avoids the future allocation on hot paths.
+  void post(std::function<void()> fn);
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// True when called from one of this pool's worker threads.
+  [[nodiscard]] bool inside_worker() const;
+
+ private:
+  void worker_loop();
+
+  concurrency::BoundedQueue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+};
+
+/// The process-wide default pool, sized to hardware concurrency. Intended
+/// for examples and tests; performance-sensitive code creates its own pool
+/// with an explicit size.
+ThreadPool& default_pool();
+
+}  // namespace pdc::parallel

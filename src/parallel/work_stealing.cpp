@@ -1,0 +1,118 @@
+#include "parallel/work_stealing.hpp"
+
+#include <algorithm>
+
+namespace pdc::parallel {
+
+namespace {
+thread_local std::size_t t_worker_index = SIZE_MAX;
+thread_local const WorkStealingPool* t_worker_pool = nullptr;
+}  // namespace
+
+WorkStealingPool::WorkStealingPool(std::size_t threads) {
+  std::size_t n = threads != 0
+                      ? threads
+                      : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  deques_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) deques_.push_back(std::make_unique<Deque>());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  wait_idle();
+  stopping_.store(true, std::memory_order_release);
+  idle_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void WorkStealingPool::spawn(std::function<void()> fn) {
+  std::size_t target;
+  if (t_worker_pool == this) {
+    target = t_worker_index;  // locality: child tasks stay with the forker
+  } else {
+    target = next_victim_.fetch_add(1, std::memory_order_relaxed) % deques_.size();
+  }
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::scoped_lock lock(deques_[target]->mutex);
+    deques_[target]->tasks.push_back(std::move(fn));
+  }
+  idle_cv_.notify_one();
+}
+
+bool WorkStealingPool::try_take(std::size_t self, std::function<void()>& out) {
+  if (self < deques_.size()) {
+    std::scoped_lock lock(deques_[self]->mutex);
+    if (!deques_[self]->tasks.empty()) {
+      out = std::move(deques_[self]->tasks.back());  // owner: LIFO
+      deques_[self]->tasks.pop_back();
+      return true;
+    }
+  }
+  // Steal: scan victims starting at a rotating offset to spread contention.
+  const std::size_t n = deques_.size();
+  const std::size_t start = next_victim_.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t victim = (start + k) % n;
+    if (victim == self) continue;
+    std::scoped_lock lock(deques_[victim]->mutex);
+    if (!deques_[victim]->tasks.empty()) {
+      out = std::move(deques_[victim]->tasks.front());  // thief: FIFO
+      deques_[victim]->tasks.pop_front();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool WorkStealingPool::run_one(std::size_t hint) {
+  std::function<void()> task;
+  if (!try_take(hint, task)) return false;
+  task();
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    idle_cv_.notify_all();  // quiescent: release wait_idle()
+  }
+  return true;
+}
+
+void WorkStealingPool::help_while(const std::function<bool()>& done) {
+  const std::size_t self = (t_worker_pool == this) ? t_worker_index : SIZE_MAX;
+  while (!done()) {
+    if (!run_one(self)) std::this_thread::yield();
+  }
+}
+
+void WorkStealingPool::wait_idle() {
+  // The external thread helps too: this keeps fork/join deadlock-free even
+  // on a pool of size 1.
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (!run_one(SIZE_MAX)) {
+      std::unique_lock lock(idle_mutex_);
+      idle_cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
+        return pending_.load(std::memory_order_acquire) == 0;
+      });
+    }
+  }
+}
+
+void WorkStealingPool::worker_loop(std::size_t self) {
+  t_worker_index = self;
+  t_worker_pool = this;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    if (!run_one(self)) {
+      std::unique_lock lock(idle_mutex_);
+      idle_cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
+        return stopping_.load(std::memory_order_acquire) ||
+               pending_.load(std::memory_order_acquire) != 0;
+      });
+    }
+  }
+  t_worker_pool = nullptr;
+  t_worker_index = SIZE_MAX;
+}
+
+}  // namespace pdc::parallel

@@ -1,0 +1,75 @@
+// Work-stealing task pool for fork/join (divide-and-conquer) parallelism.
+//
+// Each worker owns a deque: the owner pushes and pops at the back (LIFO,
+// preserving locality of the most recently forked subproblem), idle workers
+// steal from the front of a victim's deque (FIFO, taking the largest
+// pending subtree). `help_while` lets a blocked parent execute other tasks
+// instead of idling — the work-first principle of Cilk-style schedulers.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace pdc::parallel {
+
+class WorkStealingPool {
+ public:
+  explicit WorkStealingPool(std::size_t threads = 0);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  /// Schedules a task. From a worker thread the task goes to that worker's
+  /// own deque; from outside it is pushed to a round-robin victim.
+  void spawn(std::function<void()> fn);
+
+  /// Runs tasks until `done()` returns true. Callable from worker threads
+  /// (joins in fork/join) and from the external submitting thread.
+  void help_while(const std::function<bool()>& done);
+
+  /// Blocks until every spawned task has finished (quiescence).
+  void wait_idle();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Total successful steals since construction (scheduler diagnostics).
+  [[nodiscard]] std::uint64_t steal_count() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Deque {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+
+  /// Takes one task: own deque back, then steal front from others.
+  bool try_take(std::size_t self, std::function<void()>& out);
+
+  /// Runs one task if any is available anywhere. Returns false when all
+  /// deques were observed empty.
+  bool run_one(std::size_t hint);
+
+  std::vector<std::unique_ptr<Deque>> deques_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> next_victim_{0};
+  std::atomic<std::uint64_t> steals_{0};
+
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+};
+
+}  // namespace pdc::parallel

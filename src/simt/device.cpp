@@ -1,0 +1,256 @@
+#include "simt/device.hpp"
+
+#include <array>
+#include <cstring>
+#include <memory>
+
+#include "simt/fiber.hpp"
+
+namespace pdc::simt {
+
+// Execution state of the block currently running (one block at a time).
+struct BlockRun {
+  const DeviceConfig* config = nullptr;
+  LaunchStats* stats = nullptr;
+
+  // Per-warp, per-epoch instrumentation. The k-th access of each lane in an
+  // epoch forms warp transaction k; its cost is the distinct 128B segments.
+  struct WarpWindow {
+    std::vector<std::unordered_set<std::uint64_t>> segments_by_seq;
+    std::vector<std::size_t> bytes_by_seq;
+    // branch seq -> {seen taken, seen not-taken}
+    std::vector<std::array<bool, 2>> branch_by_seq;
+    // atomic seq -> address -> lanes hitting it this slot
+    std::vector<std::unordered_map<std::uint64_t, std::size_t>> atomics_by_seq;
+  };
+  std::vector<WarpWindow> warps;
+
+  void account_and_reset_epoch() {
+    for (auto& warp : warps) {
+      for (std::size_t s = 0; s < warp.segments_by_seq.size(); ++s) {
+        const auto touched = warp.segments_by_seq[s].size();
+        if (touched == 0) continue;
+        ++stats->transactions;
+        stats->segments += touched;
+        const std::size_t seg = config->memory_segment_bytes;
+        stats->ideal_segments +=
+            std::max<std::uint64_t>(1, (warp.bytes_by_seq[s] + seg - 1) / seg);
+      }
+      for (const auto& seen : warp.branch_by_seq) {
+        if (!seen[0] && !seen[1]) continue;
+        ++stats->branches;
+        if (seen[0] && seen[1]) {
+          ++stats->divergent_branches;
+          stats->cycles += config->cycles_per_divergent_branch;
+        }
+      }
+      for (const auto& slot : warp.atomics_by_seq) {
+        for (const auto& [address, lanes] : slot) {
+          stats->atomics += lanes;
+          // One slot proceeds for free; additional lanes at the SAME
+          // address serialize behind it.
+          stats->atomic_serializations += lanes - 1;
+          stats->cycles += config->cycles_per_atomic * lanes;
+        }
+      }
+      warp.segments_by_seq.clear();
+      warp.bytes_by_seq.clear();
+      warp.branch_by_seq.clear();
+      warp.atomics_by_seq.clear();
+    }
+  }
+};
+
+unsigned ThreadCtx::lane() const {
+  return static_cast<unsigned>(linear_tid_ % device_->config().warp_size);
+}
+
+std::size_t ThreadCtx::warp_id() const {
+  return linear_tid_ / device_->config().warp_size;
+}
+
+void ThreadCtx::sync_threads() { Fiber::yield(); }
+
+bool ThreadCtx::branch(bool taken) {
+  auto& warp = block_->warps[warp_id()];
+  const std::size_t seq = branch_seq_++;
+  if (warp.branch_by_seq.size() <= seq) warp.branch_by_seq.resize(seq + 1, {false, false});
+  warp.branch_by_seq[seq][taken ? 0 : 1] = true;
+  return taken;
+}
+
+void ThreadCtx::record_atomic(std::size_t buffer_id, std::size_t offset) {
+  auto& warp = block_->warps[warp_id()];
+  const std::size_t seq = atomic_seq_++;
+  if (warp.atomics_by_seq.size() <= seq) warp.atomics_by_seq.resize(seq + 1);
+  ++warp.atomics_by_seq[seq][(std::uint64_t{buffer_id} << 40) | offset];
+}
+
+void ThreadCtx::record_access(std::size_t buffer_id, std::size_t offset,
+                              std::size_t bytes) {
+  auto& warp = block_->warps[warp_id()];
+  const std::size_t seq = access_seq_++;
+  if (warp.segments_by_seq.size() <= seq) {
+    warp.segments_by_seq.resize(seq + 1);
+    warp.bytes_by_seq.resize(seq + 1, 0);
+  }
+  const std::size_t seg_bytes = device_->config().memory_segment_bytes;
+  const std::uint64_t first = offset / seg_bytes;
+  const std::uint64_t last = (offset + bytes - 1) / seg_bytes;
+  for (std::uint64_t s = first; s <= last; ++s) {
+    warp.segments_by_seq[seq].insert((std::uint64_t{buffer_id} << 40) | s);
+  }
+  warp.bytes_by_seq[seq] += bytes;
+}
+
+// Lock-free on the access path: allocations must not be created while a
+// kernel is in flight (the usual CUDA discipline of allocating up front);
+// existing storage blocks are stable for the device's lifetime.
+std::byte* ThreadCtx::global_ptr(std::size_t buffer_id, std::size_t offset,
+                                 std::size_t bytes) {
+  PDC_CHECK_MSG(buffer_id < device_->allocations_.size(), "invalid buffer");
+  auto& storage = device_->allocations_[buffer_id];
+  PDC_CHECK_MSG(offset + bytes <= storage.size(),
+                "device memory access out of bounds");
+  return storage.data() + offset;
+}
+
+Device::Device(DeviceConfig config) : config_(config) {
+  PDC_CHECK(config_.warp_size >= 1);
+  PDC_CHECK(config_.memory_segment_bytes >= 1);
+}
+
+std::size_t Device::alloc_bytes(std::size_t bytes) {
+  std::scoped_lock lock(mutex_);
+  allocations_.emplace_back(bytes);
+  return allocations_.size() - 1;
+}
+
+void Device::write_bytes(std::size_t id, const void* src, std::size_t bytes) {
+  std::unique_lock lock(mutex_);
+  PDC_CHECK(id < allocations_.size());
+  auto& storage = allocations_[id];
+  lock.unlock();  // the storage block itself is stable
+  PDC_CHECK(bytes <= storage.size());
+  std::memcpy(storage.data(), src, bytes);
+}
+
+void Device::read_bytes(std::size_t id, void* dst, std::size_t bytes) const {
+  std::unique_lock lock(mutex_);
+  PDC_CHECK(id < allocations_.size());
+  const auto& storage = allocations_[id];
+  lock.unlock();
+  PDC_CHECK(bytes <= storage.size());
+  std::memcpy(dst, storage.data(), bytes);
+}
+
+LaunchStats Device::totals() const {
+  std::scoped_lock lock(mutex_);
+  return totals_;
+}
+
+LaunchStats Device::launch(Dim3 grid, Dim3 block, std::size_t shared_bytes,
+                           const Kernel& kernel) {
+  PDC_CHECK_MSG(block.count() >= 1 && grid.count() >= 1,
+                "empty grid or block");
+  PDC_CHECK_MSG(block.count() <= config_.max_threads_per_block,
+                "block exceeds max_threads_per_block");
+  PDC_CHECK_MSG(shared_bytes <= config_.max_shared_bytes,
+                "shared memory request exceeds device limit");
+
+  LaunchStats stats;
+  stats.blocks = grid.count();
+  stats.threads = grid.count() * block.count();
+  const std::size_t warps_per_block =
+      (block.count() + config_.warp_size - 1) / config_.warp_size;
+  stats.warps = warps_per_block * grid.count();
+
+  std::vector<std::byte> shared(shared_bytes);
+
+  // Blocks are independent by the programming model; executing them
+  // sequentially keeps the instrumentation deterministic.
+  for (unsigned bz = 0; bz < grid.z; ++bz) {
+    for (unsigned by = 0; by < grid.y; ++by) {
+      for (unsigned bx = 0; bx < grid.x; ++bx) {
+        BlockRun run;
+        run.config = &config_;
+        run.stats = &stats;
+        run.warps.resize(warps_per_block);
+        std::fill(shared.begin(), shared.end(), std::byte{0});
+
+        const std::size_t n = block.count();
+        std::vector<ThreadCtx> contexts(n);
+        std::vector<std::unique_ptr<Fiber>> fibers;
+        fibers.reserve(n);
+        std::size_t tid = 0;
+        for (unsigned tz = 0; tz < block.z; ++tz) {
+          for (unsigned ty = 0; ty < block.y; ++ty) {
+            for (unsigned tx = 0; tx < block.x; ++tx, ++tid) {
+              ThreadCtx& ctx = contexts[tid];
+              ctx.device_ = this;
+              ctx.block_ = &run;
+              ctx.thread_idx_ = Dim3{tx, ty, tz};
+              ctx.block_idx_ = Dim3{bx, by, bz};
+              ctx.block_dim_ = block;
+              ctx.grid_dim_ = grid;
+              ctx.linear_tid_ = tid;
+              ctx.shared_ = shared_bytes ? shared.data() : nullptr;
+              ctx.shared_bytes_ = shared_bytes;
+              fibers.push_back(std::make_unique<Fiber>(
+                  [&kernel, &ctx] { kernel(ctx); }, config_.fiber_stack_bytes));
+            }
+          }
+        }
+
+        // Epoch loop: resume every live lane once (warp by warp), account
+        // the epoch's warp windows, repeat until the block retires.
+        // An epoch boundary is exactly a block-wide barrier.
+        std::size_t alive = n;
+        bool first_epoch = true;
+        while (alive > 0) {
+          if (!first_epoch) ++stats.barriers;
+          first_epoch = false;
+          for (std::size_t w = 0; w < warps_per_block; ++w) {
+            bool warp_active = false;
+            const std::size_t lane_lo = w * config_.warp_size;
+            const std::size_t lane_hi = std::min(n, lane_lo + config_.warp_size);
+            for (std::size_t t = lane_lo; t < lane_hi; ++t) {
+              if (fibers[t]->finished()) continue;
+              warp_active = true;
+              contexts[t].access_seq_ = 0;
+              contexts[t].branch_seq_ = 0;
+              contexts[t].atomic_seq_ = 0;
+              if (fibers[t]->resume() == Fiber::State::kFinished) --alive;
+            }
+            if (warp_active) {
+              ++stats.warp_epochs;
+              stats.cycles += config_.cycles_per_warp_epoch;
+            }
+          }
+          run.account_and_reset_epoch();
+        }
+      }
+    }
+  }
+
+  stats.cycles += stats.segments * config_.cycles_per_segment;
+
+  // Accumulate into device totals.
+  std::scoped_lock lock(mutex_);
+  totals_.blocks += stats.blocks;
+  totals_.threads += stats.threads;
+  totals_.warps += stats.warps;
+  totals_.warp_epochs += stats.warp_epochs;
+  totals_.barriers += stats.barriers;
+  totals_.transactions += stats.transactions;
+  totals_.segments += stats.segments;
+  totals_.ideal_segments += stats.ideal_segments;
+  totals_.branches += stats.branches;
+  totals_.divergent_branches += stats.divergent_branches;
+  totals_.atomics += stats.atomics;
+  totals_.atomic_serializations += stats.atomic_serializations;
+  totals_.cycles += stats.cycles;
+  return stats;
+}
+
+}  // namespace pdc::simt

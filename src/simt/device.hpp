@@ -1,0 +1,254 @@
+// Manycore SIMT device simulator (the CUDA-class substrate of DESIGN.md).
+//
+// The LAU case-study course (paper §IV-A) spends ~60% of its time on the
+// SIMT execution model: grid/block/thread indexing, per-block shared
+// memory, barrier synchronization, warp divergence, and global-memory
+// coalescing. This simulator executes kernels written against exactly that
+// model and *measures* those properties:
+//
+//  - every simulated thread is a fiber, so sync_threads() works from any
+//    control flow;
+//  - execution proceeds in barrier-delimited epochs; within an epoch the
+//    lanes of a warp are stepped together, and the k-th global access of
+//    each lane forms one warp memory transaction whose cost is the number
+//    of distinct 128-byte segments it touches (the coalescing rule);
+//  - divergence is recorded per warp via ThreadCtx::branch(cond): a warp
+//    whose lanes disagree on a branch pays for both sides.
+//
+// A simple cost model turns the counters into simulated cycles so kernel
+// variants can be ranked the way the course's profiling labs do.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace pdc::simt {
+
+/// CUDA-style 3-component extent/index.
+struct Dim3 {
+  unsigned x = 1, y = 1, z = 1;
+  [[nodiscard]] std::size_t count() const {
+    return std::size_t{x} * y * z;
+  }
+};
+
+/// Cost model and structural limits of the simulated device.
+struct DeviceConfig {
+  unsigned warp_size = 32;
+  std::size_t max_threads_per_block = 1024;
+  std::size_t max_shared_bytes = 48 * 1024;
+  std::size_t memory_segment_bytes = 128;  // coalescing granularity
+  // Cycle costs (abstract units).
+  std::uint64_t cycles_per_warp_epoch = 4;     // issue cost per warp per epoch
+  std::uint64_t cycles_per_segment = 32;       // DRAM segment fetch
+  std::uint64_t cycles_per_divergent_branch = 8;
+  std::uint64_t cycles_per_atomic = 4;  // per serialized atomic slot
+  std::size_t fiber_stack_bytes = 64 * 1024;
+  /// Simulated host<->device copy bandwidth in bytes/second for Stream
+  /// copies (models the DMA engine so copy/compute overlap is observable
+  /// in wall time); 0 = copies are instantaneous.
+  double copy_bandwidth_bytes_per_sec = 0.0;
+};
+
+/// Typed handle to a device global-memory allocation. Host code moves data
+/// with Device::write/read; kernels access it through ThreadCtx::load/store
+/// so every access is instrumented.
+template <typename T>
+struct Buffer {
+  std::size_t id = SIZE_MAX;
+  std::size_t size = 0;  // element count
+};
+
+/// Counters for one kernel launch.
+struct LaunchStats {
+  std::size_t blocks = 0;
+  std::size_t threads = 0;
+  std::size_t warps = 0;           // total warps across all blocks
+  std::uint64_t warp_epochs = 0;   // warp × epoch execution quanta
+  std::uint64_t barriers = 0;      // sync_threads() epochs (per block)
+  std::uint64_t transactions = 0;  // warp-level memory instructions
+  std::uint64_t segments = 0;      // 128B segments actually fetched
+  std::uint64_t ideal_segments = 0;  // lower bound given bytes touched
+  std::uint64_t branches = 0;        // branch() calls at warp granularity
+  std::uint64_t divergent_branches = 0;
+  std::uint64_t atomics = 0;             // atomic RMW operations
+  std::uint64_t atomic_serializations = 0;  // extra slots when warp lanes
+                                            // hit the same address
+  std::uint64_t cycles = 0;  // per the DeviceConfig cost model
+
+  /// 1.0 = perfectly coalesced; approaches 1/warp_size when fully strided.
+  [[nodiscard]] double coalescing_efficiency() const {
+    if (segments == 0) return 1.0;
+    return static_cast<double>(ideal_segments) / static_cast<double>(segments);
+  }
+
+  /// Fraction of warp-level branches whose lanes disagreed.
+  [[nodiscard]] double divergence_rate() const {
+    if (branches == 0) return 0.0;
+    return static_cast<double>(divergent_branches) /
+           static_cast<double>(branches);
+  }
+};
+
+class Device;
+
+/// Per-thread kernel context: indexing, shared memory, barrier, and
+/// instrumented global memory access.
+class ThreadCtx {
+ public:
+  [[nodiscard]] Dim3 thread_idx() const { return thread_idx_; }
+  [[nodiscard]] Dim3 block_idx() const { return block_idx_; }
+  [[nodiscard]] Dim3 block_dim() const { return block_dim_; }
+  [[nodiscard]] Dim3 grid_dim() const { return grid_dim_; }
+
+  /// Linearized global thread id along x (the common 1-D pattern).
+  [[nodiscard]] std::size_t global_x() const {
+    return std::size_t{block_idx_.x} * block_dim_.x + thread_idx_.x;
+  }
+
+  /// Linear thread id within the block.
+  [[nodiscard]] std::size_t linear_tid() const { return linear_tid_; }
+  [[nodiscard]] unsigned lane() const;
+  [[nodiscard]] std::size_t warp_id() const;
+
+  /// Block-wide barrier (__syncthreads). Every thread of the block that has
+  /// not returned must reach it.
+  void sync_threads();
+
+  /// Shared memory of the block, as requested at launch.
+  template <typename T>
+  T* shared() {
+    PDC_CHECK_MSG(shared_ != nullptr, "kernel launched without shared memory");
+    return reinterpret_cast<T*>(shared_);
+  }
+  [[nodiscard]] std::size_t shared_bytes() const { return shared_bytes_; }
+
+  /// Instrumented global-memory read.
+  template <typename T>
+  T load(const Buffer<T>& buffer, std::size_t index) {
+    record_access(buffer.id, index * sizeof(T), sizeof(T));
+    return *reinterpret_cast<const T*>(global_ptr(buffer.id, index * sizeof(T), sizeof(T)));
+  }
+
+  /// Instrumented global-memory write.
+  template <typename T>
+  void store(Buffer<T>& buffer, std::size_t index, const T& value) {
+    record_access(buffer.id, index * sizeof(T), sizeof(T));
+    *reinterpret_cast<T*>(global_ptr(buffer.id, index * sizeof(T), sizeof(T))) = value;
+  }
+
+  /// Declares a branch with condition `taken`; lanes of a warp that
+  /// disagree within the same epoch position make the warp divergent.
+  /// Returns `taken` so it wraps conditions inline:
+  ///   if (ctx.branch(i < n)) { ... }
+  bool branch(bool taken);
+
+  /// Atomic read-modify-write add on global memory (atomicAdd). Returns
+  /// the previous value. Within a warp, lanes that hit the SAME address in
+  /// the same instruction slot serialize — the contention cost the
+  /// histogram lab measures (blocks run one at a time here, so the RMW
+  /// itself needs no host synchronization).
+  template <typename T>
+  T atomic_add(Buffer<T>& buffer, std::size_t index, T delta) {
+    record_atomic(buffer.id, index * sizeof(T));
+    record_access(buffer.id, index * sizeof(T), sizeof(T));
+    T* cell = reinterpret_cast<T*>(global_ptr(buffer.id, index * sizeof(T), sizeof(T)));
+    const T previous = *cell;
+    *cell = previous + delta;
+    return previous;
+  }
+
+ private:
+  friend class Device;
+
+  void record_access(std::size_t buffer_id, std::size_t offset,
+                     std::size_t bytes);
+  void record_atomic(std::size_t buffer_id, std::size_t offset);
+  std::byte* global_ptr(std::size_t buffer_id, std::size_t offset,
+                        std::size_t bytes);
+
+  Device* device_ = nullptr;
+  struct BlockRun* block_ = nullptr;  // execution state shared by the block
+  Dim3 thread_idx_, block_idx_, block_dim_, grid_dim_;
+  std::size_t linear_tid_ = 0;
+  std::byte* shared_ = nullptr;
+  std::size_t shared_bytes_ = 0;
+  std::size_t access_seq_ = 0;  // per-epoch access counter
+  std::size_t branch_seq_ = 0;  // per-epoch branch counter
+  std::size_t atomic_seq_ = 0;  // per-epoch atomic counter
+};
+
+using Kernel = std::function<void(ThreadCtx&)>;
+
+/// The simulated device: global-memory allocator plus kernel executor.
+/// Launches run synchronously on the calling thread; use simt::Stream for
+/// asynchronous launches and copies.
+class Device {
+ public:
+  explicit Device(DeviceConfig config = {});
+
+  [[nodiscard]] const DeviceConfig& config() const { return config_; }
+
+  /// Allocates `count` elements of device global memory (zero-initialized).
+  template <typename T>
+  Buffer<T> alloc(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return Buffer<T>{alloc_bytes(count * sizeof(T)), count};
+  }
+
+  /// Host -> device copy (bulk, not instrumented: models cudaMemcpy).
+  template <typename T>
+  void write(Buffer<T>& buffer, const std::vector<T>& host) {
+    PDC_CHECK(host.size() <= buffer.size);
+    write_bytes(buffer.id, host.data(), host.size() * sizeof(T));
+  }
+
+  /// Device -> host copy.
+  template <typename T>
+  std::vector<T> read(const Buffer<T>& buffer) {
+    std::vector<T> host(buffer.size);
+    read_bytes(buffer.id, host.data(), buffer.size * sizeof(T));
+    return host;
+  }
+
+  /// Runs `kernel` over grid × block threads; returns the launch counters.
+  LaunchStats launch(Dim3 grid, Dim3 block, std::size_t shared_bytes,
+                     const Kernel& kernel);
+
+  /// Convenience 1-D launch without shared memory.
+  LaunchStats launch_1d(std::size_t total_threads, unsigned block_size,
+                        const Kernel& kernel) {
+    const unsigned blocks = static_cast<unsigned>(
+        (total_threads + block_size - 1) / block_size);
+    return launch(Dim3{blocks, 1, 1}, Dim3{block_size, 1, 1}, 0, kernel);
+  }
+
+  /// Cumulative stats across all launches since construction.
+  /// Thread-safe snapshot (streams launch concurrently).
+  [[nodiscard]] LaunchStats totals() const;
+
+ private:
+  friend class ThreadCtx;
+
+  std::size_t alloc_bytes(std::size_t bytes);
+  void write_bytes(std::size_t id, const void* src, std::size_t bytes);
+  void read_bytes(std::size_t id, void* dst, std::size_t bytes) const;
+
+  DeviceConfig config_;
+  // deque: growing never invalidates existing allocations, so a stream can
+  // alloc while another stream's kernel is executing.
+  std::deque<std::vector<std::byte>> allocations_;
+  mutable std::mutex mutex_;  // guards allocations_ growth and totals_
+  LaunchStats totals_;
+};
+
+}  // namespace pdc::simt

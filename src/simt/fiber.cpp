@@ -1,0 +1,61 @@
+#include "simt/fiber.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace pdc::simt {
+
+namespace {
+// The fiber currently executing on this OS thread (nullptr between fibers).
+thread_local Fiber* t_current = nullptr;
+}  // namespace
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
+    : body_(std::move(body)), stack_(stack_bytes) {
+  PDC_CHECK(stack_bytes >= 16 * 1024);
+}
+
+void Fiber::trampoline() {
+  Fiber* self = t_current;
+  try {
+    self->body_();
+  } catch (...) {
+    self->error_ = std::current_exception();
+  }
+  self->state_ = State::kFinished;
+  // Return to the resume() caller for the last time.
+  swapcontext(&self->context_, &self->return_context_);
+}
+
+Fiber::State Fiber::resume() {
+  PDC_CHECK_MSG(state_ == State::kReady || state_ == State::kSuspended,
+                "resume of a running or finished fiber");
+  if (state_ == State::kReady) {
+    getcontext(&context_);
+    context_.uc_stack.ss_sp = stack_.data();
+    context_.uc_stack.ss_size = stack_.size();
+    context_.uc_link = nullptr;  // trampoline swaps back explicitly
+    makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+  }
+  Fiber* previous = t_current;
+  t_current = this;
+  state_ = State::kRunning;
+  swapcontext(&return_context_, &context_);
+  t_current = previous;
+  if (state_ == State::kRunning) state_ = State::kSuspended;
+  if (error_) {
+    auto error = std::exchange(error_, nullptr);
+    std::rethrow_exception(error);
+  }
+  return state_;
+}
+
+void Fiber::yield() {
+  Fiber* self = t_current;
+  PDC_CHECK_MSG(self != nullptr, "Fiber::yield outside any fiber");
+  self->state_ = State::kSuspended;
+  swapcontext(&self->context_, &self->return_context_);
+}
+
+}  // namespace pdc::simt

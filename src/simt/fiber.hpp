@@ -1,0 +1,54 @@
+// Minimal cooperative fibers (ucontext-based) for the SIMT simulator.
+//
+// Each simulated GPU thread runs on its own fiber so kernels can call
+// sync_threads() from arbitrary control flow — the property that makes the
+// simulator faithful to the CUDA programming model rather than a
+// split-kernel approximation. Fibers never migrate between OS threads, so
+// plain ucontext is safe.
+#pragma once
+
+#include <ucontext.h>
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace pdc::simt {
+
+class Fiber {
+ public:
+  enum class State { kReady, kRunning, kSuspended, kFinished };
+
+  /// Creates a fiber that will run `body` when first resumed.
+  /// `stack_bytes` must accommodate the kernel's deepest call chain.
+  explicit Fiber(std::function<void()> body, std::size_t stack_bytes = 64 * 1024);
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Runs the fiber until it yields or finishes. Returns the new state
+  /// (kSuspended or kFinished). Must be called from the owning OS thread.
+  /// An exception escaping the fiber body is captured and rethrown here
+  /// (exceptions cannot unwind across a context switch).
+  State resume();
+
+  /// Suspends the *currently running* fiber, returning control to the
+  /// resume() caller. Only valid while a fiber is running.
+  static void yield();
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] bool finished() const { return state_ == State::kFinished; }
+
+ private:
+  static void trampoline();
+
+  std::function<void()> body_;
+  std::vector<char> stack_;
+  ucontext_t context_;
+  ucontext_t return_context_;
+  State state_ = State::kReady;
+  std::exception_ptr error_;
+};
+
+}  // namespace pdc::simt

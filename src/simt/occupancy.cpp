@@ -1,0 +1,61 @@
+#include "simt/occupancy.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace pdc::simt {
+
+const char* to_string(OccupancyLimiter limiter) {
+  switch (limiter) {
+    case OccupancyLimiter::kThreads: return "threads";
+    case OccupancyLimiter::kBlocks: return "blocks";
+    case OccupancyLimiter::kRegisters: return "registers";
+    case OccupancyLimiter::kSharedMemory: return "shared_memory";
+  }
+  return "unknown";
+}
+
+OccupancyResult occupancy(const SmConfig& sm, std::size_t block_threads,
+                          std::size_t registers_per_thread,
+                          std::size_t shared_bytes_per_block) {
+  PDC_CHECK(block_threads >= 1);
+  OccupancyResult result;
+  result.max_warps = sm.max_threads_per_sm / sm.warp_size;
+
+  const std::size_t by_threads = sm.max_threads_per_sm / block_threads;
+  const std::size_t by_blocks = sm.max_blocks_per_sm;
+  const std::size_t by_regs =
+      registers_per_thread == 0
+          ? SIZE_MAX
+          : sm.registers_per_sm / (registers_per_thread * block_threads);
+  const std::size_t by_shared = shared_bytes_per_block == 0
+                                    ? SIZE_MAX
+                                    : sm.shared_bytes_per_sm / shared_bytes_per_block;
+
+  result.blocks_per_sm = std::min({by_threads, by_blocks, by_regs, by_shared});
+  if (result.blocks_per_sm == by_threads) {
+    result.limiter = OccupancyLimiter::kThreads;
+  }
+  if (result.blocks_per_sm == by_blocks) {
+    result.limiter = OccupancyLimiter::kBlocks;
+  }
+  if (result.blocks_per_sm == by_regs) {
+    result.limiter = OccupancyLimiter::kRegisters;
+  }
+  if (result.blocks_per_sm == by_shared) {
+    result.limiter = OccupancyLimiter::kSharedMemory;
+  }
+
+  const std::size_t warps_per_block =
+      (block_threads + sm.warp_size - 1) / sm.warp_size;
+  result.active_warps =
+      std::min(result.blocks_per_sm * warps_per_block, result.max_warps);
+  result.occupancy = result.max_warps == 0
+                         ? 0.0
+                         : static_cast<double>(result.active_warps) /
+                               static_cast<double>(result.max_warps);
+  return result;
+}
+
+}  // namespace pdc::simt

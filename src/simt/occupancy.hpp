@@ -1,0 +1,40 @@
+// Occupancy calculator for the simulated manycore device.
+//
+// Mirrors the CUDA occupancy calculation taught in the LAU course's tuning
+// unit: how many blocks fit on one SM given the per-block thread, register
+// and shared-memory footprints, and which resource is the limiter.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace pdc::simt {
+
+/// Per-SM (streaming multiprocessor) resource limits.
+struct SmConfig {
+  std::size_t max_threads_per_sm = 2048;
+  std::size_t max_blocks_per_sm = 32;
+  std::size_t registers_per_sm = 65536;
+  std::size_t shared_bytes_per_sm = 96 * 1024;
+  unsigned warp_size = 32;
+};
+
+enum class OccupancyLimiter { kThreads, kBlocks, kRegisters, kSharedMemory };
+
+const char* to_string(OccupancyLimiter limiter);
+
+struct OccupancyResult {
+  std::size_t blocks_per_sm = 0;
+  std::size_t active_warps = 0;
+  std::size_t max_warps = 0;
+  double occupancy = 0.0;  // active_warps / max_warps
+  OccupancyLimiter limiter = OccupancyLimiter::kThreads;
+};
+
+/// Computes achievable occupancy for a kernel footprint. `block_threads`
+/// must be >= 1; zero registers/shared mean "does not constrain".
+OccupancyResult occupancy(const SmConfig& sm, std::size_t block_threads,
+                          std::size_t registers_per_thread,
+                          std::size_t shared_bytes_per_block);
+
+}  // namespace pdc::simt

@@ -1,0 +1,46 @@
+#include "simt/stream.hpp"
+
+#include <chrono>
+
+namespace pdc::simt {
+
+Stream::Stream(Device& device)
+    : device_(device), queue_(4096), worker_([this] {
+        for (;;) {
+          auto op = queue_.pop();
+          if (!op.is_ok()) break;
+          op.value()();
+        }
+      }) {}
+
+Stream::~Stream() {
+  queue_.close();
+  worker_.join();
+}
+
+void Stream::launch(Dim3 grid, Dim3 block, std::size_t shared_bytes,
+                    Kernel kernel) {
+  enqueue([this, grid, block, shared_bytes, kernel = std::move(kernel)] {
+    device_.launch(grid, block, shared_bytes, kernel);
+  });
+}
+
+void Stream::synchronize() {
+  Event done;
+  record(done);
+  done.synchronize();
+}
+
+void Stream::enqueue(std::function<void()> op) {
+  const auto status = queue_.push(std::move(op));
+  PDC_CHECK_MSG(status.is_ok(), "operation enqueued on a destroyed stream");
+}
+
+void Stream::simulate_copy_delay(std::size_t bytes) const {
+  const double bw = device_.config().copy_bandwidth_bytes_per_sec;
+  if (bw <= 0.0) return;
+  const auto delay = std::chrono::duration<double>(static_cast<double>(bytes) / bw);
+  std::this_thread::sleep_for(delay);
+}
+
+}  // namespace pdc::simt

@@ -1,0 +1,113 @@
+// Asynchronous streams and events over the SIMT device.
+//
+// The LAU course's advanced unit covers "concurrent streams": overlapping
+// host<->device copies with kernel execution. Each Stream is an in-order
+// queue served by its own worker; copies spend wall time according to the
+// device's simulated DMA bandwidth, so a two-stream pipeline measurably
+// beats a single-stream one (bench/lab_lau_simt).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "concurrency/bounded_queue.hpp"
+#include "simt/device.hpp"
+
+namespace pdc::simt {
+
+/// CUDA-event analogue: recorded on a stream, waitable from the host or
+/// another stream.
+class Event {
+ public:
+  Event() : state_(std::make_shared<State>()) {}
+
+  /// Host-side wait until the event has been recorded.
+  void synchronize() const {
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->recorded; });
+  }
+
+  [[nodiscard]] bool query() const {
+    std::scoped_lock lock(state_->mutex);
+    return state_->recorded;
+  }
+
+ private:
+  friend class Stream;
+  struct State {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    bool recorded = false;
+  };
+
+  void fire() const {
+    {
+      std::scoped_lock lock(state_->mutex);
+      state_->recorded = true;
+    }
+    state_->cv.notify_all();
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+class Stream {
+ public:
+  explicit Stream(Device& device);
+  ~Stream();  // synchronizes, then joins the worker
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Asynchronous kernel launch; completion observable via events or
+  /// synchronize().
+  void launch(Dim3 grid, Dim3 block, std::size_t shared_bytes, Kernel kernel);
+
+  /// Asynchronous host->device copy. The host vector is copied into the
+  /// operation, so the caller's buffer may be reused immediately.
+  template <typename T>
+  void write(Buffer<T> buffer, std::vector<T> host) {
+    const std::size_t bytes = host.size() * sizeof(T);
+    enqueue([this, buffer, host = std::move(host), bytes]() mutable {
+      simulate_copy_delay(bytes);
+      Buffer<T> b = buffer;
+      device_.write(b, host);
+    });
+  }
+
+  /// Asynchronous device->host copy into caller-owned storage, which must
+  /// stay alive until the stream reaches this operation.
+  template <typename T>
+  void read(Buffer<T> buffer, std::vector<T>* out) {
+    enqueue([this, buffer, out] {
+      simulate_copy_delay(buffer.size * sizeof(T));
+      *out = device_.read(buffer);
+    });
+  }
+
+  /// Records `event` once all previously enqueued work has completed.
+  void record(const Event& event) {
+    enqueue([event] { event.fire(); });
+  }
+
+  /// Makes this stream wait (in-order) until `event` fires.
+  void wait(const Event& event) {
+    enqueue([event] { event.synchronize(); });
+  }
+
+  /// Blocks the host until everything enqueued so far has run.
+  void synchronize();
+
+ private:
+  void enqueue(std::function<void()> op);
+  void simulate_copy_delay(std::size_t bytes) const;
+
+  Device& device_;
+  concurrency::BoundedQueue<std::function<void()>> queue_;
+  std::thread worker_;
+};
+
+}  // namespace pdc::simt

@@ -1,0 +1,42 @@
+// Lightweight runtime checking for programming errors.
+//
+// PDC_CHECK fires in all build types: educational simulators are driven by
+// user-supplied programs and traces, so precondition violations must be
+// loud rather than undefined behaviour. Expected, recoverable failures use
+// pdc::support::Status instead (see status.hpp).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pdc::support {
+
+/// Thrown when a PDC_CHECK precondition fails. Deriving from logic_error
+/// signals "bug in the calling code", not an environmental failure.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PDC_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace pdc::support
+
+#define PDC_CHECK(expr)                                                   \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::pdc::support::check_failed(#expr, __FILE__, __LINE__, "");        \
+  } while (0)
+
+#define PDC_CHECK_MSG(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::pdc::support::check_failed(#expr, __FILE__, __LINE__, (msg));     \
+  } while (0)

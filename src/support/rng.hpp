@@ -1,0 +1,98 @@
+// Deterministic pseudo-random number generation for simulators and
+// workload generators.
+//
+// Every stochastic component in PDCkit (network loss, survey synthesis,
+// transaction workloads) takes an explicit seed so experiments replay
+// bit-identically; std::mt19937_64 would also work but its huge state makes
+// value-semantic copies (per-stream, per-link generators) needlessly heavy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pdc::support {
+
+/// SplitMix64: tiny, statistically solid seeding/stepping generator.
+/// Used directly and to expand one user seed into many stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — the project-wide generator. Small (32 bytes), fast, and
+/// good enough for every simulation need here (not cryptographic).
+class Rng {
+ public:
+  /// Seeds the four words of state by expanding `seed` with SplitMix64,
+  /// which guarantees a nonzero state for any seed including 0.
+  explicit Rng(std::uint64_t seed = 0x9d2c5680u);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform size_t in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Standard normal via Box–Muller (no cached spare: keeps state minimal).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with rate lambda (> 0); mean 1/lambda.
+  double exponential(double lambda);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent generator for a substream (e.g. per network
+  /// link) so adding streams never perturbs existing ones.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf(s) rank distribution over n items (rank 0 most popular).
+/// Sampling is a binary search over a precomputed CDF, valid for any
+/// exponent s >= 0 (s == 0 is uniform). Used for skewed key popularity in
+/// the transaction and load-balancing workloads.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double s);
+
+  std::size_t operator()(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i); back() == 1.0
+};
+
+}  // namespace pdc::support

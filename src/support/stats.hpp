@@ -1,0 +1,59 @@
+// Summary statistics and histograms for experiment outputs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pdc::support {
+
+/// Streaming summary (Welford) over double samples.
+class Summary {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const;  // sample variance; 0 for n < 2
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double total() const { return total_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double total_ = 0.0;
+};
+
+/// Fixed-range linear histogram; out-of-range samples clamp into the edge
+/// buckets so counts are never lost.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+  /// Lower edge of a bucket.
+  [[nodiscard]] double edge(std::size_t bucket) const;
+
+  /// One-line-per-bucket rendering with proportional bars (for examples).
+  [[nodiscard]] std::string render(std::size_t bar_width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Percentile from an unsorted sample set (nearest-rank). p in [0,100].
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace pdc::support

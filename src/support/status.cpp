@@ -1,0 +1,28 @@
+#include "support/status.hpp"
+
+namespace pdc::support {
+
+const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kClosed: return "closed";
+    case StatusCode::kTimeout: return "timeout";
+    case StatusCode::kAborted: return "aborted";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  std::string out = pdc::support::to_string(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace pdc::support

@@ -1,0 +1,93 @@
+// Status / Result: expected-failure reporting without exceptions.
+//
+// Modules report recoverable conditions (message would block, transaction
+// aborted, socket closed by peer) through these types; exceptions are
+// reserved for precondition violations (see check.hpp), per the project
+// convention in DESIGN.md §5.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace pdc::support {
+
+/// Coarse category of an expected failure. Kept deliberately small: each
+/// module attaches its own context through the message string.
+enum class StatusCode {
+  kOk,
+  kUnavailable,      // resource temporarily unavailable (would block, busy)
+  kClosed,           // endpoint/queue/channel closed by peer or shutdown
+  kTimeout,          // deadline elapsed before the operation completed
+  kAborted,          // operation rolled back (e.g. transaction deadlock victim)
+  kInvalidArgument,  // caller-supplied value outside the accepted domain
+  kNotFound,         // named entity does not exist
+  kFailedPrecondition,  // object not in the state required by the call
+};
+
+/// Human-readable name for a StatusCode ("ok", "timeout", ...).
+const char* to_string(StatusCode code);
+
+/// Value-semantic result of an operation that can fail in expected ways.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// Renders "code: message" for logs and test diagnostics.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or the Status explaining why it is absent.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    PDC_CHECK_MSG(!status_.is_ok(), "Result constructed from OK status needs a value");
+  }
+
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] T& value() & {
+    PDC_CHECK_MSG(value_.has_value(), "value() on failed Result: " + status_.to_string());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    PDC_CHECK_MSG(value_.has_value(), "value() on failed Result: " + status_.to_string());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    PDC_CHECK_MSG(value_.has_value(), "value() on failed Result: " + status_.to_string());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` when the operation failed.
+  [[nodiscard]] T value_or(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace pdc::support

@@ -1,0 +1,28 @@
+// Wall-clock measurement helpers for benches and examples.
+#pragma once
+
+#include <chrono>
+
+namespace pdc::support {
+
+/// Monotonic stopwatch. Started on construction; `elapsed_*` may be read
+/// repeatedly without stopping.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_millis() const { return elapsed_seconds() * 1e3; }
+  [[nodiscard]] double elapsed_micros() const { return elapsed_seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pdc::support

@@ -1,0 +1,100 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace pdc::support {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+namespace {
+
+std::size_t display_width(const std::string& s) {
+  // Cells are ASCII in practice; treat bytes as columns.
+  return s.size();
+}
+
+void render_separator(std::ostream& os, const std::vector<std::size_t>& widths) {
+  os << '+';
+  for (std::size_t w : widths) {
+    for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+    os << '+';
+  }
+  os << '\n';
+}
+
+void render_cells(std::ostream& os, const std::vector<std::string>& cells,
+                  const std::vector<std::size_t>& widths) {
+  os << '|';
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    const std::string& cell = c < cells.size() ? cells[c] : std::string();
+    os << ' ' << cell;
+    for (std::size_t i = display_width(cell); i < widths[c] + 1; ++i) os << ' ';
+    os << '|';
+  }
+  os << '\n';
+}
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void TextTable::render(std::ostream& os) const {
+  std::size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  if (cols == 0) return;
+
+  std::vector<std::size_t> widths(cols, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      widths[c] = std::max(widths[c], display_width(cells[c]));
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  if (!title_.empty()) os << title_ << '\n';
+  render_separator(os, widths);
+  if (!header_.empty()) {
+    render_cells(os, header_, widths);
+    render_separator(os, widths);
+  }
+  for (const auto& row : rows_) render_cells(os, row, widths);
+  render_separator(os, widths);
+}
+
+void TextTable::render_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(cells[c]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace pdc::support

@@ -1,0 +1,42 @@
+// Plain-text and CSV table rendering.
+//
+// Every bench that regenerates a table or figure from the paper prints a
+// TextTable so the output is directly comparable with the publication;
+// CSV output feeds external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pdc::support {
+
+/// Column-aligned text table with an optional title and header row.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  /// Sets the header row. Column count of the table is fixed by the widest
+  /// row at render time; short rows are padded with empty cells.
+  void set_header(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats a double with `precision` digits after the point.
+  static std::string num(double value, int precision = 2);
+
+  /// Renders with box-drawing rules suitable for terminals and logs.
+  void render(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void render_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pdc::support

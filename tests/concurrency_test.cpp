@@ -1,0 +1,528 @@
+// Tests for pdc::concurrency: semaphores, monitor, bounded queue, barriers,
+// spinlocks, RW lock, Peterson's algorithm, lock-order checker.
+//
+// Threaded tests use modest thread counts and generous invariants so they
+// are deterministic on any scheduler (including single-core hosts).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "concurrency/barrier.hpp"
+#include "concurrency/bounded_queue.hpp"
+#include "concurrency/lock_order.hpp"
+#include "concurrency/monitor.hpp"
+#include "concurrency/rwlock.hpp"
+#include "concurrency/semaphore.hpp"
+#include "concurrency/spinlock.hpp"
+
+namespace {
+
+using namespace pdc::concurrency;
+using namespace std::chrono_literals;
+using pdc::support::StatusCode;
+
+// ---------------------------------------------------------------- semaphore
+
+TEST(Semaphore, TryAcquireReflectsPermits) {
+  CountingSemaphore sem(2);
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_FALSE(sem.try_acquire());
+  sem.release();
+  EXPECT_TRUE(sem.try_acquire());
+}
+
+TEST(Semaphore, TimedAcquireTimesOut) {
+  CountingSemaphore sem(0);
+  EXPECT_FALSE(sem.try_acquire_for(10ms));
+}
+
+TEST(Semaphore, ReleaseUnblocksWaiter) {
+  CountingSemaphore sem(0);
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    sem.acquire();
+    acquired = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(acquired.load());
+  sem.release();
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(Semaphore, BoundedReleasePastMaxIsACheckFailure) {
+  CountingSemaphore sem(1, 1);
+  EXPECT_THROW(sem.release(), pdc::support::CheckFailure);
+}
+
+TEST(Semaphore, EnforcesMutualExclusionAsBinary) {
+  BinarySemaphore sem(true);
+  int shared = 0;
+  std::atomic<int> max_inside{0};
+  std::atomic<int> inside{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        sem.acquire();
+        max_inside = std::max(max_inside.load(), ++inside);
+        ++shared;
+        --inside;
+        sem.release();
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(shared, 2000);
+  EXPECT_EQ(max_inside.load(), 1);
+}
+
+TEST(Semaphore, MultiReleaseWakesMultipleWaiters) {
+  CountingSemaphore sem(0);
+  CountdownLatch done(3);
+  std::vector<std::thread> ts;
+  for (int i = 0; i < 3; ++i) {
+    ts.emplace_back([&] {
+      sem.acquire();
+      done.count_down();
+    });
+  }
+  sem.release(3);
+  done.wait();
+  for (auto& t : ts) t.join();
+}
+
+// ------------------------------------------------------------------ monitor
+
+TEST(Monitor, WithMutatesUnderLock) {
+  Monitor<int> m(0);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) m.with([](int& v) { ++v; });
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(m.read([](const int& v) { return v; }), 4000);
+}
+
+TEST(Monitor, WaitBlocksUntilPredicate) {
+  Monitor<int> m(0);
+  std::atomic<bool> resumed{false};
+  std::thread waiter([&] {
+    m.wait([](const int& v) { return v >= 3; }, [&](int&) { resumed = true; });
+  });
+  std::this_thread::sleep_for(10ms);
+  EXPECT_FALSE(resumed.load());
+  m.with([](int& v) { v = 1; });
+  m.with([](int& v) { v = 3; });
+  waiter.join();
+  EXPECT_TRUE(resumed.load());
+}
+
+TEST(Monitor, WaitForTimesOut) {
+  Monitor<int> m(0);
+  const bool ok = m.wait_for(10ms, [](const int& v) { return v > 0; },
+                             [](int&) {});
+  EXPECT_FALSE(ok);
+}
+
+TEST(Monitor, WithReturnsValue) {
+  Monitor<std::vector<int>> m;
+  const std::size_t n = m.with([](std::vector<int>& v) {
+    v.push_back(1);
+    return v.size();
+  });
+  EXPECT_EQ(n, 1u);
+}
+
+// ------------------------------------------------------------ bounded queue
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.push(i).is_ok());
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(q.pop().value(), i);
+}
+
+TEST(BoundedQueue, TryPushFailsWhenFull) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.try_push(1).is_ok());
+  EXPECT_EQ(q.try_push(2).code(), StatusCode::kUnavailable);
+}
+
+TEST(BoundedQueue, TryPopFailsWhenEmpty) {
+  BoundedQueue<int> q(1);
+  EXPECT_EQ(q.try_pop().status().code(), StatusCode::kUnavailable);
+}
+
+TEST(BoundedQueue, PopForTimesOut) {
+  BoundedQueue<int> q(1);
+  EXPECT_EQ(q.pop_for(10ms).status().code(), StatusCode::kTimeout);
+}
+
+TEST(BoundedQueue, CloseDrainsRemainingItems) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.push(7).is_ok());
+  ASSERT_TRUE(q.push(8).is_ok());
+  q.close();
+  EXPECT_EQ(q.push(9).code(), StatusCode::kClosed);
+  EXPECT_EQ(q.pop().value(), 7);
+  EXPECT_EQ(q.pop().value(), 8);
+  EXPECT_EQ(q.pop().status().code(), StatusCode::kClosed);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(1);
+  std::thread consumer([&] {
+    EXPECT_EQ(q.pop().status().code(), StatusCode::kClosed);
+  });
+  std::this_thread::sleep_for(10ms);
+  q.close();
+  consumer.join();
+}
+
+TEST(BoundedQueue, MpmcTransfersEveryItemExactlyOnce) {
+  BoundedQueue<int> q(8);
+  constexpr int kProducers = 3, kConsumers = 3, kPerProducer = 500;
+  std::atomic<long> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i).is_ok());
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        auto r = q.pop();
+        if (!r.is_ok()) break;
+        sum += r.value();
+        ++popped;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.close();
+  for (int c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+  const long n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+// ----------------------------------------------------------------- barriers
+
+TEST(CyclicBarrier, SynchronizesPhases) {
+  constexpr std::size_t kThreads = 4, kPhases = 10;
+  CyclicBarrier barrier(kThreads);
+  std::vector<std::size_t> phase_of(kThreads, 0);
+  std::atomic<bool> torn{false};
+  std::vector<std::thread> ts;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (std::size_t p = 0; p < kPhases; ++p) {
+        phase_of[t] = p;
+        const std::size_t gen = barrier.arrive_and_wait();
+        if (gen != p) torn = true;  // generations must advance in lockstep
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_FALSE(torn.load());
+}
+
+TEST(CyclicBarrier, CompletionActionRunsOncePerGeneration) {
+  constexpr std::size_t kThreads = 3, kPhases = 5;
+  std::atomic<int> completions{0};
+  CyclicBarrier barrier(kThreads, [&] { ++completions; });
+  std::vector<std::thread> ts;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (std::size_t p = 0; p < kPhases; ++p) barrier.arrive_and_wait();
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(completions.load(), static_cast<int>(kPhases));
+}
+
+TEST(SenseReversingBarrier, SynchronizesAcrossReuse) {
+  constexpr std::size_t kThreads = 4, kPhases = 20;
+  SenseReversingBarrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::atomic<bool> bad{false};
+  std::vector<std::thread> ts;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      SenseReversingBarrier::LocalSense sense;
+      for (std::size_t p = 0; p < kPhases; ++p) {
+        ++counter;
+        barrier.arrive_and_wait(sense);
+        // After the barrier every thread of this phase has incremented.
+        if (counter.load() < static_cast<int>((p + 1) * kThreads)) bad = true;
+        barrier.arrive_and_wait(sense);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_FALSE(bad.load());
+  EXPECT_EQ(counter.load(), static_cast<int>(kThreads * kPhases));
+}
+
+TEST(CountdownLatch, WaitReleasesAtZero) {
+  CountdownLatch latch(2);
+  EXPECT_FALSE(latch.try_wait());
+  latch.count_down();
+  EXPECT_FALSE(latch.try_wait());
+  latch.count_down();
+  EXPECT_TRUE(latch.try_wait());
+  latch.wait();  // returns immediately
+}
+
+TEST(CountdownLatch, CountingBelowZeroIsACheckFailure) {
+  CountdownLatch latch(1);
+  latch.count_down();
+  EXPECT_THROW(latch.count_down(), pdc::support::CheckFailure);
+}
+
+// ---------------------------------------------------------------- spinlocks
+
+template <typename Lock>
+void hammer_lock() {
+  Lock lock;
+  long shared = 0;
+  constexpr int kThreads = 4, kIters = 2000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        std::scoped_lock guard(lock);
+        ++shared;
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(shared, long{kThreads} * kIters);
+}
+
+TEST(Spinlock, TasMutualExclusion) { hammer_lock<TasLock>(); }
+TEST(Spinlock, TtasMutualExclusion) { hammer_lock<TtasLock>(); }
+TEST(Spinlock, TicketMutualExclusion) { hammer_lock<TicketLock>(); }
+
+TEST(Spinlock, TryLockFailsWhenHeld) {
+  TtasLock lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Spinlock, TicketTryLockFailsWhenHeld) {
+  TicketLock lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(McsLock, MutualExclusionUnderContention) {
+  McsLock lock;
+  long shared = 0;
+  std::atomic<int> inside{0};
+  std::atomic<bool> violated{false};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        McsLock::Guard guard(lock);
+        if (inside.fetch_add(1) != 0) violated = true;
+        ++shared;
+        inside.fetch_sub(1);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(shared, 8000);
+}
+
+TEST(McsLock, HandoffThroughExplicitNodes) {
+  McsLock lock;
+  McsLock::Node a;
+  lock.lock(a);
+  std::atomic<bool> second_acquired{false};
+  std::thread waiter([&] {
+    McsLock::Node b;
+    lock.lock(b);
+    second_acquired = true;
+    lock.unlock(b);
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(second_acquired.load());
+  lock.unlock(a);
+  waiter.join();
+  EXPECT_TRUE(second_acquired.load());
+}
+
+TEST(PetersonLock, TwoThreadMutualExclusion) {
+  PetersonLock lock;
+  long shared = 0;
+  std::atomic<int> inside{0};
+  std::atomic<bool> violated{false};
+  auto body = [&](int self) {
+    for (int i = 0; i < 5000; ++i) {
+      lock.lock(self);
+      if (inside.fetch_add(1) != 0) violated = true;
+      ++shared;
+      inside.fetch_sub(1);
+      lock.unlock(self);
+    }
+  };
+  std::thread t0(body, 0), t1(body, 1);
+  t0.join();
+  t1.join();
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(shared, 10000);
+}
+
+// ------------------------------------------------------------------- rwlock
+
+TEST(RwLock, WriterExcludesWriters) {
+  RwLock lock;
+  long shared = 0;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        lock.lock();
+        ++shared;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(shared, 4000);
+}
+
+TEST(RwLock, ReadersShareWritersExclude) {
+  RwLock lock;
+  std::atomic<int> readers{0};
+  std::atomic<int> writers{0};
+  std::atomic<bool> violated{false};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 3; ++t) {
+    ts.emplace_back([&] {  // readers
+      for (int i = 0; i < 500; ++i) {
+        SharedGuard guard(lock);
+        ++readers;
+        if (writers.load() != 0) violated = true;
+        --readers;
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    ts.emplace_back([&] {  // writers
+      for (int i = 0; i < 200; ++i) {
+        lock.lock();
+        if (writers.fetch_add(1) != 0 || readers.load() != 0) violated = true;
+        writers.fetch_sub(1);
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(RwLock, TryLockSharedFailsUnderWriter) {
+  RwLock lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock_shared());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock_shared());
+  lock.unlock_shared();
+}
+
+TEST(RwLock, MultipleReadersConcurrently) {
+  RwLock lock;
+  lock.lock_shared();
+  EXPECT_TRUE(lock.try_lock_shared());
+  lock.unlock_shared();
+  lock.unlock_shared();
+}
+
+// --------------------------------------------------------------- lock order
+
+TEST(LockOrder, ConsistentOrderIsClean) {
+  LockOrderRegistry registry;
+  OrderedMutex a(registry, "A"), b(registry, "B");
+  for (int i = 0; i < 10; ++i) {
+    OrderedGuard ga(a);
+    OrderedGuard gb(b);
+  }
+  EXPECT_TRUE(registry.clean());
+}
+
+TEST(LockOrder, InversionIsReported) {
+  LockOrderRegistry registry;
+  OrderedMutex a(registry, "A"), b(registry, "B");
+  {
+    OrderedGuard ga(a);
+    OrderedGuard gb(b);
+  }
+  {
+    OrderedGuard gb(b);
+    OrderedGuard ga(a);  // A-after-B inverts the established A->B order
+  }
+  ASSERT_FALSE(registry.clean());
+  EXPECT_NE(registry.violations()[0].find("'A'"), std::string::npos);
+  EXPECT_NE(registry.violations()[0].find("'B'"), std::string::npos);
+}
+
+TEST(LockOrder, TransitiveCycleIsReported) {
+  LockOrderRegistry registry;
+  OrderedMutex a(registry, "A"), b(registry, "B"), c(registry, "C");
+  {
+    OrderedGuard ga(a);
+    OrderedGuard gb(b);
+  }
+  {
+    OrderedGuard gb(b);
+    OrderedGuard gc(c);
+  }
+  {
+    OrderedGuard gc(c);
+    OrderedGuard ga(a);  // closes the A->B->C->A cycle
+  }
+  EXPECT_FALSE(registry.clean());
+}
+
+TEST(LockOrder, IndependentPairsAreClean) {
+  LockOrderRegistry registry;
+  OrderedMutex a(registry, "A"), b(registry, "B"), c(registry, "C"),
+      d(registry, "D");
+  {
+    OrderedGuard ga(a);
+    OrderedGuard gb(b);
+  }
+  {
+    OrderedGuard gc(c);
+    OrderedGuard gd(d);
+  }
+  {
+    OrderedGuard gd(d);  // D before A is a fresh order, no cycle
+    OrderedGuard ga(a);
+  }
+  EXPECT_TRUE(registry.clean());
+}
+
+}  // namespace

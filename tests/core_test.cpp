@@ -1,0 +1,409 @@
+// Tests for pdc::core: taxonomy integrity, Table-I derivation from course
+// templates, ABET checking against constructed and case-study programs,
+// survey calibration to the paper's stated aggregates, CE2016/SE2014
+// models vs Tables II/III, exemplar-registry completeness.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/bok.hpp"
+#include "core/case_studies.hpp"
+#include "core/competencies.hpp"
+#include "core/curriculum.hpp"
+#include "core/registry.hpp"
+#include "core/survey.hpp"
+#include "core/taxonomy.hpp"
+
+namespace {
+
+using namespace pdc::core;
+
+// ----------------------------------------------------------------- taxonomy
+
+TEST(Taxonomy, FourteenConceptsAsInTable1) {
+  EXPECT_EQ(all_concepts().size(), 14u);
+}
+
+TEST(Taxonomy, FiveTable1Categories) {
+  EXPECT_EQ(table1_categories().size(), 5u);
+}
+
+TEST(Taxonomy, EveryConceptHasNameAndPillar) {
+  for (PdcConcept topic : all_concepts()) {
+    EXPECT_STRNE(to_string(topic), "?");
+    const Pillar pillar = pillar_of(topic);
+    EXPECT_TRUE(pillar == Pillar::kConcurrency ||
+                pillar == Pillar::kParallelism ||
+                pillar == Pillar::kDistribution);
+  }
+}
+
+TEST(Taxonomy, AllThreePillarsPopulated) {
+  std::set<Pillar> seen;
+  for (PdcConcept topic : all_concepts()) seen.insert(pillar_of(topic));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+// ------------------------------------------------- Table I (from templates)
+
+TEST(Table1, MatrixMatchesPaper) {
+  // Spot-check the exact x-marks of Table I.
+  using CC = CourseCategory;
+  using C = PdcConcept;
+  auto has = [](CC category, C topic) {
+    return template_topics(category).count(topic) > 0;
+  };
+  // Programming with threads: SysProg, OS, Networks — not Org, not DB.
+  EXPECT_TRUE(has(CC::kSystemsProgramming, C::kProgrammingWithThreads));
+  EXPECT_TRUE(has(CC::kOperatingSystems, C::kProgrammingWithThreads));
+  EXPECT_TRUE(has(CC::kComputerNetworks, C::kProgrammingWithThreads));
+  EXPECT_FALSE(has(CC::kComputerOrganization, C::kProgrammingWithThreads));
+  EXPECT_FALSE(has(CC::kDatabaseSystems, C::kProgrammingWithThreads));
+  // Transactions: DB only.
+  for (CC category : table1_categories()) {
+    EXPECT_EQ(has(category, C::kTransactionsProcessing),
+              category == CC::kDatabaseSystems);
+  }
+  // Parallelism and concurrency: all five.
+  for (CC category : table1_categories()) {
+    EXPECT_TRUE(has(category, C::kParallelismAndConcurrency));
+  }
+  // ILP / SIMD / Flynn / perf / multicore: Organization only.
+  for (C topic : {C::kInstructionLevelParallelism, C::kSimdVectorProcessors,
+                    C::kFlynnsTaxonomy, C::kPerformanceMeasurement,
+                    C::kMulticoreProcessors}) {
+    for (CC category : table1_categories()) {
+      EXPECT_EQ(has(category, topic), category == CC::kComputerOrganization)
+          << to_string(topic) << " vs " << to_string(category);
+    }
+  }
+  // Client-server: SysProg + Networks.
+  EXPECT_TRUE(has(CC::kSystemsProgramming, C::kClientServerProgramming));
+  EXPECT_TRUE(has(CC::kComputerNetworks, C::kClientServerProgramming));
+  EXPECT_FALSE(has(CC::kOperatingSystems, C::kClientServerProgramming));
+  // Memory and caching: SysProg + Org + OS.
+  EXPECT_TRUE(has(CC::kSystemsProgramming, C::kMemoryAndCaching));
+  EXPECT_TRUE(has(CC::kComputerOrganization, C::kMemoryAndCaching));
+  EXPECT_TRUE(has(CC::kOperatingSystems, C::kMemoryAndCaching));
+  EXPECT_FALSE(has(CC::kComputerNetworks, C::kMemoryAndCaching));
+}
+
+TEST(Table1, EveryConceptAppearsInSomeColumn) {
+  for (PdcConcept topic : all_concepts()) {
+    bool anywhere = false;
+    for (CourseCategory category : table1_categories()) {
+      anywhere |= template_topics(category).count(topic) > 0;
+    }
+    EXPECT_TRUE(anywhere) << to_string(topic);
+  }
+}
+
+// --------------------------------------------------------------- curriculum
+
+TEST(Curriculum, RequiredCoverageIgnoresElectives) {
+  Program program;
+  Course elective = make_template_course(CourseCategory::kParallelProgramming,
+                                         /*required=*/false);
+  program.courses.push_back(elective);
+  EXPECT_TRUE(program.required_coverage().empty());
+  EXPECT_FALSE(program.has_dedicated_pdc_course());
+}
+
+TEST(Curriculum, DedicatedCourseDetected) {
+  Program program;
+  program.courses.push_back(
+      make_template_course(CourseCategory::kParallelProgramming, true));
+  EXPECT_TRUE(program.has_dedicated_pdc_course());
+}
+
+TEST(Curriculum, WeightedScoreGrowsWithCoverage) {
+  Program narrow;
+  narrow.courses.push_back(
+      make_template_course(CourseCategory::kDatabaseSystems, true));
+  Program broad = narrow;
+  broad.courses.push_back(
+      make_template_course(CourseCategory::kOperatingSystems, true));
+  broad.courses.push_back(
+      make_template_course(CourseCategory::kComputerNetworks, true));
+  EXPECT_GT(broad.weighted_pdc_score(), narrow.weighted_pdc_score());
+}
+
+TEST(Abet, EmptyProgramFailsEverything) {
+  const auto result = check_abet_cs(Program{});
+  EXPECT_FALSE(result.compliant());
+  EXPECT_FALSE(result.pdc);
+  EXPECT_EQ(result.missing_pillars.size(), 3u);
+}
+
+TEST(Abet, BackboneProgramIsCompliant) {
+  Program program;
+  for (CourseCategory category :
+       {CourseCategory::kComputerOrganization, CourseCategory::kOperatingSystems,
+        CourseCategory::kDatabaseSystems, CourseCategory::kComputerNetworks}) {
+    program.courses.push_back(make_template_course(category, true));
+  }
+  const auto result = check_abet_cs(program);
+  EXPECT_TRUE(result.compliant()) << "missing pillars: "
+                                  << result.missing_pillars.size();
+}
+
+TEST(Abet, MissingDistributionPillarReported) {
+  Program program;
+  // OS + architecture only: concurrency + parallelism, but nothing
+  // distribution-flavoured beyond what OS carries... strip those topics.
+  Course os = make_template_course(CourseCategory::kOperatingSystems, true);
+  os.topics.erase(PdcConcept::kInterProcessCommunication);
+  os.topics.erase(PdcConcept::kSharedVsDistributedMemory);
+  Course org = make_template_course(CourseCategory::kComputerOrganization, true);
+  org.topics.erase(PdcConcept::kSharedVsDistributedMemory);
+  program.courses.push_back(os);
+  program.courses.push_back(org);
+  program.courses.push_back(
+      make_template_course(CourseCategory::kDatabaseSystems, true));
+  const auto result = check_abet_cs(program);
+  EXPECT_FALSE(result.pdc);
+  ASSERT_EQ(result.missing_pillars.size(), 1u);
+  EXPECT_EQ(result.missing_pillars[0], Pillar::kDistribution);
+}
+
+TEST(Abet, TopicsEmbeddedElsewhereSatisfyAreas) {
+  // No networking course, but client-server taught in systems programming
+  // (the flexibility §II-A describes).
+  Program program;
+  program.courses.push_back(
+      make_template_course(CourseCategory::kSystemsProgramming, true));
+  program.courses.push_back(
+      make_template_course(CourseCategory::kComputerOrganization, true));
+  program.courses.push_back(
+      make_template_course(CourseCategory::kDatabaseSystems, true));
+  const auto result = check_abet_cs(program);
+  EXPECT_TRUE(result.networking);
+  EXPECT_TRUE(result.operating_systems);  // threads+IPC+atomicity embedded
+  EXPECT_TRUE(result.compliant());
+}
+
+// ------------------------------------------------------------- case studies
+
+TEST(CaseStudies, AllThreeAreAbetCompliant) {
+  for (const Program& program : case_study_programs()) {
+    const auto result = check_abet_cs(program);
+    EXPECT_TRUE(result.compliant()) << program.institution;
+  }
+}
+
+TEST(CaseStudies, LauAndRitHaveDedicatedCourseAucDoesNot) {
+  EXPECT_TRUE(lau_program().has_dedicated_pdc_course());
+  EXPECT_TRUE(rit_program().has_dedicated_pdc_course());
+  EXPECT_FALSE(auc_program().has_dedicated_pdc_course());
+}
+
+TEST(CaseStudies, AucDistributedSystemsIsElective) {
+  const auto program = auc_program();
+  bool found = false;
+  for (const Course& course : program.courses) {
+    if (course.category == CourseCategory::kDistributedSystems) {
+      found = true;
+      EXPECT_FALSE(course.required);  // required only for the CE program
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CaseStudies, CoverageSpansAllPillarsEverywhere) {
+  for (const Program& program : case_study_programs()) {
+    std::set<Pillar> pillars;
+    for (PdcConcept topic : program.required_coverage()) {
+      pillars.insert(pillar_of(topic));
+    }
+    EXPECT_EQ(pillars.size(), 3u) << program.institution;
+  }
+}
+
+// ------------------------------------------------------------------- survey
+
+TEST(Survey, TwentyProgramsOneDedicated) {
+  const auto programs = generate_survey();
+  EXPECT_EQ(programs.size(), 20u);
+  std::size_t dedicated = 0;
+  for (const Program& program : programs) {
+    dedicated += program.has_dedicated_pdc_course();
+  }
+  EXPECT_EQ(dedicated, 1u);  // §III: "only one program had a dedicated
+                             // parallel programming course"
+}
+
+TEST(Survey, EveryProgramIsAccredited) {
+  for (const Program& program : generate_survey()) {
+    EXPECT_TRUE(check_abet_cs(program).compliant()) << program.institution;
+  }
+}
+
+TEST(Survey, GenerationIsDeterministic) {
+  const auto a = generate_survey();
+  const auto b = generate_survey();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].courses.size(), b[i].courses.size());
+    EXPECT_EQ(a[i].weighted_pdc_score(), b[i].weighted_pdc_score());
+  }
+}
+
+TEST(Survey, Fig2CountsAreSaneAndOrdered) {
+  const auto programs = generate_survey();
+  const auto counts = topic_program_counts(programs);
+  EXPECT_EQ(counts.size(), all_concepts().size());
+  for (const auto& [topic, count] : counts) {
+    EXPECT_LE(count, programs.size()) << to_string(topic);
+  }
+  // "Parallelism and concurrency" rides every backbone course: everyone
+  // covers it. Transactions too (DB is universal backbone).
+  EXPECT_EQ(counts.at(PdcConcept::kParallelismAndConcurrency), 20u);
+  // Dedicated-course-only reach: SIMD appears via Organization templates
+  // too, so it's common — but client-server must beat SIMD? Not
+  // necessarily; assert instead the structural floor: every topic that
+  // survives in >0 programs.
+  EXPECT_GT(counts.at(PdcConcept::kProgrammingWithThreads), 15u);
+}
+
+TEST(Survey, Fig3SharesWithinRange) {
+  const auto programs = generate_survey();
+  const auto share = course_share_for_pdc(programs);
+  for (const auto& [category, pct] : share) {
+    EXPECT_GE(pct, 0.0);
+    EXPECT_LE(pct, 100.0);
+  }
+  // Backbone categories carry PDC in (almost) every program; the dedicated
+  // course in exactly one program = 5%.
+  EXPECT_GT(share.at(CourseCategory::kOperatingSystems), 80.0);
+  EXPECT_GT(share.at(CourseCategory::kComputerOrganization), 80.0);
+  EXPECT_DOUBLE_EQ(share.at(CourseCategory::kParallelProgramming), 5.0);
+}
+
+TEST(Survey, WeightedScoresPositive) {
+  const auto programs = generate_survey();
+  const auto scores = weighted_scores(programs);
+  EXPECT_EQ(scores.size(), 20u);
+  for (const auto& [institution, score] : scores) {
+    EXPECT_GT(score, 0.0) << institution;
+  }
+}
+
+TEST(Survey, ConfigurableCohortSize) {
+  SurveyConfig config;
+  config.programs = 5;
+  config.dedicated_course_programs = 2;
+  config.seed = 7;
+  const auto programs = generate_survey(config);
+  EXPECT_EQ(programs.size(), 5u);
+  std::size_t dedicated = 0;
+  for (const auto& program : programs) {
+    dedicated += program.has_dedicated_pdc_course();
+  }
+  EXPECT_EQ(dedicated, 2u);
+}
+
+TEST(Survey, BothApproachesViable) {
+  // §VI: "Both approaches are viable and meet the current ABET criteria."
+  const auto comparison = compare_approaches(generate_survey());
+  EXPECT_EQ(comparison.dedicated_programs, 1u);
+  EXPECT_EQ(comparison.scattered_programs, 19u);
+  EXPECT_DOUBLE_EQ(comparison.dedicated_compliance_rate, 1.0);
+  EXPECT_DOUBLE_EQ(comparison.scattered_compliance_rate, 1.0);
+  // A dedicated course adds topics on top of the backbone: more breadth.
+  EXPECT_GE(comparison.dedicated_mean_breadth, comparison.scattered_mean_breadth);
+}
+
+TEST(Survey, CaseStudiesSpanBothApproaches) {
+  const auto comparison = compare_approaches(case_study_programs());
+  EXPECT_EQ(comparison.dedicated_programs, 2u);   // LAU, RIT
+  EXPECT_EQ(comparison.scattered_programs, 1u);   // AUC
+  EXPECT_DOUBLE_EQ(comparison.dedicated_compliance_rate, 1.0);
+  EXPECT_DOUBLE_EQ(comparison.scattered_compliance_rate, 1.0);
+}
+
+// ----------------------------------------------------------- CC2020
+
+TEST(Competencies, SixAsQuotedInThePaper) {
+  EXPECT_EQ(cc2020_competencies().size(), 6u);
+}
+
+TEST(Competencies, CoverAllThreePillars) {
+  std::set<Pillar> pillars;
+  for (const auto& competency : cc2020_competencies()) {
+    pillars.insert(competency.pillar);
+  }
+  EXPECT_EQ(pillars.size(), 3u);
+}
+
+TEST(Competencies, ExemplarModulesExistOnDisk) {
+  namespace fs = std::filesystem;
+  const fs::path src = fs::path(__FILE__).parent_path().parent_path() / "src";
+  for (const auto& competency : cc2020_competencies()) {
+    EXPECT_TRUE(fs::exists(src / competency.module)) << competency.name;
+    EXPECT_FALSE(competency.test.empty());
+    EXPECT_FALSE(competency.description.empty());
+  }
+}
+
+// ---------------------------------------------------------------------- BoK
+
+TEST(Bok, Ce2016HasTwelveAreas) { EXPECT_EQ(ce2016().size(), 12u); }
+
+TEST(Bok, Se2014HasTenAreas) { EXPECT_EQ(se2014().size(), 10u); }
+
+TEST(Bok, Table2AreasMatchPaper) {
+  const auto areas = pdc_areas(ce2016());
+  ASSERT_EQ(areas.size(), 4u);
+  std::set<std::string> names;
+  for (const auto* area : areas) names.insert(area->name);
+  EXPECT_TRUE(names.count("Computing Algorithms"));
+  EXPECT_TRUE(names.count("Computer Architecture and Organization"));
+  EXPECT_TRUE(names.count("Systems Resource Management"));
+  EXPECT_TRUE(names.count("Software Design"));
+  // Architecture area carries TWO PDC core units (Table II).
+  for (const auto* area : areas) {
+    if (area->name == "Computer Architecture and Organization") {
+      EXPECT_EQ(area->pdc_core_units().size(), 2u);
+    }
+  }
+}
+
+TEST(Bok, Table3TopicsAtApplicationLevel) {
+  const auto areas = pdc_areas(se2014());
+  ASSERT_EQ(areas.size(), 1u);
+  EXPECT_EQ(areas[0]->name, "Computing Essentials");
+  const auto units = areas[0]->pdc_core_units();
+  ASSERT_EQ(units.size(), 2u);
+  for (const auto& unit : units) {
+    EXPECT_EQ(unit.level, CognitiveLevel::kApplication);
+    EXPECT_TRUE(unit.core);
+  }
+}
+
+// ----------------------------------------------------------------- registry
+
+TEST(Registry, EveryConceptHasAnExemplar) {
+  for (PdcConcept topic : all_concepts()) {
+    const auto& exemplars = exemplars_for(topic);
+    EXPECT_FALSE(exemplars.empty()) << to_string(topic);
+    for (const Exemplar& exemplar : exemplars) {
+      EXPECT_FALSE(exemplar.module.empty());
+      EXPECT_FALSE(exemplar.description.empty());
+      EXPECT_FALSE(exemplar.test.empty());
+    }
+  }
+}
+
+TEST(Registry, ModulePathsExistOnDisk) {
+  // The registry must not drift from the source tree.
+  namespace fs = std::filesystem;
+  const fs::path src = fs::path(__FILE__).parent_path().parent_path() / "src";
+  for (const auto& [topic, exemplars] : exemplar_registry()) {
+    for (const Exemplar& exemplar : exemplars) {
+      EXPECT_TRUE(fs::exists(src / exemplar.module))
+          << to_string(topic) << " -> " << exemplar.module;
+    }
+  }
+}
+
+}  // namespace

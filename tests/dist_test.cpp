@@ -1,0 +1,609 @@
+// Tests for pdc::dist: logical clocks, distributed mutual exclusion,
+// election, 2PC, Chandy–Lamport snapshots, CMH deadlock detection, load
+// balancing, consistent hashing, migration.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <numeric>
+
+#include "dist/balance.hpp"
+#include "dist/causal.hpp"
+#include "dist/clock_sync.hpp"
+#include "dist/clocks.hpp"
+#include "dist/deadlock.hpp"
+#include "dist/election.hpp"
+#include "dist/mutex.hpp"
+#include "dist/snapshot.hpp"
+#include "dist/two_phase_commit.hpp"
+#include "mp/world.hpp"
+
+namespace {
+
+using namespace pdc::dist;
+using pdc::mp::Communicator;
+using pdc::mp::World;
+
+// ------------------------------------------------------------------- clocks
+
+TEST(LamportClock, TickIsMonotonic) {
+  LamportClock clock;
+  EXPECT_EQ(clock.tick(), 1u);
+  EXPECT_EQ(clock.tick(), 2u);
+  EXPECT_EQ(clock.now(), 2u);
+}
+
+TEST(LamportClock, MergeJumpsPastReceived) {
+  LamportClock clock;
+  clock.tick();
+  EXPECT_EQ(clock.merge(10), 11u);
+  EXPECT_EQ(clock.merge(3), 12u);  // local already ahead
+}
+
+TEST(VectorClock, CompareCoversAllOutcomes) {
+  using V = std::vector<std::uint64_t>;
+  EXPECT_EQ(VectorClock::compare(V{1, 0}, V{1, 0}), Causality::kEqual);
+  EXPECT_EQ(VectorClock::compare(V{1, 0}, V{1, 1}), Causality::kBefore);
+  EXPECT_EQ(VectorClock::compare(V{2, 1}, V{1, 1}), Causality::kAfter);
+  EXPECT_EQ(VectorClock::compare(V{1, 0}, V{0, 1}), Causality::kConcurrent);
+}
+
+TEST(VectorClock, MessageChainEstablishesHappenedBefore) {
+  VectorClock a(3, 0), b(3, 1), c(3, 2);
+  a.tick();                 // event at A
+  const auto send_a = a.now();
+  b.merge(send_a);          // B receives from A
+  const auto send_b = b.now();
+  c.merge(send_b);          // C receives from B
+  EXPECT_TRUE(happened_before(send_a, c.now()));
+  EXPECT_TRUE(happened_before(send_b, c.now()));
+}
+
+TEST(VectorClock, IndependentEventsAreConcurrent) {
+  VectorClock a(2, 0), b(2, 1);
+  a.tick();
+  b.tick();
+  EXPECT_TRUE(concurrent(a.now(), b.now()));
+  EXPECT_EQ(to_string(Causality::kConcurrent), std::string("concurrent"));
+}
+
+TEST(VectorClock, ToStringRenders) {
+  VectorClock v(3, 1);
+  v.tick();
+  EXPECT_EQ(v.to_string(), "[0 1 0]");
+}
+
+// ----------------------------------------------------------- causal order
+
+TEST(CausalOrder, BuffersUntilCausalPastArrives) {
+  // Observer is process 2 of 3. m2 (from 1) causally follows m1 (from 0)
+  // but arrives first: it must wait.
+  CausalOrderBuffer buffer(3, 2);
+  CausalMessage m1{0, {1, 0, 0}, 100};
+  CausalMessage m2{1, {1, 1, 0}, 200};
+
+  auto first = buffer.offer(m2);
+  EXPECT_TRUE(first.empty());
+  EXPECT_EQ(buffer.buffered(), 1u);
+
+  auto second = buffer.offer(m1);
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0].payload, 100);  // causal order restored
+  EXPECT_EQ(second[1].payload, 200);
+  EXPECT_EQ(buffer.buffered(), 0u);
+}
+
+TEST(CausalOrder, FifoGapFromOneSenderBlocks) {
+  CausalOrderBuffer buffer(2, 1);
+  CausalMessage second_msg{0, {2, 0}, 2};
+  CausalMessage first_msg{0, {1, 0}, 1};
+  EXPECT_TRUE(buffer.offer(second_msg).empty());
+  const auto released = buffer.offer(first_msg);
+  ASSERT_EQ(released.size(), 2u);
+  EXPECT_EQ(released[0].payload, 1);
+  EXPECT_EQ(released[1].payload, 2);
+}
+
+TEST(CausalOrder, ConcurrentMessagesDeliverInAnyOrderImmediately) {
+  CausalOrderBuffer buffer(3, 2);
+  CausalMessage from0{0, {1, 0, 0}, 10};
+  CausalMessage from1{1, {0, 1, 0}, 20};  // concurrent with from0
+  EXPECT_EQ(buffer.offer(from1).size(), 1u);
+  EXPECT_EQ(buffer.offer(from0).size(), 1u);
+}
+
+TEST(CausalOrder, OwnSendsAdvanceTheVector) {
+  CausalOrderBuffer buffer(2, 0);
+  const auto stamp = buffer.stamp_send();
+  EXPECT_EQ(stamp, (std::vector<std::uint64_t>{1, 0}));
+  // A peer message that already saw our send is deliverable.
+  CausalMessage reply{1, {1, 1}, 5};
+  EXPECT_EQ(buffer.offer(reply).size(), 1u);
+}
+
+TEST(CausalBroadcastSpmd, ChainDeliversInCausalOrderEverywhere) {
+  constexpr int kRanks = 3;
+  World world(kRanks);
+  world.run([](Communicator& comm) {
+    CausalBroadcast cb(comm);
+    std::vector<std::int64_t> delivered;
+    auto drain = [&] {
+      for (const auto& message : cb.poll()) {
+        delivered.push_back(message.payload);
+      }
+    };
+    // Rank 0 starts the chain; rank 1 responds after seeing it. Nobody
+    // receives their own broadcast: rank 0 gets only the reply (1), rank 1
+    // only the original (1), rank 2 both (2).
+    if (comm.rank() == 0) cb.broadcast(100);
+    const std::size_t expect = comm.rank() == 2 ? 2u : 1u;
+    bool replied = comm.rank() != 1;
+    while (delivered.size() < expect || !replied) {
+      drain();
+      if (!replied && !delivered.empty() && delivered[0] == 100) {
+        cb.broadcast(200);  // causally after 100
+        replied = true;
+      }
+      std::this_thread::yield();
+    }
+    if (comm.rank() == 2) {
+      // The payoff: even if 200 raced ahead on the wire, delivery order
+      // respects causality.
+      EXPECT_EQ(delivered, (std::vector<std::int64_t>{100, 200}));
+    }
+    EXPECT_EQ(cb.buffered(), 0u);
+  });
+}
+
+// --------------------------------------------------------------- clock sync
+
+TEST(ClockSync, DriftingClockReadsSkewed) {
+  DriftingClock clock(5.0, 0.01);  // +5s offset, 1% fast
+  EXPECT_DOUBLE_EQ(clock.read(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(clock.read(100.0), 106.0);
+  clock.adjust(-5.0);
+  EXPECT_DOUBLE_EQ(clock.read(0.0), 0.0);
+}
+
+TEST(ClockSync, CristianReducesSkewToDelayScale) {
+  pdc::support::Rng rng(31);
+  std::vector<DriftingClock> clocks;
+  clocks.emplace_back(0.0, 0.0);  // reference server
+  for (int i = 0; i < 8; ++i) {
+    clocks.emplace_back(rng.uniform(-5.0, 5.0), 0.0);
+  }
+  constexpr double kDelay = 0.010;  // 10ms mean one-way
+  const auto result = cristian_sync(clocks, 1000.0, kDelay, rng);
+  EXPECT_GT(result.max_error_before, 1.0);  // seconds of skew before
+  EXPECT_LT(result.max_error_after, 10 * kDelay);  // delay-scale after
+  EXPECT_EQ(result.messages, 16u);  // request+response per client
+}
+
+TEST(ClockSync, BerkeleyConvergesWithoutReference) {
+  pdc::support::Rng rng(37);
+  std::vector<DriftingClock> clocks;
+  for (int i = 0; i < 6; ++i) {
+    clocks.emplace_back(rng.uniform(-3.0, 3.0), 0.0);
+  }
+  const auto result = berkeley_sync(clocks, 500.0, 0.005, rng);
+  EXPECT_GT(result.max_error_before, 0.5);
+  EXPECT_LT(result.max_error_after, result.max_error_before / 10);
+}
+
+TEST(ClockSync, RepeatedSyncFightsDrift) {
+  pdc::support::Rng rng(41);
+  std::vector<DriftingClock> clocks;
+  clocks.emplace_back(0.0, 0.0);
+  clocks.emplace_back(0.0, 1e-4);   // 100ppm fast
+  clocks.emplace_back(0.0, -1e-4);  // 100ppm slow
+  // Without sync, after 10000s the skew is ~1s; sync every 1000s keeps it
+  // near the delay scale.
+  double worst = 0.0;
+  for (int epoch = 1; epoch <= 10; ++epoch) {
+    const double now = epoch * 1000.0;
+    const auto result = cristian_sync(clocks, now, 0.002, rng);
+    worst = std::max(worst, result.max_error_after);
+  }
+  EXPECT_LT(worst, 0.2);  // vs ~1.0 unsynced
+}
+
+// ----------------------------------------------------- mutual exclusion
+
+TEST(RicartAgrawala, MutualExclusionHolds) {
+  constexpr int kRanks = 4, kEntries = 10;
+  std::atomic<int> inside{0};
+  std::atomic<bool> violated{false};
+  std::atomic<long> counter{0};
+
+  World world(kRanks);
+  world.run([&](Communicator& comm) {
+    RicartAgrawala mutex(comm);
+    for (int e = 0; e < kEntries; ++e) {
+      mutex.enter();
+      if (inside.fetch_add(1) != 0) violated = true;
+      counter.fetch_add(1);
+      inside.fetch_sub(1);
+      mutex.leave();
+    }
+    mutex.finish();
+  });
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(counter.load(), kRanks * kEntries);
+}
+
+TEST(RicartAgrawala, MessageCountPerEntryIsTwoPMinusOne) {
+  // 2(p-1) messages per entry: p-1 requests + p-1 replies; DONE adds p-1
+  // per rank once.
+  constexpr int kRanks = 3, kEntries = 5;
+  std::atomic<std::uint64_t> total_messages{0};
+  World world(kRanks);
+  world.run([&](Communicator& comm) {
+    RicartAgrawala mutex(comm);
+    for (int e = 0; e < kEntries; ++e) {
+      mutex.enter();
+      mutex.leave();
+    }
+    mutex.finish();
+    total_messages += mutex.messages_sent();
+  });
+  const std::uint64_t expected =
+      kRanks * (kEntries * 2 * (kRanks - 1) + (kRanks - 1));
+  EXPECT_EQ(total_messages.load(), expected);
+}
+
+TEST(TokenRing, AllEntriesGrantedExclusively) {
+  constexpr int kRanks = 5;
+  constexpr std::size_t kEntries = 8;
+  std::atomic<int> inside{0};
+  std::atomic<bool> violated{false};
+  std::atomic<long> counter{0};
+
+  World world(kRanks);
+  world.run([&](Communicator& comm) {
+    run_token_ring(comm, kEntries, [&] {
+      if (inside.fetch_add(1) != 0) violated = true;
+      counter.fetch_add(1);
+      inside.fetch_sub(1);
+    });
+  });
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(counter.load(), kRanks * static_cast<long>(kEntries));
+}
+
+TEST(TokenRing, SingleRankShortCircuits) {
+  World world(1);
+  world.run([&](Communicator& comm) {
+    int entries = 0;
+    const auto hops = run_token_ring(comm, 3, [&] { ++entries; });
+    EXPECT_EQ(entries, 3);
+    EXPECT_EQ(hops, 0u);
+  });
+}
+
+// ----------------------------------------------------------------- election
+
+TEST(RingElection, HighestAliveWins) {
+  constexpr int kRanks = 5;
+  World world(kRanks);
+  world.run([&](Communicator& comm) {
+    const std::vector<bool> alive(kRanks, true);
+    const auto result =
+        ring_election(comm, alive, /*initiate=*/comm.rank() == 2);
+    EXPECT_EQ(result.leader, kRanks - 1);
+  });
+}
+
+TEST(RingElection, SkipsDeadRanks) {
+  constexpr int kRanks = 5;
+  World world(kRanks);
+  world.run([&](Communicator& comm) {
+    std::vector<bool> alive(kRanks, true);
+    alive[4] = false;  // the would-be leader is dead
+    alive[1] = false;
+    if (!alive[static_cast<std::size_t>(comm.rank())]) {
+      EXPECT_EQ(ring_election(comm, alive, false).leader, -1);
+      return;
+    }
+    const auto result =
+        ring_election(comm, alive, /*initiate=*/comm.rank() == 0);
+    EXPECT_EQ(result.leader, 3);
+  });
+}
+
+TEST(RingElection, MultipleInitiatorsAgree) {
+  constexpr int kRanks = 4;
+  World world(kRanks);
+  world.run([&](Communicator& comm) {
+    const std::vector<bool> alive(kRanks, true);
+    const auto result = ring_election(comm, alive, /*initiate=*/true);
+    EXPECT_EQ(result.leader, kRanks - 1);
+  });
+}
+
+TEST(BullyElection, HighestAliveWins) {
+  constexpr int kRanks = 4;
+  World world(kRanks);
+  world.run([&](Communicator& comm) {
+    const std::vector<bool> alive(kRanks, true);
+    const auto result = bully_election(comm, alive, /*initiator=*/0);
+    EXPECT_EQ(result.leader, kRanks - 1);
+  });
+}
+
+TEST(BullyElection, TakesOverWhenTopIsDead) {
+  constexpr int kRanks = 4;
+  World world(kRanks);
+  world.run([&](Communicator& comm) {
+    std::vector<bool> alive(kRanks, true);
+    alive[3] = false;
+    if (comm.rank() == 3) {
+      EXPECT_EQ(bully_election(comm, alive, 0).leader, -1);
+      return;
+    }
+    const auto result = bully_election(comm, alive, /*initiator=*/0);
+    EXPECT_EQ(result.leader, 2);
+  });
+}
+
+// ---------------------------------------------------------------------- 2PC
+
+TEST(TwoPhaseCommit, UnanimousVotesCommit) {
+  constexpr int kRanks = 4;
+  World world(kRanks);
+  world.run([&](Communicator& comm) {
+    const auto stats = comm.rank() == 0
+                           ? run_2pc_coordinator(comm)
+                           : run_2pc_participant(comm, /*vote_commit=*/true);
+    EXPECT_EQ(stats.decision, TxnDecision::kCommitted);
+    EXPECT_FALSE(stats.timed_out);
+  });
+}
+
+TEST(TwoPhaseCommit, SingleNoVoteAborts) {
+  constexpr int kRanks = 4;
+  World world(kRanks);
+  world.run([&](Communicator& comm) {
+    const auto stats =
+        comm.rank() == 0
+            ? run_2pc_coordinator(comm)
+            : run_2pc_participant(comm, /*vote_commit=*/comm.rank() != 2);
+    EXPECT_EQ(stats.decision, TxnDecision::kAborted);
+  });
+}
+
+TEST(TwoPhaseCommit, CoordinatorCrashLeadsToPresumedAbort) {
+  constexpr int kRanks = 3;
+  World world(kRanks);
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const auto stats = run_2pc_coordinator(comm, /*crash_before_decision=*/true);
+      EXPECT_EQ(stats.decision, TxnDecision::kAborted);
+    } else {
+      const auto stats = run_2pc_participant(comm, true,
+                                             std::chrono::milliseconds(50));
+      EXPECT_EQ(stats.decision, TxnDecision::kAborted);
+      EXPECT_TRUE(stats.timed_out);
+    }
+  });
+}
+
+TEST(TwoPhaseCommit, DecisionNamesRender) {
+  EXPECT_STREQ(to_string(TxnDecision::kCommitted), "committed");
+  EXPECT_STREQ(to_string(TxnDecision::kAborted), "aborted");
+}
+
+// ----------------------------------------------------------------- snapshot
+
+class SnapshotTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SnapshotTest, TokenConservationInvariant) {
+  const int ranks = GetParam();
+  constexpr std::int64_t kInitial = 20;
+  constexpr std::size_t kSends = 200;
+
+  std::atomic<std::int64_t> recorded_total{0};
+  std::atomic<std::int64_t> final_total{0};
+  World world(ranks);
+  world.run([&](Communicator& comm) {
+    const auto result = run_token_snapshot(comm, kInitial, kSends,
+                                           /*initiator=*/comm.rank() == 0,
+                                           /*seed=*/77);
+    recorded_total += result.recorded_local + result.recorded_in_flight;
+    final_total += result.final_tokens;
+    if (comm.rank() != 0) EXPECT_EQ(result.markers_sent,
+                                    static_cast<std::uint64_t>(comm.size() - 1));
+  });
+  EXPECT_EQ(recorded_total.load(), kInitial * ranks);
+  EXPECT_EQ(final_total.load(), kInitial * ranks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, SnapshotTest, ::testing::Values(1, 2, 3, 6),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+// ----------------------------------------------------------------- deadlock
+
+TEST(CmhDeadlock, ChainIsNotDeadlock) {
+  CmhDeadlockDetector detector(4);
+  detector.add_wait(0, 1);
+  detector.add_wait(1, 2);
+  detector.add_wait(2, 3);
+  EXPECT_FALSE(detector.detect(0));
+  EXPECT_FALSE(detector.detect_any());
+}
+
+TEST(CmhDeadlock, CycleDetectedFromMember) {
+  CmhDeadlockDetector detector(4);
+  detector.add_wait(0, 1);
+  detector.add_wait(1, 2);
+  detector.add_wait(2, 0);
+  EXPECT_TRUE(detector.detect(0));
+  EXPECT_TRUE(detector.detect(1));
+  EXPECT_GT(detector.probes_sent(), 0u);
+}
+
+TEST(CmhDeadlock, NonMemberInitiatorDoesNotSelfDetect) {
+  // 3 waits into a cycle {0,1,2} but is not on it: probes from 3 never
+  // return to 3, so 3 is not deadlocked (it would be unblocked if the
+  // cycle resolved... it wouldn't, but CMH answers "am I deadlocked" only
+  // for cycles through the initiator).
+  CmhDeadlockDetector detector(4);
+  detector.add_wait(0, 1);
+  detector.add_wait(1, 2);
+  detector.add_wait(2, 0);
+  detector.add_wait(3, 0);
+  EXPECT_FALSE(detector.detect(3));
+  EXPECT_TRUE(detector.detect_any());
+}
+
+TEST(CmhDeadlock, RemoveWaitBreaksCycle) {
+  CmhDeadlockDetector detector(3);
+  detector.add_wait(0, 1);
+  detector.add_wait(1, 0);
+  EXPECT_TRUE(detector.detect(0));
+  detector.remove_wait(1, 0);
+  EXPECT_FALSE(detector.detect(0));
+}
+
+TEST(CmhDeadlock, DiamondWithoutCycleTerminates) {
+  CmhDeadlockDetector detector(5);
+  detector.add_wait(0, 1);
+  detector.add_wait(0, 2);
+  detector.add_wait(1, 3);
+  detector.add_wait(2, 3);
+  detector.add_wait(3, 4);
+  EXPECT_FALSE(detector.detect(0));
+  // Duplicate suppression: 3's edges chased once, not twice.
+  EXPECT_LE(detector.probes_sent(), 6u);
+}
+
+// ------------------------------------------------------------ load balancing
+
+TEST(Balance, PoliciesOrderOnSkewedWork) {
+  const auto tasks = make_skewed_tasks(400, 5);
+  const auto rr = simulate_round_robin(tasks, 8);
+  const auto ll = simulate_least_loaded(tasks, 8);
+  const auto ws = simulate_work_stealing(tasks, 8);
+  EXPECT_GT(rr.makespan, ll.makespan);
+  // Stealing repairs imbalance at least as well as sharing repairs it at
+  // submission (modulo the tail task that bounds both).
+  EXPECT_LE(ws.makespan, rr.makespan);
+  EXPECT_GT(ws.steals, 0u);
+  EXPECT_GT(ll.utilization(), rr.utilization());
+}
+
+TEST(Balance, UniformWorkIsBalancedEverywhere) {
+  const std::vector<double> tasks(64, 1.0);
+  const auto rr = simulate_round_robin(tasks, 8);
+  const auto ws = simulate_work_stealing(tasks, 8);
+  EXPECT_DOUBLE_EQ(rr.makespan, 8.0);
+  EXPECT_DOUBLE_EQ(ws.makespan, 8.0);
+  EXPECT_DOUBLE_EQ(rr.utilization(), 1.0);
+}
+
+TEST(Balance, MakespanNeverBelowCriticalTask) {
+  std::vector<double> tasks(20, 0.1);
+  tasks.push_back(50.0);  // one giant task bounds every policy
+  for (const auto& result :
+       {simulate_round_robin(tasks, 4), simulate_least_loaded(tasks, 4),
+        simulate_work_stealing(tasks, 4)}) {
+    EXPECT_GE(result.makespan, 50.0);
+  }
+}
+
+TEST(Balance, SingleWorkerSerializes) {
+  const std::vector<double> tasks{1, 2, 3};
+  const auto result = simulate_work_stealing(tasks, 1);
+  EXPECT_DOUBLE_EQ(result.makespan, 6.0);
+  EXPECT_EQ(result.steals, 0u);
+}
+
+// -------------------------------------------------------- consistent hashing
+
+TEST(HashRing, DistributesKeysAcrossNodes) {
+  ConsistentHashRing ring(64);
+  for (int n = 0; n < 4; ++n) ring.add_node("node" + std::to_string(n));
+  std::map<std::string, int> counts;
+  for (int k = 0; k < 4000; ++k) {
+    counts[ring.node_for("key" + std::to_string(k))]++;
+  }
+  EXPECT_EQ(counts.size(), 4u);
+  for (const auto& [node, count] : counts) {
+    EXPECT_GT(count, 400) << node;  // no node starved (fair within ~2.5x)
+  }
+}
+
+TEST(HashRing, AddingNodeMovesOnlyItsShare) {
+  ConsistentHashRing ring(64);
+  for (int n = 0; n < 4; ++n) ring.add_node("node" + std::to_string(n));
+  std::vector<std::string> before;
+  for (int k = 0; k < 2000; ++k) {
+    before.push_back(ring.node_for("key" + std::to_string(k)));
+  }
+  ring.add_node("node4");
+  int moved = 0;
+  for (int k = 0; k < 2000; ++k) {
+    const auto& now = ring.node_for("key" + std::to_string(k));
+    if (now != before[static_cast<std::size_t>(k)]) {
+      EXPECT_EQ(now, "node4");  // keys only move TO the new node
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 100);   // it did take its share...
+  EXPECT_LT(moved, 1000);  // ...but far less than a rehash-everything
+}
+
+TEST(HashRing, RemovingNodeOnlyRemapsItsKeys) {
+  ConsistentHashRing ring(64);
+  for (int n = 0; n < 4; ++n) ring.add_node("node" + std::to_string(n));
+  std::vector<std::string> before;
+  for (int k = 0; k < 2000; ++k) {
+    before.push_back(ring.node_for("key" + std::to_string(k)));
+  }
+  ring.remove_node("node2");
+  for (int k = 0; k < 2000; ++k) {
+    const auto& now = ring.node_for("key" + std::to_string(k));
+    if (before[static_cast<std::size_t>(k)] != "node2") {
+      EXPECT_EQ(now, before[static_cast<std::size_t>(k)]);
+    } else {
+      EXPECT_NE(now, "node2");
+    }
+  }
+}
+
+TEST(HashRing, LookupIsDeterministic) {
+  ConsistentHashRing ring(16);
+  ring.add_node("a");
+  ring.add_node("b");
+  EXPECT_EQ(ring.node_for("x"), ring.node_for("x"));
+  EXPECT_EQ(ring.node_count(), 2u);
+}
+
+// ------------------------------------------------------------------ migration
+
+TEST(Migration, ReducesImbalanceBelowThreshold) {
+  std::vector<std::vector<double>> hosts{
+      {10, 10, 10, 5, 5}, {1}, {2, 1}, {1}};
+  const auto result = rebalance_by_migration(hosts, 6.0);
+  EXPECT_GT(result.migrations, 0u);
+  EXPECT_LT(result.final_imbalance, result.initial_imbalance);
+  EXPECT_LE(result.final_imbalance, 6.0 + 1e-9);
+}
+
+TEST(Migration, BalancedSystemNeedsNoMigration) {
+  std::vector<std::vector<double>> hosts{{5.0}, {5.0}, {5.0}};
+  const auto result = rebalance_by_migration(hosts, 1.0);
+  EXPECT_EQ(result.migrations, 0u);
+  EXPECT_DOUBLE_EQ(result.final_imbalance, 0.0);
+}
+
+TEST(Migration, UnsplittableLoadStopsGracefully) {
+  // One monolithic process cannot be moved without inverting the imbalance.
+  std::vector<std::vector<double>> hosts{{100.0}, {}};
+  const auto result = rebalance_by_migration(hosts, 1.0);
+  EXPECT_EQ(result.migrations, 0u);
+  EXPECT_DOUBLE_EQ(result.final_imbalance, 100.0);
+}
+
+}  // namespace

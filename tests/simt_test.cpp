@@ -1,0 +1,454 @@
+// Tests for pdc::simt: fiber scheduling, kernel indexing, shared memory +
+// barriers, coalescing and divergence metrics, occupancy, streams/events.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "simt/device.hpp"
+#include "support/rng.hpp"
+#include "simt/fiber.hpp"
+#include "simt/occupancy.hpp"
+#include "simt/stream.hpp"
+
+namespace {
+
+using namespace pdc::simt;
+
+// -------------------------------------------------------------------- fiber
+
+TEST(Fiber, RunsToCompletion) {
+  int x = 0;
+  Fiber fiber([&] { x = 42; });
+  EXPECT_EQ(fiber.resume(), Fiber::State::kFinished);
+  EXPECT_EQ(x, 42);
+}
+
+TEST(Fiber, YieldSuspendsAndResumes) {
+  std::vector<int> trace;
+  Fiber fiber([&] {
+    trace.push_back(1);
+    Fiber::yield();
+    trace.push_back(2);
+    Fiber::yield();
+    trace.push_back(3);
+  });
+  EXPECT_EQ(fiber.resume(), Fiber::State::kSuspended);
+  trace.push_back(10);
+  EXPECT_EQ(fiber.resume(), Fiber::State::kSuspended);
+  trace.push_back(20);
+  EXPECT_EQ(fiber.resume(), Fiber::State::kFinished);
+  EXPECT_EQ(trace, (std::vector<int>{1, 10, 2, 20, 3}));
+}
+
+TEST(Fiber, InterleavesMultipleFibers) {
+  std::string log;
+  Fiber a([&] { log += 'a'; Fiber::yield(); log += 'A'; });
+  Fiber b([&] { log += 'b'; Fiber::yield(); log += 'B'; });
+  a.resume();
+  b.resume();
+  a.resume();
+  b.resume();
+  EXPECT_EQ(log, "abAB");
+}
+
+TEST(Fiber, ResumingFinishedFiberIsACheckFailure) {
+  Fiber fiber([] {});
+  fiber.resume();
+  EXPECT_THROW(fiber.resume(), pdc::support::CheckFailure);
+}
+
+// ------------------------------------------------------------------ kernels
+
+TEST(Device, VectorAdd) {
+  Device device;
+  constexpr std::size_t kN = 1000;
+  auto a = device.alloc<float>(kN);
+  auto b = device.alloc<float>(kN);
+  auto c = device.alloc<float>(kN);
+  std::vector<float> ha(kN), hb(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    ha[i] = static_cast<float>(i);
+    hb[i] = static_cast<float>(2 * i);
+  }
+  device.write(a, ha);
+  device.write(b, hb);
+
+  const auto stats = device.launch_1d(kN, 128, [&](ThreadCtx& ctx) {
+    const std::size_t i = ctx.global_x();
+    if (ctx.branch(i < kN)) {
+      ctx.store(c, i, ctx.load(a, i) + ctx.load(b, i));
+    }
+  });
+
+  const auto hc = device.read(c);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_FLOAT_EQ(hc[i], static_cast<float>(3 * i));
+  }
+  EXPECT_EQ(stats.blocks, (kN + 127) / 128);
+  EXPECT_EQ(stats.threads, stats.blocks * 128);
+}
+
+TEST(Device, GridAndBlockIndexing2D) {
+  Device device;
+  const Dim3 grid{3, 2, 1};
+  const Dim3 block{4, 4, 1};
+  auto out = device.alloc<int>(grid.count() * block.count());
+  device.launch(grid, block, 0, [&](ThreadCtx& ctx) {
+    // Unique global slot from the full 2-D coordinates.
+    const auto gx = ctx.block_idx().x * ctx.block_dim().x + ctx.thread_idx().x;
+    const auto gy = ctx.block_idx().y * ctx.block_dim().y + ctx.thread_idx().y;
+    const auto width = ctx.grid_dim().x * ctx.block_dim().x;
+    ctx.store(out, gy * width + gx, static_cast<int>(gy * 1000 + gx));
+  });
+  const auto host = device.read(out);
+  const unsigned width = 12, height = 8;
+  for (unsigned y = 0; y < height; ++y) {
+    for (unsigned x = 0; x < width; ++x) {
+      EXPECT_EQ(host[y * width + x], static_cast<int>(y * 1000 + x));
+    }
+  }
+}
+
+TEST(Device, SharedMemoryBlockReduction) {
+  Device device;
+  constexpr unsigned kBlock = 64;
+  constexpr unsigned kBlocks = 8;
+  auto in = device.alloc<int>(kBlock * kBlocks);
+  auto out = device.alloc<int>(kBlocks);
+  std::vector<int> host(kBlock * kBlocks);
+  std::iota(host.begin(), host.end(), 0);
+  device.write(in, host);
+
+  const auto stats = device.launch(
+      Dim3{kBlocks}, Dim3{kBlock}, kBlock * sizeof(int), [&](ThreadCtx& ctx) {
+        int* shared = ctx.shared<int>();
+        const auto tid = ctx.thread_idx().x;
+        shared[tid] = ctx.load(in, ctx.global_x());
+        ctx.sync_threads();
+        // Tree reduction in shared memory.
+        for (unsigned stride = kBlock / 2; stride > 0; stride /= 2) {
+          if (ctx.branch(tid < stride)) shared[tid] += shared[tid + stride];
+          ctx.sync_threads();
+        }
+        if (tid == 0) ctx.store(out, ctx.block_idx().x, shared[0]);
+      });
+
+  const auto sums = device.read(out);
+  for (unsigned b = 0; b < kBlocks; ++b) {
+    int expected = 0;
+    for (unsigned i = 0; i < kBlock; ++i) {
+      expected += static_cast<int>(b * kBlock + i);
+    }
+    EXPECT_EQ(sums[b], expected);
+  }
+  EXPECT_GT(stats.barriers, 0u);  // the syncs really delimited epochs
+}
+
+TEST(Device, EarlyReturnWithOthersSyncing) {
+  // Guarded-return kernels (the `if (i >= n) return;` idiom) must not hang
+  // when the surviving threads keep synchronizing.
+  Device device;
+  auto out = device.alloc<int>(8);
+  device.launch(Dim3{1}, Dim3{16}, 8 * sizeof(int), [&](ThreadCtx& ctx) {
+    const auto tid = ctx.thread_idx().x;
+    if (tid >= 8) return;
+    int* shared = ctx.shared<int>();
+    shared[tid] = static_cast<int>(tid);
+    ctx.sync_threads();
+    ctx.store(out, tid, shared[7 - tid]);
+  });
+  const auto host = device.read(out);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(host[static_cast<std::size_t>(i)], 7 - i);
+}
+
+TEST(Device, OutOfBoundsAccessIsACheckFailure) {
+  Device device;
+  auto buf = device.alloc<int>(4);
+  EXPECT_THROW(
+      device.launch_1d(1, 1, [&](ThreadCtx& ctx) { ctx.load(buf, 100); }),
+      pdc::support::CheckFailure);
+}
+
+TEST(Device, OversizedBlockIsACheckFailure) {
+  Device device;
+  EXPECT_THROW(device.launch(Dim3{1}, Dim3{4096}, 0, [](ThreadCtx&) {}),
+               pdc::support::CheckFailure);
+}
+
+TEST(Device, OversizedSharedMemoryIsACheckFailure) {
+  Device device;
+  EXPECT_THROW(
+      device.launch(Dim3{1}, Dim3{32}, 1 << 20, [](ThreadCtx&) {}),
+      pdc::support::CheckFailure);
+}
+
+// ------------------------------------------------------------------ metrics
+
+TEST(Metrics, UnitStrideIsFullyCoalesced) {
+  Device device;  // warp = 32, segment = 128B, float = 4B
+  constexpr std::size_t kN = 32 * 64;
+  auto buf = device.alloc<float>(kN);
+  const auto stats = device.launch_1d(kN, 128, [&](ThreadCtx& ctx) {
+    ctx.store(buf, ctx.global_x(), 1.0f);
+  });
+  // 32 lanes × 4B consecutive = exactly one 128B segment per transaction.
+  EXPECT_EQ(stats.segments, stats.transactions);
+  EXPECT_DOUBLE_EQ(stats.coalescing_efficiency(), 1.0);
+}
+
+TEST(Metrics, LargeStrideDestroysCoalescing) {
+  Device device;
+  constexpr std::size_t kWarps = 16;
+  constexpr std::size_t kStride = 32;  // each lane lands in its own segment
+  auto buf = device.alloc<float>(32 * kWarps * kStride);
+  const auto stats = device.launch_1d(32 * kWarps, 32, [&](ThreadCtx& ctx) {
+    ctx.store(buf, ctx.global_x() * kStride, 1.0f);
+  });
+  EXPECT_EQ(stats.segments, stats.transactions * 32);
+  EXPECT_NEAR(stats.coalescing_efficiency(), 1.0 / 32, 1e-9);
+}
+
+TEST(Metrics, DivergenceDetectedWithinWarp) {
+  Device device;
+  auto buf = device.alloc<int>(64);
+  const auto stats = device.launch_1d(64, 64, [&](ThreadCtx& ctx) {
+    if (ctx.branch(ctx.global_x() % 2 == 0)) {
+      ctx.store(buf, ctx.global_x(), 1);
+    }
+  });
+  EXPECT_EQ(stats.divergence_rate(), 1.0);  // every warp splits odd/even
+}
+
+TEST(Metrics, UniformBranchIsNotDivergent) {
+  Device device;
+  auto buf = device.alloc<int>(64);
+  const auto stats = device.launch_1d(64, 32, [&](ThreadCtx& ctx) {
+    // Condition uniform across each warp (block-level).
+    if (ctx.branch(ctx.block_idx().x == 0)) {
+      ctx.store(buf, ctx.global_x(), 1);
+    }
+  });
+  EXPECT_GT(stats.branches, 0u);
+  EXPECT_EQ(stats.divergent_branches, 0u);
+  EXPECT_EQ(stats.divergence_rate(), 0.0);
+}
+
+TEST(Metrics, CyclesGrowWithSegments) {
+  Device device;
+  auto buf = device.alloc<float>(32 * 32 * 8);
+  const auto coalesced = device.launch_1d(32, 32, [&](ThreadCtx& ctx) {
+    ctx.store(buf, ctx.global_x(), 1.0f);
+  });
+  const auto strided = device.launch_1d(32, 32, [&](ThreadCtx& ctx) {
+    ctx.store(buf, ctx.global_x() * 32, 1.0f);
+  });
+  EXPECT_GT(strided.cycles, coalesced.cycles);
+}
+
+TEST(Metrics, TotalsAccumulateAcrossLaunches) {
+  Device device;
+  auto buf = device.alloc<int>(64);
+  device.launch_1d(64, 32, [&](ThreadCtx& ctx) { ctx.store(buf, ctx.global_x(), 1); });
+  device.launch_1d(64, 32, [&](ThreadCtx& ctx) { ctx.store(buf, ctx.global_x(), 2); });
+  EXPECT_EQ(device.totals().blocks, 4u);
+  EXPECT_EQ(device.totals().threads, 128u);
+}
+
+TEST(Metrics, SmallWarpConfigRespected) {
+  DeviceConfig config;
+  config.warp_size = 4;
+  Device device(config);
+  auto buf = device.alloc<int>(8);
+  const auto stats = device.launch_1d(8, 8, [&](ThreadCtx& ctx) {
+    if (ctx.branch(ctx.lane() == 0)) ctx.store(buf, ctx.global_x(), 1);
+  });
+  EXPECT_EQ(stats.warps, 2u);
+  EXPECT_EQ(stats.divergent_branches, 2u);
+}
+
+TEST(Metrics, AtomicAddCorrectAndCountsContention) {
+  Device device;
+  auto counter = device.alloc<long>(1);
+  const auto stats = device.launch_1d(256, 64, [&](ThreadCtx& ctx) {
+    ctx.atomic_add(counter, 0, long{1});
+  });
+  EXPECT_EQ(device.read(counter)[0], 256);
+  EXPECT_EQ(stats.atomics, 256u);
+  // All 32 lanes of each warp hit the same address: 31 serializations per
+  // warp, 8 warps.
+  EXPECT_EQ(stats.atomic_serializations, 8u * 31);
+}
+
+TEST(Metrics, SpreadAtomicsDoNotSerialize) {
+  Device device;
+  auto counters = device.alloc<long>(256);
+  const auto stats = device.launch_1d(256, 64, [&](ThreadCtx& ctx) {
+    ctx.atomic_add(counters, ctx.global_x(), long{1});
+  });
+  EXPECT_EQ(stats.atomics, 256u);
+  EXPECT_EQ(stats.atomic_serializations, 0u);
+}
+
+TEST(Metrics, HistogramPrivatizationReducesSerialization) {
+  // The canonical atomics lab: a global histogram with few bins serializes
+  // heavily; per-block privatization in shared memory followed by one
+  // flush per bin nearly eliminates global contention.
+  constexpr std::size_t kN = 2048;
+  constexpr unsigned kBins = 8;
+  std::vector<int> data(kN);
+  pdc::support::Rng rng(5);
+  for (auto& v : data) v = static_cast<int>(rng.index(kBins));
+
+  Device device;
+  auto input = device.alloc<int>(kN);
+  device.write(input, data);
+
+  auto global_hist = device.alloc<long>(kBins);
+  const auto naive = device.launch_1d(kN, 128, [&](ThreadCtx& ctx) {
+    const int bin = ctx.load(input, ctx.global_x());
+    ctx.atomic_add(global_hist, static_cast<std::size_t>(bin), long{1});
+  });
+
+  auto priv_hist = device.alloc<long>(kBins);
+  const auto privatized = device.launch(
+      Dim3{static_cast<unsigned>(kN / 128)}, Dim3{128}, kBins * sizeof(long),
+      [&](ThreadCtx& ctx) {
+        long* local = ctx.shared<long>();
+        const auto tid = ctx.thread_idx().x;
+        if (tid < kBins) local[tid] = 0;
+        ctx.sync_threads();
+        // Shared-memory increment: a block-local atomic, far cheaper than
+        // a global one (exact here — the simulator steps lanes of a block
+        // sequentially within an epoch).
+        ++local[ctx.load(input, ctx.global_x())];
+        ctx.sync_threads();
+        if (tid < kBins) {
+          ctx.atomic_add(priv_hist, tid, local[tid]);
+        }
+      });
+
+  // Same histogram both ways.
+  const auto h1 = device.read(global_hist);
+  const auto h2 = device.read(priv_hist);
+  for (unsigned b = 0; b < kBins; ++b) EXPECT_EQ(h1[b], h2[b]) << b;
+  // And far less global-atomic serialization.
+  EXPECT_GT(naive.atomic_serializations, 10 * privatized.atomic_serializations);
+}
+
+// ---------------------------------------------------------------- occupancy
+
+TEST(Occupancy, UnconstrainedKernelReachesFull) {
+  const auto result = occupancy(SmConfig{}, 256, 0, 0);
+  EXPECT_EQ(result.blocks_per_sm, 8u);
+  EXPECT_DOUBLE_EQ(result.occupancy, 1.0);
+}
+
+TEST(Occupancy, TinyBlocksAreBlockCountLimited) {
+  const auto result = occupancy(SmConfig{}, 32, 0, 0);
+  EXPECT_EQ(result.limiter, OccupancyLimiter::kBlocks);
+  EXPECT_EQ(result.blocks_per_sm, 32u);
+  EXPECT_DOUBLE_EQ(result.occupancy, 0.5);
+}
+
+TEST(Occupancy, SharedMemoryLimits) {
+  // 48KB of shared per block on a 96KB SM -> 2 blocks.
+  const auto result = occupancy(SmConfig{}, 256, 0, 48 * 1024);
+  EXPECT_EQ(result.limiter, OccupancyLimiter::kSharedMemory);
+  EXPECT_EQ(result.blocks_per_sm, 2u);
+  EXPECT_DOUBLE_EQ(result.occupancy, 0.25);
+}
+
+TEST(Occupancy, RegistersLimit) {
+  // 64 regs × 512 threads = 32768 regs per block; 65536 per SM -> 2 blocks.
+  const auto result = occupancy(SmConfig{}, 512, 64, 0);
+  EXPECT_EQ(result.limiter, OccupancyLimiter::kRegisters);
+  EXPECT_EQ(result.blocks_per_sm, 2u);
+  EXPECT_DOUBLE_EQ(result.occupancy, 0.5);
+}
+
+TEST(Occupancy, LimiterNamesRender) {
+  EXPECT_STREQ(to_string(OccupancyLimiter::kThreads), "threads");
+  EXPECT_STREQ(to_string(OccupancyLimiter::kSharedMemory), "shared_memory");
+}
+
+// ------------------------------------------------------------------ streams
+
+TEST(Stream, InOrderWriteLaunchRead) {
+  Device device;
+  auto buf = device.alloc<int>(100);
+  std::vector<int> input(100);
+  std::iota(input.begin(), input.end(), 0);
+  std::vector<int> output;
+
+  Stream stream(device);
+  stream.write(buf, input);
+  stream.launch(Dim3{1}, Dim3{100}, 0, [&, buf](ThreadCtx& ctx) mutable {
+    const auto i = ctx.global_x();
+    ctx.store(buf, i, ctx.load(buf, i) * 2);
+  });
+  stream.read(buf, &output);
+  stream.synchronize();
+
+  ASSERT_EQ(output.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(output[static_cast<std::size_t>(i)], 2 * i);
+}
+
+TEST(Stream, EventsOrderAcrossStreams) {
+  Device device;
+  auto buf = device.alloc<int>(1);
+  Stream producer(device);
+  Stream consumer(device);
+  Event ready;
+
+  producer.launch(Dim3{1}, Dim3{1}, 0,
+                  [buf](ThreadCtx& ctx) mutable { ctx.store(buf, 0, 7); });
+  producer.record(ready);
+
+  std::vector<int> seen;
+  consumer.wait(ready);
+  consumer.read(buf, &seen);
+  consumer.synchronize();
+
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], 7);  // the write was ordered before the read
+}
+
+TEST(Stream, EventQueryTransitions) {
+  Device device;
+  Stream stream(device);
+  Event gate_reached;
+  Event release;
+
+  stream.record(gate_reached);
+  stream.wait(release);  // parks the stream
+  Event after;
+  stream.record(after);
+
+  gate_reached.synchronize();
+  EXPECT_FALSE(after.query());
+  // Fire `release` by recording it on a second stream.
+  Stream opener(device);
+  opener.record(release);
+  after.synchronize();
+  EXPECT_TRUE(after.query());
+}
+
+TEST(Stream, TwoStreamsRunIndependently) {
+  Device device;
+  auto a = device.alloc<int>(256);
+  auto b = device.alloc<int>(256);
+  Stream sa(device);
+  Stream sb(device);
+  for (int round = 0; round < 4; ++round) {
+    sa.launch(Dim3{2}, Dim3{128}, 0,
+              [a](ThreadCtx& ctx) mutable { ctx.store(a, ctx.global_x(), 1); });
+    sb.launch(Dim3{2}, Dim3{128}, 0,
+              [b](ThreadCtx& ctx) mutable { ctx.store(b, ctx.global_x(), 2); });
+  }
+  sa.synchronize();
+  sb.synchronize();
+  EXPECT_EQ(device.read(a)[200], 1);
+  EXPECT_EQ(device.read(b)[200], 2);
+}
+
+}  // namespace
