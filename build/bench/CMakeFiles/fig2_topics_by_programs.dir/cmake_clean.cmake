@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_topics_by_programs.dir/fig2_topics_by_programs.cpp.o"
+  "CMakeFiles/fig2_topics_by_programs.dir/fig2_topics_by_programs.cpp.o.d"
+  "fig2_topics_by_programs"
+  "fig2_topics_by_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_topics_by_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

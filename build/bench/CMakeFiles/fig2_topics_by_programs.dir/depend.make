@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_topics_by_programs.
+# This may be replaced when dependencies are built.

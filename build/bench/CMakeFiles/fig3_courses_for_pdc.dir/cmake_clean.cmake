@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_courses_for_pdc.dir/fig3_courses_for_pdc.cpp.o"
+  "CMakeFiles/fig3_courses_for_pdc.dir/fig3_courses_for_pdc.cpp.o.d"
+  "fig3_courses_for_pdc"
+  "fig3_courses_for_pdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_courses_for_pdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lab_auc_pipeline.dir/lab_auc_pipeline.cpp.o"
+  "CMakeFiles/lab_auc_pipeline.dir/lab_auc_pipeline.cpp.o.d"
+  "lab_auc_pipeline"
+  "lab_auc_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lab_auc_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

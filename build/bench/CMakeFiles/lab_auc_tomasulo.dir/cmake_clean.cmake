@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lab_auc_tomasulo.dir/lab_auc_tomasulo.cpp.o"
+  "CMakeFiles/lab_auc_tomasulo.dir/lab_auc_tomasulo.cpp.o.d"
+  "lab_auc_tomasulo"
+  "lab_auc_tomasulo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lab_auc_tomasulo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lab_lau_multicore.dir/lab_lau_multicore.cpp.o"
+  "CMakeFiles/lab_lau_multicore.dir/lab_lau_multicore.cpp.o.d"
+  "lab_lau_multicore"
+  "lab_lau_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lab_lau_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

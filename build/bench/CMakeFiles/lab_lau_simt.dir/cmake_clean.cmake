@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lab_lau_simt.dir/lab_lau_simt.cpp.o"
+  "CMakeFiles/lab_lau_simt.dir/lab_lau_simt.cpp.o.d"
+  "lab_lau_simt"
+  "lab_lau_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lab_lau_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lab_rit_arq.dir/lab_rit_arq.cpp.o"
+  "CMakeFiles/lab_rit_arq.dir/lab_rit_arq.cpp.o.d"
+  "lab_rit_arq"
+  "lab_rit_arq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lab_rit_arq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

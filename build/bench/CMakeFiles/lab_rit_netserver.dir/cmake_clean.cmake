@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lab_rit_netserver.dir/lab_rit_netserver.cpp.o"
+  "CMakeFiles/lab_rit_netserver.dir/lab_rit_netserver.cpp.o.d"
+  "lab_rit_netserver"
+  "lab_rit_netserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lab_rit_netserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_amdahl_speedup.dir/perf_amdahl_speedup.cpp.o"
+  "CMakeFiles/perf_amdahl_speedup.dir/perf_amdahl_speedup.cpp.o.d"
+  "perf_amdahl_speedup"
+  "perf_amdahl_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_amdahl_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

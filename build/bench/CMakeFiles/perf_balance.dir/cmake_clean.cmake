@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_balance.dir/perf_balance.cpp.o"
+  "CMakeFiles/perf_balance.dir/perf_balance.cpp.o.d"
+  "perf_balance"
+  "perf_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

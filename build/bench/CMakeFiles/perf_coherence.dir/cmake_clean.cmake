@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_coherence.dir/perf_coherence.cpp.o"
+  "CMakeFiles/perf_coherence.dir/perf_coherence.cpp.o.d"
+  "perf_coherence"
+  "perf_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_collectives.dir/perf_collectives.cpp.o"
+  "CMakeFiles/perf_collectives.dir/perf_collectives.cpp.o.d"
+  "perf_collectives"
+  "perf_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

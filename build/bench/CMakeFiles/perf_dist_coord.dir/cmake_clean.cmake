@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_dist_coord.dir/perf_dist_coord.cpp.o"
+  "CMakeFiles/perf_dist_coord.dir/perf_dist_coord.cpp.o.d"
+  "perf_dist_coord"
+  "perf_dist_coord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_dist_coord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

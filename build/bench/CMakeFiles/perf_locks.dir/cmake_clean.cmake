@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_locks.dir/perf_locks.cpp.o"
+  "CMakeFiles/perf_locks.dir/perf_locks.cpp.o.d"
+  "perf_locks"
+  "perf_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_txn_sched.dir/perf_txn_sched.cpp.o"
+  "CMakeFiles/perf_txn_sched.dir/perf_txn_sched.cpp.o.d"
+  "perf_txn_sched"
+  "perf_txn_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_txn_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_ce2016_pdc.dir/table2_ce2016_pdc.cpp.o"
+  "CMakeFiles/table2_ce2016_pdc.dir/table2_ce2016_pdc.cpp.o.d"
+  "table2_ce2016_pdc"
+  "table2_ce2016_pdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_ce2016_pdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_se2014_pdc.dir/table3_se2014_pdc.cpp.o"
+  "CMakeFiles/table3_se2014_pdc.dir/table3_se2014_pdc.cpp.o.d"
+  "table3_se2014_pdc"
+  "table3_se2014_pdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_se2014_pdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

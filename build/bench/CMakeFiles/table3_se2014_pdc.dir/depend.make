@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_se2014_pdc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auc_architecture_course.dir/auc_architecture_course.cpp.o"
+  "CMakeFiles/auc_architecture_course.dir/auc_architecture_course.cpp.o.d"
+  "auc_architecture_course"
+  "auc_architecture_course.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auc_architecture_course.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

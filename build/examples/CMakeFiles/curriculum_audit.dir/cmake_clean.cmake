@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curriculum_audit.dir/curriculum_audit.cpp.o"
+  "CMakeFiles/curriculum_audit.dir/curriculum_audit.cpp.o.d"
+  "curriculum_audit"
+  "curriculum_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curriculum_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lau_manycore_course.dir/lau_manycore_course.cpp.o"
+  "CMakeFiles/lau_manycore_course.dir/lau_manycore_course.cpp.o.d"
+  "lau_manycore_course"
+  "lau_manycore_course.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lau_manycore_course.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lau_manycore_course.
+# This may be replaced when dependencies are built.

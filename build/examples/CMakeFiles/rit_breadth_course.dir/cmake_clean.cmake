@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rit_breadth_course.dir/rit_breadth_course.cpp.o"
+  "CMakeFiles/rit_breadth_course.dir/rit_breadth_course.cpp.o.d"
+  "rit_breadth_course"
+  "rit_breadth_course.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rit_breadth_course.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

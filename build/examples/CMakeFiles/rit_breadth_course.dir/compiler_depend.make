@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rit_breadth_course.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for rit_breadth_course.
+# This may be replaced when dependencies are built.

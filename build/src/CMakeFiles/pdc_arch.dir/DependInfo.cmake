@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cache.cpp" "src/CMakeFiles/pdc_arch.dir/arch/cache.cpp.o" "gcc" "src/CMakeFiles/pdc_arch.dir/arch/cache.cpp.o.d"
+  "/root/repo/src/arch/flynn.cpp" "src/CMakeFiles/pdc_arch.dir/arch/flynn.cpp.o" "gcc" "src/CMakeFiles/pdc_arch.dir/arch/flynn.cpp.o.d"
+  "/root/repo/src/arch/mesi.cpp" "src/CMakeFiles/pdc_arch.dir/arch/mesi.cpp.o" "gcc" "src/CMakeFiles/pdc_arch.dir/arch/mesi.cpp.o.d"
+  "/root/repo/src/arch/models.cpp" "src/CMakeFiles/pdc_arch.dir/arch/models.cpp.o" "gcc" "src/CMakeFiles/pdc_arch.dir/arch/models.cpp.o.d"
+  "/root/repo/src/arch/pipeline.cpp" "src/CMakeFiles/pdc_arch.dir/arch/pipeline.cpp.o" "gcc" "src/CMakeFiles/pdc_arch.dir/arch/pipeline.cpp.o.d"
+  "/root/repo/src/arch/tomasulo.cpp" "src/CMakeFiles/pdc_arch.dir/arch/tomasulo.cpp.o" "gcc" "src/CMakeFiles/pdc_arch.dir/arch/tomasulo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

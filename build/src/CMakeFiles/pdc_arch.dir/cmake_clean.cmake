@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_arch.dir/arch/cache.cpp.o"
+  "CMakeFiles/pdc_arch.dir/arch/cache.cpp.o.d"
+  "CMakeFiles/pdc_arch.dir/arch/flynn.cpp.o"
+  "CMakeFiles/pdc_arch.dir/arch/flynn.cpp.o.d"
+  "CMakeFiles/pdc_arch.dir/arch/mesi.cpp.o"
+  "CMakeFiles/pdc_arch.dir/arch/mesi.cpp.o.d"
+  "CMakeFiles/pdc_arch.dir/arch/models.cpp.o"
+  "CMakeFiles/pdc_arch.dir/arch/models.cpp.o.d"
+  "CMakeFiles/pdc_arch.dir/arch/pipeline.cpp.o"
+  "CMakeFiles/pdc_arch.dir/arch/pipeline.cpp.o.d"
+  "CMakeFiles/pdc_arch.dir/arch/tomasulo.cpp.o"
+  "CMakeFiles/pdc_arch.dir/arch/tomasulo.cpp.o.d"
+  "libpdc_arch.a"
+  "libpdc_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

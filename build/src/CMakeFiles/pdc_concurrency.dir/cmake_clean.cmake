@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_concurrency.dir/concurrency/lock_order.cpp.o"
+  "CMakeFiles/pdc_concurrency.dir/concurrency/lock_order.cpp.o.d"
+  "libpdc_concurrency.a"
+  "libpdc_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

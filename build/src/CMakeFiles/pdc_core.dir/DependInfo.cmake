@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bok.cpp" "src/CMakeFiles/pdc_core.dir/core/bok.cpp.o" "gcc" "src/CMakeFiles/pdc_core.dir/core/bok.cpp.o.d"
+  "/root/repo/src/core/case_studies.cpp" "src/CMakeFiles/pdc_core.dir/core/case_studies.cpp.o" "gcc" "src/CMakeFiles/pdc_core.dir/core/case_studies.cpp.o.d"
+  "/root/repo/src/core/competencies.cpp" "src/CMakeFiles/pdc_core.dir/core/competencies.cpp.o" "gcc" "src/CMakeFiles/pdc_core.dir/core/competencies.cpp.o.d"
+  "/root/repo/src/core/curriculum.cpp" "src/CMakeFiles/pdc_core.dir/core/curriculum.cpp.o" "gcc" "src/CMakeFiles/pdc_core.dir/core/curriculum.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/CMakeFiles/pdc_core.dir/core/registry.cpp.o" "gcc" "src/CMakeFiles/pdc_core.dir/core/registry.cpp.o.d"
+  "/root/repo/src/core/survey.cpp" "src/CMakeFiles/pdc_core.dir/core/survey.cpp.o" "gcc" "src/CMakeFiles/pdc_core.dir/core/survey.cpp.o.d"
+  "/root/repo/src/core/taxonomy.cpp" "src/CMakeFiles/pdc_core.dir/core/taxonomy.cpp.o" "gcc" "src/CMakeFiles/pdc_core.dir/core/taxonomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_core.dir/core/bok.cpp.o"
+  "CMakeFiles/pdc_core.dir/core/bok.cpp.o.d"
+  "CMakeFiles/pdc_core.dir/core/case_studies.cpp.o"
+  "CMakeFiles/pdc_core.dir/core/case_studies.cpp.o.d"
+  "CMakeFiles/pdc_core.dir/core/competencies.cpp.o"
+  "CMakeFiles/pdc_core.dir/core/competencies.cpp.o.d"
+  "CMakeFiles/pdc_core.dir/core/curriculum.cpp.o"
+  "CMakeFiles/pdc_core.dir/core/curriculum.cpp.o.d"
+  "CMakeFiles/pdc_core.dir/core/registry.cpp.o"
+  "CMakeFiles/pdc_core.dir/core/registry.cpp.o.d"
+  "CMakeFiles/pdc_core.dir/core/survey.cpp.o"
+  "CMakeFiles/pdc_core.dir/core/survey.cpp.o.d"
+  "CMakeFiles/pdc_core.dir/core/taxonomy.cpp.o"
+  "CMakeFiles/pdc_core.dir/core/taxonomy.cpp.o.d"
+  "libpdc_core.a"
+  "libpdc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

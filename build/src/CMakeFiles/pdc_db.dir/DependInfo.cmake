@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/lock_manager.cpp" "src/CMakeFiles/pdc_db.dir/db/lock_manager.cpp.o" "gcc" "src/CMakeFiles/pdc_db.dir/db/lock_manager.cpp.o.d"
+  "/root/repo/src/db/recovery.cpp" "src/CMakeFiles/pdc_db.dir/db/recovery.cpp.o" "gcc" "src/CMakeFiles/pdc_db.dir/db/recovery.cpp.o.d"
+  "/root/repo/src/db/serializability.cpp" "src/CMakeFiles/pdc_db.dir/db/serializability.cpp.o" "gcc" "src/CMakeFiles/pdc_db.dir/db/serializability.cpp.o.d"
+  "/root/repo/src/db/timestamp.cpp" "src/CMakeFiles/pdc_db.dir/db/timestamp.cpp.o" "gcc" "src/CMakeFiles/pdc_db.dir/db/timestamp.cpp.o.d"
+  "/root/repo/src/db/transaction.cpp" "src/CMakeFiles/pdc_db.dir/db/transaction.cpp.o" "gcc" "src/CMakeFiles/pdc_db.dir/db/transaction.cpp.o.d"
+  "/root/repo/src/db/workload.cpp" "src/CMakeFiles/pdc_db.dir/db/workload.cpp.o" "gcc" "src/CMakeFiles/pdc_db.dir/db/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdc_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

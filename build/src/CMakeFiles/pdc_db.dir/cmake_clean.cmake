@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_db.dir/db/lock_manager.cpp.o"
+  "CMakeFiles/pdc_db.dir/db/lock_manager.cpp.o.d"
+  "CMakeFiles/pdc_db.dir/db/recovery.cpp.o"
+  "CMakeFiles/pdc_db.dir/db/recovery.cpp.o.d"
+  "CMakeFiles/pdc_db.dir/db/serializability.cpp.o"
+  "CMakeFiles/pdc_db.dir/db/serializability.cpp.o.d"
+  "CMakeFiles/pdc_db.dir/db/timestamp.cpp.o"
+  "CMakeFiles/pdc_db.dir/db/timestamp.cpp.o.d"
+  "CMakeFiles/pdc_db.dir/db/transaction.cpp.o"
+  "CMakeFiles/pdc_db.dir/db/transaction.cpp.o.d"
+  "CMakeFiles/pdc_db.dir/db/workload.cpp.o"
+  "CMakeFiles/pdc_db.dir/db/workload.cpp.o.d"
+  "libpdc_db.a"
+  "libpdc_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

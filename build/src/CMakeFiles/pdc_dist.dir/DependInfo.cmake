@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/balance.cpp" "src/CMakeFiles/pdc_dist.dir/dist/balance.cpp.o" "gcc" "src/CMakeFiles/pdc_dist.dir/dist/balance.cpp.o.d"
+  "/root/repo/src/dist/causal.cpp" "src/CMakeFiles/pdc_dist.dir/dist/causal.cpp.o" "gcc" "src/CMakeFiles/pdc_dist.dir/dist/causal.cpp.o.d"
+  "/root/repo/src/dist/clock_sync.cpp" "src/CMakeFiles/pdc_dist.dir/dist/clock_sync.cpp.o" "gcc" "src/CMakeFiles/pdc_dist.dir/dist/clock_sync.cpp.o.d"
+  "/root/repo/src/dist/clocks.cpp" "src/CMakeFiles/pdc_dist.dir/dist/clocks.cpp.o" "gcc" "src/CMakeFiles/pdc_dist.dir/dist/clocks.cpp.o.d"
+  "/root/repo/src/dist/deadlock.cpp" "src/CMakeFiles/pdc_dist.dir/dist/deadlock.cpp.o" "gcc" "src/CMakeFiles/pdc_dist.dir/dist/deadlock.cpp.o.d"
+  "/root/repo/src/dist/election.cpp" "src/CMakeFiles/pdc_dist.dir/dist/election.cpp.o" "gcc" "src/CMakeFiles/pdc_dist.dir/dist/election.cpp.o.d"
+  "/root/repo/src/dist/mutex.cpp" "src/CMakeFiles/pdc_dist.dir/dist/mutex.cpp.o" "gcc" "src/CMakeFiles/pdc_dist.dir/dist/mutex.cpp.o.d"
+  "/root/repo/src/dist/snapshot.cpp" "src/CMakeFiles/pdc_dist.dir/dist/snapshot.cpp.o" "gcc" "src/CMakeFiles/pdc_dist.dir/dist/snapshot.cpp.o.d"
+  "/root/repo/src/dist/two_phase_commit.cpp" "src/CMakeFiles/pdc_dist.dir/dist/two_phase_commit.cpp.o" "gcc" "src/CMakeFiles/pdc_dist.dir/dist/two_phase_commit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdc_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdc_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

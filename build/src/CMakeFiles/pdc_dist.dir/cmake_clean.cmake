@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_dist.dir/dist/balance.cpp.o"
+  "CMakeFiles/pdc_dist.dir/dist/balance.cpp.o.d"
+  "CMakeFiles/pdc_dist.dir/dist/causal.cpp.o"
+  "CMakeFiles/pdc_dist.dir/dist/causal.cpp.o.d"
+  "CMakeFiles/pdc_dist.dir/dist/clock_sync.cpp.o"
+  "CMakeFiles/pdc_dist.dir/dist/clock_sync.cpp.o.d"
+  "CMakeFiles/pdc_dist.dir/dist/clocks.cpp.o"
+  "CMakeFiles/pdc_dist.dir/dist/clocks.cpp.o.d"
+  "CMakeFiles/pdc_dist.dir/dist/deadlock.cpp.o"
+  "CMakeFiles/pdc_dist.dir/dist/deadlock.cpp.o.d"
+  "CMakeFiles/pdc_dist.dir/dist/election.cpp.o"
+  "CMakeFiles/pdc_dist.dir/dist/election.cpp.o.d"
+  "CMakeFiles/pdc_dist.dir/dist/mutex.cpp.o"
+  "CMakeFiles/pdc_dist.dir/dist/mutex.cpp.o.d"
+  "CMakeFiles/pdc_dist.dir/dist/snapshot.cpp.o"
+  "CMakeFiles/pdc_dist.dir/dist/snapshot.cpp.o.d"
+  "CMakeFiles/pdc_dist.dir/dist/two_phase_commit.cpp.o"
+  "CMakeFiles/pdc_dist.dir/dist/two_phase_commit.cpp.o.d"
+  "libpdc_dist.a"
+  "libpdc_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mp/comm.cpp" "src/CMakeFiles/pdc_mp.dir/mp/comm.cpp.o" "gcc" "src/CMakeFiles/pdc_mp.dir/mp/comm.cpp.o.d"
+  "/root/repo/src/mp/mailbox.cpp" "src/CMakeFiles/pdc_mp.dir/mp/mailbox.cpp.o" "gcc" "src/CMakeFiles/pdc_mp.dir/mp/mailbox.cpp.o.d"
+  "/root/repo/src/mp/world.cpp" "src/CMakeFiles/pdc_mp.dir/mp/world.cpp.o" "gcc" "src/CMakeFiles/pdc_mp.dir/mp/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdc_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_mp.dir/mp/comm.cpp.o"
+  "CMakeFiles/pdc_mp.dir/mp/comm.cpp.o.d"
+  "CMakeFiles/pdc_mp.dir/mp/mailbox.cpp.o"
+  "CMakeFiles/pdc_mp.dir/mp/mailbox.cpp.o.d"
+  "CMakeFiles/pdc_mp.dir/mp/world.cpp.o"
+  "CMakeFiles/pdc_mp.dir/mp/world.cpp.o.d"
+  "libpdc_mp.a"
+  "libpdc_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

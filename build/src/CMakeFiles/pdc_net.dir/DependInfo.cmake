@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/arq.cpp" "src/CMakeFiles/pdc_net.dir/net/arq.cpp.o" "gcc" "src/CMakeFiles/pdc_net.dir/net/arq.cpp.o.d"
+  "/root/repo/src/net/checksum.cpp" "src/CMakeFiles/pdc_net.dir/net/checksum.cpp.o" "gcc" "src/CMakeFiles/pdc_net.dir/net/checksum.cpp.o.d"
+  "/root/repo/src/net/framing.cpp" "src/CMakeFiles/pdc_net.dir/net/framing.cpp.o" "gcc" "src/CMakeFiles/pdc_net.dir/net/framing.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/pdc_net.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/pdc_net.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/server.cpp" "src/CMakeFiles/pdc_net.dir/net/server.cpp.o" "gcc" "src/CMakeFiles/pdc_net.dir/net/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdc_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

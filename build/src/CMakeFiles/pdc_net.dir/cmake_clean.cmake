@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_net.dir/net/arq.cpp.o"
+  "CMakeFiles/pdc_net.dir/net/arq.cpp.o.d"
+  "CMakeFiles/pdc_net.dir/net/checksum.cpp.o"
+  "CMakeFiles/pdc_net.dir/net/checksum.cpp.o.d"
+  "CMakeFiles/pdc_net.dir/net/framing.cpp.o"
+  "CMakeFiles/pdc_net.dir/net/framing.cpp.o.d"
+  "CMakeFiles/pdc_net.dir/net/network.cpp.o"
+  "CMakeFiles/pdc_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/pdc_net.dir/net/server.cpp.o"
+  "CMakeFiles/pdc_net.dir/net/server.cpp.o.d"
+  "libpdc_net.a"
+  "libpdc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/parallel_for.cpp" "src/CMakeFiles/pdc_parallel.dir/parallel/parallel_for.cpp.o" "gcc" "src/CMakeFiles/pdc_parallel.dir/parallel/parallel_for.cpp.o.d"
+  "/root/repo/src/parallel/task_graph.cpp" "src/CMakeFiles/pdc_parallel.dir/parallel/task_graph.cpp.o" "gcc" "src/CMakeFiles/pdc_parallel.dir/parallel/task_graph.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/CMakeFiles/pdc_parallel.dir/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/pdc_parallel.dir/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/parallel/work_stealing.cpp" "src/CMakeFiles/pdc_parallel.dir/parallel/work_stealing.cpp.o" "gcc" "src/CMakeFiles/pdc_parallel.dir/parallel/work_stealing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdc_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

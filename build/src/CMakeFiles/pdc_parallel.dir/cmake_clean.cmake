@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_parallel.dir/parallel/parallel_for.cpp.o"
+  "CMakeFiles/pdc_parallel.dir/parallel/parallel_for.cpp.o.d"
+  "CMakeFiles/pdc_parallel.dir/parallel/task_graph.cpp.o"
+  "CMakeFiles/pdc_parallel.dir/parallel/task_graph.cpp.o.d"
+  "CMakeFiles/pdc_parallel.dir/parallel/thread_pool.cpp.o"
+  "CMakeFiles/pdc_parallel.dir/parallel/thread_pool.cpp.o.d"
+  "CMakeFiles/pdc_parallel.dir/parallel/work_stealing.cpp.o"
+  "CMakeFiles/pdc_parallel.dir/parallel/work_stealing.cpp.o.d"
+  "libpdc_parallel.a"
+  "libpdc_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simt/device.cpp" "src/CMakeFiles/pdc_simt.dir/simt/device.cpp.o" "gcc" "src/CMakeFiles/pdc_simt.dir/simt/device.cpp.o.d"
+  "/root/repo/src/simt/fiber.cpp" "src/CMakeFiles/pdc_simt.dir/simt/fiber.cpp.o" "gcc" "src/CMakeFiles/pdc_simt.dir/simt/fiber.cpp.o.d"
+  "/root/repo/src/simt/occupancy.cpp" "src/CMakeFiles/pdc_simt.dir/simt/occupancy.cpp.o" "gcc" "src/CMakeFiles/pdc_simt.dir/simt/occupancy.cpp.o.d"
+  "/root/repo/src/simt/stream.cpp" "src/CMakeFiles/pdc_simt.dir/simt/stream.cpp.o" "gcc" "src/CMakeFiles/pdc_simt.dir/simt/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdc_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pdc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_simt.dir/simt/device.cpp.o"
+  "CMakeFiles/pdc_simt.dir/simt/device.cpp.o.d"
+  "CMakeFiles/pdc_simt.dir/simt/fiber.cpp.o"
+  "CMakeFiles/pdc_simt.dir/simt/fiber.cpp.o.d"
+  "CMakeFiles/pdc_simt.dir/simt/occupancy.cpp.o"
+  "CMakeFiles/pdc_simt.dir/simt/occupancy.cpp.o.d"
+  "CMakeFiles/pdc_simt.dir/simt/stream.cpp.o"
+  "CMakeFiles/pdc_simt.dir/simt/stream.cpp.o.d"
+  "libpdc_simt.a"
+  "libpdc_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdc_support.dir/support/rng.cpp.o"
+  "CMakeFiles/pdc_support.dir/support/rng.cpp.o.d"
+  "CMakeFiles/pdc_support.dir/support/stats.cpp.o"
+  "CMakeFiles/pdc_support.dir/support/stats.cpp.o.d"
+  "CMakeFiles/pdc_support.dir/support/status.cpp.o"
+  "CMakeFiles/pdc_support.dir/support/status.cpp.o.d"
+  "CMakeFiles/pdc_support.dir/support/table.cpp.o"
+  "CMakeFiles/pdc_support.dir/support/table.cpp.o.d"
+  "libpdc_support.a"
+  "libpdc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[support_test]=] "/root/repo/build/tests/support_test")
+set_tests_properties([=[support_test]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;48;add_test;/root/repo/tests/CMakeLists.txt;1;pdckit_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[concurrency_test]=] "/root/repo/build/tests/concurrency_test")
+set_tests_properties([=[concurrency_test]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;48;add_test;/root/repo/tests/CMakeLists.txt;2;pdckit_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[parallel_test]=] "/root/repo/build/tests/parallel_test")
+set_tests_properties([=[parallel_test]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;48;add_test;/root/repo/tests/CMakeLists.txt;3;pdckit_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[mp_test]=] "/root/repo/build/tests/mp_test")
+set_tests_properties([=[mp_test]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;48;add_test;/root/repo/tests/CMakeLists.txt;4;pdckit_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[simt_test]=] "/root/repo/build/tests/simt_test")
+set_tests_properties([=[simt_test]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;48;add_test;/root/repo/tests/CMakeLists.txt;5;pdckit_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[arch_test]=] "/root/repo/build/tests/arch_test")
+set_tests_properties([=[arch_test]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;48;add_test;/root/repo/tests/CMakeLists.txt;6;pdckit_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[net_test]=] "/root/repo/build/tests/net_test")
+set_tests_properties([=[net_test]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;48;add_test;/root/repo/tests/CMakeLists.txt;7;pdckit_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[dist_test]=] "/root/repo/build/tests/dist_test")
+set_tests_properties([=[dist_test]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;48;add_test;/root/repo/tests/CMakeLists.txt;8;pdckit_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[db_test]=] "/root/repo/build/tests/db_test")
+set_tests_properties([=[db_test]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;48;add_test;/root/repo/tests/CMakeLists.txt;9;pdckit_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[core_test]=] "/root/repo/build/tests/core_test")
+set_tests_properties([=[core_test]=] PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;48;add_test;/root/repo/tests/CMakeLists.txt;10;pdckit_add_test;/root/repo/tests/CMakeLists.txt;0;")
