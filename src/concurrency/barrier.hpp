@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "support/check.hpp"
+#include "testkit/hooks.hpp"
 
 namespace pdc::concurrency {
 
@@ -30,17 +31,19 @@ class CyclicBarrier {
   /// Blocks until `parties` threads have arrived; returns the generation
   /// index that completed (useful for phase-numbered algorithms).
   std::size_t arrive_and_wait() {
+    testkit::yield_point("barrier.arrive");
     std::unique_lock lock(mutex_);
     const std::size_t my_generation = generation_;
     if (++waiting_ == parties_) {
       if (on_completion_) on_completion_();
       waiting_ = 0;
       ++generation_;
-      lock.unlock();
-      released_.notify_all();
+      testkit::notify_all(released_);
       return my_generation;
     }
-    released_.wait(lock, [&] { return generation_ != my_generation; });
+    testkit::wait(lock, released_,
+                  [&] { return generation_ != my_generation; },
+                  "barrier.wait");
     return my_generation;
   }
 
@@ -75,12 +78,14 @@ class SenseReversingBarrier {
   };
 
   void arrive_and_wait(LocalSense& local) {
+    testkit::yield_point("sense_barrier.arrive");
     const bool my_sense = local.sense;
     if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       remaining_.store(parties_, std::memory_order_relaxed);
       sense_.store(my_sense, std::memory_order_release);  // release the phase
     } else {
       while (sense_.load(std::memory_order_acquire) != my_sense) {
+        testkit::spin_yield("sense_barrier.spin");
         std::this_thread::yield();  // single-core friendliness; a dedicated
                                     // core would pure-spin here
       }
@@ -100,18 +105,19 @@ class CountdownLatch {
   explicit CountdownLatch(std::size_t count) : count_(count) {}
 
   void count_down(std::size_t n = 1) {
+    testkit::yield_point("latch.count_down");
     std::unique_lock lock(mutex_);
     PDC_CHECK_MSG(n <= count_, "latch counted below zero");
     count_ -= n;
     if (count_ == 0) {
-      lock.unlock();
-      zero_.notify_all();
+      testkit::notify_all(zero_);
     }
   }
 
   void wait() {
+    testkit::yield_point("latch.wait");
     std::unique_lock lock(mutex_);
-    zero_.wait(lock, [&] { return count_ == 0; });
+    testkit::wait(lock, zero_, [&] { return count_ == 0; }, "latch.wait");
   }
 
   [[nodiscard]] bool try_wait() const {

@@ -1,6 +1,15 @@
 // BoundedQueue<T>: the "properly synchronized queue" of CC2020's PDC
 // competency list — a multi-producer multi-consumer blocking bounded
 // buffer with orderly shutdown.
+//
+// All waits and notifications route through pdc::testkit hooks, so the
+// queue can be driven under a deterministic SimScheduler (no-ops in
+// production builds). Notifications are issued while the mutex is still
+// held: the earlier unlock-then-notify variant raced with waiter-side
+// destruction — a consumer could wake on the state change, observe the
+// queue drained, and destroy it before the producer's notify touched the
+// (now freed) condition variable. See tests/testkit_test for the
+// schedule-explored regression tests.
 #pragma once
 
 #include <condition_variable>
@@ -11,6 +20,7 @@
 
 #include "support/check.hpp"
 #include "support/status.hpp"
+#include "testkit/hooks.hpp"
 
 namespace pdc::concurrency {
 
@@ -26,46 +36,49 @@ class BoundedQueue {
 
   /// Blocks while full. Returns kClosed (item dropped) after close().
   support::Status push(T item) {
+    testkit::yield_point("bq.push");
     std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    testkit::wait(lock, not_full_,
+                  [&] { return items_.size() < capacity_ || closed_; },
+                  "bq.push.wait");
     if (closed_) return {support::StatusCode::kClosed, "queue closed"};
     items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+    testkit::notify_one(not_empty_);
     return support::Status::ok();
   }
 
   /// Non-blocking push; kUnavailable when full.
   support::Status try_push(T item) {
-    {
-      std::scoped_lock lock(mutex_);
-      if (closed_) return {support::StatusCode::kClosed, "queue closed"};
-      if (items_.size() >= capacity_)
-        return {support::StatusCode::kUnavailable, "queue full"};
-      items_.push_back(std::move(item));
-    }
-    not_empty_.notify_one();
+    testkit::yield_point("bq.try_push");
+    std::scoped_lock lock(mutex_);
+    if (closed_) return {support::StatusCode::kClosed, "queue closed"};
+    if (items_.size() >= capacity_)
+      return {support::StatusCode::kUnavailable, "queue full"};
+    items_.push_back(std::move(item));
+    testkit::notify_one(not_empty_);
     return support::Status::ok();
   }
 
   /// Blocks while empty. Returns kClosed only when the queue is closed AND
   /// drained, so no pushed item is ever lost.
   support::Result<T> pop() {
+    testkit::yield_point("bq.pop");
     std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    testkit::wait(lock, not_empty_,
+                  [&] { return !items_.empty() || closed_; }, "bq.pop.wait");
     if (items_.empty()) {
       return support::Status{support::StatusCode::kClosed, "queue closed and drained"};
     }
     T item = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    testkit::notify_one(not_full_);
     return item;
   }
 
   /// Non-blocking pop.
   support::Result<T> try_pop() {
-    std::unique_lock lock(mutex_);
+    testkit::yield_point("bq.try_pop");
+    std::scoped_lock lock(mutex_);
     if (items_.empty()) {
       if (closed_)
         return support::Status{support::StatusCode::kClosed, "queue closed and drained"};
@@ -73,17 +86,18 @@ class BoundedQueue {
     }
     T item = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    testkit::notify_one(not_full_);
     return item;
   }
 
   /// Timed pop; kTimeout if nothing arrives in time.
   template <typename Rep, typename Period>
   support::Result<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    testkit::yield_point("bq.pop_for");
     std::unique_lock lock(mutex_);
-    if (!not_empty_.wait_for(lock, timeout,
-                             [&] { return !items_.empty() || closed_; })) {
+    if (!testkit::wait_for(lock, not_empty_, timeout,
+                           [&] { return !items_.empty() || closed_; },
+                           "bq.pop_for.wait")) {
       return support::Status{support::StatusCode::kTimeout, "pop timed out"};
     }
     if (items_.empty()) {
@@ -91,20 +105,18 @@ class BoundedQueue {
     }
     T item = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    testkit::notify_one(not_full_);
     return item;
   }
 
   /// Wakes all blocked producers/consumers; producers fail immediately,
   /// consumers drain the remaining items then observe kClosed.
   void close() {
-    {
-      std::scoped_lock lock(mutex_);
-      closed_ = true;
-    }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    testkit::yield_point("bq.close");
+    std::scoped_lock lock(mutex_);
+    closed_ = true;
+    testkit::notify_all(not_empty_);
+    testkit::notify_all(not_full_);
   }
 
   [[nodiscard]] bool closed() const {

@@ -11,6 +11,8 @@
 #include <mutex>
 #include <utility>
 
+#include "testkit/hooks.hpp"
+
 namespace pdc::concurrency {
 
 template <typename T>
@@ -27,15 +29,14 @@ class Monitor {
   /// some waiter is blocked on.
   template <typename Fn>
   auto with(Fn&& fn) -> decltype(fn(std::declval<T&>())) {
+    testkit::yield_point("monitor.with");
     std::unique_lock lock(mutex_);
     if constexpr (std::is_void_v<decltype(fn(data_))>) {
       std::forward<Fn>(fn)(data_);
-      lock.unlock();
-      changed_.notify_all();
+      testkit::notify_all(changed_);
     } else {
       auto result = std::forward<Fn>(fn)(data_);
-      lock.unlock();
-      changed_.notify_all();
+      testkit::notify_all(changed_);
       return result;
     }
   }
@@ -50,16 +51,16 @@ class Monitor {
   /// Blocks until `pred(const T&)` holds, then runs `fn(T&)` under the lock.
   template <typename Pred, typename Fn>
   auto wait(Pred&& pred, Fn&& fn) -> decltype(fn(std::declval<T&>())) {
+    testkit::yield_point("monitor.wait");
     std::unique_lock lock(mutex_);
-    changed_.wait(lock, [&] { return pred(std::as_const(data_)); });
+    testkit::wait(lock, changed_,
+                  [&] { return pred(std::as_const(data_)); }, "monitor.wait");
     if constexpr (std::is_void_v<decltype(fn(data_))>) {
       std::forward<Fn>(fn)(data_);
-      lock.unlock();
-      changed_.notify_all();
+      testkit::notify_all(changed_);
     } else {
       auto result = std::forward<Fn>(fn)(data_);
-      lock.unlock();
-      changed_.notify_all();
+      testkit::notify_all(changed_);
       return result;
     }
   }
@@ -68,14 +69,15 @@ class Monitor {
   template <typename Rep, typename Period, typename Pred, typename Fn>
   bool wait_for(std::chrono::duration<Rep, Period> timeout, Pred&& pred,
                 Fn&& fn) {
+    testkit::yield_point("monitor.wait_for");
     std::unique_lock lock(mutex_);
-    if (!changed_.wait_for(lock, timeout,
-                           [&] { return pred(std::as_const(data_)); })) {
+    if (!testkit::wait_for(lock, changed_, timeout,
+                           [&] { return pred(std::as_const(data_)); },
+                           "monitor.wait_for")) {
       return false;
     }
     std::forward<Fn>(fn)(data_);
-    lock.unlock();
-    changed_.notify_all();
+    testkit::notify_all(changed_);
     return true;
   }
 

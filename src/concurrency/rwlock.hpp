@@ -2,12 +2,17 @@
 // condition variables — the construction OS courses derive from first
 // principles (readers share, writers exclude, waiting writers block new
 // readers to avoid writer starvation).
+//
+// Waits and notifies route through pdc::testkit hooks (no-ops outside a
+// SimScheduler run); notifications are issued under the mutex — see
+// bounded_queue.hpp for why unlock-then-notify is unsafe.
 #pragma once
 
 #include <condition_variable>
 #include <mutex>
 
 #include "support/check.hpp"
+#include "testkit/hooks.hpp"
 
 namespace pdc::concurrency {
 
@@ -18,42 +23,48 @@ class RwLock {
   RwLock& operator=(const RwLock&) = delete;
 
   void lock_shared() {
+    testkit::yield_point("rw.lock_shared");
     std::unique_lock lock(mutex_);
-    readers_turn_.wait(lock, [&] { return !writer_active_ && writers_waiting_ == 0; });
+    testkit::wait(lock, readers_turn_,
+                  [&] { return !writer_active_ && writers_waiting_ == 0; },
+                  "rw.lock_shared.wait");
     ++readers_active_;
   }
 
   void unlock_shared() {
+    testkit::yield_point("rw.unlock_shared");
     std::unique_lock lock(mutex_);
     PDC_CHECK(readers_active_ > 0);
     if (--readers_active_ == 0) {
-      lock.unlock();
-      writers_turn_.notify_one();
+      testkit::notify_one(writers_turn_);
     }
   }
 
   void lock() {
+    testkit::yield_point("rw.lock");
     std::unique_lock lock(mutex_);
     ++writers_waiting_;
-    writers_turn_.wait(lock, [&] { return !writer_active_ && readers_active_ == 0; });
+    testkit::wait(lock, writers_turn_,
+                  [&] { return !writer_active_ && readers_active_ == 0; },
+                  "rw.lock.wait");
     --writers_waiting_;
     writer_active_ = true;
   }
 
   void unlock() {
+    testkit::yield_point("rw.unlock");
     std::unique_lock lock(mutex_);
     PDC_CHECK(writer_active_);
     writer_active_ = false;
-    const bool writers_pending = writers_waiting_ > 0;
-    lock.unlock();
-    if (writers_pending) {
-      writers_turn_.notify_one();
+    if (writers_waiting_ > 0) {
+      testkit::notify_one(writers_turn_);
     } else {
-      readers_turn_.notify_all();
+      testkit::notify_all(readers_turn_);
     }
   }
 
   bool try_lock() {
+    testkit::yield_point("rw.try_lock");
     std::scoped_lock lock(mutex_);
     if (writer_active_ || readers_active_ > 0) return false;
     writer_active_ = true;
@@ -61,6 +72,7 @@ class RwLock {
   }
 
   bool try_lock_shared() {
+    testkit::yield_point("rw.try_lock_shared");
     std::scoped_lock lock(mutex_);
     if (writer_active_ || writers_waiting_ > 0) return false;
     ++readers_active_;

@@ -12,6 +12,7 @@
 #include <mutex>
 
 #include "support/check.hpp"
+#include "testkit/hooks.hpp"
 
 namespace pdc::concurrency {
 
@@ -32,13 +33,16 @@ class CountingSemaphore {
 
   /// P / wait / down: blocks until a permit is available.
   void acquire() {
+    testkit::yield_point("sem.acquire");
     std::unique_lock lock(mutex_);
-    available_.wait(lock, [&] { return count_ > 0; });
+    testkit::wait(lock, available_, [&] { return count_ > 0; },
+                  "sem.acquire.wait");
     --count_;
   }
 
   /// Non-blocking acquire.
   bool try_acquire() {
+    testkit::yield_point("sem.try_acquire");
     std::scoped_lock lock(mutex_);
     if (count_ == 0) return false;
     --count_;
@@ -48,8 +52,11 @@ class CountingSemaphore {
   /// Timed acquire; false on timeout.
   template <typename Rep, typename Period>
   bool try_acquire_for(std::chrono::duration<Rep, Period> timeout) {
+    testkit::yield_point("sem.try_acquire_for");
     std::unique_lock lock(mutex_);
-    if (!available_.wait_for(lock, timeout, [&] { return count_ > 0; })) {
+    if (!testkit::wait_for(lock, available_, timeout,
+                           [&] { return count_ > 0; },
+                           "sem.try_acquire_for.wait")) {
       return false;
     }
     --count_;
@@ -58,17 +65,16 @@ class CountingSemaphore {
 
   /// V / signal / up: returns `n` permits.
   void release(std::size_t n = 1) {
-    {
-      std::scoped_lock lock(mutex_);
-      if (max_ != 0) {
-        PDC_CHECK_MSG(count_ + n <= max_, "semaphore released past max_count");
-      }
-      count_ += n;
+    testkit::yield_point("sem.release");
+    std::scoped_lock lock(mutex_);
+    if (max_ != 0) {
+      PDC_CHECK_MSG(count_ + n <= max_, "semaphore released past max_count");
     }
+    count_ += n;
     if (n == 1) {
-      available_.notify_one();
+      testkit::notify_one(available_);
     } else {
-      available_.notify_all();
+      testkit::notify_all(available_);
     }
   }
 

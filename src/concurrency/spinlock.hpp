@@ -10,14 +10,19 @@
 #include <cstdint>
 #include <thread>
 
+#include "testkit/hooks.hpp"
+
 namespace pdc::concurrency {
 
 namespace detail {
 /// Bounded exponential backoff: spin a few times, then yield so the lock
-/// family behaves on oversubscribed/single-core hosts too.
+/// family behaves on oversubscribed/single-core hosts too. Under a
+/// testkit::SimScheduler run, every pause rotates to another logical
+/// thread so a spinner can never starve the lock holder.
 class Backoff {
  public:
   void pause() {
+    testkit::spin_yield("spinlock.spin");
     if (spins_ < kMaxSpins) {
       for (std::uint32_t i = 0; i < spins_; ++i) {
 #if defined(__x86_64__) || defined(__i386__)
@@ -41,13 +46,17 @@ class Backoff {
 class TasLock {
  public:
   void lock() {
+    testkit::yield_point("tas.lock");
     detail::Backoff backoff;
     while (flag_.exchange(true, std::memory_order_acquire)) backoff.pause();
   }
 
   bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
 
-  void unlock() { flag_.store(false, std::memory_order_release); }
+  void unlock() {
+    testkit::yield_point("tas.unlock");
+    flag_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> flag_{false};
@@ -58,6 +67,7 @@ class TasLock {
 class TtasLock {
  public:
   void lock() {
+    testkit::yield_point("ttas.lock");
     detail::Backoff backoff;
     for (;;) {
       while (flag_.load(std::memory_order_relaxed)) backoff.pause();
@@ -82,6 +92,7 @@ class TtasLock {
 class TicketLock {
  public:
   void lock() {
+    testkit::yield_point("ticket.lock");
     const std::uint64_t ticket =
         next_ticket_.fetch_add(1, std::memory_order_relaxed);
     detail::Backoff backoff;
@@ -176,11 +187,13 @@ class PetersonLock {
  public:
   /// `self` must be 0 or 1 and unique per thread.
   void lock(int self) {
+    testkit::yield_point("peterson.lock");
     const int other = 1 - self;
     interested_[self].store(true, std::memory_order_seq_cst);
     turn_.store(other, std::memory_order_seq_cst);
     while (interested_[other].load(std::memory_order_seq_cst) &&
            turn_.load(std::memory_order_seq_cst) == other) {
+      testkit::spin_yield("peterson.spin");
       std::this_thread::yield();
     }
   }

@@ -4,6 +4,7 @@
 
 #include "support/check.hpp"
 #include "support/stopwatch.hpp"
+#include "testkit/hooks.hpp"
 
 namespace pdc::dist {
 
@@ -42,6 +43,7 @@ ElectionResult ring_election(mp::Communicator& comm,
   }
 
   for (;;) {
+    testkit::yield_point("ring_election.pump");
     const mp::RecvInfo info = comm.probe(mp::kAnySource, mp::kAnyTag);
     if (info.tag == kTagElect) {
       const int candidate = comm.recv_value<int>(info.source, kTagElect);
@@ -132,6 +134,7 @@ ElectionResult bully_election(mp::Communicator& comm,
   };
 
   for (;;) {
+    testkit::yield_point("bully.pump");
     if (electing) {
       electing = false;
       if (challenge_higher() == 0) {

@@ -1,6 +1,7 @@
 #include "dist/mutex.hpp"
 
 #include "support/check.hpp"
+#include "testkit/hooks.hpp"
 
 namespace pdc::dist {
 
@@ -15,6 +16,7 @@ bool RicartAgrawala::theirs_wins(const RequestMsg& theirs) const {
 }
 
 void RicartAgrawala::pump_one() {
+  testkit::yield_point("ra.pump");
   // Wildcard probe keeps per-sender FIFO order across message kinds.
   const mp::RecvInfo info = comm_.probe(mp::kAnySource, mp::kAnyTag);
   switch (info.tag) {
@@ -45,6 +47,7 @@ void RicartAgrawala::pump_one() {
 }
 
 void RicartAgrawala::enter() {
+  testkit::yield_point("ra.enter");
   PDC_CHECK_MSG(!requesting_, "enter() while already holding/awaiting the CS");
   requesting_ = true;
   my_timestamp_ = clock_.tick();
@@ -59,6 +62,7 @@ void RicartAgrawala::enter() {
 }
 
 void RicartAgrawala::leave() {
+  testkit::yield_point("ra.leave");
   PDC_CHECK_MSG(requesting_, "leave() without enter()");
   requesting_ = false;
   for (int peer : deferred_) {
@@ -99,6 +103,7 @@ std::uint64_t run_token_ring(mp::Communicator& comm, std::size_t entries,
   std::uint64_t token = 0;
   bool holding = comm.rank() == 0;
   for (;;) {
+    testkit::yield_point("token_ring.hop");
     if (!holding) {
       token = comm.recv_value<std::uint64_t>((comm.rank() - 1 + p) % p, kTagToken);
       if (token == kStop) {

@@ -1,9 +1,11 @@
 #include "dist/two_phase_commit.hpp"
 
 #include <thread>
+#include <vector>
 
 #include "support/check.hpp"
 #include "support/stopwatch.hpp"
+#include "testkit/hooks.hpp"
 
 namespace pdc::dist {
 
@@ -11,6 +13,15 @@ namespace {
 constexpr int kTagPrepare = 40;
 constexpr int kTagVote = 41;
 constexpr int kTagDecision = 42;
+constexpr int kTagAck = 43;
+
+// Retransmission cadence and bound. Retries make every protocol message
+// survive a lossy fabric (testkit::FaultInjector); the bound keeps the
+// coordinator's final ack-collection terminating even if a participant's
+// ack is lost forever (two-generals: after kMaxRounds it presumes
+// delivery).
+constexpr double kRetryMillis = 2.0;
+constexpr int kMaxRounds = 250;
 }  // namespace
 
 const char* to_string(TxnDecision d) {
@@ -23,14 +34,41 @@ TpcStats run_2pc_coordinator(mp::Communicator& comm,
   TpcStats stats;
   const int p = comm.size();
 
-  // Phase 1: solicit votes.
+  // Phase 1: solicit votes, retransmitting PREPARE to silent peers so a
+  // dropped solicitation (or a dropped vote — participants re-vote until
+  // they hear a decision) cannot wedge the protocol.
+  std::vector<char> voted(static_cast<std::size_t>(p), 0);
+  std::vector<char> votes(static_cast<std::size_t>(p), 0);
+  int pending = p - 1;
+  support::Stopwatch retry;
   for (int peer = 1; peer < p; ++peer) {
     comm.send_value(char{1}, peer, kTagPrepare);
     ++stats.messages_sent;
   }
+  while (pending > 0) {
+    testkit::yield_point("2pc.coord.collect");
+    for (int peer = 1; peer < p; ++peer) {
+      if (voted[static_cast<std::size_t>(peer)]) continue;
+      if (comm.iprobe(peer, kTagVote)) {
+        votes[static_cast<std::size_t>(peer)] =
+            comm.recv_value<char>(peer, kTagVote);
+        voted[static_cast<std::size_t>(peer)] = 1;
+        --pending;
+      }
+    }
+    if (pending > 0 && retry.elapsed_millis() >= kRetryMillis) {
+      for (int peer = 1; peer < p; ++peer) {
+        if (voted[static_cast<std::size_t>(peer)]) continue;
+        comm.send_value(char{1}, peer, kTagPrepare);
+        ++stats.messages_sent;
+      }
+      retry.reset();
+    }
+    std::this_thread::yield();
+  }
   bool all_commit = true;
   for (int peer = 1; peer < p; ++peer) {
-    all_commit &= comm.recv_value<char>(peer, kTagVote) != 0;
+    all_commit &= votes[static_cast<std::size_t>(peer)] != 0;
   }
 
   if (crash_before_decision) {
@@ -41,12 +79,31 @@ TpcStats run_2pc_coordinator(mp::Communicator& comm,
     return stats;
   }
 
-  // Phase 2: distribute the decision.
+  // Phase 2: distribute the decision until every participant acknowledges
+  // it (bounded rounds; see kMaxRounds above).
   stats.decision = all_commit ? TxnDecision::kCommitted : TxnDecision::kAborted;
   const char wire = stats.decision == TxnDecision::kCommitted ? 1 : 0;
-  for (int peer = 1; peer < p; ++peer) {
-    comm.send_value(wire, peer, kTagDecision);
-    ++stats.messages_sent;
+  std::vector<char> acked(static_cast<std::size_t>(p), 0);
+  pending = p - 1;
+  for (int round = 0; pending > 0 && round < kMaxRounds; ++round) {
+    testkit::yield_point("2pc.coord.decide");
+    for (int peer = 1; peer < p; ++peer) {
+      if (acked[static_cast<std::size_t>(peer)]) continue;
+      comm.send_value(wire, peer, kTagDecision);
+      ++stats.messages_sent;
+    }
+    retry.reset();
+    while (pending > 0 && retry.elapsed_millis() < kRetryMillis) {
+      for (int peer = 1; peer < p; ++peer) {
+        if (acked[static_cast<std::size_t>(peer)]) continue;
+        if (comm.iprobe(peer, kTagAck)) {
+          (void)comm.recv_value<char>(peer, kTagAck);
+          acked[static_cast<std::size_t>(peer)] = 1;
+          --pending;
+        }
+      }
+      std::this_thread::yield();
+    }
   }
   return stats;
 }
@@ -57,21 +114,43 @@ TpcStats run_2pc_participant(mp::Communicator& comm, bool vote_commit,
   TpcStats stats;
 
   (void)comm.recv_value<char>(0, kTagPrepare);
-  comm.send_value(char{vote_commit ? 1 : 0}, 0, kTagVote);
+  comm.send_value(static_cast<char>(vote_commit ? 1 : 0), 0, kTagVote);
   ++stats.messages_sent;
 
-  // Await the decision; presume abort on timeout (termination protocol).
+  // Await the decision; re-vote on a retry cadence (our vote may have been
+  // lost); presume abort on timeout (termination protocol).
   support::Stopwatch clock;
+  support::Stopwatch retry;
   for (;;) {
+    testkit::yield_point("2pc.part.await");
     if (auto info = comm.iprobe(0, kTagDecision)) {
       const char wire = comm.recv_value<char>(0, kTagDecision);
       stats.decision = wire != 0 ? TxnDecision::kCommitted : TxnDecision::kAborted;
+      comm.send_value(char{1}, 0, kTagAck);
+      ++stats.messages_sent;
+      // Linger briefly, re-acking retransmitted decisions: our ack may be
+      // lost, and once we return nobody answers the coordinator.
+      support::Stopwatch quiet;
+      while (quiet.elapsed_millis() < 5.0 * kRetryMillis) {
+        if (comm.iprobe(0, kTagDecision)) {
+          (void)comm.recv_value<char>(0, kTagDecision);
+          comm.send_value(char{1}, 0, kTagAck);
+          ++stats.messages_sent;
+          quiet.reset();
+        }
+        std::this_thread::yield();
+      }
       return stats;
     }
     if (clock.elapsed_millis() >= static_cast<double>(decision_timeout.count())) {
       stats.decision = TxnDecision::kAborted;
       stats.timed_out = true;
       return stats;
+    }
+    if (retry.elapsed_millis() >= kRetryMillis) {
+      comm.send_value(static_cast<char>(vote_commit ? 1 : 0), 0, kTagVote);
+      ++stats.messages_sent;
+      retry.reset();
     }
     std::this_thread::yield();
   }

@@ -3,7 +3,51 @@
 #include <algorithm>
 #include <chrono>
 
+#include "testkit/fault_injector.hpp"
+#include "testkit/hooks.hpp"
+
 namespace pdc::mp {
+
+namespace detail {
+
+void Fabric::deliver(std::size_t box, Message message) {
+  // Collective/internal contexts (odd) and un-instrumented fabrics take
+  // the direct path.
+  if (!injector || message.envelope.context % 2 != 0) {
+    boxes[box]->deliver(std::move(message));
+    return;
+  }
+  const testkit::FaultDecision decision = injector->next();
+  std::vector<HeldMessage> due;
+  {
+    std::scoped_lock lock(held_mutex_);
+    // Age previously held (reordered) messages first so the current one
+    // cannot release itself.
+    for (auto it = held_.begin(); it != held_.end();) {
+      if (--it->remaining <= 0) {
+        due.push_back(std::move(*it));
+        it = held_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!decision.drop && decision.reordered) {
+      held_.push_back(HeldMessage{box, std::move(message),
+                                  injector->config().reorder_after});
+    }
+  }
+  if (!decision.drop && !decision.reordered) {
+    for (std::size_t copy = 1; copy < decision.copies; ++copy) {
+      boxes[box]->deliver(message);  // duplicate: deliver a copy first
+    }
+    boxes[box]->deliver(std::move(message));
+  }
+  for (auto& held : due) {
+    boxes[held.box]->deliver(std::move(held.message));
+  }
+}
+
+}  // namespace detail
 
 double Communicator::wtime() {
   return std::chrono::duration<double>(

@@ -15,9 +15,12 @@
 // (compared in bench/perf_collectives).
 #pragma once
 
+#include <atomic>
 #include <cstring>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <type_traits>
 #include <vector>
@@ -26,19 +29,46 @@
 #include "mp/message.hpp"
 #include "support/check.hpp"
 
+namespace pdc::testkit {
+class FaultInjector;
+}  // namespace pdc::testkit
+
 namespace pdc::mp {
 
 namespace detail {
 
 /// Shared delivery fabric: one mailbox per world rank plus a context
 /// allocator for derived communicators.
+///
+/// When a testkit::FaultInjector is attached (World::set_fault_injector),
+/// every USER-context message (even contexts) consults it on delivery and
+/// may be dropped, duplicated, or held back past later traffic. Collective
+/// and internal contexts (odd) are never impaired — collectives assume a
+/// reliable transport, and the lessons inject faults only where protocols
+/// are supposed to tolerate them.
 struct Fabric {
   explicit Fabric(int size) {
     boxes.reserve(static_cast<std::size_t>(size));
     for (int i = 0; i < size; ++i) boxes.push_back(std::make_unique<Mailbox>());
   }
+
+  /// Delivery entry point used by Communicator; applies fault injection.
+  /// Defined in comm.cpp (needs the FaultInjector definition).
+  void deliver(std::size_t box, Message message);
+
   std::vector<std::unique_ptr<Mailbox>> boxes;
   std::atomic<std::uint32_t> next_context{2};  // 0/1 belong to the world comm
+
+  std::shared_ptr<testkit::FaultInjector> injector;  // may be null
+
+ private:
+  struct HeldMessage {  // reordered: released after `remaining` deliveries
+    std::size_t box;
+    Message message;
+    int remaining;
+  };
+  std::mutex held_mutex_;
+  std::deque<HeldMessage> held_;
 };
 
 }  // namespace detail
@@ -466,8 +496,9 @@ class Communicator {
   Mailbox& mailbox() { return *fabric_->boxes[static_cast<std::size_t>(members_[static_cast<std::size_t>(rank_)])]; }
 
   void deliver(int dest, std::uint32_t context, int tag, Payload payload) {
-    fabric_->boxes[static_cast<std::size_t>(members_[static_cast<std::size_t>(dest)])]
-        ->deliver(Message{Envelope{context, rank_, tag}, std::move(payload)});
+    fabric_->deliver(
+        static_cast<std::size_t>(members_[static_cast<std::size_t>(dest)]),
+        Message{Envelope{context, rank_, tag}, std::move(payload)});
   }
 
   template <typename T>

@@ -1,5 +1,7 @@
 #include "mp/mailbox.hpp"
 
+#include "testkit/hooks.hpp"
+
 namespace pdc::mp {
 
 namespace {
@@ -14,11 +16,13 @@ bool matches(const Envelope& envelope, std::uint32_t context, int source,
 }  // namespace
 
 void Mailbox::deliver(Message message) {
-  {
-    std::scoped_lock lock(mutex_);
-    queue_.push_back(std::move(message));
-  }
-  arrived_.notify_all();
+  std::scoped_lock lock(mutex_);
+  queue_.push_back(std::move(message));
+  // Notify under the lock: the unlock-then-notify variant races with a
+  // matcher that drains the queue and destroys the mailbox (see
+  // concurrency/bounded_queue.hpp), and testkit's scheduler needs the
+  // notification ordered with the state change.
+  testkit::notify_all(arrived_);
 }
 
 std::size_t Mailbox::find_locked(std::uint32_t context, int source,
@@ -30,12 +34,15 @@ std::size_t Mailbox::find_locked(std::uint32_t context, int source,
 }
 
 Message Mailbox::match(std::uint32_t context, int source, int tag) {
+  testkit::yield_point("mailbox.match");
   std::unique_lock lock(mutex_);
   std::size_t idx;
-  arrived_.wait(lock, [&] {
-    idx = find_locked(context, source, tag);
-    return idx != kNpos;
-  });
+  testkit::wait(lock, arrived_,
+                [&] {
+                  idx = find_locked(context, source, tag);
+                  return idx != kNpos;
+                },
+                "mailbox.match.wait");
   Message message = std::move(queue_[idx]);
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
   return message;
@@ -43,6 +50,7 @@ Message Mailbox::match(std::uint32_t context, int source, int tag) {
 
 std::optional<Message> Mailbox::try_match(std::uint32_t context, int source,
                                           int tag) {
+  testkit::yield_point("mailbox.try_match");
   std::scoped_lock lock(mutex_);
   const std::size_t idx = find_locked(context, source, tag);
   if (idx == kNpos) return std::nullopt;
@@ -52,12 +60,15 @@ std::optional<Message> Mailbox::try_match(std::uint32_t context, int source,
 }
 
 RecvInfo Mailbox::probe(std::uint32_t context, int source, int tag) {
+  testkit::yield_point("mailbox.probe");
   std::unique_lock lock(mutex_);
   std::size_t idx;
-  arrived_.wait(lock, [&] {
-    idx = find_locked(context, source, tag);
-    return idx != kNpos;
-  });
+  testkit::wait(lock, arrived_,
+                [&] {
+                  idx = find_locked(context, source, tag);
+                  return idx != kNpos;
+                },
+                "mailbox.probe.wait");
   const Message& message = queue_[idx];
   return RecvInfo{message.envelope.source, message.envelope.tag,
                   message.payload.size()};
@@ -65,6 +76,7 @@ RecvInfo Mailbox::probe(std::uint32_t context, int source, int tag) {
 
 std::optional<RecvInfo> Mailbox::try_probe(std::uint32_t context, int source,
                                            int tag) {
+  testkit::yield_point("mailbox.try_probe");
   std::scoped_lock lock(mutex_);
   const std::size_t idx = find_locked(context, source, tag);
   if (idx == kNpos) return std::nullopt;

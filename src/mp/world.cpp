@@ -4,18 +4,34 @@
 #include <mutex>
 #include <numeric>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "support/check.hpp"
+#include "testkit/fault_injector.hpp"
 
 namespace pdc::mp {
+
+namespace {
+std::shared_ptr<detail::Fabric> make_fabric(
+    int size, std::shared_ptr<testkit::FaultInjector> injector) {
+  auto fabric = std::make_shared<detail::Fabric>(size);
+  fabric->injector = std::move(injector);
+  return fabric;
+}
+}  // namespace
 
 World::World(int size) : size_(size) {
   PDC_CHECK_MSG(size >= 1, "world size must be at least 1");
 }
 
+void World::set_fault_injector(
+    std::shared_ptr<testkit::FaultInjector> injector) {
+  injector_ = std::move(injector);
+}
+
 void World::run(const std::function<void(Communicator&)>& fn) {
-  auto fabric = std::make_shared<detail::Fabric>(size_);
+  auto fabric = make_fabric(size_, injector_);
   std::vector<int> members(static_cast<std::size_t>(size_));
   std::iota(members.begin(), members.end(), 0);
 
@@ -37,6 +53,26 @@ void World::run(const std::function<void(Communicator&)>& fn) {
   }
   for (auto& t : ranks) t.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<std::function<void()>> World::rank_bodies(
+    std::function<void(Communicator&)> fn) {
+  auto fabric = make_fabric(size_, injector_);
+  auto members = std::make_shared<std::vector<int>>(
+      static_cast<std::size_t>(size_));
+  std::iota(members->begin(), members->end(), 0);
+  auto shared_fn =
+      std::make_shared<std::function<void(Communicator&)>>(std::move(fn));
+
+  std::vector<std::function<void()>> bodies;
+  bodies.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    bodies.push_back([fabric, members, shared_fn, r] {
+      Communicator comm(fabric, *members, r, /*user_context=*/0);
+      (*shared_fn)(comm);
+    });
+  }
+  return bodies;
 }
 
 }  // namespace pdc::mp

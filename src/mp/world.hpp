@@ -2,8 +2,14 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "mp/comm.hpp"
+
+namespace pdc::testkit {
+class FaultInjector;
+}  // namespace pdc::testkit
 
 namespace pdc::mp {
 
@@ -17,12 +23,27 @@ class World {
 
   [[nodiscard]] int size() const { return size_; }
 
+  /// Attaches a fault injector to all subsequent runs. Point-to-point
+  /// traffic on user contexts is then dropped/duplicated/reordered per the
+  /// injector's seeded decision stream; collective (internal) contexts stay
+  /// reliable. Pass nullptr to detach.
+  void set_fault_injector(std::shared_ptr<testkit::FaultInjector> injector);
+
   /// Runs one SPMD program. The first exception thrown by any rank is
   /// rethrown here after every rank has been joined.
   void run(const std::function<void(Communicator&)>& fn);
 
+  /// Builds one closure per rank over a fresh fabric, without spawning
+  /// threads. This is the seam for testkit::SimScheduler: hand the bodies
+  /// to the scheduler and the SPMD program runs under a deterministic,
+  /// seed-controlled interleaving instead of free-running OS threads.
+  /// Exceptions propagate out of each body unchanged.
+  [[nodiscard]] std::vector<std::function<void()>> rank_bodies(
+      std::function<void(Communicator&)> fn);
+
  private:
   int size_;
+  std::shared_ptr<testkit::FaultInjector> injector_;
 };
 
 }  // namespace pdc::mp

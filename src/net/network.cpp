@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/check.hpp"
+#include "testkit/fault_injector.hpp"
 
 namespace pdc::net {
 
@@ -175,7 +176,19 @@ void Network::schedule(std::function<void()> deliver, bool impaired) {
   double jitter = 0.0;
   {
     std::scoped_lock lock(mutex_);
-    if (impaired) {
+    if (impaired && injector_) {
+      // Injector overrides the NetConfig model: drops/duplicates/delays come
+      // from its seeded decision stream; "reordered" packets are held back by
+      // reorder_ms so subsequently sent packets overtake them.
+      const testkit::FaultDecision decision = injector_->next();
+      if (decision.drop) {
+        ++dropped_;
+        return;
+      }
+      copies = decision.copies;
+      jitter = decision.extra_delay_ms;
+      if (decision.reordered) jitter += injector_->config().reorder_ms;
+    } else if (impaired) {
       if (rng_.bernoulli(config_.loss)) {
         ++dropped_;
         return;
@@ -272,10 +285,12 @@ support::Result<StreamSocket> Network::connect(int from_host,
           }
         }
         {
+          // Notify while holding the lock: connect()'s stack frame (and the
+          // CV on it) may vanish the instant the waiter sees accepted==true.
           std::scoped_lock lock(done_mutex);
           accepted = true;
+          done_cv.notify_one();
         }
-        done_cv.notify_one();
       },
       /*impaired=*/false);
   {
@@ -288,6 +303,12 @@ support::Result<StreamSocket> Network::connect(int from_host,
 std::uint64_t Network::dropped() const {
   std::scoped_lock lock(mutex_);
   return dropped_;
+}
+
+void Network::set_fault_injector(
+    std::shared_ptr<testkit::FaultInjector> injector) {
+  std::scoped_lock lock(mutex_);
+  injector_ = std::move(injector);
 }
 
 void Network::unbind_datagram(const Address& addr) {

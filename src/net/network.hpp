@@ -32,6 +32,10 @@
 #include "support/rng.hpp"
 #include "support/status.hpp"
 
+namespace pdc::testkit {
+class FaultInjector;
+}  // namespace pdc::testkit
+
 namespace pdc::net {
 
 struct NetConfig {
@@ -185,6 +189,13 @@ class Network {
   /// Datagrams dropped by the impairment model so far.
   [[nodiscard]] std::uint64_t dropped() const;
 
+  /// Replaces the NetConfig impairment model for datagram traffic with a
+  /// testkit::FaultInjector: drop/duplicate/delay come from the injector's
+  /// seeded decision stream, and "reordered" packets get an extra delay so
+  /// later packets overtake them. Stream traffic stays reliable. Pass
+  /// nullptr to restore the built-in model.
+  void set_fault_injector(std::shared_ptr<testkit::FaultInjector> injector);
+
  private:
   friend class DatagramSocket;
   friend class StreamSocket;
@@ -225,6 +236,7 @@ class Network {
   bool stopping_ = false;
   std::uint64_t dropped_ = 0;
   support::Rng rng_;
+  std::shared_ptr<testkit::FaultInjector> injector_;
   std::map<Address, DatagramSocket*> datagram_sockets_;
   std::map<Address, Listener*> listeners_;
   std::uint16_t next_ephemeral_ = 40000;

@@ -190,6 +190,7 @@ support::Status TaskGraph::run(ThreadPool& pool) {
     std::condition_variable all_done;
     std::vector<TaskId> completion_order;
     std::exception_ptr first_error;
+    std::function<void(TaskId)> execute;
     explicit RunState(std::size_t n) : remaining(n), outstanding(n) {}
   };
   auto state = std::make_shared<RunState>(tasks_.size());
@@ -200,7 +201,16 @@ support::Status TaskGraph::run(ThreadPool& pool) {
 
   // Each task, when finished, decrements its successors' counters and
   // schedules those that become ready — the standard dataflow execution.
-  std::function<void(TaskId)> execute = [&, state](TaskId id) {
+  // The closure lives inside RunState and every posted task holds shared
+  // ownership, so the state (and the closure itself) outlive the caller's
+  // stack frame no matter who finishes last; `execute` captures the state
+  // weakly to avoid an ownership cycle. The completion notify happens
+  // under the lock: the waiter may destroy its reference the instant the
+  // predicate holds, and the CV must not die mid-notify.
+  state->execute = [this, &pool,
+                    weak = std::weak_ptr<RunState>(state)](TaskId id) {
+    auto state = weak.lock();
+    PDC_CHECK(state != nullptr);
     const auto& task = tasks_[id];
     try {
       if (task.fn) task.fn();
@@ -214,17 +224,18 @@ support::Status TaskGraph::run(ThreadPool& pool) {
     }
     for (TaskId next : task.successors) {
       if (state->remaining[next].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        pool.post([&execute, next] { execute(next); });
+        pool.post([state, next] { state->execute(next); });
       }
     }
     if (state->outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::scoped_lock lock(state->mutex);
       state->all_done.notify_all();
     }
   };
 
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
     if (tasks_[i].predecessor_count == 0) {
-      pool.post([&execute, i] { execute(i); });
+      pool.post([state, i] { state->execute(i); });
     }
   }
 

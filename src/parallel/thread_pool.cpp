@@ -22,14 +22,17 @@ ThreadPool::ThreadPool(std::size_t threads)
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   queue_.close();
+  if (joined_) return;
+  joined_ = true;
   for (auto& worker : workers_) worker.join();
 }
 
-void ThreadPool::post(std::function<void()> fn) {
-  const auto status = queue_.push(std::move(fn));
-  PDC_CHECK_MSG(status.is_ok(), "post after ThreadPool shutdown");
+support::Status ThreadPool::post(std::function<void()> fn) {
+  return queue_.push(std::move(fn));
 }
 
 bool ThreadPool::inside_worker() const { return t_current_pool == this; }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "concurrency/bounded_queue.hpp"
+#include "support/status.hpp"
 
 namespace pdc::parallel {
 
@@ -41,7 +42,14 @@ class ThreadPool {
 
   /// Fire-and-forget variant for void work the caller synchronizes itself
   /// (e.g. via a latch); avoids the future allocation on hot paths.
-  void post(std::function<void()> fn);
+  /// Returns kClosed (instead of throwing, unlike submit) after shutdown —
+  /// fire-and-forget callers during teardown have nowhere to catch.
+  support::Status post(std::function<void()> fn);
+
+  /// Drains queued tasks and joins every worker. Idempotent; called by the
+  /// destructor. After shutdown, `submit` throws and `post` returns
+  /// kClosed.
+  void shutdown();
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
@@ -53,6 +61,7 @@ class ThreadPool {
 
   concurrency::BoundedQueue<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  bool joined_ = false;
 };
 
 /// The process-wide default pool, sized to hardware concurrency. Intended

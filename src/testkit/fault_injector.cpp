@@ -1,0 +1,51 @@
+#include "testkit/fault_injector.hpp"
+
+#include "support/check.hpp"
+
+namespace pdc::testkit {
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(config), rng_(config.seed) {
+  PDC_CHECK(config_.drop >= 0.0 && config_.drop < 1.0);
+  PDC_CHECK(config_.duplicate >= 0.0 && config_.duplicate <= 1.0);
+  PDC_CHECK(config_.reorder >= 0.0 && config_.reorder <= 1.0);
+  PDC_CHECK(config_.delay_ms >= 0.0 && config_.jitter_ms >= 0.0);
+  PDC_CHECK(config_.reorder_ms >= 0.0 && config_.reorder_after >= 1);
+}
+
+FaultDecision FaultInjector::next() {
+  std::scoped_lock lock(mutex_);
+  ++stats_.messages;
+  FaultDecision decision;
+  // One draw per knob, in a fixed order, so a decision stream depends only
+  // on the seed and how many messages came before — not on which faults
+  // earlier messages happened to suffer.
+  const bool drop = rng_.bernoulli(config_.drop);
+  const bool duplicate = rng_.bernoulli(config_.duplicate);
+  const bool reorder = rng_.bernoulli(config_.reorder);
+  const double jitter =
+      config_.jitter_ms > 0.0 ? rng_.uniform(0.0, config_.jitter_ms) : 0.0;
+  if (drop) {
+    ++stats_.dropped;
+    decision.drop = true;
+    return decision;
+  }
+  if (duplicate) {
+    ++stats_.duplicated;
+    decision.copies = 2;
+  }
+  if (reorder) {
+    ++stats_.reordered;
+    decision.reordered = true;
+  }
+  decision.extra_delay_ms = config_.delay_ms + jitter +
+                            (decision.reordered ? config_.reorder_ms : 0.0);
+  return decision;
+}
+
+FaultStats FaultInjector::stats() const {
+  std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace pdc::testkit

@@ -1,0 +1,76 @@
+// FaultInjector: seeded message-fault decisions for the network fabric
+// (net::Network) and the message-passing runtime (mp::World).
+//
+// Each message consults the injector once; the decision stream is a pure
+// function of the seed and the consultation order, so a failing fault
+// pattern replays from its seed. The injector itself is transport
+// agnostic — it answers "what happens to the next message?" and the
+// transport applies the answer:
+//
+//  - net::Network maps extra_delay_ms onto the event queue (reordering
+//    emerges from delaying one datagram past its successors);
+//  - the mp fabric has no clock, so a reordered message is held back and
+//    released after `reorder_after` subsequent deliveries.
+//
+// Attach with Network::set_fault_injector / World::set_fault_injector.
+// Only payload-bearing, loss-eligible traffic is impaired: stream-socket
+// bytes (the reliable-service abstraction) and mp collective/internal
+// contexts pass through untouched, mirroring how the lessons inject
+// faults only where protocols are supposed to tolerate them.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "support/rng.hpp"
+
+namespace pdc::testkit {
+
+struct FaultConfig {
+  double drop = 0.0;        // P(message silently dropped)
+  double duplicate = 0.0;   // P(message delivered twice)
+  double reorder = 0.0;     // P(message delayed past later traffic)
+  double delay_ms = 0.0;    // fixed extra latency per message
+  double jitter_ms = 0.0;   // uniform extra latency in [0, jitter_ms)
+  double reorder_ms = 2.0;  // extra delay for reordered messages (timed nets)
+  int reorder_after = 2;    // deliveries to hold a reordered message (mp)
+  std::uint64_t seed = 0xfa17;
+};
+
+/// What to do with one message.
+struct FaultDecision {
+  bool drop = false;
+  bool reordered = false;
+  std::size_t copies = 1;       // 2 when duplicated
+  double extra_delay_ms = 0.0;  // includes delay, jitter and reorder penalty
+};
+
+struct FaultStats {
+  std::uint64_t messages = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config = {});
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Decision for the next message. Thread-safe; the stream of decisions
+  /// is deterministic in consultation order.
+  FaultDecision next();
+
+  [[nodiscard]] FaultStats stats() const;
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+
+ private:
+  const FaultConfig config_;
+  mutable std::mutex mutex_;
+  support::Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace pdc::testkit

@@ -1,0 +1,90 @@
+#include "testkit/schedule_explorer.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace pdc::testkit {
+
+std::string ExplorationResult::describe() const {
+  std::ostringstream os;
+  if (!failure_found) {
+    os << "no failure in " << runs << " runs";
+    return os.str();
+  }
+  os << "failure at seed " << failing_seed << " after " << runs
+     << " runs: " << failure << '\n'
+     << failing_report.format_minimal_trace();
+  return os.str();
+}
+
+ScheduleExplorer::ScheduleExplorer(ExplorerConfig config) : config_(config) {
+  PDC_CHECK(config_.iterations > 0);
+}
+
+RunReport ScheduleExplorer::run_once(std::uint64_t seed,
+                                     const std::function<RunPlan()>& make_run,
+                                     bool record_trace,
+                                     std::string* failure) const {
+  RunPlan plan = make_run();
+  PDC_CHECK_MSG(!plan.threads.empty(), "RunPlan has no threads");
+  SchedulerOptions options;
+  options.policy = config_.policy;
+  options.seed = seed;
+  options.preemption_bound = config_.preemption_bound;
+  options.max_steps = config_.max_steps;
+  options.record_trace = record_trace;
+  SimScheduler scheduler(options);
+  RunReport report = scheduler.run(std::move(plan.threads));
+
+  std::string text;
+  if (report.deadlocked) {
+    text = "deadlock: every live thread parked with no deadline";
+  } else if (report.step_limit_hit) {
+    text = "step limit exceeded (possible livelock)";
+  } else if (!report.error.empty()) {
+    text = report.error;
+  } else if (plan.check) {
+    text = plan.check();
+  }
+  if (failure != nullptr) *failure = text;
+  return report;
+}
+
+ExplorationResult ScheduleExplorer::explore(
+    const std::function<RunPlan()>& make_run) const {
+  ExplorationResult result;
+  // SplitMix expansion decorrelates consecutive seeds so iteration i and
+  // i+1 explore genuinely different schedules.
+  support::SplitMix64 seeds(config_.base_seed);
+  for (std::size_t i = 0; i < config_.iterations; ++i) {
+    const std::uint64_t seed = seeds.next();
+    ++result.runs;
+    std::string failure;
+    (void)run_once(seed, make_run, /*record_trace=*/false, &failure);
+    if (failure.empty()) continue;
+    // Replay the failing seed with tracing on; determinism means the same
+    // failure must reappear, now with its interleaving recorded.
+    std::string replay_failure;
+    result.failing_report =
+        run_once(seed, make_run, /*record_trace=*/true, &replay_failure);
+    PDC_CHECK_MSG(!replay_failure.empty(),
+                  "failing seed did not reproduce on replay — the run plan "
+                  "is not deterministic (shared state across runs? wall-clock "
+                  "timing? a real thread outside the scheduler?)");
+    result.failure_found = true;
+    result.failing_seed = seed;
+    result.failure = replay_failure;
+    return result;
+  }
+  return result;
+}
+
+RunReport ScheduleExplorer::replay(std::uint64_t seed,
+                                   const std::function<RunPlan()>& make_run,
+                                   std::string* failure) const {
+  return run_once(seed, make_run, /*record_trace=*/true, failure);
+}
+
+}  // namespace pdc::testkit

@@ -1,0 +1,72 @@
+// ScheduleExplorer: drives SimScheduler over many seeds and turns the
+// first failing interleaving into a deterministic, replayable artifact.
+//
+// A test describes one run as a RunPlan — fresh thread bodies over fresh
+// shared state, plus a check() that inspects that state after every
+// thread has finished. explore() executes the plan under seed after seed;
+// when a run deadlocks, throws, or fails its check, the same seed is
+// re-run with tracing enabled and the report (failing seed, failure text,
+// minimal interleaving trace) is returned. replay() re-executes any seed
+// on demand — same seed, same schedule, same trace, every time — which is
+// what lets a student paste one number into a failing lab and watch the
+// exact broken interleaving unfold.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "testkit/sim_scheduler.hpp"
+
+namespace pdc::testkit {
+
+/// One schedulable experiment: thread bodies over fresh shared state and
+/// a post-join invariant check (empty string = pass).
+struct RunPlan {
+  std::vector<std::function<void()>> threads;
+  std::function<std::string()> check;
+};
+
+struct ExplorerConfig {
+  SchedulePolicy policy = SchedulePolicy::kRandom;
+  std::size_t iterations = 200;
+  std::uint64_t base_seed = 1;
+  int preemption_bound = 2;          // kPreemptionBounded only
+  std::size_t max_steps = 1u << 20;  // per run
+};
+
+struct ExplorationResult {
+  bool failure_found = false;
+  std::uint64_t failing_seed = 0;
+  std::string failure;       // check() text, error, or "deadlock"
+  RunReport failing_report;  // trace-recording replay of the failing seed
+  std::size_t runs = 0;
+
+  /// Human-readable failure summary with the minimal trace appended.
+  [[nodiscard]] std::string describe() const;
+};
+
+class ScheduleExplorer {
+ public:
+  explicit ScheduleExplorer(ExplorerConfig config = {});
+
+  /// Runs `make_run()` under `iterations` distinct seeds (derived from
+  /// base_seed), stopping at the first failure.
+  [[nodiscard]] ExplorationResult explore(
+      const std::function<RunPlan()>& make_run) const;
+
+  /// Deterministically replays one seed with full trace recording.
+  /// `failure` (optional) receives the check()/scheduler failure text.
+  RunReport replay(std::uint64_t seed, const std::function<RunPlan()>& make_run,
+                   std::string* failure = nullptr) const;
+
+  [[nodiscard]] const ExplorerConfig& config() const { return config_; }
+
+ private:
+  RunReport run_once(std::uint64_t seed, const std::function<RunPlan()>& make_run,
+                     bool record_trace, std::string* failure) const;
+
+  ExplorerConfig config_;
+};
+
+}  // namespace pdc::testkit

@@ -1,0 +1,38 @@
+// VirtualClock: simulated time for deterministic concurrency tests.
+//
+// Under a SimScheduler, timed waits (BoundedQueue::pop_for, semaphore
+// try_acquire_for, ...) do not sleep on the wall clock; they park the
+// logical thread with a deadline on this clock, and the scheduler advances
+// it in one jump when every runnable thread is exhausted. A 2-second
+// timeout test therefore completes in microseconds and — more importantly —
+// completes at exactly the same logical instant on every run.
+#pragma once
+
+#include "support/check.hpp"
+
+namespace pdc::testkit {
+
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  /// Simulated seconds since the start of the run.
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Jumps forward to `t` (monotonic; never moves backwards).
+  void advance_to(double t) {
+    PDC_CHECK_MSG(t >= now_, "virtual clock cannot run backwards");
+    now_ = t;
+  }
+
+  /// Jumps forward by `seconds` (>= 0).
+  void advance(double seconds) {
+    PDC_CHECK(seconds >= 0.0);
+    now_ += seconds;
+  }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace pdc::testkit

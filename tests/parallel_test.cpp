@@ -6,6 +6,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "concurrency/barrier.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/pipeline.hpp"
 #include "parallel/sort.hpp"
@@ -62,6 +63,57 @@ TEST(ThreadPool, DestructorDrainsQueuedWork) {
 TEST(ThreadPool, DefaultPoolIsUsable) {
   auto f = default_pool().submit([] { return 1; });
   EXPECT_EQ(f.get(), 1);
+}
+
+TEST(ThreadPool, PostFireAndForgetSynchronizedByLatch) {
+  ThreadPool pool(2);
+  pdc::concurrency::CountdownLatch latch(64);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(pool.post([&] {
+      ++count;
+      latch.count_down();
+    }).is_ok());
+  }
+  latch.wait();
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, PostedWorkRunsInsideWorker) {
+  ThreadPool pool(1);
+  pdc::concurrency::CountdownLatch latch(1);
+  std::atomic<bool> inside{false};
+  ASSERT_TRUE(pool.post([&] {
+    inside = pool.inside_worker();
+    latch.count_down();
+  }).is_ok());
+  latch.wait();
+  EXPECT_TRUE(inside.load());
+  EXPECT_FALSE(pool.inside_worker());
+}
+
+TEST(ThreadPool, ShutdownIsIdempotentAndDrains) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) (void)pool.post([&] { ++count; });
+  pool.shutdown();
+  pool.shutdown();  // second call must be a no-op, not a crash
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrowsDocumentedError) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_THROW((void)pool.submit([] { return 1; }),
+               pdc::support::CheckFailure);
+}
+
+TEST(ThreadPool, PostAfterShutdownReturnsClosed) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  const auto status = pool.post([] {});
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), pdc::support::StatusCode::kClosed);
 }
 
 // ------------------------------------------------------------ work stealing
