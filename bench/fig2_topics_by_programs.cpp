@@ -12,9 +12,11 @@
 #include <iostream>
 
 #include "core/survey.hpp"
+#include "obs/bench_report.hpp"
 #include "support/table.hpp"
 
 int main() {
+  pdc::obs::BenchReport report("fig2_topics_by_programs");
   using namespace pdc::core;
   const auto programs = generate_survey();
   const auto counts = topic_program_counts(programs);
@@ -34,6 +36,7 @@ int main() {
                    std::string(count, '#')});
   }
   table.render(std::cout);
+  report.add_table(table);
 
   std::size_t dedicated = 0;
   for (const auto& program : programs) {
@@ -43,5 +46,6 @@ int main() {
             << " of " << programs.size()
             << "   (paper: \"only one program had a dedicated parallel "
                "programming course\")\n";
+  report.write_if_requested();
   return 0;
 }

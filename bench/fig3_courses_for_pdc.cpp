@@ -10,9 +10,11 @@
 #include <iostream>
 
 #include "core/survey.hpp"
+#include "obs/bench_report.hpp"
 #include "support/table.hpp"
 
 int main() {
+  pdc::obs::BenchReport report("fig3_courses_for_pdc");
   using namespace pdc::core;
   const auto programs = generate_survey();
   const auto share = course_share_for_pdc(programs);
@@ -31,5 +33,7 @@ int main() {
                    std::string(static_cast<std::size_t>(pct / 2.5), '#')});
   }
   table.render(std::cout);
+  report.add_table(table);
+  report.write_if_requested();
   return 0;
 }

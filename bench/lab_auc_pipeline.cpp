@@ -8,12 +8,14 @@
 #include <iostream>
 
 #include "arch/pipeline.hpp"
+#include "obs/bench_report.hpp"
 #include "support/table.hpp"
 
 using namespace pdc::arch;
 using pdc::support::TextTable;
 
 int main() {
+  pdc::obs::BenchReport report("lab_auc_pipeline");
   std::cout << "=== CS-AUC: pipeline hazards and branch prediction labs ===\n\n";
 
   {
@@ -33,6 +35,7 @@ int main() {
       }
     }
     table.render(std::cout);
+    report.add_table(table);
   }
   std::cout << '\n';
   {
@@ -50,6 +53,7 @@ int main() {
                      TextTable::num(stats.cpi(), 3)});
     }
     table.render(std::cout);
+    report.add_table(table);
   }
   std::cout << '\n';
   {
@@ -69,8 +73,10 @@ int main() {
                      TextTable::num(stats.cpi(), 3)});
     }
     table.render(std::cout);
+    report.add_table(table);
     std::cout << "(the 1-bit pathology: alternation defeats last-outcome "
                  "prediction entirely)\n";
   }
+  report.write_if_requested();
   return 0;
 }

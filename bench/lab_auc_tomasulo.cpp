@@ -9,12 +9,14 @@
 #include <iostream>
 
 #include "arch/tomasulo.hpp"
+#include "obs/bench_report.hpp"
 #include "support/table.hpp"
 
 using namespace pdc::arch;
 using pdc::support::TextTable;
 
 int main() {
+  pdc::obs::BenchReport report("lab_auc_tomasulo");
   std::cout << "=== CS-AUC: Tomasulo dynamic scheduling labs ===\n\n";
   constexpr std::size_t kIterations = 500;
 
@@ -39,6 +41,7 @@ int main() {
            TextTable::num(non_spec.ipc(), 3), TextTable::num(spec.ipc(), 3)});
     }
     table.render(std::cout);
+    report.add_table(table);
   }
   std::cout << '\n';
   {
@@ -55,6 +58,7 @@ int main() {
                      std::to_string(stats.rob_full_stall_cycles)});
     }
     table.render(std::cout);
+    report.add_table(table);
   }
   std::cout << '\n';
   {
@@ -73,6 +77,8 @@ int main() {
                      std::to_string(stats.rs_full_stall_cycles)});
     }
     table.render(std::cout);
+    report.add_table(table);
   }
+  report.write_if_requested();
   return 0;
 }

@@ -12,6 +12,7 @@
 //   5. an occupancy table for representative kernel footprints.
 #include <iostream>
 
+#include "obs/bench_report.hpp"
 #include "simt/device.hpp"
 #include "simt/occupancy.hpp"
 #include "simt/stream.hpp"
@@ -23,6 +24,9 @@ using namespace pdc::simt;
 using pdc::support::TextTable;
 
 namespace {
+
+// Shared by the experiment functions below; written out at the end of main.
+pdc::obs::BenchReport report("lab_lau_simt");
 
 void coalescing_experiment() {
   Device device;
@@ -50,6 +54,7 @@ void coalescing_experiment() {
                    std::to_string(stats.cycles)});
   }
   table.render(std::cout);
+  report.add_table(table);
 }
 
 void divergence_experiment() {
@@ -80,6 +85,7 @@ void divergence_experiment() {
                    std::to_string(stats.cycles)});
   }
   table.render(std::cout);
+  report.add_table(table);
 }
 
 void matmul_experiment() {
@@ -146,6 +152,7 @@ void matmul_experiment() {
                           static_cast<double>(naive.segments), 3),
        "", ""});
   table.render(std::cout);
+  report.add_table(table);
 }
 
 void streams_experiment() {
@@ -202,6 +209,7 @@ void streams_experiment() {
   table.add_row({"2 streams (overlapped)", TextTable::num(overlapped, 2),
                  TextTable::num(serial / overlapped, 2)});
   table.render(std::cout);
+  report.add_table(table);
 }
 
 void atomics_experiment() {
@@ -246,6 +254,7 @@ void atomics_experiment() {
                  std::to_string(privatized.atomic_serializations),
                  std::to_string(privatized.cycles)});
   table.render(std::cout);
+  report.add_table(table);
   std::cout << "(same histogram, ~" << naive.atomics / std::max<std::uint64_t>(1, privatized.atomics)
             << "x fewer global atomics)\n";
 }
@@ -269,6 +278,7 @@ void occupancy_experiment() {
                    to_string(result.limiter)});
   }
   table.render(std::cout);
+  report.add_table(table);
 }
 
 }  // namespace
@@ -286,5 +296,6 @@ int main() {
   atomics_experiment();
   std::cout << '\n';
   occupancy_experiment();
+  report.write_if_requested();
   return 0;
 }

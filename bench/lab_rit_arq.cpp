@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "net/arq.hpp"
+#include "obs/bench_report.hpp"
 #include "support/table.hpp"
 
 using namespace pdc::net;
@@ -80,6 +81,7 @@ RunResult run_transfer(double loss, Protocol protocol, std::size_t window,
 }  // namespace
 
 int main() {
+  pdc::obs::BenchReport report("lab_rit_arq");
   std::cout << "=== CS-RIT: reliable transfer over lossy datagrams ===\n\n";
   constexpr std::size_t kBytes = 64 * 1024;
 
@@ -100,6 +102,7 @@ int main() {
       }
     }
     table.render(std::cout);
+    report.add_table(table);
     std::cout << "(selective repeat keeps efficiency near stop-and-wait's "
                  "while keeping go-back-N's pipelining — at the cost of "
                  "receiver buffering)\n";
@@ -116,9 +119,11 @@ int main() {
                      TextTable::num(result.stats.efficiency(), 3)});
     }
     table.render(std::cout);
+    report.add_table(table);
     std::cout << "(window 1 is stop-and-wait; throughput saturates once the "
                  "window covers the bandwidth-delay product, and efficiency "
                  "falls as bigger windows discard more per loss)\n";
   }
+  report.write_if_requested();
   return 0;
 }

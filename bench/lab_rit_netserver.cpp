@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "net/server.hpp"
+#include "obs/bench_report.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
 
@@ -51,6 +52,7 @@ double run_server_experiment(ThreadingModel model, int clients,
 }  // namespace
 
 int main() {
+  pdc::obs::BenchReport report("lab_rit_netserver");
   std::cout << "=== CS-RIT: client-server and middleware labs ===\n\n";
   {
     TextTable table("1. Threading model x concurrent clients (echo, 200 req/client)");
@@ -65,6 +67,7 @@ int main() {
                      TextTable::num(pool, 0)});
     }
     table.render(std::cout);
+    report.add_table(table);
     std::cout << "(a 2-worker pool serves at most 2 connections concurrently; "
                  "excess clients queue — the classic sizing trade-off)\n\n";
   }
@@ -94,8 +97,10 @@ int main() {
       server.stop();
     }
     table.render(std::cout);
+    report.add_table(table);
     std::cout << "(each framed RPC costs two messages, i.e. ~2x the one-way "
                  "latency once the fabric dominates dispatch)\n";
   }
+  report.write_if_requested();
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "arch/models.hpp"
+#include "obs/bench_report.hpp"
 #include "parallel/task_graph.hpp"
 #include "support/table.hpp"
 
@@ -41,6 +42,7 @@ TaskGraph make_amdahl_graph(double f, std::size_t chunks) {
 }  // namespace
 
 int main() {
+  pdc::obs::BenchReport report("perf_amdahl_speedup");
   std::cout << "=== PERF-AMDAHL: speedup, scalability, and the serial "
                "fraction ===\n\n";
   const std::size_t procs[] = {1, 2, 4, 8, 16, 64, 256, 1024};
@@ -61,6 +63,7 @@ int main() {
       table.add_row(row);
     }
     table.render(std::cout);
+    report.add_table(table);
     std::cout << "(Amdahl saturates at 1/(1-f); Gustafson grows linearly "
                  "because the problem scales with p)\n\n";
   }
@@ -79,6 +82,7 @@ int main() {
       }
     }
     table.render(std::cout);
+    report.add_table(table);
     std::cout << "(ratio ~1: the schedule realizes the law)\n\n";
   }
   {
@@ -95,8 +99,10 @@ int main() {
       }
     }
     table.render(std::cout);
+    report.add_table(table);
     std::cout << "(e stays at the true serial fraction across p — the "
                  "Karp-Flatt diagnostic)\n";
   }
+  report.write_if_requested();
   return 0;
 }

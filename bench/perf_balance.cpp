@@ -11,12 +11,14 @@
 #include <iostream>
 
 #include "dist/balance.hpp"
+#include "obs/bench_report.hpp"
 #include "support/table.hpp"
 
 using namespace pdc::dist;
 using pdc::support::TextTable;
 
 int main() {
+  pdc::obs::BenchReport report("perf_balance");
   std::cout << "=== PERF-BAL: load balancing, placement, migration ===\n\n";
 
   {
@@ -41,6 +43,7 @@ int main() {
     }
     table.add_row({"(perfect balance bound)", TextTable::num(ideal, 1), "1.000", ""});
     table.render(std::cout);
+    report.add_table(table);
     std::cout << "(static assignment strands the heavy tail on one worker; "
                  "stealing repairs imbalance discovered after placement)\n\n";
   }
@@ -78,6 +81,7 @@ int main() {
     table.add_row({"hash mod N (strawman)", std::to_string(naive_moved),
                    TextTable::num(naive_moved / 2000.0, 3)});
     table.render(std::cout);
+    report.add_table(table);
     std::cout << "(the ring moves ~1/n of the keys; mod-N moves ~(n-1)/n)\n\n";
   }
 
@@ -102,8 +106,10 @@ int main() {
                      std::to_string(result.migrations)});
     }
     table.render(std::cout);
+    report.add_table(table);
     std::cout << "(migration trades transfer cost for smoother load; it "
                  "stops when no move can shrink the spread)\n";
   }
+  report.write_if_requested();
   return 0;
 }

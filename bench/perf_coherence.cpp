@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "arch/mesi.hpp"
+#include "obs/bench_report.hpp"
 #include "support/table.hpp"
 
 using namespace pdc::arch;
@@ -39,6 +40,7 @@ CoherenceStats run_counters(std::size_t cores, std::uint64_t stride,
 }  // namespace
 
 int main() {
+  pdc::obs::BenchReport report("perf_coherence");
   std::cout << "=== PERF-COHER: MESI coherence and false sharing ===\n\n";
   constexpr int kRounds = 1000;
 
@@ -61,6 +63,7 @@ int main() {
       }
     }
     table.render(std::cout);
+    report.add_table(table);
     std::cout << "(padding eliminates ALL coherence traffic: the counters "
                  "never actually share data)\n\n";
   }
@@ -81,6 +84,7 @@ int main() {
                      std::to_string(stats.writebacks)});
     }
     table.render(std::cout);
+    report.add_table(table);
     std::cout << "(every write invalidates the peer: traffic linear in "
                  "rounds — TRUE sharing, unlike experiment 1's packed "
                  "case)\n\n";
@@ -102,6 +106,7 @@ int main() {
                    std::to_string(after.invalidations),
                    std::to_string(after.bus_reads)});
     table.render(std::cout);
+    report.add_table(table);
     std::cout << "(shared lines are free to read: no further bus traffic "
                  "after the four cold misses)\n\n";
   }
@@ -122,9 +127,11 @@ int main() {
                      std::to_string(stats.invalidations)});
     }
     table.render(std::cout);
+    report.add_table(table);
     std::cout << "(the Exclusive state exists for exactly this: private "
                  "read-then-write upgrades silently under MESI, but costs "
                  "a bus transaction per line under MSI)\n";
   }
+  report.write_if_requested();
   return 0;
 }

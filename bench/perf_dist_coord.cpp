@@ -17,6 +17,7 @@
 #include "dist/snapshot.hpp"
 #include "dist/two_phase_commit.hpp"
 #include "mp/world.hpp"
+#include "obs/bench_report.hpp"
 #include "support/table.hpp"
 
 using namespace pdc::dist;
@@ -25,6 +26,7 @@ using pdc::mp::World;
 using pdc::support::TextTable;
 
 int main() {
+  pdc::obs::BenchReport report("perf_dist_coord");
   std::cout << "=== PERF-DIST: what coordination costs in messages ===\n\n";
 
   {
@@ -64,6 +66,7 @@ int main() {
                      TextTable::num(hops_per_entry, 2)});
     }
     table.render(std::cout);
+    report.add_table(table);
     std::cout << "(RA matches its 2(p-1) bound exactly; the token ring "
                  "amortizes to ~1 hop per entry when everyone wants the "
                  "lock)\n\n";
@@ -90,6 +93,7 @@ int main() {
                      std::to_string(bully_messages.load())});
     }
     table.render(std::cout);
+    report.add_table(table);
     std::cout << "(the ring is frugal and linear-ish; bully floods "
                  "challenges upward — O(p^2) worst case — to converge in "
                  "fewer rounds)\n\n";
@@ -112,6 +116,7 @@ int main() {
                      std::to_string(3 * (p - 1))});
     }
     table.render(std::cout);
+    report.add_table(table);
     std::cout << "(3 messages per participant: prepare, vote, decision)\n\n";
   }
 
@@ -135,9 +140,11 @@ int main() {
                                                      : "VIOLATED"});
     }
     table.render(std::cout);
+    report.add_table(table);
     std::cout << "(one marker per directed channel, independent of message "
                  "volume; the recorded global state conserves tokens even "
                  "though no quiescent instant existed)\n";
   }
+  report.write_if_requested();
   return 0;
 }

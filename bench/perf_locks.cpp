@@ -18,10 +18,16 @@ namespace {
 
 using namespace pdc::concurrency;
 
+// The lock and the counter it guards live on separate cache lines
+// (alignas(64)). As plain statics they were adjacent, so every
+// `++counter` inside the critical section invalidated the very line
+// spinning waiters were polling: the threaded numbers charged the locks
+// for false sharing on top of contention, eroding exactly the effect the
+// benchmark exists to show (TTAS's read-spin advantage over TAS).
 template <typename Lock>
 void lock_counter_benchmark(benchmark::State& state) {
-  static Lock lock;
-  static long counter = 0;
+  alignas(64) static Lock lock;
+  alignas(64) static long counter = 0;
   for (auto _ : state) {
     std::scoped_lock guard(lock);
     benchmark::DoNotOptimize(++counter);
@@ -43,8 +49,8 @@ BENCHMARK(BM_TtasLock)->Threads(2)->Threads(4);
 BENCHMARK(BM_TicketLock)->Threads(2)->Threads(4);
 
 void BM_McsLock(benchmark::State& state) {
-  static McsLock lock;
-  static long counter = 0;
+  alignas(64) static McsLock lock;
+  alignas(64) static long counter = 0;
   for (auto _ : state) {
     McsLock::Guard guard(lock);
     benchmark::DoNotOptimize(++counter);
@@ -53,8 +59,8 @@ void BM_McsLock(benchmark::State& state) {
 BENCHMARK(BM_McsLock)->Threads(1)->Threads(2)->Threads(4);
 
 void BM_BinarySemaphore(benchmark::State& state) {
-  static BinarySemaphore semaphore(true);
-  static long counter = 0;
+  alignas(64) static BinarySemaphore semaphore(true);
+  alignas(64) static long counter = 0;
   for (auto _ : state) {
     semaphore.acquire();
     benchmark::DoNotOptimize(++counter);
@@ -64,8 +70,8 @@ void BM_BinarySemaphore(benchmark::State& state) {
 BENCHMARK(BM_BinarySemaphore)->Threads(1)->Threads(4);
 
 void BM_RwLockReaders(benchmark::State& state) {
-  static RwLock lock;
-  static long value = 42;
+  alignas(64) static RwLock lock;
+  alignas(64) static long value = 42;
   for (auto _ : state) {
     SharedGuard guard(lock);
     benchmark::DoNotOptimize(value);

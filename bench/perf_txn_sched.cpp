@@ -13,12 +13,14 @@
 #include "db/timestamp.hpp"
 #include "db/transaction.hpp"
 #include "db/workload.hpp"
+#include "obs/bench_report.hpp"
 #include "support/table.hpp"
 
 using namespace pdc::db;
 using pdc::support::TextTable;
 
 int main() {
+  pdc::obs::BenchReport report("perf_txn_sched");
   std::cout << "=== PERF-DB: transaction scheduler comparison ===\n\n";
 
   struct Level {
@@ -53,6 +55,7 @@ int main() {
                      TextTable::num(result.throughput(), 0)});
     }
     table.render(std::cout);
+    report.add_table(table);
     std::cout << "(all transactions eventually commit — victims retry; the "
                  "cost of contention is the abort/retry work)\n\n";
   }
@@ -77,6 +80,7 @@ int main() {
                      std::to_string(thomas.thomas_skips)});
     }
     table.render(std::cout);
+    report.add_table(table);
     std::cout << "(T/O never deadlocks but pays with aborts as hot keys see "
                  "out-of-timestamp access; Thomas's rule absorbs obsolete "
                  "writes)\n\n";
@@ -99,8 +103,10 @@ int main() {
                      TextTable::num(result.abort_ratio(), 3)});
     }
     table.render(std::cout);
+    report.add_table(table);
     std::cout << "(read-only workloads cannot deadlock under S locks; "
                  "deadlocks appear with writes and upgrade patterns)\n";
   }
+  report.write_if_requested();
   return 0;
 }

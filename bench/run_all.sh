@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Runs every bench binary and harvests one JSON result file per bench.
+#
+#   bench/run_all.sh [build-dir] [out-dir]
+#
+# google-benchmark binaries emit --benchmark_format=json natively; the
+# table-printing runners honour PDCKIT_BENCH_JSON (see
+# src/obs/bench_report.hpp). Either way <out-dir>/<bench>.json appears,
+# and the human-readable table/console output still goes to stdout.
+set -euo pipefail
+
+build_dir=${1:-build}
+out_dir=${2:-bench_results}
+bench_dir="$build_dir/bench"
+
+if [[ ! -d "$bench_dir" ]]; then
+  echo "error: $bench_dir not found (configure+build first)" >&2
+  exit 1
+fi
+mkdir -p "$out_dir"
+
+# Binaries linked against google-benchmark's main; everything else uses
+# the BenchReport env-var protocol.
+gbench="lab_lau_multicore perf_collectives perf_locks"
+
+is_gbench() {
+  local name
+  for name in $gbench; do
+    [[ "$name" == "$1" ]] && return 0
+  done
+  return 1
+}
+
+failures=0
+for bin in "$bench_dir"/*; do
+  [[ -x "$bin" && -f "$bin" ]] || continue
+  name=$(basename "$bin")
+  echo "=== $name ==="
+  if is_gbench "$name"; then
+    if ! "$bin" --benchmark_format=console \
+        --benchmark_out="$out_dir/$name.json" \
+        --benchmark_out_format=json; then
+      echo "FAILED: $name" >&2
+      failures=$((failures + 1))
+    fi
+  else
+    if ! PDCKIT_BENCH_JSON="$out_dir/$name.json" "$bin"; then
+      echo "FAILED: $name" >&2
+      failures=$((failures + 1))
+    fi
+  fi
+  echo
+done
+
+echo "results in $out_dir/:"
+ls -1 "$out_dir"
+exit "$failures"

@@ -9,9 +9,11 @@
 
 #include "core/curriculum.hpp"
 #include "core/taxonomy.hpp"
+#include "obs/bench_report.hpp"
 #include "support/table.hpp"
 
 int main() {
+  pdc::obs::BenchReport report("table1_concept_matrix");
   using namespace pdc::core;
   pdc::support::TextTable table(
       "TABLE I — MAPPING DIFFERENT PDC CONCEPTS TO TYPICAL COURSES");
@@ -29,7 +31,9 @@ int main() {
     table.add_row(row);
   }
   table.render(std::cout);
+  report.add_table(table);
   std::cout << "\n(derived from core::template_topics; see tests/core_test "
                "Table1.MatrixMatchesPaper for the cell-level check)\n";
+  report.write_if_requested();
   return 0;
 }

@@ -8,9 +8,11 @@
 #include <iostream>
 
 #include "core/bok.hpp"
+#include "obs/bench_report.hpp"
 #include "support/table.hpp"
 
 int main() {
+  pdc::obs::BenchReport report("table2_ce2016_pdc");
   using namespace pdc::core;
   pdc::support::TextTable table(
       "TABLE II — PDC IN COMPUTER ENGINEERING KNOWLEDGE AREAS (CE2016)");
@@ -23,8 +25,10 @@ int main() {
     }
   }
   table.render(std::cout);
+  report.add_table(table);
   std::cout << "\n(CE2016 modelled with " << ce2016().size()
             << " knowledge areas; non-PDC units omitted from the table as in "
                "the paper)\n";
+  report.write_if_requested();
   return 0;
 }

@@ -7,9 +7,11 @@
 #include <iostream>
 
 #include "core/bok.hpp"
+#include "obs/bench_report.hpp"
 #include "support/table.hpp"
 
 int main() {
+  pdc::obs::BenchReport report("table3_se2014_pdc");
   using namespace pdc::core;
   pdc::support::TextTable table(
       "TABLE III — PDC IN SOFTWARE ENGINEERING KNOWLEDGE AREAS (SE2014)");
@@ -22,8 +24,10 @@ int main() {
     }
   }
   table.render(std::cout);
+  report.add_table(table);
   std::cout << "\n(SEEK modelled with " << se2014().size()
             << " knowledge areas; both PDC topics are essential at the "
                "application level, as §V notes)\n";
+  report.write_if_requested();
   return 0;
 }

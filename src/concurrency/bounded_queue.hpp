@@ -18,6 +18,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 #include "support/status.hpp"
 #include "testkit/hooks.hpp"
@@ -38,11 +39,20 @@ class BoundedQueue {
   support::Status push(T item) {
     testkit::yield_point("bq.push");
     std::unique_lock lock(mutex_);
-    testkit::wait(lock, not_full_,
-                  [&] { return items_.size() < capacity_ || closed_; },
-                  "bq.push.wait");
+    // The wait is entered only when the producer would actually block, so
+    // the depth gauge and block-time histogram (pdc.queue.*) measure real
+    // backpressure, not the uncontended fast path.
+    if (items_.size() >= capacity_ && !closed_) {
+      PDC_OBS_COUNT("pdc.queue.push_blocked");
+      obs::BlockTimer timer;
+      testkit::wait(lock, not_full_,
+                    [&] { return items_.size() < capacity_ || closed_; },
+                    "bq.push.wait");
+      timer.record("pdc.queue.block_us");
+    }
     if (closed_) return {support::StatusCode::kClosed, "queue closed"};
     items_.push_back(std::move(item));
+    PDC_OBS_GAUGE_ADD("pdc.queue.depth", 1);
     testkit::notify_one(not_empty_);
     return support::Status::ok();
   }
@@ -55,6 +65,7 @@ class BoundedQueue {
     if (items_.size() >= capacity_)
       return {support::StatusCode::kUnavailable, "queue full"};
     items_.push_back(std::move(item));
+    PDC_OBS_GAUGE_ADD("pdc.queue.depth", 1);
     testkit::notify_one(not_empty_);
     return support::Status::ok();
   }
@@ -64,13 +75,19 @@ class BoundedQueue {
   support::Result<T> pop() {
     testkit::yield_point("bq.pop");
     std::unique_lock lock(mutex_);
-    testkit::wait(lock, not_empty_,
-                  [&] { return !items_.empty() || closed_; }, "bq.pop.wait");
+    if (items_.empty() && !closed_) {
+      PDC_OBS_COUNT("pdc.queue.pop_blocked");
+      obs::BlockTimer timer;
+      testkit::wait(lock, not_empty_,
+                    [&] { return !items_.empty() || closed_; }, "bq.pop.wait");
+      timer.record("pdc.queue.block_us");
+    }
     if (items_.empty()) {
       return support::Status{support::StatusCode::kClosed, "queue closed and drained"};
     }
     T item = std::move(items_.front());
     items_.pop_front();
+    PDC_OBS_GAUGE_SUB("pdc.queue.depth", 1);
     testkit::notify_one(not_full_);
     return item;
   }
@@ -86,6 +103,7 @@ class BoundedQueue {
     }
     T item = std::move(items_.front());
     items_.pop_front();
+    PDC_OBS_GAUGE_SUB("pdc.queue.depth", 1);
     testkit::notify_one(not_full_);
     return item;
   }
@@ -105,6 +123,7 @@ class BoundedQueue {
     }
     T item = std::move(items_.front());
     items_.pop_front();
+    PDC_OBS_GAUGE_SUB("pdc.queue.depth", 1);
     testkit::notify_one(not_full_);
     return item;
   }

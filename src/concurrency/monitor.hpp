@@ -11,6 +11,7 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "testkit/hooks.hpp"
 
 namespace pdc::concurrency {
@@ -30,6 +31,7 @@ class Monitor {
   template <typename Fn>
   auto with(Fn&& fn) -> decltype(fn(std::declval<T&>())) {
     testkit::yield_point("monitor.with");
+    PDC_OBS_COUNT("pdc.monitor.with");
     std::unique_lock lock(mutex_);
     if constexpr (std::is_void_v<decltype(fn(data_))>) {
       std::forward<Fn>(fn)(data_);
@@ -52,6 +54,7 @@ class Monitor {
   template <typename Pred, typename Fn>
   auto wait(Pred&& pred, Fn&& fn) -> decltype(fn(std::declval<T&>())) {
     testkit::yield_point("monitor.wait");
+    PDC_OBS_COUNT("pdc.monitor.wait");
     std::unique_lock lock(mutex_);
     testkit::wait(lock, changed_,
                   [&] { return pred(std::as_const(data_)); }, "monitor.wait");

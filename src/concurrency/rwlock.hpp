@@ -11,6 +11,7 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 #include "testkit/hooks.hpp"
 
@@ -24,7 +25,11 @@ class RwLock {
 
   void lock_shared() {
     testkit::yield_point("rw.lock_shared");
+    PDC_OBS_COUNT("pdc.rwlock.read.acquire");
     std::unique_lock lock(mutex_);
+    if (writer_active_ || writers_waiting_ != 0) {
+      PDC_OBS_COUNT("pdc.rwlock.read.contended");
+    }
     testkit::wait(lock, readers_turn_,
                   [&] { return !writer_active_ && writers_waiting_ == 0; },
                   "rw.lock_shared.wait");
@@ -42,7 +47,11 @@ class RwLock {
 
   void lock() {
     testkit::yield_point("rw.lock");
+    PDC_OBS_COUNT("pdc.rwlock.write.acquire");
     std::unique_lock lock(mutex_);
+    if (writer_active_ || readers_active_ != 0) {
+      PDC_OBS_COUNT("pdc.rwlock.write.contended");
+    }
     ++writers_waiting_;
     testkit::wait(lock, writers_turn_,
                   [&] { return !writer_active_ && readers_active_ == 0; },

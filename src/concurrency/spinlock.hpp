@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <thread>
 
+#include "obs/obs.hpp"
 #include "testkit/hooks.hpp"
 
 namespace pdc::concurrency {
@@ -47,8 +48,14 @@ class TasLock {
  public:
   void lock() {
     testkit::yield_point("tas.lock");
+    PDC_OBS_COUNT("pdc.lock.tas.acquire");
     detail::Backoff backoff;
-    while (flag_.exchange(true, std::memory_order_acquire)) backoff.pause();
+    bool contended = false;
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      contended = true;
+      backoff.pause();
+    }
+    if (contended) PDC_OBS_COUNT("pdc.lock.tas.contended");
   }
 
   bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
@@ -68,11 +75,18 @@ class TtasLock {
  public:
   void lock() {
     testkit::yield_point("ttas.lock");
+    PDC_OBS_COUNT("pdc.lock.ttas.acquire");
     detail::Backoff backoff;
+    bool contended = false;
     for (;;) {
-      while (flag_.load(std::memory_order_relaxed)) backoff.pause();
-      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+        contended = true;
+        backoff.pause();
+      }
+      if (!flag_.exchange(true, std::memory_order_acquire)) break;
+      contended = true;
     }
+    if (contended) PDC_OBS_COUNT("pdc.lock.ttas.contended");
   }
 
   bool try_lock() {
@@ -93,12 +107,16 @@ class TicketLock {
  public:
   void lock() {
     testkit::yield_point("ticket.lock");
+    PDC_OBS_COUNT("pdc.lock.ticket.acquire");
     const std::uint64_t ticket =
         next_ticket_.fetch_add(1, std::memory_order_relaxed);
     detail::Backoff backoff;
+    bool contended = false;
     while (now_serving_.load(std::memory_order_acquire) != ticket) {
+      contended = true;
       backoff.pause();
     }
+    if (contended) PDC_OBS_COUNT("pdc.lock.ticket.contended");
   }
 
   bool try_lock() {
@@ -134,9 +152,11 @@ class McsLock {
   };
 
   void lock(Node& node) {
+    PDC_OBS_COUNT("pdc.lock.mcs.acquire");
     node.next.store(nullptr, std::memory_order_relaxed);
     Node* predecessor = tail_.exchange(&node, std::memory_order_acq_rel);
     if (predecessor != nullptr) {
+      PDC_OBS_COUNT("pdc.lock.mcs.contended");
       node.locked.store(true, std::memory_order_relaxed);
       predecessor->next.store(&node, std::memory_order_release);
       detail::Backoff backoff;
@@ -188,14 +208,18 @@ class PetersonLock {
   /// `self` must be 0 or 1 and unique per thread.
   void lock(int self) {
     testkit::yield_point("peterson.lock");
+    PDC_OBS_COUNT("pdc.lock.peterson.acquire");
     const int other = 1 - self;
     interested_[self].store(true, std::memory_order_seq_cst);
     turn_.store(other, std::memory_order_seq_cst);
+    bool contended = false;
     while (interested_[other].load(std::memory_order_seq_cst) &&
            turn_.load(std::memory_order_seq_cst) == other) {
+      contended = true;
       testkit::spin_yield("peterson.spin");
       std::this_thread::yield();
     }
+    if (contended) PDC_OBS_COUNT("pdc.lock.peterson.contended");
   }
 
   void unlock(int self) {

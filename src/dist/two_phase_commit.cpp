@@ -3,6 +3,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 #include "support/stopwatch.hpp"
 #include "testkit/hooks.hpp"
@@ -22,6 +23,35 @@ constexpr int kTagAck = 43;
 // delivery).
 constexpr double kRetryMillis = 2.0;
 constexpr int kMaxRounds = 250;
+
+// Elapsed-time source for the retry/timeout cadences. Under a
+// SimScheduler run the wall clock is meaningless (threads execute one at
+// a time and only parked deadlines advance the virtual clock), so
+// elapsed time must come from testkit::sim_now(); off-sim it is a plain
+// Stopwatch.
+class RetryClock {
+ public:
+  RetryClock() { reset(); }
+
+  void reset() {
+    sim_ = testkit::detail::sim_thread_active();
+    if (sim_) {
+      start_ = testkit::sim_now();
+    } else {
+      watch_.reset();
+    }
+  }
+
+  [[nodiscard]] double elapsed_millis() const {
+    if (sim_) return (testkit::sim_now() - start_) * 1e3;
+    return watch_.elapsed_millis();
+  }
+
+ private:
+  bool sim_ = false;
+  double start_ = 0.0;
+  support::Stopwatch watch_;
+};
 }  // namespace
 
 const char* to_string(TxnDecision d) {
@@ -31,6 +61,8 @@ const char* to_string(TxnDecision d) {
 TpcStats run_2pc_coordinator(mp::Communicator& comm,
                              bool crash_before_decision) {
   PDC_CHECK_MSG(comm.rank() == 0, "coordinator must be rank 0");
+  obs::set_trace_thread_name("2pc.coordinator", 0);
+  obs::ScopedSpan txn("2pc.coordinator");
   TpcStats stats;
   const int p = comm.size();
 
@@ -40,31 +72,37 @@ TpcStats run_2pc_coordinator(mp::Communicator& comm,
   std::vector<char> voted(static_cast<std::size_t>(p), 0);
   std::vector<char> votes(static_cast<std::size_t>(p), 0);
   int pending = p - 1;
-  support::Stopwatch retry;
-  for (int peer = 1; peer < p; ++peer) {
-    comm.send_value(char{1}, peer, kTagPrepare);
-    ++stats.messages_sent;
-  }
-  while (pending > 0) {
-    testkit::yield_point("2pc.coord.collect");
+  RetryClock retry;
+  {
+    obs::ScopedSpan phase("2pc.prepare");
     for (int peer = 1; peer < p; ++peer) {
-      if (voted[static_cast<std::size_t>(peer)]) continue;
-      if (comm.iprobe(peer, kTagVote)) {
-        votes[static_cast<std::size_t>(peer)] =
-            comm.recv_value<char>(peer, kTagVote);
-        voted[static_cast<std::size_t>(peer)] = 1;
-        --pending;
-      }
+      comm.send_value(char{1}, peer, kTagPrepare);
+      ++stats.messages_sent;
+      PDC_OBS_COUNT("pdc.2pc.prepare_sent");
     }
-    if (pending > 0 && retry.elapsed_millis() >= kRetryMillis) {
+    while (pending > 0) {
+      testkit::yield_point("2pc.coord.collect");
       for (int peer = 1; peer < p; ++peer) {
         if (voted[static_cast<std::size_t>(peer)]) continue;
-        comm.send_value(char{1}, peer, kTagPrepare);
-        ++stats.messages_sent;
+        if (comm.iprobe(peer, kTagVote)) {
+          votes[static_cast<std::size_t>(peer)] =
+              comm.recv_value<char>(peer, kTagVote);
+          voted[static_cast<std::size_t>(peer)] = 1;
+          --pending;
+        }
       }
-      retry.reset();
+      if (pending > 0 && retry.elapsed_millis() >= kRetryMillis) {
+        for (int peer = 1; peer < p; ++peer) {
+          if (voted[static_cast<std::size_t>(peer)]) continue;
+          comm.send_value(char{1}, peer, kTagPrepare);
+          ++stats.messages_sent;
+          PDC_OBS_COUNT("pdc.2pc.prepare_sent");
+          PDC_OBS_COUNT("pdc.2pc.retransmit");
+        }
+        retry.reset();
+      }
+      testkit::poll_pause("2pc.coord.collect");
     }
-    std::this_thread::yield();
   }
   bool all_commit = true;
   for (int peer = 1; peer < p; ++peer) {
@@ -76,12 +114,22 @@ TpcStats run_2pc_coordinator(mp::Communicator& comm,
     // "recovered" coordinator must abort (it cannot know whether any
     // participant already presumed abort).
     stats.decision = TxnDecision::kAborted;
+    obs::trace_instant("2pc.coordinator_crash");
+    PDC_OBS_COUNT("pdc.2pc.abort");
     return stats;
   }
 
   // Phase 2: distribute the decision until every participant acknowledges
   // it (bounded rounds; see kMaxRounds above).
   stats.decision = all_commit ? TxnDecision::kCommitted : TxnDecision::kAborted;
+  if (stats.decision == TxnDecision::kCommitted) {
+    obs::trace_instant("2pc.decide_commit");
+    PDC_OBS_COUNT("pdc.2pc.commit");
+  } else {
+    obs::trace_instant("2pc.decide_abort");
+    PDC_OBS_COUNT("pdc.2pc.abort");
+  }
+  obs::ScopedSpan phase("2pc.decide");
   const char wire = stats.decision == TxnDecision::kCommitted ? 1 : 0;
   std::vector<char> acked(static_cast<std::size_t>(p), 0);
   pending = p - 1;
@@ -91,6 +139,8 @@ TpcStats run_2pc_coordinator(mp::Communicator& comm,
       if (acked[static_cast<std::size_t>(peer)]) continue;
       comm.send_value(wire, peer, kTagDecision);
       ++stats.messages_sent;
+      PDC_OBS_COUNT("pdc.2pc.decision_sent");
+      if (round > 0) PDC_OBS_COUNT("pdc.2pc.retransmit");
     }
     retry.reset();
     while (pending > 0 && retry.elapsed_millis() < kRetryMillis) {
@@ -102,7 +152,7 @@ TpcStats run_2pc_coordinator(mp::Communicator& comm,
           --pending;
         }
       }
-      std::this_thread::yield();
+      testkit::poll_pause("2pc.coord.decide");
     }
   }
   return stats;
@@ -111,48 +161,65 @@ TpcStats run_2pc_coordinator(mp::Communicator& comm,
 TpcStats run_2pc_participant(mp::Communicator& comm, bool vote_commit,
                              std::chrono::milliseconds decision_timeout) {
   PDC_CHECK_MSG(comm.rank() != 0, "participants are ranks 1..p-1");
+  obs::set_trace_thread_name("2pc.participant",
+                             static_cast<std::uint64_t>(comm.rank()));
+  obs::ScopedSpan txn("2pc.participant",
+                      static_cast<std::uint64_t>(comm.rank()));
   TpcStats stats;
 
   (void)comm.recv_value<char>(0, kTagPrepare);
   comm.send_value(static_cast<char>(vote_commit ? 1 : 0), 0, kTagVote);
   ++stats.messages_sent;
+  PDC_OBS_COUNT("pdc.2pc.vote_sent");
 
   // Await the decision; re-vote on a retry cadence (our vote may have been
   // lost); presume abort on timeout (termination protocol).
-  support::Stopwatch clock;
-  support::Stopwatch retry;
+  obs::ScopedSpan phase("2pc.await_decision");
+  RetryClock clock;
+  RetryClock retry;
   for (;;) {
     testkit::yield_point("2pc.part.await");
     if (auto info = comm.iprobe(0, kTagDecision)) {
       const char wire = comm.recv_value<char>(0, kTagDecision);
       stats.decision = wire != 0 ? TxnDecision::kCommitted : TxnDecision::kAborted;
+      obs::trace_instant(stats.decision == TxnDecision::kCommitted
+                             ? "2pc.learned_commit"
+                             : "2pc.learned_abort");
       comm.send_value(char{1}, 0, kTagAck);
       ++stats.messages_sent;
+      PDC_OBS_COUNT("pdc.2pc.ack_sent");
       // Linger briefly, re-acking retransmitted decisions: our ack may be
       // lost, and once we return nobody answers the coordinator.
-      support::Stopwatch quiet;
+      RetryClock quiet;
       while (quiet.elapsed_millis() < 5.0 * kRetryMillis) {
         if (comm.iprobe(0, kTagDecision)) {
           (void)comm.recv_value<char>(0, kTagDecision);
           comm.send_value(char{1}, 0, kTagAck);
           ++stats.messages_sent;
+          PDC_OBS_COUNT("pdc.2pc.ack_sent");
+          PDC_OBS_COUNT("pdc.2pc.retransmit");
           quiet.reset();
         }
-        std::this_thread::yield();
+        testkit::poll_pause("2pc.part.quiet");
       }
       return stats;
     }
     if (clock.elapsed_millis() >= static_cast<double>(decision_timeout.count())) {
       stats.decision = TxnDecision::kAborted;
       stats.timed_out = true;
+      obs::trace_instant("2pc.presumed_abort");
+      PDC_OBS_COUNT("pdc.2pc.timeout");
+      PDC_OBS_COUNT("pdc.2pc.abort");
       return stats;
     }
     if (retry.elapsed_millis() >= kRetryMillis) {
       comm.send_value(static_cast<char>(vote_commit ? 1 : 0), 0, kTagVote);
       ++stats.messages_sent;
+      PDC_OBS_COUNT("pdc.2pc.vote_sent");
+      PDC_OBS_COUNT("pdc.2pc.retransmit");
       retry.reset();
     }
-    std::this_thread::yield();
+    testkit::poll_pause("2pc.part.await");
   }
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/obs.hpp"
 #include "testkit/fault_injector.hpp"
 #include "testkit/hooks.hpp"
 
@@ -18,6 +19,9 @@ void Fabric::deliver(std::size_t box, Message message) {
     return;
   }
   const testkit::FaultDecision decision = injector->next();
+  if (decision.drop) PDC_OBS_COUNT("pdc.mp.dropped");
+  if (decision.copies > 1) PDC_OBS_COUNT("pdc.mp.duplicated");
+  if (decision.reordered) PDC_OBS_COUNT("pdc.mp.reordered");
   std::vector<HeldMessage> due;
   {
     std::scoped_lock lock(held_mutex_);

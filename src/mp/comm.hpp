@@ -27,6 +27,7 @@
 
 #include "mp/mailbox.hpp"
 #include "mp/message.hpp"
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 
 namespace pdc::testkit {
@@ -165,6 +166,9 @@ class Communicator {
     PDC_CHECK(message.payload.size() % sizeof(T) == 0);
     std::vector<T> values(message.payload.size() / sizeof(T));
     std::memcpy(values.data(), message.payload.data(), message.payload.size());
+    PDC_OBS_COUNT("pdc.mp.received");
+    obs::wire_accept(message.envelope.trace, "mp.recv",
+                     static_cast<std::uint64_t>(message.envelope.source));
     return values;
   }
 
@@ -496,9 +500,16 @@ class Communicator {
   Mailbox& mailbox() { return *fabric_->boxes[static_cast<std::size_t>(members_[static_cast<std::size_t>(rank_)])]; }
 
   void deliver(int dest, std::uint32_t context, int tag, Payload payload) {
+    PDC_OBS_COUNT("pdc.mp.sent");
+    PDC_OBS_COUNT("pdc.mp.sent_bytes", payload.size());
+    Message message{Envelope{context, rank_, tag, {}}, std::move(payload)};
+    // Captured on the sending thread so the flow arrow starts inside the
+    // sender's current span, not wherever the fabric delivers from.
+    message.envelope.trace =
+        obs::wire_capture("mp.send", static_cast<std::uint64_t>(dest));
     fabric_->deliver(
         static_cast<std::size_t>(members_[static_cast<std::size_t>(dest)]),
-        Message{Envelope{context, rank_, tag}, std::move(payload)});
+        std::move(message));
   }
 
   template <typename T>
@@ -521,6 +532,9 @@ class Communicator {
     PDC_CHECK_MSG(message.payload.size() <= capacity * sizeof(T),
                   "message larger than the receive buffer");
     std::memcpy(data, message.payload.data(), message.payload.size());
+    PDC_OBS_COUNT("pdc.mp.received");
+    obs::wire_accept(message.envelope.trace, "mp.recv",
+                     static_cast<std::uint64_t>(message.envelope.source));
     return RecvInfo{message.envelope.source, message.envelope.tag,
                     message.payload.size()};
   }

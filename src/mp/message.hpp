@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace pdc::mp {
 
 /// Wildcard source rank for receives (MPI_ANY_SOURCE).
@@ -16,10 +18,14 @@ using Payload = std::vector<std::byte>;
 
 /// Envelope carried with every payload. `context` isolates communicators
 /// and separates collective traffic from user point-to-point traffic.
+/// `trace` piggybacks the sender's causal metadata (span id + Lamport
+/// time) so an obs::TraceCollector can stitch send→recv across ranks;
+/// it is all-zero (and free) when no collector is running.
 struct Envelope {
   std::uint32_t context = 0;
   int source = 0;
   int tag = 0;
+  obs::WireTrace trace;
 };
 
 /// Delivered message: envelope + payload bytes.

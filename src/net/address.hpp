@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace pdc::net {
 
 using Bytes = std::vector<std::byte>;
@@ -23,10 +25,13 @@ struct Address {
   }
 };
 
-/// A delivered datagram.
+/// A delivered datagram. `trace` carries the sender's causal metadata
+/// (span + Lamport time) for obs trace stitching; all-zero when no
+/// collector is running.
 struct Datagram {
   Address from;
   Bytes payload;
+  obs::WireTrace trace;
 };
 
 /// Bytes <-> string helpers (application payloads are often text).

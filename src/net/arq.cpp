@@ -4,6 +4,7 @@
 #include <map>
 #include <optional>
 
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 #include "support/stopwatch.hpp"
 
@@ -48,6 +49,7 @@ Bytes make_ack(std::uint32_t next_expected) {
 support::Result<Bytes> arq_receive(DatagramSocket& socket,
                                    std::chrono::milliseconds idle_timeout,
                                    std::chrono::milliseconds linger) {
+  obs::ScopedSpan span("arq.receive");
   Bytes assembled;
   std::uint32_t expected = 0;
   bool finished = false;
@@ -78,6 +80,7 @@ support::Result<ArqStats> arq_send_stop_and_wait(DatagramSocket& socket,
                                                  const Address& dest,
                                                  const Bytes& data,
                                                  const ArqConfig& config) {
+  obs::ScopedSpan span("arq.stop_and_wait", data.size());
   const auto frames = make_frames(data, config.frame_payload);
   ArqStats stats;
   support::Stopwatch clock;
@@ -92,18 +95,24 @@ support::Result<ArqStats> arq_send_stop_and_wait(DatagramSocket& socket,
       }
       socket.send_to(dest, wire);
       ++stats.data_frames_sent;
-      if (attempts > 0) ++stats.retransmissions;
+      PDC_OBS_COUNT("pdc.arq.data_sent");
+      if (attempts > 0) {
+        ++stats.retransmissions;
+        PDC_OBS_COUNT("pdc.arq.retransmit");
+      }
       ++attempts;
 
       // Wait for the cumulative ACK covering this frame.
       const auto dgram = socket.recv_for(config.timeout);
       if (!dgram.is_ok()) {
         ++stats.timeouts;
+        PDC_OBS_COUNT("pdc.arq.timeout");
         continue;
       }
       const auto ack = Frame::decode(dgram.value().payload);
       if (ack && ack->type == Frame::Type::kAck) {
         ++stats.acks_received;
+        PDC_OBS_COUNT("pdc.arq.ack");
         if (ack->seq >= i + 1) break;
       }
     }
@@ -118,6 +127,7 @@ support::Result<ArqStats> arq_send_go_back_n(DatagramSocket& socket,
                                              const Address& dest,
                                              const ::pdc::net::Bytes& data,
                                              const ArqConfig& config) {
+  obs::ScopedSpan span("arq.go_back_n", data.size());
   PDC_CHECK(config.window >= 1);
   const auto frames = make_frames(data, config.frame_payload);
   std::vector<Bytes> wires;
@@ -138,7 +148,11 @@ support::Result<ArqStats> arq_send_go_back_n(DatagramSocket& socket,
            next < base + static_cast<std::uint32_t>(config.window)) {
       socket.send_to(dest, wires[next]);
       ++stats.data_frames_sent;
-      if (next < highest_sent) ++stats.retransmissions;
+      PDC_OBS_COUNT("pdc.arq.data_sent");
+      if (next < highest_sent) {
+        ++stats.retransmissions;
+        PDC_OBS_COUNT("pdc.arq.retransmit");
+      }
       ++next;
     }
     highest_sent = std::max(highest_sent, next);
@@ -146,6 +160,7 @@ support::Result<ArqStats> arq_send_go_back_n(DatagramSocket& socket,
     const auto dgram = socket.recv_for(config.timeout);
     if (!dgram.is_ok()) {
       ++stats.timeouts;
+      PDC_OBS_COUNT("pdc.arq.timeout");
       if (++stalls > config.max_retries) {
         return Status{StatusCode::kTimeout, "window stalled past max retries"};
       }
@@ -155,6 +170,7 @@ support::Result<ArqStats> arq_send_go_back_n(DatagramSocket& socket,
     const auto ack = Frame::decode(dgram.value().payload);
     if (ack && ack->type == Frame::Type::kAck) {
       ++stats.acks_received;
+      PDC_OBS_COUNT("pdc.arq.ack");
       if (ack->seq > base) {
         base = ack->seq;
         stalls = 0;
@@ -170,6 +186,7 @@ support::Result<ArqStats> arq_send_go_back_n(DatagramSocket& socket,
 support::Result<Bytes> arq_receive_selective(DatagramSocket& socket,
                                              std::chrono::milliseconds idle_timeout,
                                              std::chrono::milliseconds linger) {
+  obs::ScopedSpan span("arq.receive_selective");
   std::map<std::uint32_t, Bytes> buffered;
   std::optional<std::uint32_t> final_seq;
   bool finished = false;
@@ -213,6 +230,7 @@ support::Result<ArqStats> arq_send_selective_repeat(DatagramSocket& socket,
                                                     const Address& dest,
                                                     const Bytes& data,
                                                     const ArqConfig& config) {
+  obs::ScopedSpan span("arq.selective_repeat", data.size());
   PDC_CHECK(config.window >= 1);
   const auto frames = make_frames(data, config.frame_payload);
   std::vector<Bytes> wires;
@@ -241,6 +259,8 @@ support::Result<ArqStats> arq_send_selective_repeat(DatagramSocket& socket,
       if (sent_at[s] >= 0.0) {
         ++stats.retransmissions;  // this specific frame timed out
         ++stats.timeouts;
+        PDC_OBS_COUNT("pdc.arq.retransmit");
+        PDC_OBS_COUNT("pdc.arq.timeout");
       }
       if (++attempts[s] > config.max_retries) {
         return Status{StatusCode::kTimeout, "frame " + std::to_string(s) +
@@ -250,6 +270,7 @@ support::Result<ArqStats> arq_send_selective_repeat(DatagramSocket& socket,
       ever_sent[s] = true;
       sent_at[s] = now;
       ++stats.data_frames_sent;
+      PDC_OBS_COUNT("pdc.arq.data_sent");
     }
 
     // Collect ACKs for a slice of the timeout, then rescan.
@@ -259,6 +280,7 @@ support::Result<ArqStats> arq_send_selective_repeat(DatagramSocket& socket,
     const auto ack = Frame::decode(dgram.value().payload);
     if (ack && ack->type == Frame::Type::kAck && ack->seq < frames.size()) {
       ++stats.acks_received;
+      PDC_OBS_COUNT("pdc.arq.ack");
       acked[ack->seq] = true;
       while (base < frames.size() && acked[base]) ++base;
     }

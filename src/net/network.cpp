@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 #include "testkit/fault_injector.hpp"
 
@@ -32,6 +33,9 @@ support::Result<Datagram> DatagramSocket::recv() {
   if (queue_.empty()) return Status{StatusCode::kClosed, "socket closed"};
   Datagram dgram = std::move(queue_.front());
   queue_.pop_front();
+  PDC_OBS_COUNT("pdc.net.received");
+  obs::wire_accept(dgram.trace, "net.recv",
+                   static_cast<std::uint64_t>(dgram.from.host));
   return dgram;
 }
 
@@ -45,6 +49,9 @@ support::Result<Datagram> DatagramSocket::recv_for(
   if (queue_.empty()) return Status{StatusCode::kClosed, "socket closed"};
   Datagram dgram = std::move(queue_.front());
   queue_.pop_front();
+  PDC_OBS_COUNT("pdc.net.received");
+  obs::wire_accept(dgram.trace, "net.recv",
+                   static_cast<std::uint64_t>(dgram.from.host));
   return dgram;
 }
 
@@ -183,6 +190,7 @@ void Network::schedule(std::function<void()> deliver, bool impaired) {
       const testkit::FaultDecision decision = injector_->next();
       if (decision.drop) {
         ++dropped_;
+        PDC_OBS_COUNT("pdc.net.dropped");
         return;
       }
       copies = decision.copies;
@@ -191,6 +199,7 @@ void Network::schedule(std::function<void()> deliver, bool impaired) {
     } else if (impaired) {
       if (rng_.bernoulli(config_.loss)) {
         ++dropped_;
+        PDC_OBS_COUNT("pdc.net.dropped");
         return;
       }
       if (rng_.bernoulli(config_.duplicate)) copies = 2;
@@ -323,8 +332,14 @@ void Network::unbind_listener(const Address& addr) {
 
 void Network::send_datagram(const Address& from, const Address& to,
                             Bytes payload) {
+  PDC_OBS_COUNT("pdc.net.sent");
+  PDC_OBS_COUNT("pdc.net.sent_bytes", payload.size());
+  // Captured on the sending thread (not the dispatcher) so the flow arrow
+  // originates inside the sender's span.
+  const obs::WireTrace trace =
+      obs::wire_capture("net.send", static_cast<std::uint64_t>(to.host));
   schedule(
-      [this, from, to, payload = std::move(payload)]() mutable {
+      [this, from, to, trace, payload = std::move(payload)]() mutable {
         // Deliver while holding the net mutex so the socket cannot be
         // destroyed (its destructor unbinds under the same mutex). The
         // socket's own mutex nests inside the net mutex — the one global
@@ -332,7 +347,7 @@ void Network::send_datagram(const Address& from, const Address& to,
         std::scoped_lock lock(mutex_);
         auto it = datagram_sockets_.find(to);
         if (it == datagram_sockets_.end()) return;  // no receiver: dropped
-        it->second->deliver(Datagram{from, std::move(payload)});
+        it->second->deliver(Datagram{from, std::move(payload), trace});
       },
       /*impaired=*/true);
 }

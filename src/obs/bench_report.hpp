@@ -1,0 +1,60 @@
+// BenchReport: structured JSON output for the plain-main bench runners.
+//
+// The google-benchmark binaries already speak --benchmark_format=json;
+// the table-printing runners (bench/fig*, bench/table*, most lab_* and
+// perf_*) get this writer instead. A runner builds its TextTables as
+// before, adds each to a BenchReport, and calls write() at exit:
+//
+//   obs::BenchReport report("perf_dist_coord");
+//   ...
+//   report.add_table(table);          // alongside table.render(std::cout)
+//   report.add_metric("ranks", 8.0);
+//   report.write_if_requested();      // honours PDCKIT_BENCH_JSON
+//
+// write_if_requested() writes JSON to the path named by the
+// PDCKIT_BENCH_JSON environment variable (or stdout for "-") and is a
+// no-op when the variable is unset, so interactive runs stay table-only
+// while bench/run_all.sh harvests machine-readable BENCH_*.json files.
+// The report also embeds a MetricsRegistry scrape so every bench run
+// carries the library's own counters with it.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/table.hpp"
+
+namespace pdc::obs {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// Snapshots the table's title/header/rows (call after the rows exist).
+  void add_table(const support::TextTable& table);
+
+  /// Free-form scalar result (wall seconds, speedup, throughput...).
+  void add_metric(std::string name, double value);
+
+  /// Serializes name, tables, metrics, and a MetricsRegistry scrape.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to_json() to the file named by $PDCKIT_BENCH_JSON ("-" for
+  /// stdout). Returns false when the variable is unset or the write
+  /// failed; diagnostics go to stderr.
+  bool write_if_requested() const;
+
+ private:
+  struct TableCopy {
+    std::string title;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  std::string name_;
+  std::vector<TableCopy> tables_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+}  // namespace pdc::obs

@@ -1,0 +1,211 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace pdc::obs {
+
+namespace detail {
+
+std::size_t shard_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t mine =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return mine;
+}
+
+}  // namespace detail
+
+double Histogram::bucket_upper(std::size_t b) noexcept {
+  if (b + 1 >= kHistogramBuckets) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::ldexp(1.0, static_cast<int>(b));  // 2^b
+}
+
+double Histogram::Snapshot::quantile_upper(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= target) return bucket_upper(b);
+  }
+  return bucket_upper(kHistogramBuckets - 1);
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::scoped_lock lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::scoped_lock lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::scoped_lock lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::scrape() const {
+  MetricsSnapshot out;
+  std::scoped_lock lock(mutex_);
+  out.samples.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricKind::kCounter;
+    s.count = c->total();
+    out.samples.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricKind::kGauge;
+    s.value = g->value();
+    s.high_water = g->high_water();
+    out.samples.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    const auto snap = h->snapshot();
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricKind::kHistogram;
+    s.count = snap.count;
+    s.sum = snap.sum;
+    s.buckets.assign(snap.buckets.begin(), snap.buckets.end());
+    while (!s.buckets.empty() && s.buckets.back() == 0) s.buckets.pop_back();
+    out.samples.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::scoped_lock lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+const MetricSample* MetricsSnapshot::find(std::string_view name) const {
+  for (const auto& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  const MetricSample* s = find(name);
+  if (s == nullptr) return 0;
+  if (s->kind == MetricKind::kGauge) {
+    return s->value < 0 ? 0 : static_cast<std::uint64_t>(s->value);
+  }
+  return s->count;
+}
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view text) {
+  out += '"';
+  for (char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += ch;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{";
+  const auto emit_kind = [&](const char* key, MetricKind kind,
+                             auto&& emit_value) {
+    append_json_string(out, key);
+    out += ":{";
+    bool first = true;
+    for (const auto& s : samples) {
+      if (s.kind != kind) continue;
+      if (!first) out += ',';
+      first = false;
+      append_json_string(out, s.name);
+      out += ':';
+      emit_value(s);
+    }
+    out += '}';
+  };
+  emit_kind("counters", MetricKind::kCounter,
+            [&](const MetricSample& s) { out += std::to_string(s.count); });
+  out += ',';
+  emit_kind("gauges", MetricKind::kGauge, [&](const MetricSample& s) {
+    out += "{\"value\":" + std::to_string(s.value) +
+           ",\"high_water\":" + std::to_string(s.high_water) + '}';
+  });
+  out += ',';
+  emit_kind("histograms", MetricKind::kHistogram, [&](const MetricSample& s) {
+    out += "{\"count\":" + std::to_string(s.count) +
+           ",\"sum\":" + std::to_string(s.sum) + ",\"buckets\":[";
+    for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(s.buckets[i]);
+    }
+    out += "]}";
+  });
+  out += '}';
+  return out;
+}
+
+void MetricsSnapshot::render(std::ostream& os) const {
+  for (const auto& s : samples) {
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        if (s.count == 0) continue;
+        os << s.name << " = " << s.count << '\n';
+        break;
+      case MetricKind::kGauge:
+        if (s.value == 0 && s.high_water == 0) continue;
+        os << s.name << " = " << s.value << " (high water " << s.high_water
+           << ")\n";
+        break;
+      case MetricKind::kHistogram: {
+        if (s.count == 0) continue;
+        const double mean =
+            static_cast<double>(s.sum) / static_cast<double>(s.count);
+        os << s.name << ": count=" << s.count << " sum=" << s.sum
+           << " mean=" << mean << '\n';
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace pdc::obs

@@ -1,0 +1,239 @@
+// MetricsRegistry: process-wide counters, gauges, and fixed-bucket
+// histograms for the library's hot paths.
+//
+// The paper's case-study courses all teach performance *observation* as a
+// first-class PDC skill; this is the layer that makes PDCkit's own locks,
+// pools, fabrics, and protocols observable. Design constraints, in order:
+//
+//  1. Instrumented hot paths must stay wait-free. Every metric is sharded
+//     into kMetricShards cache-line-aligned slots; a thread picks its slot
+//     once (round-robin at first touch) and then every update is a single
+//     relaxed atomic RMW on a line it rarely shares. No locks, no CAS
+//     loops, no seqlocks on the update path.
+//  2. Scrapes are rare and may be slow: scrape() aggregates the shards
+//     under the registry mutex. A scrape racing an update can miss that
+//     update (relaxed loads) — monitoring semantics, documented here.
+//  3. Everything compiles out under PDCKIT_OBS_NOOP (see obs/obs.hpp);
+//     the registry itself stays linkable so tooling code need not be
+//     conditionally compiled.
+//
+// Histograms use exponential base-2 buckets: bucket 0 counts values < 1,
+// bucket b counts values in [2^(b-1), 2^b). The value unit is chosen per
+// histogram by its writers (this library records microseconds).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdc::obs {
+
+inline constexpr std::size_t kMetricShards = 16;
+inline constexpr std::size_t kHistogramBuckets = 32;
+
+namespace detail {
+/// Slot index of the calling thread: assigned round-robin on first use,
+/// stable for the thread's lifetime.
+[[nodiscard]] std::size_t shard_index() noexcept;
+}  // namespace detail
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    slots_[detail::shard_index()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum over all shards (may miss in-flight updates; never undercounts a
+  /// completed one).
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& slot : slots_) {
+      sum += slot.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  void reset() noexcept {
+    for (auto& slot : slots_) slot.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> value{0};
+  };
+  Slot slots_[kMetricShards];
+};
+
+/// Additive gauge (add on entry, sub on exit). The instantaneous value is
+/// the shard sum, so concurrent readers may observe transient values; the
+/// high-water mark is tracked separately and is monotone.
+class Gauge {
+ public:
+  void add(std::int64_t delta = 1) noexcept {
+    const std::int64_t now =
+        total_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    if (delta > 0) {
+      // Lossy max: a racing higher value may briefly win; good enough for
+      // a high-water mark and keeps the path store-only.
+      std::int64_t seen = high_water_.load(std::memory_order_relaxed);
+      while (now > seen &&
+             !high_water_.compare_exchange_weak(seen, now,
+                                                std::memory_order_relaxed)) {
+      }
+    }
+  }
+  void sub(std::int64_t delta = 1) noexcept { add(-delta); }
+
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t high_water() const noexcept {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    total_.store(0, std::memory_order_relaxed);
+    high_water_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  // A gauge's current value must be coherent enough for a high-water mark,
+  // so it is a single atomic rather than sharded slots: gauges guard
+  // counts like queue depth, updated orders of magnitude less often than
+  // the counters next to them.
+  alignas(64) std::atomic<std::int64_t> total_{0};
+  alignas(64) std::atomic<std::int64_t> high_water_{0};
+};
+
+/// Fixed-bucket latency histogram (exponential base-2 buckets).
+class Histogram {
+ public:
+  void record(std::uint64_t value) noexcept {
+    auto& slot = slots_[detail::shard_index()];
+    slot.count.fetch_add(1, std::memory_order_relaxed);
+    slot.sum.fetch_add(value, std::memory_order_relaxed);
+    slot.buckets[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  }
+  void record(double value) noexcept {
+    record(value <= 0.0 ? std::uint64_t{0} : static_cast<std::uint64_t>(value));
+  }
+
+  /// Bucket index for a value: 0 for v < 1, else 1 + floor(log2 v),
+  /// clamped to the last bucket.
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t value) noexcept {
+    if (value == 0) return 0;
+    std::size_t b = 0;
+    while (value > 0 && b + 1 < kHistogramBuckets) {
+      value >>= 1;
+      ++b;
+    }
+    return b;
+  }
+  /// Exclusive upper bound of bucket `b` (inf for the last).
+  [[nodiscard]] static double bucket_upper(std::size_t b) noexcept;
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+    [[nodiscard]] double mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+    /// Upper bound of the bucket containing quantile `q` (0..1).
+    [[nodiscard]] double quantile_upper(double q) const;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const noexcept {
+    Snapshot out;
+    for (const auto& slot : slots_) {
+      out.count += slot.count.load(std::memory_order_relaxed);
+      out.sum += slot.sum.load(std::memory_order_relaxed);
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        out.buckets[b] += slot.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    return out;
+  }
+
+  void reset() noexcept {
+    for (auto& slot : slots_) {
+      slot.count.store(0, std::memory_order_relaxed);
+      slot.sum.store(0, std::memory_order_relaxed);
+      for (auto& b : slot.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
+  };
+  Slot slots_[kMetricShards];
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// One metric's aggregated value at scrape time.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t count = 0;             // counter total / histogram count
+  std::int64_t value = 0;              // gauge value
+  std::int64_t high_water = 0;         // gauge high-water mark
+  std::uint64_t sum = 0;               // histogram sum
+  std::vector<std::uint64_t> buckets;  // histogram buckets (trailing zeros trimmed)
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  // sorted by name within each kind group
+
+  [[nodiscard]] const MetricSample* find(std::string_view name) const;
+  /// Counter total / gauge value / histogram count; 0 when absent.
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+
+  /// Compact JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  [[nodiscard]] std::string to_json() const;
+  /// Human-readable dump (one metric per line), zero-valued metrics skipped.
+  void render(std::ostream& os) const;
+};
+
+/// The process-wide registry. Metric objects are interned by name and live
+/// for the process lifetime, so hot paths cache the returned reference in
+/// a function-local static (see the PDC_OBS_* macros in obs/obs.hpp).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Aggregates every registered metric. Safe to call concurrently with
+  /// updates (monitoring semantics; see file comment).
+  [[nodiscard]] MetricsSnapshot scrape() const;
+
+  /// Zeroes every metric, keeping registrations (cached references stay
+  /// valid). Intended for tests and benches that want a clean window.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace pdc::obs

@@ -1,0 +1,40 @@
+#include "obs/replay.hpp"
+
+#include <fstream>
+
+#include "obs/trace.hpp"
+
+namespace pdc::obs {
+
+bool ReplayDump::write_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << chrome_trace;
+  return static_cast<bool>(out);
+}
+
+ReplayDump replay_with_trace(const testkit::ScheduleExplorer& explorer,
+                             std::uint64_t seed,
+                             const std::function<testkit::RunPlan()>& make_run) {
+  ReplayDump dump;
+  TraceCollector collector;
+  collector.start();
+  dump.report = explorer.replay(seed, make_run, &dump.failure);
+  collector.stop();
+  dump.chrome_trace = collector.chrome_trace_json();
+  dump.minimal_trace = dump.report.format_minimal_trace();
+  return dump;
+}
+
+ReplayDump explore_and_dump(const testkit::ScheduleExplorer& explorer,
+                            const std::function<testkit::RunPlan()>& make_run) {
+  const testkit::ExplorationResult result = explorer.explore(make_run);
+  if (!result.failure_found) {
+    ReplayDump dump;
+    dump.report = result.failing_report;
+    return dump;
+  }
+  return replay_with_trace(explorer, result.failing_seed, make_run);
+}
+
+}  // namespace pdc::obs

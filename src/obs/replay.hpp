@@ -1,0 +1,45 @@
+// Glue between testkit::ScheduleExplorer and the trace layer: when seed
+// search finds a failing interleaving, replay it with a TraceCollector
+// running so the minimal failing schedule comes back as a Perfetto-
+// loadable Chrome trace next to the scheduler's own step log.
+//
+// This lives in obs (not testkit) on purpose — obs already depends on
+// testkit for virtual-clock timestamps, so the dump glue pointing the
+// other way would close a dependency cycle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "testkit/schedule_explorer.hpp"
+
+namespace pdc::obs {
+
+/// Everything needed to understand one replayed interleaving.
+struct ReplayDump {
+  testkit::RunReport report;  // scheduler's view (steps, switches, trace)
+  std::string failure;        // check()/scheduler failure text; empty = pass
+  std::string chrome_trace;   // obs trace of the same run, Chrome JSON
+  std::string minimal_trace;  // report.format_minimal_trace() convenience
+
+  [[nodiscard]] bool failed() const { return !failure.empty(); }
+
+  /// Writes chrome_trace to `path`; returns false on I/O failure.
+  bool write_trace(const std::string& path) const;
+};
+
+/// Replays `seed` under the explorer's policy with a TraceCollector
+/// running for the duration of the run.
+[[nodiscard]] ReplayDump replay_with_trace(
+    const testkit::ScheduleExplorer& explorer, std::uint64_t seed,
+    const std::function<testkit::RunPlan()>& make_run);
+
+/// explore() + on failure, replay_with_trace() of the failing seed.
+/// When no failure is found the dump's report is the last explore run's
+/// metadata and chrome_trace is empty.
+[[nodiscard]] ReplayDump explore_and_dump(
+    const testkit::ScheduleExplorer& explorer,
+    const std::function<testkit::RunPlan()>& make_run);
+
+}  // namespace pdc::obs

@@ -1,0 +1,286 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "support/check.hpp"
+#include "testkit/hooks.hpp"
+
+namespace pdc::obs {
+
+namespace detail {
+
+std::atomic<bool> g_trace_enabled{false};
+
+namespace {
+
+/// Bumped at every TraceCollector::start(); threads compare it against
+/// their cached value to know their ring belongs to a dead session.
+std::atomic<std::uint64_t> g_session_epoch{1};
+
+struct Ring {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+  std::uint64_t tid = 0;  // session-local track id (registration order)
+  const char* thread_name = nullptr;
+  std::uint64_t name_index = 0;
+  // Owner-thread state, still guarded by `mutex` because the harvest
+  // reads it: the thread's Lamport clock and its open-span stack.
+  std::uint64_t lamport = 0;
+  std::uint64_t next_span = 1;
+  std::vector<std::uint64_t> span_stack;
+};
+
+struct HarvestedRing {
+  std::uint64_t tid = 0;
+  const char* thread_name = nullptr;
+  std::uint64_t name_index = 0;
+  std::uint64_t dropped = 0;
+  std::vector<TraceEvent> events;
+};
+
+struct TraceState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Ring>> rings;  // live session's rings
+  std::uint64_t next_tid = 0;
+  std::atomic<std::uint64_t> next_flow{1};
+  std::vector<HarvestedRing> harvest;  // last stopped session
+};
+
+TraceState& state() {
+  static TraceState instance;
+  return instance;
+}
+
+/// The calling thread's ring for the current session, registering one on
+/// first touch. Registration order is the track order in the export —
+/// deterministic under SimScheduler because only one thread runs at a
+/// time. The thread_local holds shared ownership so a ring stays valid
+/// for a thread that outlives the session that created it.
+Ring& current_ring() {
+  thread_local std::shared_ptr<Ring> ring;
+  thread_local std::uint64_t ring_epoch = 0;
+  const std::uint64_t epoch = g_session_epoch.load(std::memory_order_acquire);
+  if (!ring || ring_epoch != epoch) {
+    auto fresh = std::make_shared<Ring>();
+    fresh->events.reserve(1024);
+    auto& st = state();
+    std::scoped_lock lock(st.mutex);
+    fresh->tid = st.next_tid++;
+    st.rings.push_back(fresh);
+    ring = std::move(fresh);
+    ring_epoch = epoch;
+  }
+  return *ring;
+}
+
+void append(Ring& ring, TraceEvent event) {
+  if (ring.events.size() >= kTraceRingCapacity) {
+    ++ring.dropped;
+    return;
+  }
+  ring.events.push_back(event);
+}
+
+const char* phase_of(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kBegin: return "B";
+    case TraceEventKind::kEnd: return "E";
+    case TraceEventKind::kInstant: return "i";
+    case TraceEventKind::kFlowStart: return "s";
+    case TraceEventKind::kFlowEnd: return "f";
+  }
+  return "i";
+}
+
+void append_json_string(std::string& out, const char* text) {
+  out += '"';
+  for (; *text != '\0'; ++text) {
+    switch (*text) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default: out += *text;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void emit_slow(TraceEventKind kind, const char* name, std::uint64_t id,
+               std::uint64_t arg) {
+  Ring& ring = current_ring();
+  std::scoped_lock lock(ring.mutex);
+  std::uint64_t lamport = ring.lamport;
+  if (kind == TraceEventKind::kBegin) {
+    ring.span_stack.push_back((ring.tid << 32) | ring.next_span++);
+  } else if (kind == TraceEventKind::kEnd && !ring.span_stack.empty()) {
+    ring.span_stack.pop_back();
+  }
+  append(ring, TraceEvent{kind, name, now_us(), id, arg, lamport});
+}
+
+WireTrace wire_capture_slow(const char* name, std::uint64_t arg) {
+  Ring& ring = current_ring();
+  std::scoped_lock lock(ring.mutex);
+  ring.lamport += 1;
+  WireTrace wire;
+  wire.lamport = ring.lamport;
+  wire.span = ring.span_stack.empty() ? (ring.tid << 32)
+                                      : ring.span_stack.back();
+  wire.flow = state().next_flow.fetch_add(1, std::memory_order_relaxed);
+  append(ring, TraceEvent{TraceEventKind::kFlowStart, name, now_us(),
+                          wire.flow, arg, wire.lamport});
+  return wire;
+}
+
+void wire_accept_slow(const WireTrace& trace, const char* name,
+                      std::uint64_t arg) {
+  Ring& ring = current_ring();
+  std::scoped_lock lock(ring.mutex);
+  ring.lamport = std::max(ring.lamport, trace.lamport) + 1;
+  append(ring, TraceEvent{TraceEventKind::kFlowEnd, name, now_us(),
+                          trace.flow, arg, ring.lamport});
+}
+
+void set_thread_name_slow(const char* name, std::uint64_t index) {
+  Ring& ring = current_ring();
+  std::scoped_lock lock(ring.mutex);
+  ring.thread_name = name;
+  ring.name_index = index;
+}
+
+}  // namespace detail
+
+std::uint64_t now_us() {
+  namespace tk = pdc::testkit::detail;
+  if (tk::g_sim_active.load(std::memory_order_relaxed)) {
+    return static_cast<std::uint64_t>(tk::clock_now_slow() * 1e6 + 0.5);
+  }
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                            start)
+          .count());
+}
+
+TraceCollector::~TraceCollector() {
+  if (running_) stop();
+}
+
+void TraceCollector::start() {
+  auto& st = detail::state();
+  std::scoped_lock lock(st.mutex);
+  PDC_CHECK_MSG(!detail::g_trace_enabled.load(std::memory_order_relaxed),
+                "only one TraceCollector may run at a time");
+  st.rings.clear();
+  st.harvest.clear();
+  st.next_tid = 0;
+  st.next_flow.store(1, std::memory_order_relaxed);
+  // New epoch invalidates every thread's cached ring; threads re-register
+  // (in deterministic order under the sim) on their first emit.
+  detail::g_session_epoch.fetch_add(1, std::memory_order_release);
+  detail::g_trace_enabled.store(true, std::memory_order_release);
+  running_ = true;
+}
+
+void TraceCollector::stop() {
+  PDC_CHECK_MSG(running_, "TraceCollector::stop without start");
+  auto& st = detail::state();
+  detail::g_trace_enabled.store(false, std::memory_order_release);
+  std::scoped_lock lock(st.mutex);
+  // A thread that passed the enabled check just before the store may still
+  // be appending; the per-ring mutex makes the harvest race-free (its
+  // event lands either in this harvest or in the ring graveyard).
+  for (const auto& ring : st.rings) {
+    std::scoped_lock ring_lock(ring->mutex);
+    st.harvest.push_back(detail::HarvestedRing{
+        ring->tid, ring->thread_name, ring->name_index, ring->dropped,
+        ring->events});
+  }
+  std::sort(st.harvest.begin(), st.harvest.end(),
+            [](const auto& a, const auto& b) { return a.tid < b.tid; });
+  running_ = false;
+}
+
+std::size_t TraceCollector::event_count() const {
+  auto& st = detail::state();
+  std::scoped_lock lock(st.mutex);
+  std::size_t n = 0;
+  for (const auto& ring : st.harvest) n += ring.events.size();
+  return n;
+}
+
+std::uint64_t TraceCollector::dropped_events() const {
+  auto& st = detail::state();
+  std::scoped_lock lock(st.mutex);
+  std::uint64_t n = 0;
+  for (const auto& ring : st.harvest) n += ring.dropped;
+  return n;
+}
+
+std::string TraceCollector::chrome_trace_json() const {
+  auto& st = detail::state();
+  std::scoped_lock lock(st.mutex);
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  const auto emit = [&](const std::string& line) {
+    if (!first) out += ",\n";
+    first = false;
+    out += line;
+  };
+  // Track metadata first: names and an explicit sort order so Perfetto
+  // shows coordinator above participants regardless of harvest order.
+  for (const auto& ring : st.harvest) {
+    if (ring.thread_name == nullptr) continue;
+    std::string line = "{\"ph\":\"M\",\"pid\":1,\"tid\":" +
+                       std::to_string(ring.tid) +
+                       ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    detail::append_json_string(line, ring.thread_name);
+    line += "}}";
+    emit(line);
+    emit("{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(ring.tid) +
+         ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" +
+         std::to_string(ring.name_index) + "}}");
+  }
+  for (const auto& ring : st.harvest) {
+    for (const auto& ev : ring.events) {
+      std::string line = "{\"ph\":\"";
+      line += detail::phase_of(ev.kind);
+      line += "\",\"pid\":1,\"tid\":" + std::to_string(ring.tid) +
+              ",\"ts\":" + std::to_string(ev.ts_us) + ",\"name\":";
+      detail::append_json_string(line, ev.name);
+      switch (ev.kind) {
+        case TraceEventKind::kFlowStart:
+          line += ",\"cat\":\"wire\",\"id\":" + std::to_string(ev.id);
+          break;
+        case TraceEventKind::kFlowEnd:
+          // bp:"e" binds the arrow to the enclosing slice rather than the
+          // next one — required for the causal reading of the trace.
+          line += ",\"cat\":\"wire\",\"bp\":\"e\",\"id\":" +
+                  std::to_string(ev.id);
+          break;
+        case TraceEventKind::kInstant:
+          line += ",\"s\":\"t\"";
+          break;
+        default:
+          break;
+      }
+      if (ev.kind != TraceEventKind::kEnd) {
+        line += ",\"args\":{\"arg\":" + std::to_string(ev.arg) +
+                ",\"lamport\":" + std::to_string(ev.lamport) + "}";
+      }
+      line += "}";
+      emit(line);
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+}  // namespace pdc::obs

@@ -1,0 +1,199 @@
+// Per-thread trace ring buffers + causal spans + Chrome trace_event JSON.
+//
+// Three pieces:
+//
+//  1. TraceCollector — a session object. While one is running, every
+//     thread that emits an event lazily registers a fixed-capacity ring
+//     buffer; events are appended under a per-ring mutex that is only
+//     ever contended by the (rare) final harvest, so the hot path is an
+//     uncontended lock + bump. When no collector is running, the emit
+//     functions are a single relaxed atomic load and return — the
+//     zero-contention fast path the instrumented modules rely on.
+//
+//  2. Causal spans — WireTrace{span, lamport} piggybacks on mp::Envelope
+//     and net::Datagram. Senders call wire_capture() (ticks the thread's
+//     Lamport clock, allocates a flow id, records a flow-start event);
+//     receivers call wire_accept() (merges the clock, records the
+//     flow-end event). In the exported JSON these become Chrome
+//     flow events ("s"/"f"), which Perfetto draws as arrows stitching
+//     the sender's span to the receiver's — one causal tree across
+//     threads, messages, and protocol rounds.
+//
+//  3. chrome_trace_json() — serializes the harvested events in the
+//     Chrome trace_event format (chrome://tracing, ui.perfetto.dev).
+//     Under testkit::SimScheduler all timestamps come from the virtual
+//     clock and all ids from session-local counters, so a fixed-seed run
+//     exports byte-identical JSON (see tests/obs_test.cpp golden test).
+//
+// Labels passed to the emit functions must be string literals: events
+// store the pointer, never a copy (same contract as testkit hook labels).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace pdc::obs {
+
+/// Compile-time escape hatch: with PDCKIT_OBS_NOOP defined (CMake option
+/// of the same name) trace_enabled() folds to false, so every emit path,
+/// wire capture, and metric macro dead-code-eliminates. The collector and
+/// registry stay linkable so tooling code needs no conditional compiles.
+#ifdef PDCKIT_OBS_NOOP
+inline constexpr bool kObsEnabled = false;
+#else
+inline constexpr bool kObsEnabled = true;
+#endif
+
+/// Causal metadata piggybacked on message envelopes and datagrams.
+/// Default-constructed (zero) means "no trace attached" — envelopes built
+/// while no collector is running carry this and cost nothing downstream.
+struct WireTrace {
+  std::uint64_t span = 0;     // originating span id (0 = none)
+  std::uint64_t lamport = 0;  // sender's Lamport time at send
+  std::uint64_t flow = 0;     // flow id pairing this send with its recv
+
+  [[nodiscard]] bool empty() const noexcept {
+    return span == 0 && lamport == 0 && flow == 0;
+  }
+};
+
+enum class TraceEventKind : std::uint8_t {
+  kBegin,      // span open  (Chrome ph "B")
+  kEnd,        // span close (Chrome ph "E")
+  kInstant,    // point event (Chrome ph "i")
+  kFlowStart,  // message leaves this thread  (Chrome ph "s")
+  kFlowEnd,    // message arrives on this thread (Chrome ph "f")
+};
+
+struct TraceEvent {
+  TraceEventKind kind;
+  const char* name;       // string literal
+  std::uint64_t ts_us;    // microseconds (virtual under sim)
+  std::uint64_t id = 0;   // flow id for kFlowStart/kFlowEnd
+  std::uint64_t arg = 0;  // free-form numeric payload (rank, seq, ...)
+  std::uint64_t lamport = 0;
+};
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+
+void emit_slow(TraceEventKind kind, const char* name, std::uint64_t id,
+               std::uint64_t arg);
+[[nodiscard]] WireTrace wire_capture_slow(const char* name, std::uint64_t arg);
+void wire_accept_slow(const WireTrace& trace, const char* name,
+                      std::uint64_t arg);
+void set_thread_name_slow(const char* name, std::uint64_t index);
+}  // namespace detail
+
+/// True while a TraceCollector session is running (always false under
+/// PDCKIT_OBS_NOOP).
+inline bool trace_enabled() noexcept {
+  return kObsEnabled && detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+inline void trace_begin(const char* name, std::uint64_t arg = 0) {
+  if (trace_enabled()) detail::emit_slow(TraceEventKind::kBegin, name, 0, arg);
+}
+inline void trace_end(const char* name) {
+  if (trace_enabled()) detail::emit_slow(TraceEventKind::kEnd, name, 0, 0);
+}
+inline void trace_instant(const char* name, std::uint64_t arg = 0) {
+  if (trace_enabled()) {
+    detail::emit_slow(TraceEventKind::kInstant, name, 0, arg);
+  }
+}
+
+/// Sender side of a causal edge: ticks the calling thread's Lamport clock,
+/// allocates a flow id, and records the flow-start event. Returns the
+/// WireTrace to embed in the envelope/datagram (zero when not tracing).
+inline WireTrace wire_capture(const char* name, std::uint64_t arg = 0) {
+  if (!trace_enabled()) return {};
+  return detail::wire_capture_slow(name, arg);
+}
+
+/// Receiver side: merges the sender's Lamport time into the calling
+/// thread's clock (max+1) and records the flow-end event. Safe to call
+/// with an empty WireTrace (no-op beyond the enabled check).
+inline void wire_accept(const WireTrace& trace, const char* name,
+                        std::uint64_t arg = 0) {
+  if (trace_enabled() && !trace.empty()) {
+    detail::wire_accept_slow(trace, name, arg);
+  }
+}
+
+/// Names the calling thread's track in the exported trace ("coordinator",
+/// "participant"...). `index` orders tracks in the viewer and
+/// disambiguates repeated names.
+inline void set_trace_thread_name(const char* name, std::uint64_t index = 0) {
+  if (trace_enabled()) detail::set_thread_name_slow(name, index);
+}
+
+/// RAII begin/end pair.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, std::uint64_t arg = 0) {
+    if (trace_enabled()) {
+      name_ = name;
+      detail::emit_slow(TraceEventKind::kBegin, name, 0, arg);
+    }
+  }
+  ~ScopedSpan() {
+    // End unconditionally once begun: a collector stopping mid-span must
+    // still see the close (stop() harvests before disabling emits is not
+    // guaranteed, but an unmatched B is worse than a dropped E).
+    if (name_ != nullptr && trace_enabled()) {
+      detail::emit_slow(TraceEventKind::kEnd, name_, 0, 0);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+};
+
+/// Microsecond timestamp for trace events: virtual clock under an active
+/// SimScheduler run, steady_clock otherwise.
+[[nodiscard]] std::uint64_t now_us();
+
+/// A trace session. Construction does nothing; start() begins recording
+/// process-wide, stop() ends it; harvest with chrome_trace_json().
+/// One collector may be running at a time (checked).
+///
+/// start() resets the session's id counters and clears every thread ring,
+/// so two identical fixed-seed sim runs export identical JSON.
+class TraceCollector {
+ public:
+  TraceCollector() = default;
+  ~TraceCollector();
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Events recorded since start(), serialized as a Chrome trace_event
+  /// JSON document. Call after stop(). Events are ordered by
+  /// (timestamp, thread track, ring position) so the output is stable.
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+  /// Total events harvested (post-stop convenience for tests).
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Events a ring dropped because it was full are counted; exposed so
+  /// tests can assert losslessness where it matters.
+  [[nodiscard]] std::uint64_t dropped_events() const;
+
+ private:
+  bool running_ = false;
+};
+
+/// Events each thread ring can hold per session. Oldest events are NOT
+/// overwritten — a full ring drops new events and counts them — so span
+/// begin/ends stay paired.
+inline constexpr std::size_t kTraceRingCapacity = 1u << 16;
+
+}  // namespace pdc::obs

@@ -75,25 +75,31 @@ template <typename T, typename Cmp>
 void quick_sort_task(WorkStealingPool& pool, std::vector<T>& data,
                      std::size_t lo, std::size_t hi, std::size_t cutoff,
                      Cmp cmp) {
-  if (hi - lo <= cutoff) {
-    std::sort(data.begin() + static_cast<std::ptrdiff_t>(lo),
-              data.begin() + static_cast<std::ptrdiff_t>(hi), cmp);
-    return;
+  // Spawn the smaller side of each partition and keep the larger side in
+  // this loop. The spawned subproblem is at most half the range, so the
+  // task tree stays O(log n) deep, and looping (rather than recursing) on
+  // the larger side keeps this frame's stack depth constant — skewed
+  // pivots on nearly-sorted input otherwise recurse ~n/cutoff frames deep.
+  std::atomic<std::size_t> pending{0};
+  while (hi - lo > cutoff) {
+    const std::size_t p = partition_range(data, lo, hi, cmp);
+    std::size_t spawn_lo = lo, spawn_hi = p, keep_lo = p + 1, keep_hi = hi;
+    if (spawn_hi - spawn_lo > keep_hi - keep_lo) {
+      std::swap(spawn_lo, keep_lo);
+      std::swap(spawn_hi, keep_hi);
+    }
+    pending.fetch_add(1, std::memory_order_relaxed);
+    pool.spawn([&pool, &data, &pending, spawn_lo, spawn_hi, cutoff, cmp] {
+      quick_sort_task(pool, data, spawn_lo, spawn_hi, cutoff, cmp);
+      pending.fetch_sub(1, std::memory_order_release);
+    });
+    lo = keep_lo;
+    hi = keep_hi;
   }
-  const std::size_t p = partition_range(data, lo, hi, cmp);
-  // Spawn the smaller side; run the larger inline (bounds task-tree depth).
-  std::size_t spawn_lo = lo, spawn_hi = p, run_lo = p + 1, run_hi = hi;
-  if (spawn_hi - spawn_lo > run_hi - run_lo) {
-    std::swap(spawn_lo, run_lo);
-    std::swap(spawn_hi, run_hi);
-  }
-  std::atomic<bool> child_done{false};
-  pool.spawn([&, spawn_lo, spawn_hi] {
-    quick_sort_task(pool, data, spawn_lo, spawn_hi, cutoff, cmp);
-    child_done.store(true, std::memory_order_release);
-  });
-  quick_sort_task(pool, data, run_lo, run_hi, cutoff, cmp);
-  pool.help_while([&] { return child_done.load(std::memory_order_acquire); });
+  std::sort(data.begin() + static_cast<std::ptrdiff_t>(lo),
+            data.begin() + static_cast<std::ptrdiff_t>(hi), cmp);
+  pool.help_while(
+      [&] { return pending.load(std::memory_order_acquire) == 0; });
 }
 
 }  // namespace detail

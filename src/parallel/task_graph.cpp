@@ -6,6 +6,7 @@
 #include <mutex>
 #include <queue>
 
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 
 namespace pdc::parallel {
@@ -212,7 +213,11 @@ support::Status TaskGraph::run(ThreadPool& pool) {
     auto state = weak.lock();
     PDC_CHECK(state != nullptr);
     const auto& task = tasks_[id];
+    PDC_OBS_COUNT("pdc.taskgraph.run");
     try {
+      // Literal span name: task.name is a std::string whose lifetime the
+      // trace ring cannot extend; the task id rides in the span arg.
+      obs::ScopedSpan span("taskgraph.task", id);
       if (task.fn) task.fn();
     } catch (...) {
       std::scoped_lock lock(state->mutex);

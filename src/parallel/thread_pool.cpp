@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace pdc::parallel {
 
 namespace {
@@ -32,7 +34,11 @@ void ThreadPool::shutdown() {
 }
 
 support::Status ThreadPool::post(std::function<void()> fn) {
-  return queue_.push(std::move(fn));
+  PDC_OBS_COUNT("pdc.pool.submitted");
+  PDC_OBS_GAUGE_ADD("pdc.pool.queue_depth", 1);
+  support::Status status = queue_.push(std::move(fn));
+  if (!status.is_ok()) PDC_OBS_GAUGE_SUB("pdc.pool.queue_depth", 1);
+  return status;
 }
 
 bool ThreadPool::inside_worker() const { return t_current_pool == this; }
@@ -42,7 +48,14 @@ void ThreadPool::worker_loop() {
   for (;;) {
     auto task = queue_.pop();
     if (!task.is_ok()) break;  // closed and drained
-    task.value()();
+    PDC_OBS_GAUGE_SUB("pdc.pool.queue_depth", 1);
+    {
+      obs::ScopedSpan span("pool.task");
+      obs::BlockTimer timer;
+      task.value()();
+      timer.record("pdc.pool.task_us");
+    }
+    PDC_OBS_COUNT("pdc.pool.executed");
   }
   t_current_pool = nullptr;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "concurrency/bounded_queue.hpp"
+#include "obs/obs.hpp"
 #include "support/status.hpp"
 
 namespace pdc::parallel {
@@ -35,6 +36,8 @@ class ThreadPool {
     using R = std::invoke_result_t<Fn>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> result = task->get_future();
+    PDC_OBS_COUNT("pdc.pool.submitted");
+    PDC_OBS_GAUGE_ADD("pdc.pool.queue_depth", 1);
     const auto status = queue_.push([task] { (*task)(); });
     PDC_CHECK_MSG(status.is_ok(), "submit after ThreadPool shutdown");
     return result;

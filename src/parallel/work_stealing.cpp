@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace pdc::parallel {
 
 namespace {
@@ -35,6 +37,7 @@ void WorkStealingPool::spawn(std::function<void()> fn) {
   } else {
     target = next_victim_.fetch_add(1, std::memory_order_relaxed) % deques_.size();
   }
+  PDC_OBS_COUNT("pdc.steal.spawned");
   pending_.fetch_add(1, std::memory_order_acq_rel);
   {
     std::scoped_lock lock(deques_[target]->mutex);
@@ -63,6 +66,7 @@ bool WorkStealingPool::try_take(std::size_t self, std::function<void()>& out) {
       out = std::move(deques_[victim]->tasks.front());  // thief: FIFO
       deques_[victim]->tasks.pop_front();
       steals_.fetch_add(1, std::memory_order_relaxed);
+      PDC_OBS_COUNT("pdc.steal.stolen");
       return true;
     }
   }
@@ -72,6 +76,7 @@ bool WorkStealingPool::try_take(std::size_t self, std::function<void()>& out) {
 bool WorkStealingPool::run_one(std::size_t hint) {
   std::function<void()> task;
   if (!try_take(hint, task)) return false;
+  PDC_OBS_COUNT("pdc.steal.run");
   task();
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     idle_cv_.notify_all();  // quiescent: release wait_idle()

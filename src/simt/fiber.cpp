@@ -4,11 +4,48 @@
 
 #include "support/check.hpp"
 
+#if defined(__SANITIZE_ADDRESS__)
+#define PDC_SIMT_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PDC_SIMT_ASAN_FIBERS 1
+#endif
+#endif
+
+#ifdef PDC_SIMT_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace pdc::simt {
 
 namespace {
 // The fiber currently executing on this OS thread (nullptr between fibers).
 thread_local Fiber* t_current = nullptr;
+
+// ASan tracks the current stack region; a raw swapcontext() onto a
+// heap-allocated fiber stack looks like a stack-buffer-overflow unless every
+// switch is bracketed with start/finish_switch_fiber. No-ops without ASan.
+void asan_start_switch(void** fake_stack_save, const void* bottom,
+                       std::size_t size) {
+#ifdef PDC_SIMT_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(fake_stack_save, bottom, size);
+#else
+  (void)fake_stack_save;
+  (void)bottom;
+  (void)size;
+#endif
+}
+
+void asan_finish_switch(void* fake_stack_save, const void** bottom_old,
+                        std::size_t* size_old) {
+#ifdef PDC_SIMT_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(fake_stack_save, bottom_old, size_old);
+#else
+  (void)fake_stack_save;
+  (void)bottom_old;
+  (void)size_old;
+#endif
+}
 }  // namespace
 
 Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
@@ -18,13 +55,20 @@ Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
 
 void Fiber::trampoline() {
   Fiber* self = t_current;
+  // First instructions on the fiber stack: complete the switch resume()
+  // started, recording the resuming stack so yield()/exit can switch back.
+  asan_finish_switch(nullptr, &self->asan_return_stack_bottom_,
+                     &self->asan_return_stack_size_);
   try {
     self->body_();
   } catch (...) {
     self->error_ = std::current_exception();
   }
   self->state_ = State::kFinished;
-  // Return to the resume() caller for the last time.
+  // Return to the resume() caller for the last time. A null save slot tells
+  // ASan this fiber is dying, so its fake stack is destroyed.
+  asan_start_switch(nullptr, self->asan_return_stack_bottom_,
+                    self->asan_return_stack_size_);
   swapcontext(&self->context_, &self->return_context_);
 }
 
@@ -41,7 +85,10 @@ Fiber::State Fiber::resume() {
   Fiber* previous = t_current;
   t_current = this;
   state_ = State::kRunning;
+  void* fake_stack = nullptr;
+  asan_start_switch(&fake_stack, stack_.data(), stack_.size());
   swapcontext(&return_context_, &context_);
+  asan_finish_switch(fake_stack, nullptr, nullptr);
   t_current = previous;
   if (state_ == State::kRunning) state_ = State::kSuspended;
   if (error_) {
@@ -55,7 +102,14 @@ void Fiber::yield() {
   Fiber* self = t_current;
   PDC_CHECK_MSG(self != nullptr, "Fiber::yield outside any fiber");
   self->state_ = State::kSuspended;
+  void* fake_stack = nullptr;
+  asan_start_switch(&fake_stack, self->asan_return_stack_bottom_,
+                    self->asan_return_stack_size_);
   swapcontext(&self->context_, &self->return_context_);
+  // Resumed again: refresh the return-stack bounds in case resume() was
+  // called from a different frame this time.
+  asan_finish_switch(fake_stack, &self->asan_return_stack_bottom_,
+                     &self->asan_return_stack_size_);
 }
 
 }  // namespace pdc::simt

@@ -9,6 +9,7 @@
 
 #include <ucontext.h>
 
+#include <cstddef>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -49,6 +50,11 @@ class Fiber {
   ucontext_t return_context_;
   State state_ = State::kReady;
   std::exception_ptr error_;
+  // Bounds of the stack resume() was running on when it switched to this
+  // fiber — AddressSanitizer must be told about both directions of every
+  // manual stack switch. Unused (and zero-cost) in non-ASan builds.
+  const void* asan_return_stack_bottom_ = nullptr;
+  std::size_t asan_return_stack_size_ = 0;
 };
 
 }  // namespace pdc::simt

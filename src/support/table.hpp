@@ -33,6 +33,16 @@ class TextTable {
 
   [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
 
+  // Structured access for exporters (obs::BenchReport turns rendered
+  // tables into JSON without re-deriving the cells).
+  [[nodiscard]] const std::string& title() const { return title_; }
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
  private:
   std::string title_;
   std::vector<std::string> header_;

@@ -26,6 +26,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <thread>
 
 namespace pdc::testkit {
 
@@ -67,6 +68,21 @@ inline void yield_point(const char* label = "") {
 inline void spin_yield(const char* label = "") {
   if (detail::g_sim_active.load(std::memory_order_relaxed)) {
     detail::spin_slow(label);
+  }
+}
+
+/// Cooperative pause inside a polling loop (retry/timeout protocols that
+/// poll a mailbox rather than wait on a condition variable). Off-sim it
+/// yields the OS thread. Under the sim it parks with a virtual-clock
+/// deadline `seconds` ahead — the crucial difference from spin_yield:
+/// when every thread is waiting on protocol timeouts, the parked
+/// deadlines are what let the scheduler advance the virtual clock instead
+/// of spinning to the step limit.
+inline void poll_pause(const char* label, double seconds = 50e-6) {
+  if (detail::sim_thread_active()) {
+    detail::block_until_slow(label, detail::clock_now_slow() + seconds);
+  } else {
+    std::this_thread::yield();
   }
 }
 

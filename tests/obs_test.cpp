@@ -1,0 +1,379 @@
+// Tests for pdc::obs — metrics registry, trace rings, causal spans, and
+// the Chrome trace exporter.
+//
+// The determinism tests run real protocol code (2PC over mp::World) under
+// testkit::SimScheduler: with a fixed seed the exported trace JSON must
+// be byte-identical across runs, which is what makes traces diffable
+// artifacts in lab grading. The stress tests hammer the sharded registry
+// and the trace rings from free-running threads — under the tsan preset
+// they double as the data-race check.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/two_phase_commit.hpp"
+#include "mp/world.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/replay.hpp"
+#include "obs/trace.hpp"
+#include "support/table.hpp"
+#include "testkit/hooks.hpp"
+#include "testkit/schedule_explorer.hpp"
+#include "testkit/sim_scheduler.hpp"
+
+namespace pdc {
+namespace {
+
+using obs::MetricsRegistry;
+using testkit::SchedulePolicy;
+using testkit::SchedulerOptions;
+using testkit::SimScheduler;
+
+// ------------------------------------------------------------- metrics
+
+TEST(Metrics, CounterAccumulatesAcrossThreads) {
+  auto& counter = MetricsRegistry::instance().counter("test.counter.basic");
+  counter.reset();
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kIncrements = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kIncrements; ++i) counter.inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.total(), kThreads * kIncrements);
+}
+
+TEST(Metrics, GaugeTracksValueAndHighWater) {
+  auto& gauge = MetricsRegistry::instance().gauge("test.gauge.basic");
+  gauge.reset();
+  gauge.add(5);
+  gauge.add(7);
+  gauge.sub(3);
+  EXPECT_EQ(gauge.value(), 9);
+  EXPECT_EQ(gauge.high_water(), 12);
+}
+
+TEST(Metrics, HistogramBucketsPowersOfTwo) {
+  auto& hist = MetricsRegistry::instance().histogram("test.hist.buckets");
+  hist.reset();
+  hist.record(std::uint64_t{0});    // bucket 0: v < 1
+  hist.record(std::uint64_t{1});    // bucket 1: [1, 2)
+  hist.record(std::uint64_t{2});    // bucket 2: [2, 4)
+  hist.record(std::uint64_t{3});    // bucket 2
+  hist.record(std::uint64_t{100});  // bucket 7: [64, 128)
+  const auto snapshot = MetricsRegistry::instance().scrape();
+  const auto* sample = snapshot.find("test.hist.buckets");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->count, 5u);
+  EXPECT_EQ(sample->sum, 106u);
+  ASSERT_GE(sample->buckets.size(), 8u);
+  EXPECT_EQ(sample->buckets[0], 1u);
+  EXPECT_EQ(sample->buckets[1], 1u);
+  EXPECT_EQ(sample->buckets[2], 2u);
+  EXPECT_EQ(sample->buckets[7], 1u);
+}
+
+TEST(Metrics, ScrapeJsonContainsRegisteredMetrics) {
+  MetricsRegistry::instance().counter("test.json.counter").inc(3);
+  const std::string json = MetricsRegistry::instance().scrape().to_json();
+  EXPECT_NE(json.find("\"test.json.counter\":3"), std::string::npos) << json;
+}
+
+// Same increments, every interleaving: the counter total must be exact
+// regardless of how the scheduler slices the threads (the per-shard
+// fetch_adds are unordered but never lost).
+TEST(Metrics, CounterExactUnderSimInterleavings) {
+  for (std::uint64_t seed : {1u, 9u, 23u, 77u}) {
+    auto& counter = MetricsRegistry::instance().counter("test.counter.sim");
+    counter.reset();
+    std::vector<std::function<void()>> bodies;
+    for (int t = 0; t < 3; ++t) {
+      bodies.emplace_back([&counter] {
+        for (int i = 0; i < 50; ++i) {
+          counter.inc();
+          testkit::yield_point("count");
+        }
+      });
+    }
+    SchedulerOptions options;
+    options.policy = SchedulePolicy::kRandom;
+    options.seed = seed;
+    SimScheduler scheduler(options);
+    const auto report = scheduler.run(std::move(bodies));
+    ASSERT_TRUE(report.ok()) << report.error;
+    EXPECT_EQ(counter.total(), 150u) << "seed " << seed;
+  }
+}
+
+TEST(Metrics, HistogramExactUnderSimInterleavings) {
+  auto& hist = MetricsRegistry::instance().histogram("test.hist.sim");
+  hist.reset();
+  std::vector<std::function<void()>> bodies;
+  for (int t = 1; t <= 3; ++t) {
+    bodies.emplace_back([&hist, t] {
+      for (int i = 0; i < 20; ++i) {
+        hist.record(static_cast<std::uint64_t>(t));
+        testkit::yield_point("record");
+      }
+    });
+  }
+  SchedulerOptions options;
+  options.policy = SchedulePolicy::kRoundRobin;
+  options.seed = 4;
+  SimScheduler scheduler(options);
+  const auto report = scheduler.run(std::move(bodies));
+  ASSERT_TRUE(report.ok()) << report.error;
+  const auto snapshot = MetricsRegistry::instance().scrape();
+  const auto* sample = snapshot.find("test.hist.sim");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->count, 60u);
+  EXPECT_EQ(sample->sum, 20u * (1 + 2 + 3));
+}
+
+// Free-running hammer on one counter + gauge + histogram from several
+// threads; under -DPDCKIT_SANITIZE=thread this is the registry race check.
+TEST(Metrics, ShardedRegistryStress) {
+  auto& registry = MetricsRegistry::instance();
+  auto& counter = registry.counter("test.stress.counter");
+  auto& gauge = registry.gauge("test.stress.gauge");
+  auto& hist = registry.histogram("test.stress.hist");
+  counter.reset();
+  gauge.reset();
+  hist.reset();
+  constexpr int kThreads = 4;
+  constexpr int kOps = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kOps; ++i) {
+        counter.inc();
+        gauge.add(1);
+        hist.record(static_cast<std::uint64_t>(i % 128));
+        gauge.sub(1);
+        if (i % 1000 == 0) (void)registry.scrape();  // concurrent reader
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.total(), static_cast<std::uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(gauge.value(), 0);
+  const auto snapshot = registry.scrape();
+  const auto* sample = snapshot.find("test.stress.hist");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->count, static_cast<std::uint64_t>(kThreads) * kOps);
+}
+
+// --------------------------------------------------------------- traces
+
+TEST(Trace, CollectorCapturesSpansFromRealThreads) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with PDCKIT_OBS_NOOP";
+  obs::TraceCollector collector;
+  collector.start();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([] {
+      obs::ScopedSpan outer("outer");
+      for (int i = 0; i < 5; ++i) {
+        obs::ScopedSpan inner("inner", static_cast<std::uint64_t>(i));
+        obs::trace_instant("tick", static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  collector.stop();
+  // 3 threads x (1 outer B/E + 5 x (inner B/E + instant)) = 51.
+  EXPECT_EQ(collector.event_count(), 51u);
+  EXPECT_EQ(collector.dropped_events(), 0u);
+  const std::string json = collector.chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(Trace, EmitsAreDroppedWhenNoCollectorRuns) {
+  // Must not crash, allocate rings that leak into later sessions, or
+  // produce wire metadata.
+  obs::trace_begin("orphan");
+  obs::trace_end("orphan");
+  const obs::WireTrace trace = obs::wire_capture("orphan.send");
+  EXPECT_TRUE(trace.empty());
+  obs::wire_accept(trace, "orphan.recv");
+}
+
+// Counts occurrences of `needle` in `haystack`.
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// One fixed-seed 2PC run (3 ranks, unanimous commit) under the sim
+// scheduler with a collector attached; returns the exported JSON.
+std::string traced_2pc_run(std::uint64_t seed) {
+  MetricsRegistry::instance().reset();
+  obs::TraceCollector collector;
+  collector.start();
+  mp::World world(3);
+  auto bodies = world.rank_bodies([](mp::Communicator& comm) {
+    if (comm.rank() == 0) {
+      (void)dist::run_2pc_coordinator(comm);
+    } else {
+      (void)dist::run_2pc_participant(comm, /*vote_commit=*/true);
+    }
+  });
+  SchedulerOptions options;
+  options.policy = SchedulePolicy::kRandom;
+  options.seed = seed;
+  options.max_steps = 1u << 22;
+  SimScheduler scheduler(options);
+  const auto report = scheduler.run(std::move(bodies));
+  collector.stop();
+  EXPECT_TRUE(report.ok()) << report.error;
+  EXPECT_EQ(collector.dropped_events(), 0u);
+  return collector.chrome_trace_json();
+}
+
+// The golden-determinism property: same seed, same trace, byte for byte.
+// Virtual-clock timestamps + session-local ids are what make this hold.
+TEST(Trace, FixedSeed2pcTraceIsByteStable) {
+  const std::string first = traced_2pc_run(42);
+  const std::string second = traced_2pc_run(42);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Trace, TwoPhaseCommitTraceIsCausallyStitched) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with PDCKIT_OBS_NOOP";
+  const std::string json = traced_2pc_run(42);
+
+  // All three ranks appear as named tracks: per participant, one
+  // thread_name metadata record plus the rank-level span's B/E pair.
+  EXPECT_NE(json.find("\"2pc.coordinator\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"2pc.participant\""), 6u);
+
+  // The protocol phases and the decision instants are present.
+  EXPECT_NE(json.find("\"2pc.prepare\""), std::string::npos);
+  EXPECT_NE(json.find("\"2pc.decide\""), std::string::npos);
+  EXPECT_NE(json.find("\"2pc.decide_commit\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"2pc.learned_commit\""), 2u);
+
+  // Causal stitching: every delivered message is one flow-start ("s")
+  // paired with one flow-end ("f"). With a reliable fabric nothing is
+  // dropped, so the counts match, and there is at least one flow per
+  // protocol message class (prepare, vote, decision, ack) per participant.
+  const std::size_t starts = count_occurrences(json, "\"ph\":\"s\"");
+  const std::size_t ends = count_occurrences(json, "\"ph\":\"f\"");
+  EXPECT_EQ(starts, ends);
+  EXPECT_GE(starts, 8u);
+
+  // The same run's metrics show the protocol rounds.
+  const auto snapshot = MetricsRegistry::instance().scrape();
+  EXPECT_EQ(snapshot.counter("pdc.2pc.commit"), 1u);
+  EXPECT_EQ(snapshot.counter("pdc.2pc.vote_sent"), 2u);
+  EXPECT_EQ(snapshot.counter("pdc.2pc.ack_sent"), 2u);
+  EXPECT_GE(snapshot.counter("pdc.mp.sent"), 8u);
+}
+
+TEST(Trace, DistinctSeedsProduceDistinctSchedulesSameInvariants) {
+  const std::string a = traced_2pc_run(7);
+  const std::string b = traced_2pc_run(1234);
+  // Different interleavings; both structurally sound (paired flows).
+  EXPECT_EQ(count_occurrences(a, "\"ph\":\"s\""),
+            count_occurrences(a, "\"ph\":\"f\""));
+  EXPECT_EQ(count_occurrences(b, "\"ph\":\"s\""),
+            count_occurrences(b, "\"ph\":\"f\""));
+}
+
+// ------------------------------------------------------------ bench report
+
+TEST(BenchReport, SerializesTablesAndMetrics) {
+  support::TextTable table("demo table");
+  table.set_header({"a", "b"});
+  table.add_row({"1", "2"});
+  obs::BenchReport report("unit_test_bench");
+  report.add_table(table);
+  report.add_metric("speedup", 1.5);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"bench\":\"unit_test_bench\""), std::string::npos);
+  EXPECT_NE(json.find("\"demo table\""), std::string::npos);
+  EXPECT_NE(json.find("\"speedup\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"registry\""), std::string::npos);
+}
+
+TEST(BenchReport, WriteIsNoOpWithoutEnvVar) {
+  obs::BenchReport report("unit_test_bench");
+  EXPECT_FALSE(report.write_if_requested());
+}
+
+// ------------------------------------------------------------ replay glue
+
+TEST(Replay, FailingInterleavingComesBackWithTrace) {
+  // Classic lost update: non-atomic read-modify-write with a preemption
+  // point between the read and the write.
+  auto make_run = [] {
+    auto value = std::make_shared<int>(0);
+    testkit::RunPlan plan;
+    for (int t = 0; t < 2; ++t) {
+      plan.threads.emplace_back([value] {
+        obs::ScopedSpan span("increment");
+        const int read = *value;
+        testkit::yield_point("between read and write");
+        *value = read + 1;
+      });
+    }
+    plan.check = [value]() -> std::string {
+      return *value == 2 ? "" : "lost update";
+    };
+    return plan;
+  };
+  testkit::ExplorerConfig config;
+  config.policy = SchedulePolicy::kRoundRobin;
+  config.iterations = 20;
+  const testkit::ScheduleExplorer explorer(config);
+  const obs::ReplayDump dump = obs::explore_and_dump(explorer, make_run);
+  ASSERT_TRUE(dump.failed());
+  EXPECT_EQ(dump.failure, "lost update");
+  if (obs::kObsEnabled) {
+    EXPECT_NE(dump.chrome_trace.find("\"increment\""), std::string::npos);
+  }
+  EXPECT_FALSE(dump.minimal_trace.empty());
+}
+
+TEST(Replay, PassingExplorationHasNoTrace) {
+  auto make_run = [] {
+    auto value = std::make_shared<std::atomic<int>>(0);
+    testkit::RunPlan plan;
+    for (int t = 0; t < 2; ++t) {
+      plan.threads.emplace_back([value] {
+        value->fetch_add(1);
+        testkit::yield_point("atomic inc");
+      });
+    }
+    plan.check = [value]() -> std::string {
+      return value->load() == 2 ? "" : "lost update";
+    };
+    return plan;
+  };
+  testkit::ExplorerConfig config;
+  config.iterations = 10;
+  const testkit::ScheduleExplorer explorer(config);
+  const obs::ReplayDump dump = obs::explore_and_dump(explorer, make_run);
+  EXPECT_FALSE(dump.failed());
+  EXPECT_TRUE(dump.chrome_trace.empty());
+}
+
+}  // namespace
+}  // namespace pdc
