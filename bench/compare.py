@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Compare two bench harvests and flag regressions.
+
+Each side is either a directory of per-bench ``*.json`` files (as produced
+by ``bench/run_all.sh``) or a single combined file (as produced by
+``--save-combined``, e.g. the committed ``BENCH_baseline.json``). Two
+source formats are understood:
+
+* ``obs::BenchReport`` output: ``{"bench": <name>, "metrics": {...}}`` —
+  every metric is compared.
+* google-benchmark ``--benchmark_out`` output: ``{"benchmarks": [...]}`` —
+  each entry's ``real_time`` is compared under the key ``<name>.real_time``.
+
+Whether a change is a regression depends on the metric's direction, taken
+from its name: throughput-ish suffixes (``per_s``, ``speedup``, ``ops``,
+``throughput``) are higher-is-better, latency-ish ones (``us``, ``ns``,
+``ms``, ``time``, ``latency``) lower-is-better. Unclassifiable metrics are
+reported but never fail the comparison.
+
+Exit status is nonzero when any classified metric moved past ``--threshold``
+in the bad direction (0.5 = 50% worse). Microbenchmarks on shared CI
+runners are noisy; pick thresholds accordingly and treat this as a tripwire
+for order-of-magnitude slips, not a precision gate.
+
+Usage:
+  bench/compare.py BASELINE CURRENT [--threshold 0.5]
+                   [--save-combined PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+LOWER_BETTER = ("us", "ns", "ms", "time", "latency", "block", "seconds")
+HIGHER_BETTER = ("per_s", "speedup", "throughput", "ops", "rate")
+
+
+def direction(metric: str) -> int:
+    """+1 higher-is-better, -1 lower-is-better, 0 unknown."""
+    parts = metric.lower().replace("/", ".").replace("_", ".").split(".")
+    for token in reversed(parts):  # the last classifiable token wins
+        if token in HIGHER_BETTER:
+            return 1
+        if token in LOWER_BETTER:
+            return -1
+    for needle in HIGHER_BETTER:  # substring fallback ("spawn_speedup_vs…")
+        if needle in metric.lower():
+            return 1
+    for needle in LOWER_BETTER:
+        if needle in metric.lower():
+            return -1
+    return 0
+
+
+def extract_metrics(doc: dict) -> dict[str, float]:
+    """Flattens one bench JSON document to {metric: value}."""
+    out: dict[str, float] = {}
+    if "metrics" in doc and isinstance(doc["metrics"], dict):
+        for key, value in doc["metrics"].items():
+            if isinstance(value, (int, float)) and math.isfinite(value):
+                out[key] = float(value)
+    for entry in doc.get("benchmarks", []):  # google-benchmark format
+        name = entry.get("name")
+        value = entry.get("real_time")
+        if name and isinstance(value, (int, float)) and math.isfinite(value):
+            unit = entry.get("time_unit", "ns")
+            out[f"{name}.real_time_{unit}"] = float(value)
+    return out
+
+
+def load_side(path: Path) -> dict[str, dict[str, float]]:
+    """Loads a harvest directory or combined file to {bench: {metric: value}}."""
+    if path.is_dir():
+        benches: dict[str, dict[str, float]] = {}
+        for file in sorted(path.glob("*.json")):
+            try:
+                doc = json.loads(file.read_text())
+            except (OSError, json.JSONDecodeError) as err:
+                print(f"warning: skipping unreadable {file}: {err}", file=sys.stderr)
+                continue
+            name = doc.get("bench") or doc.get("context", {}).get(
+                "executable", file.stem
+            )
+            name = Path(str(name)).name
+            metrics = extract_metrics(doc)
+            if metrics:
+                benches[name] = metrics
+        return benches
+    doc = json.loads(path.read_text())
+    if "benches" in doc:  # combined format from --save-combined
+        return {
+            bench: {k: float(v) for k, v in metrics.items()}
+            for bench, metrics in doc["benches"].items()
+        }
+    name = str(doc.get("bench", path.stem))
+    return {name: extract_metrics(doc)}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="baseline dir or combined file")
+    parser.add_argument("current", type=Path, help="current dir or combined file")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.5,
+        help="relative change that counts as a regression (0.5 = 50%% worse)",
+    )
+    parser.add_argument(
+        "--save-combined",
+        type=Path,
+        metavar="PATH",
+        help="also write CURRENT as one combined JSON file (baseline refresh)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_side(args.baseline)
+    current = load_side(args.current)
+    if not baseline:
+        print(f"error: no benches found in {args.baseline}", file=sys.stderr)
+        return 2
+    if not current:
+        print(f"error: no benches found in {args.current}", file=sys.stderr)
+        return 2
+
+    if args.save_combined:
+        combined = {"benches": current}
+        args.save_combined.write_text(json.dumps(combined, indent=1, sort_keys=True) + "\n")
+        print(f"wrote combined harvest to {args.save_combined}")
+
+    regressions: list[str] = []
+    improvements = 0
+    compared = 0
+    for bench in sorted(baseline):
+        if bench not in current:
+            print(f"note: bench '{bench}' missing from current harvest")
+            continue
+        for metric, base_value in sorted(baseline[bench].items()):
+            cur_value = current[bench].get(metric)
+            if cur_value is None:
+                print(f"note: {bench}:{metric} missing from current harvest")
+                continue
+            sign = direction(metric)
+            if sign == 0 or base_value == 0:
+                continue
+            compared += 1
+            # Positive delta = got worse, regardless of metric direction.
+            if sign > 0:
+                delta = (base_value - cur_value) / abs(base_value)
+            else:
+                delta = (cur_value - base_value) / abs(base_value)
+            tag = ""
+            if delta > args.threshold:
+                tag = "  << REGRESSION"
+                regressions.append(f"{bench}:{metric}")
+            elif delta < -args.threshold:
+                tag = "  (improved)"
+                improvements += 1
+            if tag or abs(delta) > args.threshold / 2:
+                arrow = "worse" if delta > 0 else "better"
+                print(
+                    f"{bench}:{metric}: {base_value:.4g} -> {cur_value:.4g} "
+                    f"({abs(delta) * 100:.1f}% {arrow}){tag}"
+                )
+
+    print(
+        f"\ncompared {compared} metrics: {len(regressions)} regression(s), "
+        f"{improvements} improvement(s) beyond {args.threshold * 100:.0f}%"
+    )
+    if regressions:
+        print("regressed: " + ", ".join(regressions), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

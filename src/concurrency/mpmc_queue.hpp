@@ -1,0 +1,116 @@
+// MpmcQueue<T>: a bounded lock-free multi-producer multi-consumer queue
+// (Dmitry Vyukov's bounded MPMC algorithm).
+//
+// Each cell carries a sequence number that encodes, relative to the
+// producer/consumer tickets, whether the cell is empty, full, or being
+// visited a lap later. A producer claims a cell by CASing enqueue_pos,
+// writes the value, then publishes it by bumping the cell sequence with a
+// release store; a consumer claims with a CAS on dequeue_pos, reads under
+// the matching acquire, and releases the cell for the next lap. Ownership
+// of a cell is exclusive between the claim and the sequence bump, so T can
+// be any movable type (no trivially-copyable restriction) — the scheduler
+// stores parallel::Task by value, making external spawns allocation-free.
+//
+// This is the scheduler's *injection* queue: external threads push here
+// instead of locking a victim's deque (see docs/scheduler.md). Contrast
+// with BoundedQueue, the blocking monitor-style queue used where teaching
+// the condition-variable protocol is the point.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace pdc::concurrency {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit MpmcQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Attempts to enqueue. On failure (queue full) returns false and
+  /// `value` is left untouched, so the caller can retry with backoff.
+  bool try_push(T&& value) {
+    Cell* cell;
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::ptrdiff_t>(seq) -
+                        static_cast<std::ptrdiff_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // the cell is still occupied one full lap back: full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Attempts to dequeue into `out`; false when the queue is empty.
+  bool try_pop(T& out) {
+    Cell* cell;
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::ptrdiff_t>(seq) -
+                        static_cast<std::ptrdiff_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // nothing published at this ticket yet: empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Racy size estimate (monitoring only).
+  [[nodiscard]] std::size_t size_estimate() const noexcept {
+    const std::size_t head = dequeue_pos_.load(std::memory_order_relaxed);
+    const std::size_t tail = enqueue_pos_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> sequence;
+    T value;
+  };
+
+  std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+}  // namespace pdc::concurrency

@@ -1,0 +1,184 @@
+// ChaseLevDeque<T>: the lock-free work-stealing deque of Chase & Lev
+// (SPAA '05), in the C++11-memory-model formulation of Lê, Pop, Cohen &
+// Zappa Nardelli (PPoPP '13), with seq_cst accesses in place of the
+// standalone fences (see docs/scheduler.md for the full memory-ordering
+// argument — this file is the teaching artifact for the memory-model row
+// of the paper's Table I concept matrix).
+//
+// Protocol summary:
+//  - One OWNER thread calls push()/pop() at the *bottom*. The fast path is
+//    entirely relaxed/release: no RMW, no contention.
+//  - Any number of THIEF threads call steal() at the *top*. A thief claims
+//    an element with a CAS on `top_`; the only time the owner competes on
+//    that CAS is when a single element remains (the classic last-element
+//    race, explored seed-by-seed in tests/stress_test).
+//  - The circular buffer grows when full. The owner allocates a double-
+//    sized buffer, copies the live window, publishes it with a release
+//    store, and *retires* the old buffer onto an epoch list that is only
+//    reclaimed by the destructor — a thief holding a stale buffer pointer
+//    can therefore always complete its read; the value it reads is
+//    validated by the subsequent CAS on `top_`. Geometric growth bounds
+//    the retired memory at roughly the final buffer's size.
+//
+// T must be trivially copyable (the scheduler stores TaskNode*): a thief
+// reads the cell *before* its claiming CAS, so the read may be of a cell
+// whose logical element was already taken — harmless for a POD read from
+// an atomic cell, discarded when the CAS fails.
+//
+// The testkit yield points (cl.*) mark the algorithm's linearization
+// hot spots so a SimScheduler can drive owner/thief interleavings
+// deterministically; off-sim each is one relaxed atomic load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "testkit/hooks.hpp"
+
+namespace pdc::parallel {
+
+enum class StealResult {
+  kStolen,  // element claimed; `out` is valid
+  kEmpty,   // deque observed empty
+  kLost,    // lost the CAS race to the owner or another thief; retry ok
+};
+
+template <typename T>
+class ChaseLevDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ChaseLevDeque elements are read speculatively before the "
+                "claiming CAS; store pointers or other trivially copyable "
+                "handles");
+
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 256) {
+    std::size_t cap = 2;
+    while (cap < initial_capacity) cap <<= 1;
+    buffers_.push_back(std::make_unique<Buffer>(cap));
+    buffer_.store(buffers_.back().get(), std::memory_order_relaxed);
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner only. Never blocks; grows the buffer when full.
+  void push(T value) {
+    testkit::yield_point("cl.push");
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* a = buffer_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<std::int64_t>(a->capacity())) {
+      a = grow(a, t, b);
+    }
+    a->cell(b).store(value, std::memory_order_relaxed);
+    // Release: a thief that observes bottom >= b+1 also observes the cell
+    // write above (and everything the owner did before push — this is the
+    // edge that publishes the task's closure state to the thief).
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only. LIFO; false when the deque is empty (including when a
+  /// thief won the race for the final element).
+  bool pop(T& out) {
+    testkit::yield_point("cl.pop");
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* a = buffer_.load(std::memory_order_relaxed);
+    // Claim the bottom element before looking at top. seq_cst: this store
+    // and the top_ load below must not reorder, and must be totally
+    // ordered against the symmetric pair in steal() — otherwise owner and
+    // thief can both take the last element.
+    bottom_.store(b, std::memory_order_seq_cst);
+    testkit::yield_point("cl.pop.claimed");
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // empty: undo the claim
+      bottom_.store(b + 1, std::memory_order_release);
+      return false;
+    }
+    out = a->cell(b).load(std::memory_order_relaxed);
+    if (t == b) {
+      // Single element left: race thieves for it on top_.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_release);
+        return false;  // a thief got there first
+      }
+      bottom_.store(b + 1, std::memory_order_release);
+    }
+    return true;
+  }
+
+  /// Any thread. FIFO (takes the oldest element — in fork/join terms the
+  /// largest pending subtree).
+  StealResult steal(T& out) {
+    testkit::yield_point("cl.steal");
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return StealResult::kEmpty;
+    Buffer* a = buffer_.load(std::memory_order_acquire);
+    out = a->cell(t).load(std::memory_order_relaxed);
+    testkit::yield_point("cl.steal.read");
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return StealResult::kLost;
+    }
+    return StealResult::kStolen;
+  }
+
+  /// Racy size estimate (monitoring/heuristics only).
+  [[nodiscard]] std::size_t size_estimate() const noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  /// Current live capacity (owner's view; tests and metrics).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return buffer_.load(std::memory_order_relaxed)->capacity();
+  }
+
+  /// Buffers retired by growth and held until destruction (tests).
+  [[nodiscard]] std::size_t retired_buffers() const noexcept {
+    return buffers_.size() - 1;
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t cap)
+        : mask(cap - 1), cells(std::make_unique<std::atomic<T>[]>(cap)) {}
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return mask + 1; }
+    std::atomic<T>& cell(std::int64_t i) noexcept {
+      return cells[static_cast<std::size_t>(i) & mask];
+    }
+
+    std::size_t mask;
+    std::unique_ptr<std::atomic<T>[]> cells;
+  };
+
+  /// Owner only. Doubles the buffer, copying the live window [t, b).
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto next = std::make_unique<Buffer>(old->capacity() * 2);
+    for (std::int64_t i = t; i < b; ++i) {
+      next->cell(i).store(old->cell(i).load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    }
+    Buffer* raw = next.get();
+    // Epoch retirement: the old buffer stays on buffers_ until the deque
+    // dies, so a thief that loaded buffer_ before this store can still
+    // read from it safely. Cells in [t, b) were *copied*, never modified,
+    // so both buffers agree on every index a thief's CAS can validate.
+    buffers_.push_back(std::move(next));
+    buffer_.store(raw, std::memory_order_release);
+    return raw;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Buffer*> buffer_{nullptr};
+  std::vector<std::unique_ptr<Buffer>> buffers_;  // owner-only epoch list
+};
+
+}  // namespace pdc::parallel

@@ -5,6 +5,11 @@
 // (bench/lab_lau_multicore). The calling thread participates as one of the
 // runners, so a pool of size 1 still executes correctly and the call never
 // deadlocks when issued from inside a worker.
+//
+// Runner tasks ride the pool's lock-free scheduling path (parallel::Task +
+// per-worker deques, docs/scheduler.md): each runner closure fits Task's
+// inline storage, so launching a loop allocates nothing per runner beyond
+// the shared control block.
 #pragma once
 
 #include <atomic>

@@ -4,6 +4,10 @@
 // mergesort (stable, predictable splits) and quicksort (data-dependent
 // splits, exercising the load balancer) are the canonical pair. Both fall
 // back to std::sort below `cutoff` — the grain-size lesson.
+//
+// Spawns from inside workers hit the Chase–Lev owner fast path (plain
+// push, no CAS), so the recursion's fork cost is a slab-node acquire plus
+// one release store; see docs/scheduler.md.
 #pragma once
 
 #include <algorithm>

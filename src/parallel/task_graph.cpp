@@ -11,10 +11,9 @@
 
 namespace pdc::parallel {
 
-TaskId TaskGraph::add_task(std::string name, double cost,
-                           std::function<void()> fn) {
+TaskId TaskGraph::add_task(std::string name, double cost, Task fn) {
   PDC_CHECK_MSG(cost >= 0.0, "task cost must be non-negative");
-  tasks_.push_back(Task{std::move(name), cost, std::move(fn), {}, 0});
+  tasks_.push_back(Node{std::move(name), cost, std::move(fn), {}, 0});
   return tasks_.size() - 1;
 }
 
@@ -212,7 +211,7 @@ support::Status TaskGraph::run(ThreadPool& pool) {
                     weak = std::weak_ptr<RunState>(state)](TaskId id) {
     auto state = weak.lock();
     PDC_CHECK(state != nullptr);
-    const auto& task = tasks_[id];
+    auto& task = tasks_[id];  // non-const: Task::operator() is mutable
     PDC_OBS_COUNT("pdc.taskgraph.run");
     try {
       // Literal span name: task.name is a std::string whose lifetime the

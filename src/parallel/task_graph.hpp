@@ -25,8 +25,7 @@ class TaskGraph {
   /// Adds a task. `cost` is its abstract work (seconds, flops, any unit —
   /// only ratios matter for the analysis); `fn` may be empty for
   /// analysis-only graphs.
-  TaskId add_task(std::string name, double cost = 1.0,
-                  std::function<void()> fn = {});
+  TaskId add_task(std::string name, double cost = 1.0, Task fn = {});
 
   /// Declares that `after` cannot start until `before` finished.
   void add_dependency(TaskId before, TaskId after);
@@ -69,10 +68,12 @@ class TaskGraph {
   [[nodiscard]] std::vector<TaskId> last_completion_order() const;
 
  private:
-  struct Task {
+  // Named Node, not Task: parallel::Task is the type-erased callable the
+  // node carries.
+  struct Node {
     std::string name;
     double cost;
-    std::function<void()> fn;
+    Task fn;
     std::vector<TaskId> successors;
     std::size_t predecessor_count = 0;
   };
@@ -84,7 +85,7 @@ class TaskGraph {
   /// earliest finish time per task under infinite processors.
   [[nodiscard]] std::vector<double> earliest_finish() const;
 
-  std::vector<Task> tasks_;
+  std::vector<Node> tasks_;
   std::vector<TaskId> completion_order_;
 };
 

@@ -1,0 +1,99 @@
+// TaskSlab: per-worker pooled storage for the nodes a ChaseLevDeque
+// schedules.
+//
+// The deque holds TaskNode* (trivially copyable — required by the
+// speculative-read steal protocol), so every spawned task needs a stable
+// node. Heap-allocating one per spawn would reintroduce exactly the
+// allocation the Task SBO removed; instead each worker owns a slab:
+//
+//  - acquire() is owner-only and lock-free-by-construction: pop from a
+//    plain thread-local freelist; when dry, grab the whole remote-free
+//    stack in one exchange; only when both are empty does a new block of
+//    nodes get allocated (amortized, steady-state allocation-free).
+//  - release() may be called by any thread. The owner pushes back onto
+//    its plain freelist; a thief that executed a stolen node returns it
+//    through a Treiber stack (CAS push, release ordering) that the owner
+//    drains with a single acquire exchange — no ABA, because only the
+//    owner pops and it takes the whole list at once.
+//
+// Node lifecycle: owner acquires + fills `fn` + pushes the node onto its
+// deque → exactly one executor (owner pop or thief steal) moves `fn` out
+// and releases the node → node returns to the *home* slab recorded at
+// block-allocation time.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "parallel/task.hpp"
+
+namespace pdc::parallel {
+
+class TaskSlab;
+
+struct TaskNode {
+  Task fn;
+  TaskNode* next = nullptr;  // freelist linkage (unused while scheduled)
+  TaskSlab* home = nullptr;  // slab to return to, set once at allocation
+};
+
+class TaskSlab {
+ public:
+  TaskSlab() = default;
+  TaskSlab(const TaskSlab&) = delete;
+  TaskSlab& operator=(const TaskSlab&) = delete;
+
+  /// Owner thread only: takes a free node (amortized allocation-free).
+  TaskNode* acquire() {
+    if (free_ == nullptr) {
+      // Reclaim everything thieves returned since the last drought.
+      free_ = remote_free_.exchange(nullptr, std::memory_order_acquire);
+    }
+    if (free_ == nullptr) allocate_block();
+    TaskNode* node = free_;
+    free_ = node->next;
+    return node;
+  }
+
+  /// Returns `node` to its home slab from any thread. `owner` is true only
+  /// when the caller IS the slab-owning worker (local, atomic-free path).
+  static void release(TaskNode* node, bool owner) noexcept {
+    TaskSlab& slab = *node->home;
+    if (owner) {
+      node->next = slab.free_;
+      slab.free_ = node;
+      return;
+    }
+    TaskNode* head = slab.remote_free_.load(std::memory_order_relaxed);
+    do {
+      node->next = head;
+    } while (!slab.remote_free_.compare_exchange_weak(
+        head, node, std::memory_order_release, std::memory_order_relaxed));
+  }
+
+  /// Nodes allocated so far (tests: proves steady-state reuse).
+  [[nodiscard]] std::size_t allocated_nodes() const noexcept {
+    return blocks_.size() * kBlockNodes;
+  }
+
+ private:
+  static constexpr std::size_t kBlockNodes = 64;
+
+  void allocate_block() {
+    blocks_.push_back(std::make_unique<TaskNode[]>(kBlockNodes));
+    TaskNode* block = blocks_.back().get();
+    for (std::size_t i = 0; i < kBlockNodes; ++i) {
+      block[i].home = this;
+      block[i].next = (i + 1 < kBlockNodes) ? &block[i + 1] : free_;
+    }
+    free_ = block;
+  }
+
+  TaskNode* free_ = nullptr;                         // owner-only LIFO
+  std::vector<std::unique_ptr<TaskNode[]>> blocks_;  // owner-only
+  alignas(64) std::atomic<TaskNode*> remote_free_{nullptr};  // thief returns
+};
+
+}  // namespace pdc::parallel

@@ -1,16 +1,31 @@
 // Fixed-size thread pool: the "think in terms of tasks, not threads"
 // foundation (Core Guidelines CP.4, CP.41) used by parallel_for and the
 // task graph. Destruction joins all workers after draining submitted work.
+//
+// Scheduling substrate (PR 3, see docs/scheduler.md): instead of funneling
+// every worker through one mutex+CV BoundedQueue, each worker owns a
+// lock-free ChaseLevDeque. Work posted from inside a worker goes to that
+// worker's deque (LIFO, no atomic RMW); work posted from outside enters a
+// bounded lock-free MPMC injection queue; idle workers steal from their
+// peers' deques before descending a spin → yield → park ladder. Task
+// closures travel in parallel::Task (64-byte inline storage) held by
+// pooled TaskSlab nodes, so `submit` no longer pays the
+// shared_ptr<packaged_task> + std::function double allocation and `post`
+// with a small closure allocates nothing at all.
 #pragma once
 
-#include <functional>
 #include <future>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
-#include "concurrency/bounded_queue.hpp"
+#include "concurrency/mpmc_queue.hpp"
 #include "obs/obs.hpp"
+#include "parallel/chase_lev.hpp"
+#include "parallel/task.hpp"
+#include "parallel/task_slab.hpp"
+#include "support/check.hpp"
 #include "support/status.hpp"
 
 namespace pdc::parallel {
@@ -18,9 +33,11 @@ namespace pdc::parallel {
 class ThreadPool {
  public:
   /// `threads == 0` uses the hardware concurrency (at least 1).
-  /// The task queue is effectively unbounded (2^22 entries) so tasks that
-  /// schedule further tasks — the task-graph executor does — can never
-  /// deadlock the pool by blocking on their own queue.
+  /// Worker-local queues grow without bound, so tasks that schedule
+  /// further tasks — the task-graph executor does — can never deadlock
+  /// the pool by blocking on their own queue. The external injection
+  /// queue is bounded; a non-worker caller that finds it full backs off
+  /// until the workers drain it (backpressure, not failure).
   explicit ThreadPool(std::size_t threads = 0);
 
   /// Drains queued tasks, then joins every worker (no detach; CP.26).
@@ -34,20 +51,31 @@ class ThreadPool {
   template <typename Fn>
   auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
-    std::future<R> result = task->get_future();
-    PDC_OBS_COUNT("pdc.pool.submitted");
-    PDC_OBS_GAUGE_ADD("pdc.pool.queue_depth", 1);
-    const auto status = queue_.push([task] { (*task)(); });
+    std::promise<R> promise;
+    std::future<R> result = promise.get_future();
+    const auto status =
+        post(Task([fn = std::forward<Fn>(fn),
+                   promise = std::move(promise)]() mutable {
+          try {
+            if constexpr (std::is_void_v<R>) {
+              fn();
+              promise.set_value();
+            } else {
+              promise.set_value(fn());
+            }
+          } catch (...) {
+            promise.set_exception(std::current_exception());
+          }
+        }));
     PDC_CHECK_MSG(status.is_ok(), "submit after ThreadPool shutdown");
     return result;
   }
 
   /// Fire-and-forget variant for void work the caller synchronizes itself
-  /// (e.g. via a latch); avoids the future allocation on hot paths.
+  /// (e.g. via a latch); with a small closure this allocates nothing.
   /// Returns kClosed (instead of throwing, unlike submit) after shutdown —
   /// fire-and-forget callers during teardown have nowhere to catch.
-  support::Status post(std::function<void()> fn);
+  support::Status post(Task fn);
 
   /// Drains queued tasks and joins every worker. Idempotent; called by the
   /// destructor. After shutdown, `submit` throws and `post` returns
@@ -60,11 +88,31 @@ class ThreadPool {
   [[nodiscard]] bool inside_worker() const;
 
  private:
-  void worker_loop();
+  /// One worker's scheduling state, cache-line separated from its peers.
+  struct alignas(64) Worker {
+    ChaseLevDeque<TaskNode*> deque;
+    TaskSlab slab;
+  };
 
-  concurrency::BoundedQueue<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
+  void worker_loop(std::size_t self);
+
+  /// Takes one task: own deque bottom → injection queue → steal sweep.
+  bool try_take(std::size_t self, Task& out);
+
+  /// Wakes one parked worker if any (cheap relaxed check when none).
+  void wake_one();
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  concurrency::MpmcQueue<Task> inject_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> closed_{false};
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> next_victim_{0};
+  std::atomic<std::size_t> parked_{0};
   bool joined_ = false;
+
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
 };
 
 /// The process-wide default pool, sized to hardware concurrency. Intended

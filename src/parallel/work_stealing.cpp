@@ -1,120 +1,196 @@
 #include "parallel/work_stealing.hpp"
 
 #include <algorithm>
+#include <chrono>
 
+#include "concurrency/backoff.hpp"
 #include "obs/obs.hpp"
+#include "testkit/hooks.hpp"
 
 namespace pdc::parallel {
 
 namespace {
 thread_local std::size_t t_worker_index = SIZE_MAX;
 thread_local const WorkStealingPool* t_worker_pool = nullptr;
+
+constexpr std::size_t kInjectCapacity = 1u << 12;
+constexpr auto kParkTimeout = std::chrono::milliseconds(1);
 }  // namespace
 
-WorkStealingPool::WorkStealingPool(std::size_t threads) {
-  std::size_t n = threads != 0
-                      ? threads
-                      : std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  deques_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) deques_.push_back(std::make_unique<Deque>());
+WorkStealingPool::WorkStealingPool(std::size_t threads)
+    : inject_(kInjectCapacity) {
+  const std::size_t n =
+      threads != 0 ? threads
+                   : std::max<std::size_t>(1, std::thread::hardware_concurrency());
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this, i] { worker_loop(i); });
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 WorkStealingPool::~WorkStealingPool() {
   wait_idle();
   stopping_.store(true, std::memory_order_release);
-  idle_cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  {
+    // Notify under the lock: a worker between its predicate check and its
+    // park must not miss the wake (and the CV must outlive the notify).
+    std::scoped_lock lock(idle_mutex_);
+    testkit::notify_all(idle_cv_);
+  }
+  for (auto& t : threads_) t.join();
 }
 
-void WorkStealingPool::spawn(std::function<void()> fn) {
-  std::size_t target;
-  if (t_worker_pool == this) {
-    target = t_worker_index;  // locality: child tasks stay with the forker
-  } else {
-    target = next_victim_.fetch_add(1, std::memory_order_relaxed) % deques_.size();
-  }
+void WorkStealingPool::spawn(Task fn) {
   PDC_OBS_COUNT("pdc.steal.spawned");
   pending_.fetch_add(1, std::memory_order_acq_rel);
-  {
-    std::scoped_lock lock(deques_[target]->mutex);
-    deques_[target]->tasks.push_back(std::move(fn));
+  if (t_worker_pool == this) {
+    // Locality: child tasks stay with the forker, LIFO at the deque
+    // bottom. No lock, no CAS — the owner-side Chase–Lev fast path.
+    Worker& w = *workers_[t_worker_index];
+    TaskNode* node = w.slab.acquire();
+    node->fn = std::move(fn);
+    w.deque.push(node);
+  } else {
+    // External threads inject through the bounded MPMC queue; when it is
+    // momentarily full, back off until the workers drain it.
+    concurrency::Backoff backoff;
+    while (!inject_.try_push(std::move(fn))) {
+      PDC_OBS_COUNT("pdc.steal.inject_full");
+      testkit::poll_pause("ws.inject.full");
+      backoff.step();
+    }
   }
-  idle_cv_.notify_one();
+  wake_one();
 }
 
-bool WorkStealingPool::try_take(std::size_t self, std::function<void()>& out) {
-  if (self < deques_.size()) {
-    std::scoped_lock lock(deques_[self]->mutex);
-    if (!deques_[self]->tasks.empty()) {
-      out = std::move(deques_[self]->tasks.back());  // owner: LIFO
-      deques_[self]->tasks.pop_back();
+void WorkStealingPool::wake_one() {
+  if (parked_.load(std::memory_order_acquire) == 0) return;
+  std::scoped_lock lock(idle_mutex_);
+  testkit::notify_one(idle_cv_);
+}
+
+bool WorkStealingPool::try_take(std::size_t self, Task& out) {
+  if (self != SIZE_MAX) {
+    TaskNode* node = nullptr;
+    if (workers_[self]->deque.pop(node)) {
+      out = std::move(node->fn);
+      TaskSlab::release(node, /*owner=*/true);
       return true;
     }
   }
-  // Steal: scan victims starting at a rotating offset to spread contention.
-  const std::size_t n = deques_.size();
+  if (inject_.try_pop(out)) return true;
+  // Steal sweep starting at a rotating offset to spread contention. A
+  // kLost race (someone else claimed the element first) retries the same
+  // victim — losing means there IS work, the worst time to give up.
+  const std::size_t n = workers_.size();
   const std::size_t start = next_victim_.fetch_add(1, std::memory_order_relaxed);
   for (std::size_t k = 0; k < n; ++k) {
     const std::size_t victim = (start + k) % n;
     if (victim == self) continue;
-    std::scoped_lock lock(deques_[victim]->mutex);
-    if (!deques_[victim]->tasks.empty()) {
-      out = std::move(deques_[victim]->tasks.front());  // thief: FIFO
-      deques_[victim]->tasks.pop_front();
-      steals_.fetch_add(1, std::memory_order_relaxed);
-      PDC_OBS_COUNT("pdc.steal.stolen");
-      return true;
+    for (;;) {
+      TaskNode* node = nullptr;
+      const StealResult result = workers_[victim]->deque.steal(node);
+      if (result == StealResult::kStolen) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        PDC_OBS_COUNT("pdc.steal.stolen");
+        out = std::move(node->fn);
+        TaskSlab::release(node, /*owner=*/false);
+        return true;
+      }
+      if (result == StealResult::kEmpty) break;
+      concurrency::cpu_relax();  // kLost: contended, try again immediately
     }
   }
   return false;
 }
 
 bool WorkStealingPool::run_one(std::size_t hint) {
-  std::function<void()> task;
+  Task task;
   if (!try_take(hint, task)) return false;
   PDC_OBS_COUNT("pdc.steal.run");
   task();
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    idle_cv_.notify_all();  // quiescent: release wait_idle()
+    // Quiescent: release wait_idle() and parked workers. Under the lock —
+    // the waiter may destroy the pool the instant the predicate holds.
+    std::scoped_lock lock(idle_mutex_);
+    testkit::notify_all(idle_cv_);
   }
   return true;
 }
 
 void WorkStealingPool::help_while(const std::function<bool()>& done) {
   const std::size_t self = (t_worker_pool == this) ? t_worker_index : SIZE_MAX;
+  concurrency::Backoff backoff;
   while (!done()) {
-    if (!run_one(self)) std::this_thread::yield();
+    if (run_one(self)) {
+      backoff.reset();
+      continue;
+    }
+    testkit::spin_yield("ws.help");
+    backoff.step();  // spin/yield only: stay responsive to done()
   }
 }
 
 void WorkStealingPool::wait_idle() {
-  // The external thread helps too: this keeps fork/join deadlock-free even
-  // on a pool of size 1.
+  concurrency::Backoff backoff;
   while (pending_.load(std::memory_order_acquire) != 0) {
-    if (!run_one(SIZE_MAX)) {
-      std::unique_lock lock(idle_mutex_);
-      idle_cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
-        return pending_.load(std::memory_order_acquire) == 0;
-      });
+    if (run_one(SIZE_MAX)) {
+      backoff.reset();
+      continue;
     }
+    if (!backoff.park_ready()) {
+      testkit::spin_yield("ws.wait_idle");
+      backoff.step();
+      continue;
+    }
+    std::unique_lock lock(idle_mutex_);
+    testkit::wait_for(
+        lock, idle_cv_, kParkTimeout,
+        [&] { return pending_.load(std::memory_order_acquire) == 0; },
+        "ws.wait_idle.park");
+    backoff.reset();
   }
 }
 
 void WorkStealingPool::worker_loop(std::size_t self) {
   t_worker_index = self;
   t_worker_pool = this;
+  concurrency::Backoff backoff;
   while (!stopping_.load(std::memory_order_acquire)) {
-    if (!run_one(self)) {
-      std::unique_lock lock(idle_mutex_);
-      idle_cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
-        return stopping_.load(std::memory_order_acquire) ||
-               pending_.load(std::memory_order_acquire) != 0;
-      });
+    if (run_one(self)) {
+      backoff.reset();
+      continue;
     }
+    if (!backoff.park_ready()) {
+      backoff.step();
+      continue;
+    }
+    // Bottom of the ladder: park on the idle CV. Re-check the wake
+    // predicate under the lock so a spawn between our last scan and the
+    // park cannot be lost; the timeout is the liveness backstop for the
+    // (unlocked) parked_ fast check in wake_one().
+    std::unique_lock lock(idle_mutex_);
+    if (stopping_.load(std::memory_order_acquire) ||
+        pending_.load(std::memory_order_acquire) != 0) {
+      backoff.reset();
+      continue;
+    }
+    parked_.fetch_add(1, std::memory_order_release);
+    PDC_OBS_GAUGE_ADD("pdc.steal.parked_workers", 1);
+    testkit::wait_for(
+        lock, idle_cv_, kParkTimeout,
+        [&] {
+          return stopping_.load(std::memory_order_acquire) ||
+                 pending_.load(std::memory_order_acquire) != 0;
+        },
+        "ws.park");
+    parked_.fetch_sub(1, std::memory_order_release);
+    PDC_OBS_GAUGE_SUB("pdc.steal.parked_workers", 1);
+    backoff.reset();
   }
   t_worker_pool = nullptr;
   t_worker_index = SIZE_MAX;

@@ -1,0 +1,193 @@
+// Unit tests for the lock-free scheduler primitives: ChaseLevDeque
+// ordering/growth/race behavior, the TaskSlab node pool, and the spin →
+// yield → park Backoff ladder's observable contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "concurrency/backoff.hpp"
+#include "parallel/chase_lev.hpp"
+#include "parallel/task_slab.hpp"
+
+namespace {
+
+using pdc::parallel::ChaseLevDeque;
+using pdc::parallel::StealResult;
+
+TEST(ChaseLevDeque, OwnerPopsLifo) {
+  ChaseLevDeque<int> deque;
+  for (int i = 1; i <= 8; ++i) deque.push(i);
+  EXPECT_EQ(deque.size_estimate(), 8u);
+  for (int expect = 8; expect >= 1; --expect) {
+    int got = 0;
+    ASSERT_TRUE(deque.pop(got));
+    EXPECT_EQ(got, expect);
+  }
+  int got = 0;
+  EXPECT_FALSE(deque.pop(got));
+}
+
+TEST(ChaseLevDeque, StealTakesFifoFromTheTop) {
+  ChaseLevDeque<int> deque;
+  for (int i = 1; i <= 4; ++i) deque.push(i);
+  int got = 0;
+  ASSERT_EQ(deque.steal(got), StealResult::kStolen);
+  EXPECT_EQ(got, 1);  // oldest element — the largest pending subtree
+  ASSERT_EQ(deque.steal(got), StealResult::kStolen);
+  EXPECT_EQ(got, 2);
+  ASSERT_TRUE(deque.pop(got));
+  EXPECT_EQ(got, 4);  // owner still sees LIFO at the bottom
+}
+
+TEST(ChaseLevDeque, StealOnEmptyReportsEmptyNotLost) {
+  ChaseLevDeque<int> deque;
+  int got = 0;
+  EXPECT_EQ(deque.steal(got), StealResult::kEmpty);
+  deque.push(7);
+  ASSERT_TRUE(deque.pop(got));
+  EXPECT_EQ(deque.steal(got), StealResult::kEmpty);
+}
+
+TEST(ChaseLevDeque, GrowthPreservesContentsAndRetiresBuffers) {
+  ChaseLevDeque<int> deque(/*initial_capacity=*/2);
+  const int n = 64;
+  for (int i = 0; i < n; ++i) deque.push(i);
+  EXPECT_GT(deque.retired_buffers(), 0u);  // epoch list holds old buffers
+  EXPECT_GE(deque.capacity(), static_cast<std::size_t>(n));
+  for (int expect = n - 1; expect >= 0; --expect) {
+    int got = -1;
+    ASSERT_TRUE(deque.pop(got));
+    EXPECT_EQ(got, expect);
+  }
+}
+
+// The classic last-element race: owner pop vs one thief, one element.
+// Exactly one side must win, and the element must be claimed exactly once.
+TEST(ChaseLevDeque, LastElementGoesToExactlyOneClaimant) {
+  for (int round = 0; round < 200; ++round) {
+    ChaseLevDeque<int> deque;
+    deque.push(42);
+    std::atomic<int> ready{0};
+    int stolen = 0;
+    bool thief_won = false;
+    std::thread thief([&] {
+      ready.fetch_add(1);
+      while (ready.load() < 2) {
+      }
+      StealResult r;
+      while ((r = deque.steal(stolen)) == StealResult::kLost) {
+      }
+      thief_won = (r == StealResult::kStolen);
+    });
+    ready.fetch_add(1);
+    while (ready.load() < 2) {
+    }
+    int popped = 0;
+    const bool owner_won = deque.pop(popped);
+    thief.join();
+    ASSERT_NE(owner_won, thief_won) << "round " << round;
+    EXPECT_EQ(owner_won ? popped : stolen, 42);
+  }
+}
+
+// Buffer growth racing concurrent steals: a thief holding a stale buffer
+// pointer must still complete safely (epoch retirement), and every pushed
+// element must be claimed exactly once across owner and thieves.
+TEST(ChaseLevDeque, GrowthDuringConcurrentStealsLosesNothing) {
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 3;
+  ChaseLevDeque<int> deque(/*initial_capacity=*/2);  // force many growths
+
+  std::atomic<bool> done{false};
+  std::atomic<std::int64_t> stolen_sum{0};
+  std::atomic<int> stolen_count{0};
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      int got = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        if (deque.steal(got) == StealResult::kStolen) {
+          stolen_sum.fetch_add(got, std::memory_order_relaxed);
+          stolen_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::int64_t popped_sum = 0;
+  int popped_count = 0;
+  for (int i = 1; i <= kItems; ++i) {
+    deque.push(i);
+    if (i % 7 == 0) {  // owner interleaves pops to exercise both ends
+      int got = 0;
+      if (deque.pop(got)) {
+        popped_sum += got;
+        ++popped_count;
+      }
+    }
+  }
+  int got = 0;
+  while (deque.pop(got)) {
+    popped_sum += got;
+    ++popped_count;
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+
+  EXPECT_GT(deque.retired_buffers(), 0u);
+  EXPECT_EQ(popped_count + stolen_count.load(), kItems);
+  const std::int64_t expected_sum =
+      static_cast<std::int64_t>(kItems) * (kItems + 1) / 2;
+  EXPECT_EQ(popped_sum + stolen_sum.load(), expected_sum);
+}
+
+TEST(TaskSlab, ReusesNodesInSteadyState) {
+  pdc::parallel::TaskSlab slab;
+  auto* first = slab.acquire();
+  pdc::parallel::TaskSlab::release(first, /*owner=*/true);
+  const std::size_t after_warmup = slab.allocated_nodes();
+  for (int i = 0; i < 1000; ++i) {
+    auto* node = slab.acquire();
+    pdc::parallel::TaskSlab::release(node, /*owner=*/true);
+  }
+  EXPECT_EQ(slab.allocated_nodes(), after_warmup);  // no growth when recycled
+}
+
+TEST(TaskSlab, RemoteReleaseFlowsBackToOwner) {
+  pdc::parallel::TaskSlab slab;
+  // Drain one full block so the owner freelist is empty.
+  std::vector<pdc::parallel::TaskNode*> nodes;
+  const std::size_t block = slab.allocated_nodes() + 64;
+  while (slab.allocated_nodes() < block) nodes.push_back(slab.acquire());
+  const std::size_t allocated = slab.allocated_nodes();
+  std::thread thief([&] {
+    for (auto* node : nodes) {
+      pdc::parallel::TaskSlab::release(node, /*owner=*/false);
+    }
+  });
+  thief.join();
+  // Owner reclaims the remote-free stack instead of allocating a block.
+  for (std::size_t i = 0; i < nodes.size(); ++i) slab.acquire();
+  EXPECT_EQ(slab.allocated_nodes(), allocated);
+}
+
+TEST(Backoff, EscalatesSpinYieldThenPark) {
+  pdc::concurrency::Backoff backoff(/*spin_limit=*/4, /*yield_limit=*/2);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_FALSE(backoff.park_ready()) << "step " << i;
+    backoff.step();
+  }
+  EXPECT_TRUE(backoff.park_ready());
+  backoff.step();  // steps past the ladder stay park_ready
+  EXPECT_TRUE(backoff.park_ready());
+  backoff.reset();
+  EXPECT_FALSE(backoff.park_ready());
+}
+
+}  // namespace

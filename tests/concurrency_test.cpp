@@ -7,12 +7,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <numeric>
 #include <thread>
 #include <vector>
 
 #include "concurrency/barrier.hpp"
 #include "concurrency/bounded_queue.hpp"
+#include "concurrency/mpmc_queue.hpp"
 #include "concurrency/lock_order.hpp"
 #include "concurrency/monitor.hpp"
 #include "concurrency/rwlock.hpp"
@@ -523,6 +525,83 @@ TEST(LockOrder, IndependentPairsAreClean) {
     OrderedGuard ga(a);
   }
   EXPECT_TRUE(registry.clean());
+}
+
+// --------------------------------------------------------------- MPMC queue
+
+TEST(MpmcQueue, RoundsCapacityUpToPowerOfTwo) {
+  MpmcQueue<int> q(5);
+  EXPECT_EQ(q.capacity(), 8u);
+  MpmcQueue<int> tiny(0);
+  EXPECT_EQ(tiny.capacity(), 2u);
+}
+
+TEST(MpmcQueue, FifoWithinCapacity) {
+  MpmcQueue<int> q(4);
+  for (int i = 1; i <= 4; ++i) EXPECT_TRUE(q.try_push(std::move(i)));
+  int overflow = 99;
+  EXPECT_FALSE(q.try_push(std::move(overflow)));
+  EXPECT_EQ(overflow, 99);  // full push leaves the value untouched
+  for (int expect = 1; expect <= 4; ++expect) {
+    int got = 0;
+    ASSERT_TRUE(q.try_pop(got));
+    EXPECT_EQ(got, expect);
+  }
+  int got = 0;
+  EXPECT_FALSE(q.try_pop(got));
+}
+
+TEST(MpmcQueue, CarriesMoveOnlyValues) {
+  MpmcQueue<std::unique_ptr<int>> q(2);
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(7)));
+  std::unique_ptr<int> got;
+  ASSERT_TRUE(q.try_pop(got));
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, 7);
+}
+
+TEST(MpmcQueue, ConcurrentProducersConsumersConserveSum) {
+  constexpr int kProducers = 2;
+  constexpr int kConsumers = 2;
+  constexpr int kPerProducer = 5000;
+  MpmcQueue<int> q(64);
+  std::atomic<long long> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+  std::atomic<bool> producing{true};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int value = p * kPerProducer + i + 1;
+        while (!q.try_push(std::move(value))) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      int got = 0;
+      for (;;) {
+        if (q.try_pop(got)) {
+          consumed_sum.fetch_add(got, std::memory_order_relaxed);
+          consumed_count.fetch_add(1, std::memory_order_relaxed);
+        } else if (!producing.load(std::memory_order_acquire)) {
+          if (!q.try_pop(got)) break;  // drained after producers finished
+          consumed_sum.fetch_add(got, std::memory_order_relaxed);
+          consumed_count.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  producing.store(false, std::memory_order_release);
+  for (std::size_t i = kProducers; i < threads.size(); ++i) threads[i].join();
+
+  constexpr long long kTotal = static_cast<long long>(kProducers) * kPerProducer;
+  EXPECT_EQ(consumed_count.load(), kTotal);
+  EXPECT_EQ(consumed_sum.load(), kTotal * (kTotal + 1) / 2);
 }
 
 }  // namespace

@@ -23,6 +23,7 @@
 #include "obs/obs.hpp"
 #include "obs/replay.hpp"
 #include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
 #include "support/table.hpp"
 #include "testkit/hooks.hpp"
 #include "testkit/schedule_explorer.hpp"
@@ -81,6 +82,33 @@ TEST(Metrics, HistogramBucketsPowersOfTwo) {
   EXPECT_EQ(sample->buckets[1], 1u);
   EXPECT_EQ(sample->buckets[2], 2u);
   EXPECT_EQ(sample->buckets[7], 1u);
+}
+
+// The pool's queue-depth gauge must balance: +1 per accepted task, -1 per
+// dequeue. Before PR 3 the add happened before the accept decision, so a
+// rejected post could leave the gauge permanently skewed; now acceptance
+// and accounting are one step. At quiescence the value must read 0 while
+// the high-water mark proves tasks were actually in flight.
+TEST(Metrics, PoolQueueDepthGaugeBalancesToZero) {
+  auto& gauge = MetricsRegistry::instance().gauge("pdc.pool.queue_depth");
+  gauge.reset();
+  {
+    pdc::parallel::ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(pool.post([&count] { count.fetch_add(1); }).is_ok());
+    }
+    pool.shutdown();  // drains: every accepted task executes
+    EXPECT_EQ(count.load(), 200);
+    // Posts after shutdown are refused and must not move the gauge.
+    EXPECT_FALSE(pool.post([] {}).is_ok());
+  }
+  EXPECT_EQ(gauge.value(), 0);
+  EXPECT_GT(gauge.high_water(), 0);
+  const auto snapshot = MetricsRegistry::instance().scrape();
+  const auto* sample = snapshot.find("pdc.pool.queue_depth");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->value, 0);
 }
 
 TEST(Metrics, ScrapeJsonContainsRegisteredMetrics) {

@@ -2,14 +2,18 @@
 // schedules, reductions, scans, task graph analytics, parallel sorts.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "concurrency/barrier.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/pipeline.hpp"
 #include "parallel/sort.hpp"
+#include "parallel/task.hpp"
 #include "parallel/task_graph.hpp"
 #include "parallel/thread_pool.hpp"
 #include "parallel/work_stealing.hpp"
@@ -18,6 +22,75 @@
 namespace {
 
 using namespace pdc::parallel;
+
+// --------------------------------------------------------------------- Task
+
+TEST(Task, InvokesHeldCallable) {
+  int hits = 0;
+  Task task([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(task));
+  task();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(Task, DefaultConstructedIsEmpty) {
+  Task task;
+  EXPECT_FALSE(static_cast<bool>(task));
+}
+
+TEST(Task, MoveTransfersOwnership) {
+  int hits = 0;
+  Task a([&hits] { ++hits; });
+  Task b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+  Task c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(Task, CarriesMoveOnlyState) {
+  // std::function could never hold this closure (it requires copyability).
+  auto value = std::make_unique<int>(41);
+  std::atomic<int> seen{0};
+  Task task([v = std::move(value), &seen] { seen = *v + 1; });
+  task();
+  EXPECT_EQ(seen.load(), 42);
+}
+
+TEST(Task, SmallClosuresStayInline) {
+  auto small = [] {};
+  struct Big {
+    std::array<std::byte, Task::kInlineBytes + 8> payload;
+    void operator()() const {}
+  };
+  EXPECT_TRUE(Task::stored_inline<decltype(small)>());
+  EXPECT_FALSE(Task::stored_inline<Big>());
+}
+
+TEST(Task, OversizedClosureFallsBackToHeapAndStillRuns) {
+  struct Big {
+    std::array<std::int64_t, 16> values{};
+    std::atomic<std::int64_t>* out;
+    void operator()() {
+      std::int64_t sum = 0;
+      for (auto v : values) sum += v;
+      out->store(sum);
+    }
+  };
+  static_assert(sizeof(Big) > Task::kInlineBytes);
+  std::atomic<std::int64_t> out{0};
+  Big big;
+  big.values.fill(3);
+  big.out = &out;
+  Task task(std::move(big));
+  Task moved(std::move(task));  // heap target must survive relocation
+  moved();
+  EXPECT_EQ(out.load(), 48);
+}
 
 // -------------------------------------------------------------- thread pool
 
@@ -540,6 +613,75 @@ TEST(ParallelSort, CustomComparator) {
   std::vector<int> v{5, 3, 9, 1, 4};
   parallel_merge_sort(pool, v, 2, std::greater<int>{});
   EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<int>{}));
+}
+
+// ------------------------------------------------- lock-free scheduler path
+
+// External (non-worker) posts travel through the bounded injection queue;
+// flooding it far past its capacity must apply backpressure, not drop work.
+TEST(ThreadPool, ExternalFloodBeyondInjectionCapacityRunsEverything) {
+  ThreadPool pool(2);
+  constexpr int kTasks = 10000;  // > injection capacity (4096)
+  std::atomic<int> count{0};
+  for (int i = 0; i < kTasks; ++i) {
+    ASSERT_TRUE(pool.post([&count] { count.fetch_add(1); }).is_ok());
+  }
+  pool.shutdown();  // drains before joining
+  EXPECT_EQ(count.load(), kTasks);
+}
+
+// Worker-side posts go to the poster's own deque (unbounded), so recursive
+// task trees can always make progress even on a single worker.
+TEST(ThreadPool, RecursivePostsFromWorkersComplete) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  std::function<void(int)> spawn_tree = [&](int depth) {
+    count.fetch_add(1);
+    if (depth == 0) return;
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_TRUE(pool.post([&, depth] { spawn_tree(depth - 1); }).is_ok());
+    }
+  };
+  ASSERT_TRUE(pool.post([&] { spawn_tree(9); }).is_ok());
+  // Wait for the tree before shutdown: posts from workers after close are
+  // refused (kClosed), exactly like the old pool's closed queue.
+  constexpr int kExpected = (1 << 10) - 1;  // full binary tree, 10 levels
+  while (count.load() < kExpected) std::this_thread::yield();
+  pool.shutdown();
+  EXPECT_EQ(count.load(), kExpected);
+}
+
+TEST(WorkStealing, ExternalSpawnFloodBeyondInjectionCapacity) {
+  WorkStealingPool pool(2);
+  constexpr int kTasks = 10000;  // > injection capacity (4096)
+  std::atomic<int> count{0};
+  for (int i = 0; i < kTasks; ++i) {
+    pool.spawn([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), kTasks);
+}
+
+TEST(WorkStealing, ParkedWorkersGaugeReturnsToZeroAfterWork) {
+  WorkStealingPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.spawn([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 64);
+  // Workers may be parked (idle) or mid-ladder, but never more than exist.
+  EXPECT_LE(pool.parked_workers(), pool.size());
+}
+
+TEST(Task, MoveOnlyClosureRunsOnThePool) {
+  ThreadPool pool(2);
+  auto payload = std::make_unique<int>(123);
+  std::atomic<int> seen{0};
+  ASSERT_TRUE(
+      pool.post([p = std::move(payload), &seen] { seen = *p; }).is_ok());
+  pool.shutdown();
+  EXPECT_EQ(seen.load(), 123);
 }
 
 }  // namespace

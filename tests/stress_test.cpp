@@ -19,6 +19,7 @@
 #include "mp/world.hpp"
 #include "net/arq.hpp"
 #include "net/network.hpp"
+#include "parallel/chase_lev.hpp"
 #include "parallel/thread_pool.hpp"
 #include "testkit/fault_injector.hpp"
 #include "testkit/hooks.hpp"
@@ -114,6 +115,62 @@ TEST(StressExplorer, BoundedQueueMpmcInvariantsAcrossSeeds) {
       if (state->popped_sum.load() != 0 + 1 + 2 + 3 + 4 + 5) {
         return "popped sum " + std::to_string(state->popped_sum.load()) +
                ", expected 15 (item lost or duplicated)";
+      }
+      return "";
+    };
+    return plan;
+  });
+  EXPECT_FALSE(result.failure_found) << result.describe();
+}
+
+// Chase–Lev deque under exhaustive seed exploration: one owner pushing and
+// popping, two thieves stealing, with a capacity-2 buffer so growth races
+// the steals. The deque's cl.* yield points let the SimScheduler interleave
+// the claim sequences (including the last-element CAS race) seed by seed;
+// the invariant is exactly-once delivery of every element.
+TEST(StressExplorer, ChaseLevDequeExactlyOnceAcrossSeeds) {
+  ExplorerConfig config;
+  config.policy = SchedulePolicy::kRandom;
+  config.iterations = 400;
+  config.base_seed = 4242;
+  ScheduleExplorer explorer(config);
+  const auto result = explorer.explore([] {
+    struct State {
+      parallel::ChaseLevDeque<int> deque{/*initial_capacity=*/2};
+      std::atomic<int> claimed_sum{0};
+      std::atomic<int> claimed_count{0};
+    };
+    auto state = std::make_shared<State>();
+    RunPlan plan;
+    plan.threads.push_back([state] {  // owner: pushes, then drains
+      for (int i = 1; i <= 8; ++i) state->deque.push(i);
+      int got = 0;
+      while (state->deque.pop(got)) {
+        state->claimed_sum += got;
+        ++state->claimed_count;
+      }
+    });
+    for (int thief = 0; thief < 2; ++thief) {
+      plan.threads.push_back([state] {
+        int got = 0;
+        for (int attempt = 0; attempt < 24; ++attempt) {
+          if (state->deque.steal(got) == parallel::StealResult::kStolen) {
+            state->claimed_sum += got;
+            ++state->claimed_count;
+          }
+        }
+      });
+    }
+    plan.check = [state]() -> std::string {
+      // The owner's drain loop empties whatever the thieves left, so all 8
+      // elements are claimed exactly once between the three threads.
+      if (state->claimed_count.load() != 8) {
+        return "claimed " + std::to_string(state->claimed_count.load()) +
+               " elements, expected 8 (lost or duplicated claim)";
+      }
+      if (state->claimed_sum.load() != 36) {
+        return "claimed sum " + std::to_string(state->claimed_sum.load()) +
+               ", expected 36";
       }
       return "";
     };
