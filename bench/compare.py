@@ -35,7 +35,8 @@ import math
 import sys
 from pathlib import Path
 
-LOWER_BETTER = ("us", "ns", "ms", "time", "latency", "block", "seconds")
+LOWER_BETTER = ("us", "ns", "ms", "time", "latency", "block", "seconds",
+                "overhead")
 HIGHER_BETTER = ("per_s", "speedup", "throughput", "ops", "rate")
 
 

@@ -1,0 +1,201 @@
+// Experiment PERF-OBS — what the observability plane itself costs.
+//
+// The obs layer instruments every other subsystem's hot path, so its own
+// price must stay measurable and small:
+//   1. hot-path overhead: PDC_OBS_COUNT / gauge add+sub / histogram record
+//      in a tight loop, against an empty loop baseline. Build this bench
+//      once normally and once with -DPDCKIT_OBS_NOOP=ON to see the macro
+//      cost compile away (the "overhead" rows drop to the baseline).
+//   2. scrape latency over a populated registry (the /metrics hot cost);
+//   3. exposition-render throughput: Prometheus text and JSON bytes/s;
+//   4. delta-frame assembly (the /subscribe per-tick cost);
+//   5. one full client-server GET /metrics round trip over net.
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "net/network.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/telemetry.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+
+using pdc::obs::MetricsRegistry;
+using pdc::support::Stopwatch;
+using pdc::support::TextTable;
+
+namespace {
+
+// Keeps the compiler from deleting the measured loop body.
+volatile std::uint64_t g_sink = 0;
+
+template <typename Fn>
+double ns_per_op(std::size_t iters, Fn&& fn) {
+  Stopwatch watch;
+  for (std::size_t i = 0; i < iters; ++i) fn(i);
+  return watch.elapsed_seconds() * 1e9 / static_cast<double>(iters);
+}
+
+/// Fills the registry with a telemetry-plausible population: mostly
+/// counters, some gauges, some histograms with spread-out samples.
+void populate_registry(std::size_t counters, std::size_t gauges,
+                       std::size_t histograms) {
+  auto& registry = MetricsRegistry::instance();
+  registry.reset();
+  for (std::size_t i = 0; i < counters; ++i) {
+    registry.counter("bench.obs.counter." + std::to_string(i)).inc(i * 7 + 1);
+  }
+  for (std::size_t i = 0; i < gauges; ++i) {
+    registry.gauge("bench.obs.gauge." + std::to_string(i))
+        .add(static_cast<std::int64_t>(i));
+  }
+  for (std::size_t i = 0; i < histograms; ++i) {
+    auto& hist = registry.histogram("bench.obs.hist." + std::to_string(i));
+    for (std::uint64_t v = 0; v < 256; ++v) hist.record(v * (i + 1));
+  }
+}
+
+}  // namespace
+
+int main() {
+  pdc::obs::BenchReport report("perf_obs");
+  std::cout << "=== PERF-OBS: what the observability plane costs ===\n\n";
+  report.add_metric("obs_enabled", pdc::obs::kObsEnabled ? 1.0 : 0.0);
+
+  {
+    constexpr std::size_t kIters = 1 << 21;
+    const double baseline = ns_per_op(kIters, [](std::size_t i) {
+      g_sink = g_sink + i;  // the loop itself
+    });
+    const double counter = ns_per_op(kIters, [](std::size_t i) {
+      g_sink = g_sink + i;
+      PDC_OBS_COUNT("bench.hot.counter");
+    });
+    const double gauge = ns_per_op(kIters, [](std::size_t i) {
+      g_sink = g_sink + i;
+      PDC_OBS_GAUGE_ADD("bench.hot.gauge", 1);
+      PDC_OBS_GAUGE_SUB("bench.hot.gauge", 1);
+    });
+    const double hist = ns_per_op(kIters, [](std::size_t i) {
+      g_sink = g_sink + i;
+      PDC_OBS_HIST("bench.hot.hist", i & 1023);
+    });
+
+    TextTable table("1. Hot-path instrumentation cost (single thread)");
+    table.set_header({"operation", "ns/op", "overhead vs empty loop"});
+    const auto overhead = [&](double cost) {
+      return baseline > 0.0 ? cost / baseline : 0.0;
+    };
+    table.add_row({"empty loop", TextTable::num(baseline, 2), "1.00"});
+    table.add_row({"PDC_OBS_COUNT", TextTable::num(counter, 2),
+                   TextTable::num(overhead(counter), 2)});
+    table.add_row({"gauge add+sub", TextTable::num(gauge, 2),
+                   TextTable::num(overhead(gauge), 2)});
+    table.add_row({"PDC_OBS_HIST", TextTable::num(hist, 2),
+                   TextTable::num(overhead(hist), 2)});
+    table.render(std::cout);
+    report.add_table(table);
+    report.add_metric("hot.baseline.ns", baseline);
+    report.add_metric("hot.counter.ns", counter);
+    report.add_metric("hot.gauge.ns", gauge);
+    report.add_metric("hot.hist.ns", hist);
+    report.add_metric("hot.counter.overhead", overhead(counter));
+    report.add_metric("hot.hist.overhead", overhead(hist));
+    std::cout << "(rebuild with -DPDCKIT_OBS_NOOP=ON and the macro rows "
+                 "collapse onto the empty loop)\n\n";
+  }
+
+  {
+    populate_registry(/*counters=*/64, /*gauges=*/16, /*histograms=*/16);
+    constexpr std::size_t kIters = 200;
+
+    Stopwatch scrape_watch;
+    std::size_t samples = 0;
+    for (std::size_t i = 0; i < kIters; ++i) {
+      samples = MetricsRegistry::instance().scrape().samples.size();
+    }
+    const double scrape_us =
+        scrape_watch.elapsed_micros() / static_cast<double>(kIters);
+
+    const auto snapshot = MetricsRegistry::instance().scrape();
+    Stopwatch text_watch;
+    std::size_t text_bytes = 0;
+    for (std::size_t i = 0; i < kIters; ++i) {
+      text_bytes = pdc::obs::prometheus_exposition(snapshot).size();
+    }
+    const double text_us =
+        text_watch.elapsed_micros() / static_cast<double>(kIters);
+
+    Stopwatch json_watch;
+    std::size_t json_bytes = 0;
+    for (std::size_t i = 0; i < kIters; ++i) {
+      json_bytes = snapshot.to_json().size();
+    }
+    const double json_us =
+        json_watch.elapsed_micros() / static_cast<double>(kIters);
+
+    Stopwatch delta_watch;
+    for (std::size_t i = 0; i < kIters; ++i) {
+      g_sink = pdc::obs::delta_json(snapshot, snapshot, i).size();
+    }
+    const double delta_us =
+        delta_watch.elapsed_micros() / static_cast<double>(kIters);
+
+    const auto mb_per_s = [](std::size_t bytes, double us) {
+      return us > 0.0 ? static_cast<double>(bytes) / us : 0.0;  // B/us == MB/s
+    };
+    TextTable table("2. Scrape + render over a populated registry");
+    table.set_header({"stage", "us/call", "bytes", "MB/s"});
+    table.add_row({"scrape (" + std::to_string(samples) + " metrics)",
+                   TextTable::num(scrape_us, 2), "-", "-"});
+    table.add_row({"prometheus text", TextTable::num(text_us, 2),
+                   std::to_string(text_bytes),
+                   TextTable::num(mb_per_s(text_bytes, text_us), 1)});
+    table.add_row({"metrics json", TextTable::num(json_us, 2),
+                   std::to_string(json_bytes),
+                   TextTable::num(mb_per_s(json_bytes, json_us), 1)});
+    table.add_row({"delta frame (idle)", TextTable::num(delta_us, 2), "-", "-"});
+    table.render(std::cout);
+    report.add_table(table);
+    report.add_metric("scrape.us", scrape_us);
+    report.add_metric("render.text.us", text_us);
+    report.add_metric("render.text.mb_per_s", mb_per_s(text_bytes, text_us));
+    report.add_metric("render.json.us", json_us);
+    report.add_metric("render.json.mb_per_s", mb_per_s(json_bytes, json_us));
+    report.add_metric("delta_frame.us", delta_us);
+    std::cout << '\n';
+  }
+
+  {
+    constexpr std::size_t kGets = 200;
+    pdc::net::NetConfig config;
+    config.latency_ms = 0.01;
+    pdc::net::Network net(2, config);
+    pdc::obs::TelemetryServer server(net, /*host=*/0, /*port=*/9100);
+    pdc::obs::TelemetryClient client(net, /*host=*/1);
+    if (!client.connect(server.address()).is_ok()) {
+      std::cerr << "telemetry connect failed\n";
+      return 1;
+    }
+    Stopwatch watch;
+    for (std::size_t i = 0; i < kGets; ++i) {
+      g_sink = client.get("/metrics").value().size();
+    }
+    const double get_us = watch.elapsed_micros() / static_cast<double>(kGets);
+    client.close();
+    server.stop();
+
+    TextTable table("3. Telemetry plane round trip (GET /metrics over net)");
+    table.set_header({"round trips", "us/get"});
+    table.add_row({std::to_string(kGets), TextTable::num(get_us, 2)});
+    table.render(std::cout);
+    report.add_table(table);
+    report.add_metric("telemetry.get_metrics.us", get_us);
+    std::cout << '\n';
+  }
+
+  report.write_if_requested();
+  return 0;
+}

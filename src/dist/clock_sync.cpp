@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 
 namespace pdc::dist {
@@ -47,6 +48,56 @@ SyncResult cristian_sync(std::vector<DriftingClock>& clocks, double true_time,
 
   const double server_after = clocks[0].read(true_time);
   result.max_error_after = max_abs_error_vs(clocks, true_time, server_after);
+  return result;
+}
+
+namespace {
+constexpr int kTagTimeRequest = 60;
+constexpr int kTagTimeResponse = 61;
+
+/// The request carries the sender-drawn one-way delay so the server can
+/// stamp its clock at the simulated arrival time (the fabric itself is
+/// eager; the delay model lives in the payload).
+struct TimeRequest {
+  double request_delay;
+};
+}  // namespace
+
+MpSyncResult cristian_sync_mp(mp::Communicator& comm, DriftingClock& clock,
+                              double true_time, double mean_delay,
+                              support::Rng& rng) {
+  const int me = comm.rank();
+  const int p = comm.size();
+  MpSyncResult result;
+  obs::set_trace_thread_name("clocksync.rank", static_cast<std::uint64_t>(me));
+
+  if (me == 0) {
+    obs::ScopedSpan span("clocksync.serve");
+    for (int served = 0; served + 1 < p; ++served) {
+      const mp::RecvInfo info = comm.probe(mp::kAnySource, kTagTimeRequest);
+      const auto request =
+          comm.recv_value<TimeRequest>(info.source, kTagTimeRequest);
+      const double stamp = clock.read(true_time + request.request_delay);
+      comm.send_value(stamp, info.source, kTagTimeResponse);
+      ++result.messages;
+      PDC_OBS_COUNT("pdc.clocksync.served");
+    }
+    return result;
+  }
+
+  obs::ScopedSpan span("clocksync.exchange", static_cast<std::uint64_t>(me));
+  const double d_request = draw_delay(mean_delay, rng);
+  const double d_response = draw_delay(mean_delay, rng);
+  comm.send_value(TimeRequest{d_request}, 0, kTagTimeRequest);
+  ++result.messages;
+  const double stamp = comm.recv_value<double>(0, kTagTimeResponse);
+  const double rtt = d_request + d_response;
+  const double estimate = stamp + rtt / 2.0;
+  const double local = clock.read(true_time + rtt);
+  result.applied_delta = estimate - local;
+  clock.adjust(result.applied_delta);
+  obs::trace_instant("clocksync.adjust");
+  PDC_OBS_COUNT("pdc.clocksync.syncs");
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "mp/comm.hpp"
 #include "support/rng.hpp"
 
 namespace pdc::dist {
@@ -56,5 +57,26 @@ SyncResult cristian_sync(std::vector<DriftingClock>& clocks, double true_time,
 /// clocks[0] acts as master; errors are measured against the average.
 SyncResult berkeley_sync(std::vector<DriftingClock>& clocks, double true_time,
                          double mean_delay, support::Rng& rng);
+
+/// Result of the message-passing Cristian exchange on one rank.
+struct MpSyncResult {
+  std::uint64_t messages = 0;   // protocol messages this rank sent
+  double applied_delta = 0.0;   // correction applied (0 on the server)
+};
+
+/// Cristian's algorithm as a real message exchange over the
+/// message-passing runtime: rank 0 is the time server (its clock is
+/// authoritative and never adjusted); every other rank sends one
+/// timestamp request and adjusts its DriftingClock by the classic
+/// stamp + RTT/2 estimate. Wire delays stay simulated — each client draws
+/// its one-way delays from `rng` and ships the request delay inside the
+/// request so the server can stamp its clock at the simulated arrival
+/// time, while the response delay remains unknown to the server (the
+/// asymmetry that bounds Cristian's accuracy). Every rank must call this;
+/// the exchanges carry WireTrace spans, so a trace session shows one flow
+/// arrow per direction per client.
+MpSyncResult cristian_sync_mp(mp::Communicator& comm, DriftingClock& clock,
+                              double true_time, double mean_delay,
+                              support::Rng& rng);
 
 }  // namespace pdc::dist

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 #include "support/stopwatch.hpp"
 #include "testkit/hooks.hpp"
@@ -32,6 +33,8 @@ ElectionResult ring_election(mp::Communicator& comm,
   ElectionResult result;
   const int me = comm.rank();
   if (!alive[static_cast<std::size_t>(me)]) return result;  // dead: not playing
+  obs::set_trace_thread_name("election.rank", static_cast<std::uint64_t>(me));
+  obs::ScopedSpan span("election.ring", static_cast<std::uint64_t>(me));
 
   const int successor = next_alive(alive, me);
   bool participated = false;
@@ -39,6 +42,7 @@ ElectionResult ring_election(mp::Communicator& comm,
   if (initiate) {
     comm.send_value(me, successor, kTagElect);
     ++result.messages_sent;
+    PDC_OBS_COUNT("pdc.election.messages");
     participated = true;
   }
 
@@ -52,16 +56,21 @@ ElectionResult ring_election(mp::Communicator& comm,
         result.leader = me;
         comm.send_value(me, successor, kTagCoord);
         ++result.messages_sent;
+        PDC_OBS_COUNT("pdc.election.messages");
+        obs::trace_instant("election.elected", static_cast<std::uint64_t>(me));
+        PDC_OBS_COUNT("pdc.election.won");
         return result;
       }
       if (candidate > me) {
         comm.send_value(candidate, successor, kTagElect);
         ++result.messages_sent;
+        PDC_OBS_COUNT("pdc.election.messages");
         participated = true;
       } else if (!participated) {
         // Replace the weaker candidacy with my own.
         comm.send_value(me, successor, kTagElect);
         ++result.messages_sent;
+        PDC_OBS_COUNT("pdc.election.messages");
         participated = true;
       }
       // candidate < me && participated: swallow (my candidacy is ahead).
@@ -71,7 +80,10 @@ ElectionResult ring_election(mp::Communicator& comm,
       if (leader != me) {
         comm.send_value(leader, successor, kTagCoord);
         ++result.messages_sent;
+        PDC_OBS_COUNT("pdc.election.messages");
       }
+      obs::trace_instant("election.elected",
+                         static_cast<std::uint64_t>(leader));
       return result;
     } else {
       PDC_CHECK_MSG(false, "unexpected tag in ring_election");
@@ -87,6 +99,8 @@ ElectionResult bully_election(mp::Communicator& comm,
   const int me = comm.rank();
   const int p = comm.size();
   if (!alive[static_cast<std::size_t>(me)]) return result;
+  obs::set_trace_thread_name("election.rank", static_cast<std::uint64_t>(me));
+  obs::ScopedSpan span("election.bully", static_cast<std::uint64_t>(me));
 
   bool electing = me == initiator;
   int retries = 0;
@@ -96,8 +110,11 @@ ElectionResult bully_election(mp::Communicator& comm,
       if (peer == me) continue;
       comm.send_value(me, peer, kTagCoordinator);
       ++result.messages_sent;
+      PDC_OBS_COUNT("pdc.election.messages");
     }
     result.leader = me;
+    obs::trace_instant("election.elected", static_cast<std::uint64_t>(me));
+    PDC_OBS_COUNT("pdc.election.won");
   };
 
   auto challenge_higher = [&] {
@@ -105,6 +122,7 @@ ElectionResult bully_election(mp::Communicator& comm,
     for (int peer = me + 1; peer < p; ++peer) {
       comm.send_value(me, peer, kTagElection);
       ++result.messages_sent;
+      PDC_OBS_COUNT("pdc.election.messages");
       ++sent;
     }
     return sent;
@@ -117,6 +135,7 @@ ElectionResult bully_election(mp::Communicator& comm,
       const int challenger = comm.recv_value<int>(info.source, kTagElection);
       comm.send_value(me, challenger, kTagOk);
       ++result.messages_sent;
+      PDC_OBS_COUNT("pdc.election.messages");
       electing = true;  // a lower rank is electing: I must bully upward too
       return false;
     }
@@ -127,6 +146,8 @@ ElectionResult bully_election(mp::Communicator& comm,
     }
     if (info.tag == kTagCoordinator) {
       result.leader = comm.recv_value<int>(info.source, kTagCoordinator);
+      obs::trace_instant("election.elected",
+                         static_cast<std::uint64_t>(result.leader));
       return true;
     }
     PDC_CHECK_MSG(false, "unexpected tag in bully_election");

@@ -1,11 +1,15 @@
 #include "dist/mutex.hpp"
 
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 #include "testkit/hooks.hpp"
 
 namespace pdc::dist {
 
-RicartAgrawala::RicartAgrawala(mp::Communicator& comm) : comm_(comm) {}
+RicartAgrawala::RicartAgrawala(mp::Communicator& comm) : comm_(comm) {
+  obs::set_trace_thread_name("mutex.rank",
+                             static_cast<std::uint64_t>(comm.rank()));
+}
 
 bool RicartAgrawala::theirs_wins(const RequestMsg& theirs) const {
   if (!requesting_) return true;  // I don't want it: always grant
@@ -26,8 +30,10 @@ void RicartAgrawala::pump_one() {
       if (theirs_wins(request)) {
         comm_.send_value(char{1}, request.rank, kTagReply);
         ++messages_sent_;
+        PDC_OBS_COUNT("pdc.mutex.replies");
       } else {
         deferred_.push_back(request.rank);
+        PDC_OBS_COUNT("pdc.mutex.deferred");
       }
       return;
     }
@@ -49,6 +55,8 @@ void RicartAgrawala::pump_one() {
 void RicartAgrawala::enter() {
   testkit::yield_point("ra.enter");
   PDC_CHECK_MSG(!requesting_, "enter() while already holding/awaiting the CS");
+  obs::ScopedSpan span("mutex.acquire",
+                       static_cast<std::uint64_t>(comm_.rank()));
   requesting_ = true;
   my_timestamp_ = clock_.tick();
   const RequestMsg request{my_timestamp_, comm_.rank()};
@@ -57,17 +65,21 @@ void RicartAgrawala::enter() {
     if (peer == comm_.rank()) continue;
     comm_.send_value(request, peer, kTagRequest);
     ++messages_sent_;
+    PDC_OBS_COUNT("pdc.mutex.requests");
   }
   while (replies_pending_ > 0) pump_one();
+  obs::trace_instant("mutex.enter", static_cast<std::uint64_t>(my_timestamp_));
 }
 
 void RicartAgrawala::leave() {
   testkit::yield_point("ra.leave");
   PDC_CHECK_MSG(requesting_, "leave() without enter()");
   requesting_ = false;
+  obs::trace_instant("mutex.release");
   for (int peer : deferred_) {
     comm_.send_value(char{1}, peer, kTagReply);
     ++messages_sent_;
+    PDC_OBS_COUNT("pdc.mutex.replies");
   }
   deferred_.clear();
 }
@@ -90,6 +102,10 @@ std::uint64_t run_token_ring(mp::Communicator& comm, std::size_t entries,
 
   const int p = comm.size();
   const int next = (comm.rank() + 1) % p;
+  obs::set_trace_thread_name("mutex.rank",
+                             static_cast<std::uint64_t>(comm.rank()));
+  obs::ScopedSpan span("mutex.token_ring",
+                       static_cast<std::uint64_t>(comm.rank()));
   const std::uint64_t total_needed = static_cast<std::uint64_t>(p) * entries;
   std::size_t mine_left = entries;
   std::uint64_t hops = 0;
@@ -110,6 +126,7 @@ std::uint64_t run_token_ring(mp::Communicator& comm, std::size_t entries,
         // Forward the stop marker once, then leave the ring.
         comm.send_value(kStop, next, kTagToken);
         ++hops;
+        PDC_OBS_COUNT("pdc.mutex.token_hops", hops);
         return hops;
       }
     }
@@ -122,6 +139,7 @@ std::uint64_t run_token_ring(mp::Communicator& comm, std::size_t entries,
     if (token == total_needed) {
       comm.send_value(kStop, next, kTagToken);
       ++hops;
+      PDC_OBS_COUNT("pdc.mutex.token_hops", hops);
       return hops;  // originator exits; the marker circles the ring once
     }
     comm.send_value(token, next, kTagToken);

@@ -3,6 +3,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 
@@ -28,6 +29,8 @@ SnapshotResult run_token_snapshot(mp::Communicator& comm,
   const int p = comm.size();
   const int me = comm.rank();
   support::Rng rng(seed + static_cast<std::uint64_t>(me) * 7919);
+  obs::set_trace_thread_name("snapshot.rank", static_cast<std::uint64_t>(me));
+  obs::ScopedSpan span("snapshot.run", static_cast<std::uint64_t>(me));
 
   SnapshotResult result;
   std::int64_t tokens = initial_tokens;
@@ -42,6 +45,8 @@ SnapshotResult run_token_snapshot(mp::Communicator& comm,
   auto record_state = [&](int skip_channel) {
     recorded = true;
     result.recorded_local = tokens;
+    obs::trace_instant("snapshot.record_state",
+                       static_cast<std::uint64_t>(tokens));
     for (int c = 0; c < p; ++c) {
       if (c == me || c == skip_channel) continue;
       recording[static_cast<std::size_t>(c)] = true;
@@ -52,7 +57,9 @@ SnapshotResult run_token_snapshot(mp::Communicator& comm,
       if (peer == me) continue;
       comm.send_value(marker, peer, kTagTraffic);
       ++result.markers_sent;
+      PDC_OBS_COUNT("pdc.snapshot.markers");
     }
+    if (open_channels == 0) obs::trace_instant("snapshot.complete");
   };
 
   auto snapshot_complete = [&] { return recorded && open_channels == 0; };
@@ -74,6 +81,9 @@ SnapshotResult run_token_snapshot(mp::Communicator& comm,
         } else if (recording[static_cast<std::size_t>(info->source)]) {
           recording[static_cast<std::size_t>(info->source)] = false;
           --open_channels;
+          if (recorded && open_channels == 0) {
+            obs::trace_instant("snapshot.complete");
+          }
         }
       } else {
         tokens += msg.amount;
@@ -120,6 +130,8 @@ SnapshotResult run_token_snapshot(mp::Communicator& comm,
   }
 
   result.final_tokens = tokens;
+  PDC_OBS_COUNT("pdc.snapshot.recorded_in_flight",
+                static_cast<std::uint64_t>(result.recorded_in_flight));
   return result;
 }
 

@@ -168,7 +168,8 @@ class Communicator {
     std::memcpy(values.data(), message.payload.data(), message.payload.size());
     PDC_OBS_COUNT("pdc.mp.received");
     obs::wire_accept(message.envelope.trace, "mp.recv",
-                     static_cast<std::uint64_t>(message.envelope.source));
+                     static_cast<std::uint64_t>(message.envelope.source),
+                     message.payload.size());
     return values;
   }
 
@@ -506,7 +507,8 @@ class Communicator {
     // Captured on the sending thread so the flow arrow starts inside the
     // sender's current span, not wherever the fabric delivers from.
     message.envelope.trace =
-        obs::wire_capture("mp.send", static_cast<std::uint64_t>(dest));
+        obs::wire_capture("mp.send", static_cast<std::uint64_t>(dest),
+                          message.payload.size());
     fabric_->deliver(
         static_cast<std::size_t>(members_[static_cast<std::size_t>(dest)]),
         std::move(message));
@@ -534,7 +536,8 @@ class Communicator {
     std::memcpy(data, message.payload.data(), message.payload.size());
     PDC_OBS_COUNT("pdc.mp.received");
     obs::wire_accept(message.envelope.trace, "mp.recv",
-                     static_cast<std::uint64_t>(message.envelope.source));
+                     static_cast<std::uint64_t>(message.envelope.source),
+                     message.payload.size());
     return RecvInfo{message.envelope.source, message.envelope.tag,
                     message.payload.size()};
   }

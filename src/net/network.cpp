@@ -35,7 +35,8 @@ support::Result<Datagram> DatagramSocket::recv() {
   queue_.pop_front();
   PDC_OBS_COUNT("pdc.net.received");
   obs::wire_accept(dgram.trace, "net.recv",
-                   static_cast<std::uint64_t>(dgram.from.host));
+                   static_cast<std::uint64_t>(dgram.from.host),
+                   dgram.payload.size());
   return dgram;
 }
 
@@ -51,7 +52,8 @@ support::Result<Datagram> DatagramSocket::recv_for(
   queue_.pop_front();
   PDC_OBS_COUNT("pdc.net.received");
   obs::wire_accept(dgram.trace, "net.recv",
-                   static_cast<std::uint64_t>(dgram.from.host));
+                   static_cast<std::uint64_t>(dgram.from.host),
+                   dgram.payload.size());
   return dgram;
 }
 
@@ -336,8 +338,8 @@ void Network::send_datagram(const Address& from, const Address& to,
   PDC_OBS_COUNT("pdc.net.sent_bytes", payload.size());
   // Captured on the sending thread (not the dispatcher) so the flow arrow
   // originates inside the sender's span.
-  const obs::WireTrace trace =
-      obs::wire_capture("net.send", static_cast<std::uint64_t>(to.host));
+  const obs::WireTrace trace = obs::wire_capture(
+      "net.send", static_cast<std::uint64_t>(to.host), payload.size());
   schedule(
       [this, from, to, trace, payload = std::move(payload)]() mutable {
         // Deliver while holding the net mutex so the socket cannot be

@@ -85,6 +85,10 @@ void Server::serve_connection(StreamSocket socket) {
   for (;;) {
     auto request = MessageCodec::recv_message(socket);
     if (!request.is_ok()) break;  // closed or corrupt stream
+    if (config_.raw_handler && config_.raw_handler(request.value(), socket)) {
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     Bytes reply = handler_(request.value());
     requests_.fetch_add(1, std::memory_order_relaxed);
     if (!MessageCodec::send_message(socket, reply).is_ok()) break;

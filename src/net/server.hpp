@@ -26,6 +26,15 @@ namespace pdc::net {
 /// Computes the reply for one request (invoked concurrently).
 using Handler = std::function<Bytes(const Bytes& request)>;
 
+/// Stream-level interceptor, consulted before `Handler` for every framed
+/// request on a connection: return true after writing zero or more framed
+/// replies directly to the socket (the connection then resumes normal
+/// request-response service), false to fall through to the one-reply
+/// Handler. This is how an endpoint pushes multi-frame streams — e.g. the
+/// telemetry plane's delta subscriptions — without abandoning the framed
+/// request/reply framework.
+using RawHandler = std::function<bool(const Bytes& request, StreamSocket& socket)>;
+
 enum class ThreadingModel {
   kThreadPerConnection,  // classic: simple, unbounded threads
   kWorkerPool,           // fixed pool pulls connections from a queue
@@ -33,7 +42,8 @@ enum class ThreadingModel {
 
 struct ServerConfig {
   ThreadingModel model = ThreadingModel::kThreadPerConnection;
-  std::size_t workers = 4;  // worker-pool model only
+  std::size_t workers = 4;    // worker-pool model only
+  RawHandler raw_handler;     // optional; see RawHandler
 };
 
 /// Request-response server: each connection carries a sequence of framed

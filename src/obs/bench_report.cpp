@@ -26,7 +26,7 @@ void append_json_string(std::string& out, const std::string& text) {
   out += '"';
 }
 
-std::string format_double(double value) {
+std::string roundtrip_double(double value) {
   // Shortest round-trippable form keeps the JSON diff-friendly.
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.17g", value);
@@ -59,7 +59,7 @@ std::string BenchReport::to_json() const {
     if (i != 0) out += ',';
     append_json_string(out, metrics_[i].first);
     out += ':';
-    out += format_double(metrics_[i].second);
+    out += roundtrip_double(metrics_[i].second);
   }
   out += "},\"tables\":[";
   for (std::size_t t = 0; t < tables_.size(); ++t) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <ostream>
 #include <sstream>
@@ -24,6 +25,46 @@ double Histogram::bucket_upper(std::size_t b) noexcept {
     return std::numeric_limits<double>::infinity();
   }
   return std::ldexp(1.0, static_cast<int>(b));  // 2^b
+}
+
+double histogram_quantile(const std::uint64_t* buckets, std::size_t n_buckets,
+                          std::uint64_t count, double q) {
+  if (count == 0 || n_buckets == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  auto target =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (target == 0) target = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < n_buckets; ++b) {
+    if (buckets[b] == 0) continue;
+    if (seen + buckets[b] >= target) {
+      const double lower =
+          b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
+      if (b + 1 >= kHistogramBuckets) return lower;  // unbounded tail
+      const double upper = std::ldexp(1.0, static_cast<int>(b));
+      const double frac = static_cast<double>(target - seen) /
+                          static_cast<double>(buckets[b]);
+      return lower + (upper - lower) * frac;
+    }
+    seen += buckets[b];
+  }
+  // Counts inconsistent with the rank (racing scrape): report the top edge.
+  return std::ldexp(1.0, static_cast<int>(n_buckets - 1));
+}
+
+std::string format_double(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return buf;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  return histogram_quantile(buckets.data(), buckets.size(), count, q);
+}
+
+double MetricSample::quantile(double q) const {
+  if (kind != MetricKind::kHistogram) return 0.0;
+  return histogram_quantile(buckets.data(), buckets.size(), count, q);
 }
 
 double Histogram::Snapshot::quantile_upper(double q) const {
@@ -178,7 +219,9 @@ std::string MetricsSnapshot::to_json() const {
       if (i != 0) out += ',';
       out += std::to_string(s.buckets[i]);
     }
-    out += "]}";
+    out += "],\"p50\":" + format_double(s.quantile(0.5)) +
+           ",\"p90\":" + format_double(s.quantile(0.9)) +
+           ",\"p99\":" + format_double(s.quantile(0.99)) + '}';
   });
   out += '}';
   return out;
@@ -201,7 +244,9 @@ void MetricsSnapshot::render(std::ostream& os) const {
         const double mean =
             static_cast<double>(s.sum) / static_cast<double>(s.count);
         os << s.name << ": count=" << s.count << " sum=" << s.sum
-           << " mean=" << mean << '\n';
+           << " mean=" << mean << " p50=" << format_double(s.quantile(0.5))
+           << " p90=" << format_double(s.quantile(0.9))
+           << " p99=" << format_double(s.quantile(0.99)) << '\n';
         break;
       }
     }

@@ -44,6 +44,21 @@ namespace detail {
 [[nodiscard]] std::size_t shard_index() noexcept;
 }  // namespace detail
 
+/// Fixed-rank interpolated quantile over power-of-two buckets: finds the
+/// bucket containing rank ceil(q*count) and interpolates linearly between
+/// its bounds (bucket 0 spans [0,1); the unbounded tail bucket reports its
+/// lower bound — a deliberate under-estimate, since it has no upper edge).
+/// Works on both full and trailing-zero-trimmed bucket vectors because
+/// trimming never shifts indices.
+[[nodiscard]] double histogram_quantile(const std::uint64_t* buckets,
+                                        std::size_t n_buckets,
+                                        std::uint64_t count, double q);
+
+/// Deterministic float formatting for expositions and JSON (printf %.6g:
+/// locale-independent, shortest-ish, never produces inf/nan for quantile
+/// outputs).
+[[nodiscard]] std::string format_double(double value);
+
 /// Monotonic event counter.
 class Counter {
  public:
@@ -151,6 +166,8 @@ class Histogram {
     }
     /// Upper bound of the bucket containing quantile `q` (0..1).
     [[nodiscard]] double quantile_upper(double q) const;
+    /// Interpolated quantile estimate (see obs::histogram_quantile).
+    [[nodiscard]] double quantile(double q) const;
   };
 
   [[nodiscard]] Snapshot snapshot() const noexcept {
@@ -193,6 +210,9 @@ struct MetricSample {
   std::int64_t high_water = 0;         // gauge high-water mark
   std::uint64_t sum = 0;               // histogram sum
   std::vector<std::uint64_t> buckets;  // histogram buckets (trailing zeros trimmed)
+
+  /// Interpolated quantile estimate for histogram samples (0.0 otherwise).
+  [[nodiscard]] double quantile(double q) const;
 };
 
 struct MetricsSnapshot {

@@ -1,0 +1,266 @@
+#include "obs/telemetry.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "net/framing.hpp"
+#include "obs/obs.hpp"
+#include "support/check.hpp"
+
+namespace pdc::obs {
+
+namespace {
+
+std::string sanitize_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+    out += ok ? ch : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_exposition(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& s : snapshot.samples) {
+    const std::string name = sanitize_name(s.name);
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(s.count) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + std::to_string(s.value) + "\n";
+        out += "# TYPE " + name + "_high_water gauge\n";
+        out += name + "_high_water " + std::to_string(s.high_water) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        std::uint64_t cum = 0;
+        for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+          const double upper = Histogram::bucket_upper(b);
+          cum += s.buckets[b];
+          // The unbounded tail (if ever populated) is covered by +Inf.
+          if (std::isinf(upper)) continue;
+          out += name + "_bucket{le=\"" + format_double(upper) + "\"} " +
+                 std::to_string(cum) + "\n";
+        }
+        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(s.count) + "\n";
+        out += name + "_sum " + std::to_string(s.sum) + "\n";
+        out += name + "_count " + std::to_string(s.count) + "\n";
+        for (const auto& [q, label] :
+             {std::pair<double, const char*>{0.5, "0.5"},
+              {0.9, "0.9"},
+              {0.99, "0.99"}}) {
+          out += name + "{quantile=\"" + label + "\"} " +
+                 format_double(s.quantile(q)) + "\n";
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string delta_json(const MetricsSnapshot& prev, const MetricsSnapshot& cur,
+                       std::uint64_t cursor) {
+  std::string out = "{\"cursor\":" + std::to_string(cursor) + ",\"counters\":{";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+  for (const auto& s : cur.samples) {
+    if (s.kind != MetricKind::kCounter) continue;
+    const MetricSample* p = prev.find(s.name);
+    const std::uint64_t before = p != nullptr ? p->count : 0;
+    if (s.count == before) continue;
+    comma();
+    out += '"' + s.name + "\":" + std::to_string(s.count - before);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& s : cur.samples) {
+    if (s.kind != MetricKind::kGauge) continue;
+    comma();
+    out += '"' + s.name + "\":{\"value\":" + std::to_string(s.value) +
+           ",\"high_water\":" + std::to_string(s.high_water) + '}';
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& s : cur.samples) {
+    if (s.kind != MetricKind::kHistogram) continue;
+    const MetricSample* p = prev.find(s.name);
+    const std::uint64_t count_before = p != nullptr ? p->count : 0;
+    const std::uint64_t sum_before = p != nullptr ? p->sum : 0;
+    if (s.count == count_before) continue;
+    comma();
+    // Quantiles are over the cumulative distribution (buckets cannot be
+    // diffed meaningfully once a scrape races updates), deltas over
+    // count/sum.
+    out += '"' + s.name + "\":{\"count\":" +
+           std::to_string(s.count - count_before) +
+           ",\"sum\":" + std::to_string(s.sum - sum_before) +
+           ",\"p50\":" + format_double(s.quantile(0.5)) +
+           ",\"p90\":" + format_double(s.quantile(0.9)) +
+           ",\"p99\":" + format_double(s.quantile(0.99)) + '}';
+  }
+  out += "}}";
+  return out;
+}
+
+TelemetryServer::TelemetryServer(net::Network& net, int host,
+                                 std::uint16_t port, TelemetryConfig config) {
+  // Self-metrics are registered eagerly so the *first* scrape already
+  // lists them: a lazy first-bump-after-render would make consecutive
+  // fixed-seed runs disagree on the metric set and break the golden
+  // exposition (see header contract).
+  if constexpr (kObsEnabled) {
+    auto& registry = MetricsRegistry::instance();
+    registry.counter("pdc.telemetry.requests");
+    registry.counter("pdc.telemetry.pushes");
+    registry.histogram("pdc.telemetry.render_us");
+  }
+  net::ServerConfig server_config;
+  server_config.model = config.model;
+  server_config.workers = config.workers;
+  server_config.raw_handler = [this](const net::Bytes& request,
+                                     net::StreamSocket& socket) {
+    return handle_stream(request, socket);
+  };
+  server_ = std::make_unique<net::Server>(
+      net, host, port,
+      [this](const net::Bytes& request) { return handle(request); },
+      server_config);
+}
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+net::Address TelemetryServer::address() const { return server_->address(); }
+
+void TelemetryServer::attach_collector(const TraceCollector* collector) {
+  collector_.store(collector, std::memory_order_release);
+}
+
+void TelemetryServer::stop() { server_->stop(); }
+
+std::string TelemetryServer::endpoint_body(const std::string& endpoint) {
+  if (endpoint == "/healthz") return "ok\n";
+  if (endpoint == "/metrics") {
+    return prometheus_exposition(MetricsRegistry::instance().scrape());
+  }
+  if (endpoint == "/metrics.json") {
+    return MetricsRegistry::instance().scrape().to_json();
+  }
+  if (endpoint == "/trace") {
+    const TraceCollector* collector =
+        collector_.load(std::memory_order_acquire);
+    if (collector == nullptr) {
+      return "{\"error\":\"no trace collector attached\"}\n";
+    }
+    if (collector->running()) {
+      return "{\"error\":\"trace collector still running\"}\n";
+    }
+    return collector->chrome_trace_json();
+  }
+  return "error: unknown endpoint '" + endpoint +
+         "' (try /metrics, /metrics.json, /trace, /healthz, "
+         "/subscribe <frames> [interval_ms])\n";
+}
+
+net::Bytes TelemetryServer::handle(const net::Bytes& request) {
+  const std::uint64_t start = now_us();
+  std::string body = endpoint_body(net::to_string(request));
+  // Self-accounting strictly after the render: a scrape must never observe
+  // its own request (determinism contract in the header).
+  PDC_OBS_HIST("pdc.telemetry.render_us", now_us() - start);
+  PDC_OBS_COUNT("pdc.telemetry.requests");
+  return net::to_bytes(body);
+}
+
+bool TelemetryServer::handle_stream(const net::Bytes& request,
+                                    net::StreamSocket& socket) {
+  const std::string text = net::to_string(request);
+  if (text.rfind("/subscribe", 0) != 0) return false;
+  unsigned long long frames = 0;
+  unsigned long long interval_ms = 0;
+  const int got =
+      std::sscanf(text.c_str(), "/subscribe %llu %llu", &frames, &interval_ms);
+  if (got < 1 || frames == 0) {
+    (void)net::MessageCodec::send_message(
+        socket,
+        net::to_bytes(
+            std::string("error: usage /subscribe <frames> [interval_ms]\n")));
+    return true;
+  }
+  // Per-client cursor state lives right here on the connection's stack:
+  // frame 1 diffs against the empty snapshot (= full totals), frame k
+  // against what this client saw in frame k-1.
+  MetricsSnapshot prev;
+  for (std::uint64_t cursor = 1; cursor <= frames; ++cursor) {
+    MetricsSnapshot cur = MetricsRegistry::instance().scrape();
+    const std::string frame = delta_json(prev, cur, cursor);
+    if (!net::MessageCodec::send_message(socket, net::to_bytes(frame))
+             .is_ok()) {
+      break;  // client went away
+    }
+    PDC_OBS_COUNT("pdc.telemetry.pushes");
+    prev = std::move(cur);
+    if (cursor < frames && interval_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  }
+  return true;
+}
+
+support::Status TelemetryClient::connect(const net::Address& server) {
+  auto socket = net_.connect(host_, server);
+  if (!socket.is_ok()) return socket.status();
+  socket_ = std::move(socket).value();
+  return support::Status::ok();
+}
+
+support::Result<std::string> TelemetryClient::get(const std::string& endpoint) {
+  PDC_CHECK_MSG(socket_.valid(), "get before connect");
+  if (auto status =
+          net::MessageCodec::send_message(socket_, net::to_bytes(endpoint));
+      !status.is_ok()) {
+    return status;
+  }
+  auto reply = net::MessageCodec::recv_message(socket_);
+  if (!reply.is_ok()) return reply.status();
+  return net::to_string(reply.value());
+}
+
+support::Status TelemetryClient::subscribe(
+    std::size_t frames, std::uint64_t interval_ms,
+    const std::function<void(const std::string&)>& on_frame) {
+  PDC_CHECK_MSG(socket_.valid(), "subscribe before connect");
+  const std::string request = "/subscribe " + std::to_string(frames) + " " +
+                              std::to_string(interval_ms);
+  if (auto status =
+          net::MessageCodec::send_message(socket_, net::to_bytes(request));
+      !status.is_ok()) {
+    return status;
+  }
+  for (std::size_t i = 0; i < frames; ++i) {
+    auto frame = net::MessageCodec::recv_message(socket_);
+    if (!frame.is_ok()) return frame.status();
+    on_frame(net::to_string(frame.value()));
+  }
+  return support::Status::ok();
+}
+
+void TelemetryClient::close() {
+  if (socket_.valid()) socket_.close();
+}
+
+}  // namespace pdc::obs

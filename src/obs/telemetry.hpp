@@ -1,0 +1,123 @@
+// TelemetryServer: PDCkit's live telemetry plane, served over its own
+// client-server stack.
+//
+// The case-study courses teach performance *observation* of running
+// systems; this is the piece that makes PDCkit queryable while it runs.
+// A TelemetryServer is an ordinary net::Server speaking the framed text
+// protocol (request = endpoint string, reply = body):
+//
+//   /metrics        Prometheus-style text exposition of the registry
+//   /metrics.json   the same scrape as MetricsSnapshot::to_json()
+//   /trace          Chrome trace_event JSON of the attached collector's
+//                   harvested session (error JSON when none is attached)
+//   /healthz        "ok\n"
+//   /subscribe N I  push N framed delta snapshots, I ms apart (see below)
+//
+// Delta subscriptions use net::ServerConfig::raw_handler: the serving
+// thread scrapes, diffs against the previous scrape it sent *this client*
+// (the per-client cursor state lives on the connection's stack), and
+// pushes one framed JSON object per tick with a cursor that starts at 1
+// and increments by 1 per frame. Frame 1 diffs against an empty snapshot,
+// i.e. it carries full totals.
+//
+// Determinism contract: serving a scrape never perturbs the scrape it
+// renders. Stream traffic bumps no pdc.* metrics (by design in net), and
+// the server's self-metrics are registered eagerly in the constructor and
+// incremented only *after* a reply is rendered — so the first /metrics
+// body after a fixed-seed sim run is byte-identical across runs (golden
+// test in tests/obs_test.cpp).
+//
+// This header lives under src/obs/ with the pdc::obs namespace, but the
+// implementation links the net stack — which itself links pdc_obs — so it
+// builds as its own target (pdc_telemetry) to keep the module graph
+// acyclic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pdc::obs {
+
+/// Prometheus-style text exposition of a scrape. Grammar per metric (names
+/// are sanitized: every character outside [A-Za-z0-9_:] becomes '_'):
+///   counter    # TYPE <name> counter        + one "<name> <total>" line
+///   gauge      # TYPE <name> gauge          + value and <name>_high_water
+///   histogram  # TYPE <name> histogram      + cumulative <name>_bucket{le=...}
+///              lines (power-of-two bounds), _sum, _count, and
+///              <name>{quantile="0.5|0.9|0.99"} interpolated summaries.
+[[nodiscard]] std::string prometheus_exposition(const MetricsSnapshot& snapshot);
+
+/// One frame of the delta-subscription stream: counters and histograms
+/// report activity since `prev` (names whose delta is zero are omitted);
+/// gauges always report their current value and high-water mark. Pure
+/// function so cursor semantics are unit-testable without a network.
+[[nodiscard]] std::string delta_json(const MetricsSnapshot& prev,
+                                     const MetricsSnapshot& cur,
+                                     std::uint64_t cursor);
+
+struct TelemetryConfig {
+  net::ThreadingModel model = net::ThreadingModel::kThreadPerConnection;
+  std::size_t workers = 2;  // worker-pool model only
+};
+
+class TelemetryServer {
+ public:
+  TelemetryServer(net::Network& net, int host, std::uint16_t port,
+                  TelemetryConfig config = {});
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  [[nodiscard]] net::Address address() const;
+
+  /// Points /trace at a collector. The caller keeps ownership and must
+  /// outlive the server (or detach with nullptr); /trace answers an error
+  /// JSON while the collector is absent or still running.
+  void attach_collector(const TraceCollector* collector);
+
+  /// Stops accepting; existing connections finish their current request.
+  void stop();
+
+ private:
+  [[nodiscard]] std::string endpoint_body(const std::string& endpoint);
+  net::Bytes handle(const net::Bytes& request);
+  bool handle_stream(const net::Bytes& request, net::StreamSocket& socket);
+
+  std::atomic<const TraceCollector*> collector_{nullptr};
+  std::unique_ptr<net::Server> server_;  // last member: threads start here
+};
+
+/// Framed-stream client for the telemetry plane, so examples and tests
+/// need no framing code of their own.
+class TelemetryClient {
+ public:
+  TelemetryClient(net::Network& net, int host) : net_(net), host_(host) {}
+
+  support::Status connect(const net::Address& server);
+
+  /// One GET round trip ("/metrics", "/healthz", ...).
+  support::Result<std::string> get(const std::string& endpoint);
+
+  /// Subscribes to `frames` delta snapshots `interval_ms` apart and calls
+  /// `on_frame` with each frame's JSON. Returns after the last frame.
+  support::Status subscribe(
+      std::size_t frames, std::uint64_t interval_ms,
+      const std::function<void(const std::string&)>& on_frame);
+
+  void close();
+
+ private:
+  net::Network& net_;
+  int host_;
+  net::StreamSocket socket_;
+};
+
+}  // namespace pdc::obs

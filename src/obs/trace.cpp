@@ -124,7 +124,8 @@ void emit_slow(TraceEventKind kind, const char* name, std::uint64_t id,
   append(ring, TraceEvent{kind, name, now_us(), id, arg, lamport});
 }
 
-WireTrace wire_capture_slow(const char* name, std::uint64_t arg) {
+WireTrace wire_capture_slow(const char* name, std::uint64_t arg,
+                            std::uint64_t bytes) {
   Ring& ring = current_ring();
   std::scoped_lock lock(ring.mutex);
   ring.lamport += 1;
@@ -134,17 +135,17 @@ WireTrace wire_capture_slow(const char* name, std::uint64_t arg) {
                                       : ring.span_stack.back();
   wire.flow = state().next_flow.fetch_add(1, std::memory_order_relaxed);
   append(ring, TraceEvent{TraceEventKind::kFlowStart, name, now_us(),
-                          wire.flow, arg, wire.lamport});
+                          wire.flow, arg, wire.lamport, bytes});
   return wire;
 }
 
 void wire_accept_slow(const WireTrace& trace, const char* name,
-                      std::uint64_t arg) {
+                      std::uint64_t arg, std::uint64_t bytes) {
   Ring& ring = current_ring();
   std::scoped_lock lock(ring.mutex);
   ring.lamport = std::max(ring.lamport, trace.lamport) + 1;
   append(ring, TraceEvent{TraceEventKind::kFlowEnd, name, now_us(),
-                          trace.flow, arg, ring.lamport});
+                          trace.flow, arg, ring.lamport, bytes});
 }
 
 void set_thread_name_slow(const char* name, std::uint64_t index) {
@@ -273,7 +274,12 @@ std::string TraceCollector::chrome_trace_json() const {
       }
       if (ev.kind != TraceEventKind::kEnd) {
         line += ",\"args\":{\"arg\":" + std::to_string(ev.arg) +
-                ",\"lamport\":" + std::to_string(ev.lamport) + "}";
+                ",\"lamport\":" + std::to_string(ev.lamport);
+        if (ev.kind == TraceEventKind::kFlowStart ||
+            ev.kind == TraceEventKind::kFlowEnd) {
+          line += ",\"bytes\":" + std::to_string(ev.bytes);
+        }
+        line += "}";
       }
       line += "}";
       emit(line);

@@ -73,6 +73,7 @@ struct TraceEvent {
   std::uint64_t id = 0;   // flow id for kFlowStart/kFlowEnd
   std::uint64_t arg = 0;  // free-form numeric payload (rank, seq, ...)
   std::uint64_t lamport = 0;
+  std::uint64_t bytes = 0;  // payload size for kFlowStart/kFlowEnd
 };
 
 namespace detail {
@@ -80,9 +81,10 @@ extern std::atomic<bool> g_trace_enabled;
 
 void emit_slow(TraceEventKind kind, const char* name, std::uint64_t id,
                std::uint64_t arg);
-[[nodiscard]] WireTrace wire_capture_slow(const char* name, std::uint64_t arg);
+[[nodiscard]] WireTrace wire_capture_slow(const char* name, std::uint64_t arg,
+                                          std::uint64_t bytes);
 void wire_accept_slow(const WireTrace& trace, const char* name,
-                      std::uint64_t arg);
+                      std::uint64_t arg, std::uint64_t bytes);
 void set_thread_name_slow(const char* name, std::uint64_t index);
 }  // namespace detail
 
@@ -107,18 +109,21 @@ inline void trace_instant(const char* name, std::uint64_t arg = 0) {
 /// Sender side of a causal edge: ticks the calling thread's Lamport clock,
 /// allocates a flow id, and records the flow-start event. Returns the
 /// WireTrace to embed in the envelope/datagram (zero when not tracing).
-inline WireTrace wire_capture(const char* name, std::uint64_t arg = 0) {
+/// `bytes` is the payload size, exported on the flow event so viewers can
+/// plot volume per flow.
+inline WireTrace wire_capture(const char* name, std::uint64_t arg = 0,
+                              std::uint64_t bytes = 0) {
   if (!trace_enabled()) return {};
-  return detail::wire_capture_slow(name, arg);
+  return detail::wire_capture_slow(name, arg, bytes);
 }
 
 /// Receiver side: merges the sender's Lamport time into the calling
 /// thread's clock (max+1) and records the flow-end event. Safe to call
 /// with an empty WireTrace (no-op beyond the enabled check).
 inline void wire_accept(const WireTrace& trace, const char* name,
-                        std::uint64_t arg = 0) {
+                        std::uint64_t arg = 0, std::uint64_t bytes = 0) {
   if (trace_enabled() && !trace.empty()) {
-    detail::wire_accept_slow(trace, name, arg);
+    detail::wire_accept_slow(trace, name, arg, bytes);
   }
 }
 

@@ -26,6 +26,10 @@ ThreadPool::ThreadPool(std::size_t threads) : inject_(kInjectCapacity) {
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     workers_.push_back(std::make_unique<Worker>());
+    if constexpr (obs::kObsEnabled) {
+      workers_.back()->depth_hist = &obs::MetricsRegistry::instance().histogram(
+          "pdc.pool.deque_depth.w" + std::to_string(i));
+    }
   }
   threads_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -53,6 +57,12 @@ support::Status ThreadPool::post(Task fn) {
     TaskNode* node = w.slab.acquire();
     node->fn = std::move(fn);
     w.deque.push(node);
+    if constexpr (obs::kObsEnabled) {
+      const auto depth =
+          static_cast<std::uint64_t>(w.deque.size_estimate());
+      PDC_OBS_HIST("pdc.pool.deque_depth", depth);
+      w.depth_hist->record(depth);
+    }
   } else {
     // External producers go through the bounded MPMC injection queue; a
     // full queue is backpressure (back off until workers drain it), not

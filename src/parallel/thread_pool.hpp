@@ -92,6 +92,11 @@ class ThreadPool {
   struct alignas(64) Worker {
     ChaseLevDeque<TaskNode*> deque;
     TaskSlab slab;
+    /// Per-worker deque-depth histogram, resolved once at pool
+    /// construction so the owner-push path stays lookup-free (null under
+    /// PDCKIT_OBS_NOOP). Depth is the racy size_estimate() at push —
+    /// monitoring semantics, good enough to see steal imbalance.
+    obs::Histogram* depth_hist = nullptr;
   };
 
   void worker_loop(std::size_t self);

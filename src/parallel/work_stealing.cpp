@@ -25,6 +25,10 @@ WorkStealingPool::WorkStealingPool(std::size_t threads)
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     workers_.push_back(std::make_unique<Worker>());
+    if constexpr (obs::kObsEnabled) {
+      workers_.back()->depth_hist = &obs::MetricsRegistry::instance().histogram(
+          "pdc.steal.deque_depth.w" + std::to_string(i));
+    }
   }
   threads_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -54,6 +58,12 @@ void WorkStealingPool::spawn(Task fn) {
     TaskNode* node = w.slab.acquire();
     node->fn = std::move(fn);
     w.deque.push(node);
+    if constexpr (obs::kObsEnabled) {
+      const auto depth =
+          static_cast<std::uint64_t>(w.deque.size_estimate());
+      PDC_OBS_HIST("pdc.steal.deque_depth", depth);
+      w.depth_hist->record(depth);
+    }
   } else {
     // External threads inject through the bounded MPMC queue; when it is
     // momentarily full, back off until the workers drain it.

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "concurrency/mpmc_queue.hpp"
+#include "obs/obs.hpp"
 #include "parallel/chase_lev.hpp"
 #include "parallel/task.hpp"
 #include "parallel/task_slab.hpp"
@@ -75,6 +76,11 @@ class WorkStealingPool {
   struct alignas(64) Worker {
     ChaseLevDeque<TaskNode*> deque;
     TaskSlab slab;
+    /// Per-worker deque-depth histogram, resolved once at pool
+    /// construction so the owner-push path stays lookup-free (null under
+    /// PDCKIT_OBS_NOOP). Depth is the racy size_estimate() at push —
+    /// monitoring semantics, good enough to see steal imbalance.
+    obs::Histogram* depth_hist = nullptr;
   };
 
   void worker_loop(std::size_t self);

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <map>
 #include <numeric>
 
@@ -205,6 +206,36 @@ TEST(ClockSync, RepeatedSyncFightsDrift) {
     worst = std::max(worst, result.max_error_after);
   }
   EXPECT_LT(worst, 0.2);  // vs ~1.0 unsynced
+}
+
+TEST(ClockSync, MpCristianReducesSkewToDelayScale) {
+  // The message-passing variant: rank 0 serves, everyone else converges
+  // to it within the delay scale after one exchange.
+  constexpr int kRanks = 4;
+  constexpr double kDelay = 0.010;  // 10ms mean one-way
+  const double offsets[kRanks] = {0.0, 4.0, -3.0, 2.5};
+  std::atomic<std::uint64_t> total_messages{0};
+  World world(kRanks);
+  world.run([&](Communicator& comm) {
+    DriftingClock clock(offsets[comm.rank()], 0.0);
+    pdc::support::Rng rng(1000 + static_cast<std::uint64_t>(comm.rank()));
+    const auto result = cristian_sync_mp(comm, clock, /*true_time=*/1000.0,
+                                         kDelay, rng);
+    total_messages += result.messages;
+    if (comm.rank() == 0) {
+      // The server's clock is authoritative: never adjusted, one response
+      // per client.
+      EXPECT_EQ(result.applied_delta, 0.0);
+      EXPECT_EQ(result.messages, static_cast<std::uint64_t>(kRanks - 1));
+      EXPECT_DOUBLE_EQ(clock.read(1000.0), 1000.0);
+    } else {
+      EXPECT_EQ(result.messages, 1u);
+      EXPECT_GT(std::abs(result.applied_delta), 1.0);  // seconds of skew fixed
+      EXPECT_LT(std::abs(clock.read(1000.0) - 1000.0), 10 * kDelay);
+    }
+  });
+  // One request per client plus one response each from the server.
+  EXPECT_EQ(total_messages.load(), 2u * (kRanks - 1));
 }
 
 // ----------------------------------------------------- mutual exclusion

@@ -16,14 +16,24 @@
 #include <thread>
 #include <vector>
 
+#include "dist/clock_sync.hpp"
+#include "dist/election.hpp"
+#include "dist/mutex.hpp"
+#include "dist/snapshot.hpp"
 #include "dist/two_phase_commit.hpp"
 #include "mp/world.hpp"
+#include "net/framing.hpp"
+#include "net/network.hpp"
 #include "obs/bench_report.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/replay.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
+#include "parallel/work_stealing.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
 #include "support/table.hpp"
 #include "testkit/hooks.hpp"
 #include "testkit/schedule_explorer.hpp"
@@ -90,6 +100,7 @@ TEST(Metrics, HistogramBucketsPowersOfTwo) {
 // and accounting are one step. At quiescence the value must read 0 while
 // the high-water mark proves tasks were actually in flight.
 TEST(Metrics, PoolQueueDepthGaugeBalancesToZero) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with PDCKIT_OBS_NOOP";
   auto& gauge = MetricsRegistry::instance().gauge("pdc.pool.queue_depth");
   gauge.reset();
   {
@@ -323,6 +334,464 @@ TEST(Trace, DistinctSeedsProduceDistinctSchedulesSameInvariants) {
             count_occurrences(a, "\"ph\":\"f\""));
   EXPECT_EQ(count_occurrences(b, "\"ph\":\"s\""),
             count_occurrences(b, "\"ph\":\"f\""));
+}
+
+// ------------------------------------------------------------- quantiles
+
+// The interpolated estimate must land inside the power-of-two bucket that
+// contains the nearest-rank percentile of the raw samples — that is the
+// resolution the histogram actually stores.
+TEST(Quantiles, EstimateLandsInTheExactValuesBucket) {
+  obs::Histogram hist;
+  hist.reset();
+  std::vector<double> samples;
+  support::Rng rng(123);
+  for (int i = 0; i < 4000; ++i) {
+    const double value = rng.uniform(0.0, 5000.0);
+    hist.record(value);
+    samples.push_back(std::floor(value));  // record() truncates
+  }
+  const auto snap = hist.snapshot();
+  for (double q : {0.5, 0.9, 0.99}) {
+    const double exact = support::percentile(samples, q * 100.0);
+    const std::size_t bucket =
+        obs::Histogram::bucket_of(static_cast<std::uint64_t>(exact));
+    const double lower = bucket == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(bucket) - 1);
+    const double upper = obs::Histogram::bucket_upper(bucket);
+    const double estimate = snap.quantile(q);
+    EXPECT_GE(estimate, lower) << "q=" << q << " exact=" << exact;
+    EXPECT_LE(estimate, upper) << "q=" << q << " exact=" << exact;
+  }
+  EXPECT_LE(snap.quantile(0.5), snap.quantile(0.9));
+  EXPECT_LE(snap.quantile(0.9), snap.quantile(0.99));
+}
+
+TEST(Quantiles, EdgeCases) {
+  obs::Histogram empty;
+  empty.reset();
+  EXPECT_EQ(empty.snapshot().quantile(0.5), 0.0);
+
+  obs::Histogram zeros;
+  zeros.reset();
+  for (int i = 0; i < 4; ++i) zeros.record(std::uint64_t{0});
+  const double z = zeros.snapshot().quantile(0.5);
+  EXPECT_GE(z, 0.0);
+  EXPECT_LT(z, 1.0);  // all mass in bucket 0 = [0, 1)
+
+  // The unbounded tail has no upper edge: the estimate is its lower bound.
+  obs::Histogram tail;
+  tail.reset();
+  tail.record(std::uint64_t{1} << 40);
+  EXPECT_DOUBLE_EQ(tail.snapshot().quantile(0.99),
+                   std::ldexp(1.0, obs::kHistogramBuckets - 2));
+
+  // q is clamped to [0, 1]; non-histogram samples answer 0.
+  obs::Histogram one;
+  one.reset();
+  one.record(std::uint64_t{3});
+  EXPECT_DOUBLE_EQ(one.snapshot().quantile(-1.0), one.snapshot().quantile(0.0));
+  EXPECT_DOUBLE_EQ(one.snapshot().quantile(2.0), one.snapshot().quantile(1.0));
+  obs::MetricSample counter_sample;
+  counter_sample.kind = obs::MetricKind::kCounter;
+  counter_sample.count = 10;
+  EXPECT_EQ(counter_sample.quantile(0.9), 0.0);
+}
+
+// -------------------------------------------------------- pool depth
+
+// Owner-side pushes feed both the aggregate deque-depth histogram and the
+// per-worker one registered at pool construction.
+TEST(Metrics, PoolsExportPerWorkerDequeDepth) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with PDCKIT_OBS_NOOP";
+  MetricsRegistry::instance().reset();
+  {
+    parallel::ThreadPool pool(2);
+    std::atomic<int> done{0};
+    pool.submit([&] {
+        for (int i = 0; i < 8; ++i) {
+          pool.submit([&] { done.fetch_add(1); });
+        }
+      })
+        .get();
+    while (done.load() < 8) std::this_thread::yield();
+  }
+  {
+    parallel::WorkStealingPool pool(2);
+    std::atomic<int> done{0};
+    pool.spawn([&] {
+      for (int i = 0; i < 8; ++i) {
+        pool.spawn([&] { done.fetch_add(1); });
+      }
+    });
+    // Don't wait_idle() while the children are in flight: the caller helps
+    // run tasks there, which would turn the inner spawns into external
+    // injections instead of owner pushes.
+    while (done.load() < 8) std::this_thread::yield();
+    EXPECT_EQ(done.load(), 8);
+  }
+  const auto snapshot = MetricsRegistry::instance().scrape();
+  for (const char* prefix : {"pdc.pool.deque_depth", "pdc.steal.deque_depth"}) {
+    const auto* aggregate = snapshot.find(prefix);
+    ASSERT_NE(aggregate, nullptr) << prefix;
+    EXPECT_EQ(aggregate->count, 8u) << prefix;  // one record per owner push
+    const auto* w0 = snapshot.find(std::string(prefix) + ".w0");
+    const auto* w1 = snapshot.find(std::string(prefix) + ".w1");
+    ASSERT_NE(w0, nullptr) << prefix;
+    ASSERT_NE(w1, nullptr) << prefix;
+    EXPECT_EQ(w0->count + w1->count, aggregate->count) << prefix;
+  }
+}
+
+// ------------------------------------------------- dist protocol traces
+
+// One fixed-seed sim run of `body` on `ranks` ranks with a collector and a
+// clean registry; returns the exported JSON.
+std::string traced_world_run(int ranks, std::uint64_t seed,
+                             const std::function<void(mp::Communicator&)>& body) {
+  MetricsRegistry::instance().reset();
+  obs::TraceCollector collector;
+  collector.start();
+  mp::World world(ranks);
+  auto bodies = world.rank_bodies(body);
+  SchedulerOptions options;
+  options.policy = SchedulePolicy::kRandom;
+  options.seed = seed;
+  options.max_steps = 1u << 22;
+  SimScheduler scheduler(options);
+  const auto report = scheduler.run(std::move(bodies));
+  collector.stop();
+  EXPECT_TRUE(report.ok()) << report.error;
+  EXPECT_EQ(collector.dropped_events(), 0u);
+  return collector.chrome_trace_json();
+}
+
+void expect_paired_flows_with_bytes(const std::string& json,
+                                    std::size_t min_flows) {
+  const std::size_t starts = count_occurrences(json, "\"ph\":\"s\"");
+  const std::size_t ends = count_occurrences(json, "\"ph\":\"f\"");
+  EXPECT_EQ(starts, ends);
+  EXPECT_GE(starts, min_flows);
+  // Every flow event carries the payload size in its args.
+  EXPECT_EQ(count_occurrences(json, "\"bytes\":"), starts + ends);
+}
+
+TEST(Trace, RingElectionTraceIsCausallyStitched) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with PDCKIT_OBS_NOOP";
+  const std::string json = traced_world_run(3, 11, [](mp::Communicator& comm) {
+    const std::vector<bool> alive(3, true);
+    (void)dist::ring_election(comm, alive, /*initiate=*/comm.rank() == 0);
+  });
+  EXPECT_NE(json.find("\"election.ring\""), std::string::npos);
+  EXPECT_NE(json.find("\"election.elected\""), std::string::npos);
+  // The leader exits the moment its own id returns, so the final
+  // coordinator hand-back addressed to it is sent but never received:
+  // exactly one flow arrow stays open.
+  const std::size_t starts = count_occurrences(json, "\"ph\":\"s\"");
+  const std::size_t ends = count_occurrences(json, "\"ph\":\"f\"");
+  EXPECT_EQ(starts, ends + 1);
+  EXPECT_GE(ends, 3u);
+  EXPECT_EQ(count_occurrences(json, "\"bytes\":"), starts + ends);
+  const auto snapshot = MetricsRegistry::instance().scrape();
+  EXPECT_EQ(snapshot.counter("pdc.election.won"), 1u);
+  EXPECT_GE(snapshot.counter("pdc.election.messages"), 3u);
+}
+
+TEST(Trace, MutexTraceShowsAcquireAndRelease) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with PDCKIT_OBS_NOOP";
+  constexpr int kRanks = 3, kEntries = 2;
+  const std::string json =
+      traced_world_run(kRanks, 13, [](mp::Communicator& comm) {
+        dist::RicartAgrawala mutex(comm);
+        for (int e = 0; e < kEntries; ++e) {
+          mutex.enter();
+          mutex.leave();
+        }
+        mutex.finish();
+      });
+  EXPECT_NE(json.find("\"mutex.acquire\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"mutex.enter\""), 6u);
+  EXPECT_EQ(count_occurrences(json, "\"mutex.release\""), 6u);
+  expect_paired_flows_with_bytes(json, 8);
+  // Per entry: p-1 request messages out, p-1 replies back.
+  const auto snapshot = MetricsRegistry::instance().scrape();
+  EXPECT_EQ(snapshot.counter("pdc.mutex.requests"),
+            static_cast<std::uint64_t>(kRanks) * kEntries * (kRanks - 1));
+  EXPECT_EQ(snapshot.counter("pdc.mutex.replies"),
+            static_cast<std::uint64_t>(kRanks) * kEntries * (kRanks - 1));
+}
+
+TEST(Trace, SnapshotTraceShowsMarkersAndCompletion) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with PDCKIT_OBS_NOOP";
+  const std::string json = traced_world_run(3, 17, [](mp::Communicator& comm) {
+    (void)dist::run_token_snapshot(comm, /*initial_tokens=*/10, /*sends=*/40,
+                                   /*initiator=*/comm.rank() == 0, /*seed=*/77);
+  });
+  EXPECT_NE(json.find("\"snapshot.run\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"snapshot.record_state\""), 3u);
+  EXPECT_EQ(count_occurrences(json, "\"snapshot.complete\""), 3u);
+  expect_paired_flows_with_bytes(json, 6);
+  const auto snapshot = MetricsRegistry::instance().scrape();
+  EXPECT_EQ(snapshot.counter("pdc.snapshot.markers"), 3u * 2u);
+}
+
+TEST(Trace, ClockSyncTraceShowsServerAndExchanges) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with PDCKIT_OBS_NOOP";
+  const std::string json = traced_world_run(3, 19, [](mp::Communicator& comm) {
+    dist::DriftingClock clock(comm.rank() * 2.0, 0.0);
+    support::Rng rng(100 + static_cast<std::uint64_t>(comm.rank()));
+    (void)dist::cristian_sync_mp(comm, clock, /*true_time=*/1000.0,
+                                 /*mean_delay=*/0.01, rng);
+  });
+  EXPECT_NE(json.find("\"clocksync.serve\""), std::string::npos);
+  EXPECT_NE(json.find("\"clocksync.exchange\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"clocksync.adjust\""), 2u);
+  // Two clients, one request + one response each.
+  expect_paired_flows_with_bytes(json, 4);
+  const auto snapshot = MetricsRegistry::instance().scrape();
+  EXPECT_EQ(snapshot.counter("pdc.clocksync.served"), 2u);
+  EXPECT_EQ(snapshot.counter("pdc.clocksync.syncs"), 2u);
+}
+
+// ---------------------------------------------------------- telemetry
+
+net::NetConfig fast_net() {
+  net::NetConfig config;
+  config.latency_ms = 0.01;
+  return config;
+}
+
+// Prometheus grammar over a hand-fed registry (no network involved).
+TEST(Telemetry, ExpositionGrammar) {
+  auto& registry = MetricsRegistry::instance();
+  registry.reset();
+  registry.counter("test.expo.counter").inc(3);
+  registry.gauge("test.expo.gauge").add(2);
+  registry.histogram("test.expo.hist").record(std::uint64_t{5});
+  const std::string text = obs::prometheus_exposition(registry.scrape());
+  EXPECT_NE(text.find("# TYPE test_expo_counter counter\ntest_expo_counter 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_expo_gauge 2\n"), std::string::npos);
+  EXPECT_NE(text.find("test_expo_gauge_high_water 2\n"), std::string::npos);
+  // 5 lands in [4, 8): cumulative buckets step from 0 to 1 at le="8".
+  EXPECT_NE(text.find("test_expo_hist_bucket{le=\"4\"} 0\n"), std::string::npos);
+  EXPECT_NE(text.find("test_expo_hist_bucket{le=\"8\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("test_expo_hist_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_expo_hist_sum 5\n"), std::string::npos);
+  EXPECT_NE(text.find("test_expo_hist_count 1\n"), std::string::npos);
+  // Every histogram exposition carries the three quantile summaries.
+  for (const char* label : {"0.5", "0.9", "0.99"}) {
+    EXPECT_NE(text.find("test_expo_hist{quantile=\"" + std::string(label) +
+                        "\"} "),
+              std::string::npos);
+  }
+}
+
+TEST(Telemetry, DeltaJsonReportsOnlyActivity) {
+  obs::MetricsSnapshot prev, cur;
+  obs::MetricSample active;
+  active.name = "a.counter";
+  active.kind = obs::MetricKind::kCounter;
+  active.count = 5;
+  obs::MetricSample idle;
+  idle.name = "b.counter";
+  idle.kind = obs::MetricKind::kCounter;
+  idle.count = 2;
+  obs::MetricSample gauge;
+  gauge.name = "c.gauge";
+  gauge.kind = obs::MetricKind::kGauge;
+  gauge.value = 4;
+  gauge.high_water = 9;
+  obs::MetricSample hist;
+  hist.name = "d.hist";
+  hist.kind = obs::MetricKind::kHistogram;
+  hist.count = 3;
+  hist.sum = 12;
+  hist.buckets = {0, 0, 0, 3};  // three samples in [4, 8)
+  prev.samples = {active, idle, hist};
+  active.count = 9;
+  hist.count = 4;
+  hist.sum = 17;
+  hist.buckets[3] = 4;
+  cur.samples = {active, idle, gauge, hist};
+
+  const std::string frame = obs::delta_json(prev, cur, 7);
+  EXPECT_NE(frame.find("\"cursor\":7"), std::string::npos);
+  EXPECT_NE(frame.find("\"a.counter\":4"), std::string::npos);
+  // Zero-delta counters are omitted; gauges always report.
+  EXPECT_EQ(frame.find("b.counter"), std::string::npos);
+  EXPECT_NE(frame.find("\"c.gauge\":{\"value\":4,\"high_water\":9}"),
+            std::string::npos);
+  // Histogram deltas are count/sum; quantiles are cumulative.
+  EXPECT_NE(frame.find("\"d.hist\":{\"count\":1,\"sum\":5,\"p50\":"),
+            std::string::npos);
+
+  // Frame 1 diffs against the empty snapshot: full totals.
+  const std::string first = obs::delta_json(obs::MetricsSnapshot{}, cur, 1);
+  EXPECT_NE(first.find("\"cursor\":1"), std::string::npos);
+  EXPECT_NE(first.find("\"a.counter\":9"), std::string::npos);
+  EXPECT_NE(first.find("\"b.counter\":2"), std::string::npos);
+}
+
+// One full telemetry round: a fixed-seed sim workload, then every GET
+// endpoint over the real client-server stack. /metrics is fetched first —
+// the self-metrics histogram is still empty then, so its body depends only
+// on the sim run (real-time render latencies land in it from the second
+// request on).
+struct TelemetryRound {
+  std::string metrics;
+  std::string healthz;
+  std::string metrics_json;
+  std::string trace;
+};
+
+TelemetryRound telemetry_round(std::uint64_t seed) {
+  MetricsRegistry::instance().reset();
+  obs::TraceCollector collector;
+  collector.start();
+  mp::World world(3);
+  auto bodies = world.rank_bodies([](mp::Communicator& comm) {
+    if (comm.rank() == 0) {
+      (void)dist::run_2pc_coordinator(comm);
+    } else {
+      (void)dist::run_2pc_participant(comm, /*vote_commit=*/true);
+    }
+  });
+  SchedulerOptions options;
+  options.policy = SchedulePolicy::kRandom;
+  options.seed = seed;
+  options.max_steps = 1u << 22;
+  SimScheduler scheduler(options);
+  const auto report = scheduler.run(std::move(bodies));
+  collector.stop();
+  EXPECT_TRUE(report.ok()) << report.error;
+
+  net::Network net(2, fast_net());
+  obs::TelemetryServer server(net, /*host=*/0, /*port=*/9100);
+  server.attach_collector(&collector);
+  obs::TelemetryClient client(net, /*host=*/1);
+  EXPECT_TRUE(client.connect(server.address()).is_ok());
+  TelemetryRound round;
+  round.metrics = client.get("/metrics").value();
+  round.healthz = client.get("/healthz").value();
+  round.metrics_json = client.get("/metrics.json").value();
+  round.trace = client.get("/trace").value();
+  client.close();
+  server.stop();
+  return round;
+}
+
+// The tentpole determinism property: two identical fixed-seed runs serve
+// byte-identical /metrics expositions (and /trace dumps).
+TEST(Telemetry, GoldenMetricsExpositionIsByteStable) {
+  const TelemetryRound a = telemetry_round(42);
+  const TelemetryRound b = telemetry_round(42);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.healthz, "ok\n");
+}
+
+TEST(Telemetry, EndpointsServeRegistryAndTrace) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with PDCKIT_OBS_NOOP";
+  const TelemetryRound round = telemetry_round(42);
+  EXPECT_NE(round.metrics.find("# TYPE pdc_2pc_commit counter"),
+            std::string::npos);
+  EXPECT_NE(round.metrics.find("pdc_2pc_commit 1\n"), std::string::npos);
+  EXPECT_NE(round.metrics.find("pdc_telemetry_render_us{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(round.metrics_json.find("\"pdc.2pc.commit\":1"), std::string::npos);
+  EXPECT_NE(round.metrics_json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(round.trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(round.trace.find("\"2pc.prepare\""), std::string::npos);
+}
+
+TEST(Telemetry, UnknownEndpointAndMissingCollectorAnswerErrors) {
+  net::Network net(2, fast_net());
+  obs::TelemetryServer server(net, 0, 9100);
+  obs::TelemetryClient client(net, 1);
+  ASSERT_TRUE(client.connect(server.address()).is_ok());
+  EXPECT_EQ(client.get("/healthz").value(), "ok\n");
+  EXPECT_NE(client.get("/nope").value().find("unknown endpoint"),
+            std::string::npos);
+  EXPECT_NE(client.get("/trace").value().find("no trace collector"),
+            std::string::npos);
+  client.close();
+}
+
+TEST(Telemetry, SubscriptionDeliversMonotoneCursors) {
+  auto& registry = MetricsRegistry::instance();
+  registry.reset();
+  registry.counter("test.sub.counter").inc(7);
+  net::Network net(2, fast_net());
+  obs::TelemetryServer server(net, 0, 9100);
+  obs::TelemetryClient client(net, 1);
+  ASSERT_TRUE(client.connect(server.address()).is_ok());
+  std::vector<std::string> frames;
+  ASSERT_TRUE(client
+                  .subscribe(/*frames=*/3, /*interval_ms=*/0,
+                             [&](const std::string& frame) {
+                               frames.push_back(frame);
+                             })
+                  .is_ok());
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_NE(frames[0].find("\"cursor\":1"), std::string::npos);
+  EXPECT_NE(frames[1].find("\"cursor\":2"), std::string::npos);
+  EXPECT_NE(frames[2].find("\"cursor\":3"), std::string::npos);
+  // Frame 1 carries full totals; later frames omit the idle counter.
+  EXPECT_NE(frames[0].find("\"test.sub.counter\":7"), std::string::npos);
+  EXPECT_EQ(frames[1].find("test.sub.counter"), std::string::npos);
+  EXPECT_EQ(frames[2].find("test.sub.counter"), std::string::npos);
+  client.close();
+}
+
+TEST(Telemetry, SubscriptionRejectsBadRequests) {
+  net::Network net(2, fast_net());
+  obs::TelemetryServer server(net, 0, 9100);
+  for (const char* bad : {"/subscribe", "/subscribe 0"}) {
+    auto socket = net.connect(1, server.address());
+    ASSERT_TRUE(socket.is_ok());
+    ASSERT_TRUE(net::MessageCodec::send_message(socket.value(),
+                                                net::to_bytes(std::string(bad)))
+                    .is_ok());
+    auto reply = net::MessageCodec::recv_message(socket.value());
+    ASSERT_TRUE(reply.is_ok());
+    EXPECT_NE(net::to_string(reply.value()).find("usage"), std::string::npos)
+        << bad;
+    socket.value().close();
+  }
+}
+
+// Free-running writers against a scraping client; under
+// -DPDCKIT_SANITIZE=thread this is the telemetry-plane race check.
+TEST(Telemetry, ScrapeUnderLoadStress) {
+  MetricsRegistry::instance().reset();
+  net::Network net(2, fast_net());
+  obs::TelemetryServer server(net, 0, 9100);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&stop] {
+      auto& counter = MetricsRegistry::instance().counter("test.load.counter");
+      auto& hist = MetricsRegistry::instance().histogram("test.load.hist");
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        counter.inc();
+        hist.record(i++ % 512);
+      }
+    });
+  }
+  obs::TelemetryClient client(net, 1);
+  ASSERT_TRUE(client.connect(server.address()).is_ok());
+  std::string last;
+  for (int i = 0; i < 50; ++i) {
+    auto body = client.get(i % 2 == 0 ? "/metrics" : "/metrics.json");
+    ASSERT_TRUE(body.is_ok());
+    last = std::move(body).value();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& writer : writers) writer.join();
+  EXPECT_NE(last.find("test.load.counter"), std::string::npos);
+  client.close();
 }
 
 // ------------------------------------------------------------ bench report
