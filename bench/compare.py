@@ -42,17 +42,22 @@ HIGHER_BETTER = ("per_s", "speedup", "throughput", "ops", "rate")
 
 def direction(metric: str) -> int:
     """+1 higher-is-better, -1 lower-is-better, 0 unknown."""
-    parts = metric.lower().replace("/", ".").replace("_", ".").split(".")
+    # Labeled series ('name{k="v",...}', the canonical MetricKey form) keep
+    # the label block as part of the comparison key, but labels never carry
+    # direction — classify on the base name alone so e.g.
+    # 'scrape_us{rank="0"}' still reads as lower-is-better.
+    base = metric.split("{", 1)[0]
+    parts = base.lower().replace("/", ".").replace("_", ".").split(".")
     for token in reversed(parts):  # the last classifiable token wins
         if token in HIGHER_BETTER:
             return 1
         if token in LOWER_BETTER:
             return -1
     for needle in HIGHER_BETTER:  # substring fallback ("spawn_speedup_vs…")
-        if needle in metric.lower():
+        if needle in base.lower():
             return 1
     for needle in LOWER_BETTER:
-        if needle in metric.lower():
+        if needle in base.lower():
             return -1
     return 0
 

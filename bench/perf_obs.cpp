@@ -9,13 +9,22 @@
 //   2. scrape latency over a populated registry (the /metrics hot cost);
 //   3. exposition-render throughput: Prometheus text and JSON bytes/s;
 //   4. delta-frame assembly (the /subscribe per-tick cost);
-//   5. one full client-server GET /metrics round trip over net.
+//   5. one full client-server GET /metrics round trip over net;
+//   6. label-lookup cost: cached reference vs flat-name probe vs labeled
+//      interning (why hot paths cache the returned reference);
+//   7. histogram bucket merge and merge_federated throughput — the
+//      aggregation algebra's per-scrape cost;
+//   8. one federated scrape: Aggregator fan-out over four per-rank
+//      TelemetryServers, merge, and render, end to end over net.
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "net/network.hpp"
 #include "obs/bench_report.hpp"
+#include "obs/federation.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/telemetry.hpp"
@@ -193,6 +202,135 @@ int main() {
     table.render(std::cout);
     report.add_table(table);
     report.add_metric("telemetry.get_metrics.us", get_us);
+    std::cout << '\n';
+  }
+
+  {
+    constexpr std::size_t kIters = 1 << 18;
+    auto& registry = MetricsRegistry::instance();
+    auto& cached = registry.counter("bench.label.cached");
+    const double cached_ns =
+        ns_per_op(kIters, [&cached](std::size_t) { cached.inc(); });
+    const double flat_ns = ns_per_op(kIters, [&registry](std::size_t) {
+      registry.counter("bench.label.flat").inc();
+    });
+    const double labeled_ns = ns_per_op(kIters, [&registry](std::size_t) {
+      registry.counter("bench.label.labeled", {{"rank", "3"}}).inc();
+    });
+
+    TextTable table("4. Label lookup cost (why hot paths cache the ref)");
+    table.set_header({"lookup", "ns/op"});
+    table.add_row({"cached reference", TextTable::num(cached_ns, 2)});
+    table.add_row({"flat name (transparent probe)", TextTable::num(flat_ns, 2)});
+    table.add_row({"labeled (canonicalize + intern)",
+                   TextTable::num(labeled_ns, 2)});
+    table.render(std::cout);
+    report.add_table(table);
+    report.add_metric("labels.cached.ns", cached_ns);
+    report.add_metric("labels.flat_lookup.ns", flat_ns);
+    report.add_metric("labels.labeled_lookup.ns", labeled_ns);
+    std::cout << '\n';
+  }
+
+  {
+    // The federation algebra: bucket-wise histogram merges and the full
+    // snapshot merge over four populated sources.
+    pdc::obs::Histogram source_hist;
+    for (std::uint64_t v = 0; v < 4096; ++v) source_hist.record(v * 3);
+    const auto source_snap = source_hist.snapshot();
+    constexpr std::size_t kMerges = 1 << 16;
+    pdc::obs::Histogram::Snapshot accumulator;
+    Stopwatch merge_watch;
+    for (std::size_t i = 0; i < kMerges; ++i) accumulator.merge(source_snap);
+    const double merge_ns =
+        merge_watch.elapsed_seconds() * 1e9 / static_cast<double>(kMerges);
+    g_sink = accumulator.count;
+
+    populate_registry(/*counters=*/64, /*gauges=*/16, /*histograms=*/16);
+    std::vector<pdc::obs::SourceSnapshot> sources;
+    for (int r = 0; r < 4; ++r) {
+      sources.push_back(
+          {std::to_string(r), MetricsRegistry::instance().scrape()});
+    }
+    constexpr std::size_t kFederated = 200;
+    Stopwatch fed_watch;
+    std::size_t merged_series = 0;
+    for (std::size_t i = 0; i < kFederated; ++i) {
+      merged_series = pdc::obs::merge_federated(sources).samples.size();
+    }
+    const double fed_us =
+        fed_watch.elapsed_micros() / static_cast<double>(kFederated);
+
+    TextTable table("5. Merge algebra (bucket merge + merge_federated)");
+    table.set_header({"operation", "cost"});
+    table.add_row({"histogram snapshot merge",
+                   TextTable::num(merge_ns, 2) + " ns"});
+    table.add_row({"merge_federated 4x96 series -> " +
+                       std::to_string(merged_series),
+                   TextTable::num(fed_us, 2) + " us"});
+    table.render(std::cout);
+    report.add_table(table);
+    report.add_metric("merge.hist_snapshot.ns", merge_ns);
+    report.add_metric("merge.federated.us", fed_us);
+    std::cout << '\n';
+  }
+
+  {
+    // End-to-end federation: four per-rank registries behind their own
+    // servers, one aggregator fanning out, merging, and rendering.
+    constexpr int kRanks = 4;
+    constexpr std::size_t kScrapes = 100;
+    pdc::net::NetConfig config;
+    config.latency_ms = 0.01;
+    pdc::net::Network net(kRanks + 2, config);
+    std::vector<std::unique_ptr<MetricsRegistry>> registries;
+    std::vector<std::unique_ptr<pdc::obs::TelemetryServer>> servers;
+    std::vector<pdc::obs::ScrapeTarget> targets;
+    for (int r = 0; r < kRanks; ++r) {
+      registries.push_back(std::make_unique<MetricsRegistry>());
+      for (std::size_t i = 0; i < 32; ++i) {
+        registries.back()
+            ->counter("bench.fed.counter." + std::to_string(i))
+            .inc(i + 1);
+      }
+      auto& hist = registries.back()->histogram("bench.fed.lat_us");
+      for (std::uint64_t v = 0; v < 512; ++v) hist.record(v * (r + 1));
+      pdc::obs::TelemetryConfig tconfig;
+      tconfig.registry = registries.back().get();
+      servers.push_back(std::make_unique<pdc::obs::TelemetryServer>(
+          net, r, 9100, tconfig));
+      targets.push_back({servers.back()->address(), std::to_string(r)});
+    }
+    pdc::obs::Aggregator aggregator(net, kRanks, 9200, std::move(targets));
+
+    Stopwatch direct_watch;
+    for (std::size_t i = 0; i < kScrapes; ++i) {
+      g_sink = aggregator.federate().samples.size();
+    }
+    const double direct_us =
+        direct_watch.elapsed_micros() / static_cast<double>(kScrapes);
+
+    pdc::obs::TelemetryClient client(net, kRanks + 1);
+    if (!client.connect(aggregator.address()).is_ok()) {
+      std::cerr << "aggregator connect failed\n";
+      return 1;
+    }
+    Stopwatch get_watch;
+    for (std::size_t i = 0; i < kScrapes; ++i) {
+      g_sink = client.get("/metrics").value().size();
+    }
+    const double get_us =
+        get_watch.elapsed_micros() / static_cast<double>(kScrapes);
+    client.close();
+
+    TextTable table("6. Federated scrape (4 ranks -> aggregator)");
+    table.set_header({"path", "us/scrape"});
+    table.add_row({"federate() fan-out + merge", TextTable::num(direct_us, 2)});
+    table.add_row({"GET /metrics via aggregator", TextTable::num(get_us, 2)});
+    table.render(std::cout);
+    report.add_table(table);
+    report.add_metric("fed.federate.us", direct_us);
+    report.add_metric("fed.get_metrics.us", get_us);
     std::cout << '\n';
   }
 

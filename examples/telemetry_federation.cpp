@@ -1,0 +1,162 @@
+// telemetry_federation — the operator tier of the telemetry plane
+// (docs/observability.md, "Scrape federation", walks through the output).
+//
+// Part 1 runs a fixed-seed four-rank two-phase commit under
+// testkit::SimScheduler. Each rank owns its *own* MetricsRegistry and
+// records a deterministic per-rank workload into it (message counts from
+// the protocol, a synthetic per-rank latency distribution), so four
+// independent telemetry planes exist in one process — the single-process
+// stand-in for four MPI ranks on four nodes.
+//
+// Part 2 starts one TelemetryServer per rank (each serving that rank's
+// registry) plus a pdc::obs::Aggregator that scrapes all four over
+// /metrics.wire, merges (counters sum, gauges last-write, histograms
+// bucket-wise), and re-exposes the federated view. The merged /metrics
+// body is written to argv[1] (default federation_metrics.txt) and the
+// merged /metrics.json to argv[2] when given (CI uploads it as an
+// artifact); the workload is seed-deterministic and the merge is
+// order-independent, so re-running this binary produces the identical
+// file (CI byte-compares two runs).
+//
+// Part 3 exercises the control verbs: `snapshot-now` against the
+// aggregator returns an immediate federated JSON body, and `reset`
+// broadcasts to every rank — the next federated scrape shows zeroed
+// counters while the per-rank servers keep running.
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/two_phase_commit.hpp"
+#include "mp/world.hpp"
+#include "net/network.hpp"
+#include "obs/federation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "testkit/sim_scheduler.hpp"
+
+using namespace pdc;
+
+namespace {
+
+constexpr int kRanks = 4;
+
+// Part 1: four ranks, four registries, one deterministic workload.
+void run_federated_2pc(std::vector<std::unique_ptr<obs::MetricsRegistry>>& regs) {
+  mp::World world(kRanks);
+  auto bodies = world.rank_bodies([&regs](mp::Communicator& comm) {
+    const int rank = comm.rank();
+    auto& reg = *regs[static_cast<std::size_t>(rank)];
+    const dist::TpcStats stats =
+        rank == 0 ? dist::run_2pc_coordinator(comm)
+                  : dist::run_2pc_participant(comm, /*vote_commit=*/true);
+    reg.counter("app.2pc.messages").inc(stats.messages_sent);
+    reg.counter("app.2pc.decisions", {{"decision", to_string(stats.decision)}})
+        .inc();
+    reg.gauge("app.rank_weight").add(rank + 1);
+    // A synthetic latency population that differs per rank, so the
+    // federated histogram has a shape no single rank shows: rank r records
+    // 64 samples spread over [r+1, 64*(r+1)] microseconds.
+    auto& hist = reg.histogram("app.step_us");
+    for (std::uint64_t i = 1; i <= 64; ++i) {
+      hist.record(i * static_cast<std::uint64_t>(rank + 1));
+    }
+  });
+  testkit::SchedulerOptions options;
+  options.policy = testkit::SchedulePolicy::kRandom;
+  options.seed = 7;
+  options.max_steps = 1u << 22;
+  testkit::SimScheduler scheduler(options);
+  const auto report = scheduler.run(std::move(bodies));
+  std::cout << "part 1: fixed-seed 4-rank 2pc, " << report.steps
+            << " scheduler steps, " << kRanks << " per-rank registries\n\n";
+}
+
+std::string first_lines(const std::string& text, std::size_t n) {
+  std::size_t pos = 0;
+  for (std::size_t line = 0; line < n && pos != std::string::npos; ++line) {
+    pos = text.find('\n', pos + 1);
+  }
+  return pos == std::string::npos ? text : text.substr(0, pos + 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "federation_metrics.txt";
+  const std::string json_path = argc > 2 ? argv[2] : "";
+
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> registries;
+  for (int r = 0; r < kRanks; ++r) {
+    registries.push_back(std::make_unique<obs::MetricsRegistry>());
+  }
+  run_federated_2pc(registries);
+
+  // Part 2: hosts 0..3 serve one rank each, host 4 federates, host 5 asks.
+  net::NetConfig net_config;
+  net_config.latency_ms = 0.01;
+  net::Network net(kRanks + 2, net_config);
+
+  std::vector<std::unique_ptr<obs::TelemetryServer>> servers;
+  std::vector<obs::ScrapeTarget> targets;
+  for (int r = 0; r < kRanks; ++r) {
+    obs::TelemetryConfig config;
+    config.registry = registries[static_cast<std::size_t>(r)].get();
+    servers.push_back(std::make_unique<obs::TelemetryServer>(
+        net, /*host=*/r, /*port=*/9100, config));
+    targets.push_back({servers.back()->address(), std::to_string(r)});
+  }
+  obs::Aggregator aggregator(net, /*host=*/kRanks, /*port=*/9200,
+                             std::move(targets));
+
+  obs::TelemetryClient client(net, /*host=*/kRanks + 1);
+  if (!client.connect(aggregator.address()).is_ok()) {
+    std::cerr << "connect failed\n";
+    return 1;
+  }
+
+  // The federated /metrics: every per-rank series reappears stamped
+  // rank="<r>", plus one aggregate series per family. Byte-stable because
+  // the workload is seeded and the merge orders by sorted metric key.
+  const std::string exposition = client.get("/metrics").value();
+  std::ofstream out(path, std::ios::binary);
+  out << exposition;
+  if (!out) {
+    std::cerr << "failed to write " << path << '\n';
+    return 1;
+  }
+  out.close();
+
+  std::cout << "part 2: federated GET /metrics -> " << exposition.size()
+            << " bytes written to " << path << "; first lines:\n"
+            << first_lines(exposition, 8) << "  ...\n";
+  std::cout << "GET /healthz -> " << client.get("/healthz").value();
+  const std::string merged_json = client.get("/metrics.json").value();
+  std::cout << "GET /metrics.json -> " << merged_json.size() << " bytes\n\n";
+  if (!json_path.empty()) {
+    std::ofstream json_out(json_path, std::ios::binary);
+    json_out << merged_json;
+    if (!json_out) {
+      std::cerr << "failed to write " << json_path << '\n';
+      return 1;
+    }
+  }
+
+  // Part 3: control verbs through the aggregator.
+  const std::string snap = client.get("snapshot-now").value();
+  std::cout << "part 3: snapshot-now -> " << snap.size()
+            << " bytes of federated JSON\n";
+  std::cout << "reset -> " << client.get("reset").value();
+  const std::string after = client.get("/metrics.json").value();
+  std::cout << "post-reset /metrics.json -> " << after.size()
+            << " bytes (counters zeroed on every rank)\n";
+
+  client.close();
+  aggregator.stop();
+  for (auto& server : servers) server->stop();
+  std::cout << "\nre-run this binary: " << path
+            << " comes out byte-identical (fixed sim seed; merge output is "
+            << "independent of scrape completion order)\n";
+  return 0;
+}

@@ -167,6 +167,7 @@ class Communicator {
     std::vector<T> values(message.payload.size() / sizeof(T));
     std::memcpy(values.data(), message.payload.data(), message.payload.size());
     PDC_OBS_COUNT("pdc.mp.received");
+    if (rank_received_ != nullptr) rank_received_->inc();
     obs::wire_accept(message.envelope.trace, "mp.recv",
                      static_cast<std::uint64_t>(message.envelope.source),
                      message.payload.size());
@@ -476,7 +477,20 @@ class Communicator {
   Communicator(std::shared_ptr<detail::Fabric> fabric, std::vector<int> members,
                int rank, std::uint32_t user_context)
       : fabric_(std::move(fabric)), members_(std::move(members)), rank_(rank),
-        user_context_(user_context) {}
+        user_context_(user_context) {
+    if constexpr (obs::kObsEnabled) {
+      // Per-rank labeled series next to the flat pdc.mp.* aggregates, so a
+      // federated scrape can attribute traffic per world rank even when
+      // every rank shares the process-wide registry. Cached here — the
+      // PDC_OBS_* macros' function-local statics cannot hold a per-rank
+      // label — and interned for the process lifetime, so the pointers
+      // stay valid across communicator copies and splits.
+      const std::string r = std::to_string(world_rank());
+      auto& registry = obs::MetricsRegistry::instance();
+      rank_sent_ = &registry.counter("pdc.mp.rank_sent", {{"rank", r}});
+      rank_received_ = &registry.counter("pdc.mp.rank_received", {{"rank", r}});
+    }
+  }
 
   // Internal collective tags; the collective context keeps them disjoint
   // from user traffic.
@@ -503,6 +517,7 @@ class Communicator {
   void deliver(int dest, std::uint32_t context, int tag, Payload payload) {
     PDC_OBS_COUNT("pdc.mp.sent");
     PDC_OBS_COUNT("pdc.mp.sent_bytes", payload.size());
+    if (rank_sent_ != nullptr) rank_sent_->inc();
     Message message{Envelope{context, rank_, tag, {}}, std::move(payload)};
     // Captured on the sending thread so the flow arrow starts inside the
     // sender's current span, not wherever the fabric delivers from.
@@ -535,6 +550,7 @@ class Communicator {
                   "message larger than the receive buffer");
     std::memcpy(data, message.payload.data(), message.payload.size());
     PDC_OBS_COUNT("pdc.mp.received");
+    if (rank_received_ != nullptr) rank_received_->inc();
     obs::wire_accept(message.envelope.trace, "mp.recv",
                      static_cast<std::uint64_t>(message.envelope.source),
                      message.payload.size());
@@ -550,10 +566,16 @@ class Communicator {
     return (rel + root) % size();
   }
 
+  [[nodiscard]] int world_rank() const {
+    return members_[static_cast<std::size_t>(rank_)];
+  }
+
   std::shared_ptr<detail::Fabric> fabric_;
   std::vector<int> members_;  // world rank of each communicator rank
   int rank_;                  // my rank within this communicator
   std::uint32_t user_context_;
+  obs::Counter* rank_sent_ = nullptr;      // pdc.mp.rank_sent{rank=...}
+  obs::Counter* rank_received_ = nullptr;  // pdc.mp.rank_received{rank=...}
 };
 
 }  // namespace pdc::mp

@@ -34,6 +34,7 @@ support::Result<Datagram> DatagramSocket::recv() {
   Datagram dgram = std::move(queue_.front());
   queue_.pop_front();
   PDC_OBS_COUNT("pdc.net.received");
+  if (host_received_ != nullptr) host_received_->inc();
   obs::wire_accept(dgram.trace, "net.recv",
                    static_cast<std::uint64_t>(dgram.from.host),
                    dgram.payload.size());
@@ -51,6 +52,7 @@ support::Result<Datagram> DatagramSocket::recv_for(
   Datagram dgram = std::move(queue_.front());
   queue_.pop_front();
   PDC_OBS_COUNT("pdc.net.received");
+  if (host_received_ != nullptr) host_received_->inc();
   obs::wire_accept(dgram.trace, "net.recv",
                    static_cast<std::uint64_t>(dgram.from.host),
                    dgram.payload.size());
@@ -163,6 +165,14 @@ Network::Network(int hosts, NetConfig config)
       dispatcher_([this] { dispatcher_loop(); }) {
   PDC_CHECK(hosts >= 1);
   PDC_CHECK(config.loss >= 0.0 && config.loss < 1.0);
+  if constexpr (obs::kObsEnabled) {
+    auto& registry = obs::MetricsRegistry::instance();
+    host_sent_.reserve(static_cast<std::size_t>(hosts));
+    for (int h = 0; h < hosts; ++h) {
+      host_sent_.push_back(
+          &registry.counter("pdc.net.host_sent", {{"host", std::to_string(h)}}));
+    }
+  }
 }
 
 Network::~Network() {
@@ -336,6 +346,9 @@ void Network::send_datagram(const Address& from, const Address& to,
                             Bytes payload) {
   PDC_OBS_COUNT("pdc.net.sent");
   PDC_OBS_COUNT("pdc.net.sent_bytes", payload.size());
+  if (!host_sent_.empty() && from.host >= 0 && from.host < hosts_) {
+    host_sent_[static_cast<std::size_t>(from.host)]->inc();
+  }
   // Captured on the sending thread (not the dispatcher) so the flow arrow
   // originates inside the sender's span.
   const obs::WireTrace trace = obs::wire_capture(

@@ -26,9 +26,12 @@
 #include <mutex>
 #include <optional>
 #include <queue>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "net/address.hpp"
+#include "obs/obs.hpp"
 #include "support/rng.hpp"
 #include "support/status.hpp"
 
@@ -68,12 +71,21 @@ class DatagramSocket {
 
  private:
   friend class Network;
-  DatagramSocket(Network& net, Address local) : net_(net), local_(local) {}
+  DatagramSocket(Network& net, Address local) : net_(net), local_(local) {
+    if constexpr (obs::kObsEnabled) {
+      // Host-labeled twin of the flat pdc.net.received aggregate. Cached
+      // here — the PDC_OBS_* macros' function-local statics cannot hold a
+      // per-host label.
+      host_received_ = &obs::MetricsRegistry::instance().counter(
+          "pdc.net.host_received", {{"host", std::to_string(local_.host)}});
+    }
+  }
 
   void deliver(Datagram dgram);
 
   Network& net_;
   Address local_;
+  obs::Counter* host_received_ = nullptr;
   std::mutex mutex_;
   std::condition_variable arrived_;
   std::deque<Datagram> queue_;
@@ -228,6 +240,9 @@ class Network {
 
   int hosts_;
   NetConfig config_;
+  // Per-host labeled send counters (pdc.net.host_sent{host="<i>"}),
+  // resolved once at construction; empty under PDCKIT_OBS_NOOP.
+  std::vector<obs::Counter*> host_sent_;
 
   mutable std::mutex mutex_;
   std::condition_variable wake_;

@@ -1,0 +1,210 @@
+#include "obs/federation.hpp"
+
+#include <atomic>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "obs/telemetry.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace pdc::obs {
+
+namespace {
+
+/// Combines `from` into `into` under one key (kinds always match: the key
+/// maps are segregated by kind).
+void merge_into(MetricSample& into, const MetricSample& from) {
+  switch (from.kind) {
+    case MetricKind::kCounter:
+      into.count += from.count;
+      break;
+    case MetricKind::kGauge:
+      // Last write wins, in source input order (associative: combining
+      // prefixes first still ends on the final source's value).
+      into.value = from.value;
+      into.high_water = from.high_water;
+      break;
+    case MetricKind::kHistogram:
+      into.count += from.count;
+      into.sum += from.sum;
+      if (into.buckets.size() < from.buckets.size()) {
+        into.buckets.resize(from.buckets.size(), 0);
+      }
+      for (std::size_t b = 0; b < from.buckets.size(); ++b) {
+        into.buckets[b] += from.buckets[b];
+      }
+      break;
+  }
+}
+
+using KeyedSamples = std::map<MetricKey, MetricSample, MetricKeyLess>;
+
+void insert_or_merge(KeyedSamples& bucket, MetricKey key,
+                     const MetricSample& sample) {
+  auto it = bucket.find(key);
+  if (it == bucket.end()) {
+    bucket.emplace(std::move(key), sample);
+  } else {
+    merge_into(it->second, sample);
+  }
+}
+
+}  // namespace
+
+MetricsSnapshot merge_federated(const std::vector<SourceSnapshot>& sources,
+                                std::string_view source_label) {
+  // One sorted map per kind keeps the output in the snapshot's canonical
+  // order (kind group, then base, then labels) — byte-stable however the
+  // scrapes arrived.
+  KeyedSamples merged[3];
+  for (const auto& [source, snapshot] : sources) {
+    for (const auto& s : snapshot.samples) {
+      auto& bucket = merged[static_cast<std::size_t>(s.kind)];
+
+      MetricKey stamped{s.base, s.labels};
+      stamped.add_label_if_absent(source_label, source);
+      const bool newly_stamped = stamped.labels.size() != s.labels.size();
+
+      MetricSample per_source = s;
+      per_source.labels = stamped.labels;
+      per_source.name = stamped.canonical();
+      insert_or_merge(bucket, std::move(stamped), per_source);
+
+      // The aggregate series keeps the input's own key. When the input
+      // already carried the source label (lower federation tier), the
+      // stamped insert above *is* the aggregate — inserting again would
+      // double-count.
+      if (newly_stamped) {
+        insert_or_merge(bucket, MetricKey{s.base, s.labels}, s);
+      }
+    }
+  }
+  MetricsSnapshot out;
+  for (auto& bucket : merged) {
+    for (auto& [key, sample] : bucket) {
+      out.samples.push_back(std::move(sample));
+    }
+  }
+  return out;
+}
+
+Aggregator::Aggregator(net::Network& net, int host, std::uint16_t port,
+                       std::vector<ScrapeTarget> targets,
+                       AggregatorConfig config)
+    : net_(net),
+      host_(host),
+      targets_(std::move(targets)),
+      config_(std::move(config)),
+      pool_(config_.scrape_threads) {
+  // Eager self-metric registration, same contract as TelemetryServer: the
+  // first scrape of the process-wide registry already lists the full set.
+  if constexpr (kObsEnabled) {
+    auto& registry = MetricsRegistry::instance();
+    registry.counter("pdc.fed.scrapes");
+    registry.counter("pdc.fed.scrape_errors");
+    registry.histogram("pdc.fed.scrape_us");
+    registry.histogram("pdc.fed.merge_us");
+    registry.gauge("pdc.fed.targets").add(
+        static_cast<std::int64_t>(targets_.size()));
+  }
+  net::ServerConfig server_config;
+  server_config.model = config_.model;
+  server_config.workers = config_.workers;
+  server_ = std::make_unique<net::Server>(
+      net_, host_, port,
+      [this](const net::Bytes& request) {
+        return net::to_bytes(endpoint_body(net::to_string(request)));
+      },
+      server_config);
+}
+
+Aggregator::~Aggregator() { stop(); }
+
+net::Address Aggregator::address() const { return server_->address(); }
+
+void Aggregator::stop() { server_->stop(); }
+
+support::Result<MetricsSnapshot> Aggregator::scrape_target(
+    const ScrapeTarget& target) {
+  net::Client client(net_, host_);
+  if (auto status = client.connect(target.address); !status.is_ok()) {
+    return status;
+  }
+  auto reply = client.call_text("/metrics.wire");
+  client.close();
+  if (!reply.is_ok()) return reply.status();
+  auto snapshot = MetricsSnapshot::from_wire(reply.value());
+  if (!snapshot) {
+    return support::Status(support::StatusCode::kInvalidArgument,
+                           "malformed /metrics.wire reply from source '" +
+                               target.source + "'");
+  }
+  return *std::move(snapshot);
+}
+
+MetricsSnapshot Aggregator::federate() {
+  std::vector<std::optional<MetricsSnapshot>> scraped(targets_.size());
+  std::atomic<std::uint64_t> errors{0};
+  parallel::fan_out(pool_, targets_.size(), [&](std::size_t i) {
+    const std::uint64_t start = now_us();
+    auto result = scrape_target(targets_[i]);
+    PDC_OBS_HIST("pdc.fed.scrape_us", now_us() - start);
+    if (result.is_ok()) {
+      scraped[i] = std::move(result).value();
+    } else {
+      errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  // Sources merge in target-declaration order (index-stable slots), not
+  // completion order — part of the byte-stability contract.
+  std::vector<SourceSnapshot> sources;
+  sources.reserve(targets_.size());
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    if (scraped[i].has_value()) {
+      sources.push_back({targets_[i].source, std::move(*scraped[i])});
+    }
+  }
+  const std::uint64_t merge_start = now_us();
+  MetricsSnapshot merged = merge_federated(sources, config_.source_label);
+  PDC_OBS_HIST("pdc.fed.merge_us", now_us() - merge_start);
+  PDC_OBS_COUNT("pdc.fed.scrapes");
+  const std::uint64_t failed = errors.load(std::memory_order_relaxed);
+  if (failed != 0) PDC_OBS_COUNT("pdc.fed.scrape_errors", failed);
+  return merged;
+}
+
+std::size_t Aggregator::broadcast_control(const std::string& verb) {
+  std::atomic<std::size_t> acked{0};
+  parallel::fan_out(pool_, targets_.size(), [&](std::size_t i) {
+    net::Client client(net_, host_);
+    if (!client.connect(targets_[i].address).is_ok()) return;
+    auto reply = client.call_text(verb);
+    client.close();
+    if (reply.is_ok() && reply.value().rfind("error", 0) != 0) {
+      acked.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  return acked.load(std::memory_order_relaxed);
+}
+
+std::string Aggregator::endpoint_body(const std::string& endpoint) {
+  if (endpoint == "/healthz") return "ok\n";
+  if (endpoint == "/metrics") return prometheus_exposition(federate());
+  if (endpoint == "/metrics.json" || endpoint == "snapshot-now") {
+    return federate().to_json();
+  }
+  if (endpoint == "/metrics.wire") return federate().to_wire();
+  if (endpoint == "reset") {
+    const std::size_t acked = broadcast_control("reset");
+    if (acked == targets_.size()) return "ok\n";
+    return "error: reset acked by " + std::to_string(acked) + "/" +
+           std::to_string(targets_.size()) + " targets\n";
+  }
+  return "error: unknown endpoint '" + endpoint +
+         "' (try /metrics, /metrics.json, /metrics.wire, /healthz, reset, "
+         "snapshot-now)\n";
+}
+
+}  // namespace pdc::obs

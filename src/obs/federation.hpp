@@ -1,0 +1,121 @@
+// Scrape federation: cross-process aggregation of the telemetry plane.
+//
+// The paper's courses teach performance observation of *distributed*
+// programs; a per-process /metrics endpoint only shows one rank. This
+// module adds the operator tier:
+//
+//   rank 0  TelemetryServer ──┐
+//   rank 1  TelemetryServer ──┤   Aggregator ── /metrics, /metrics.json,
+//   rank 2  TelemetryServer ──┤   (scrape +      /metrics.wire, /healthz,
+//   rank 3  TelemetryServer ──┘    merge)        reset, snapshot-now
+//
+// An Aggregator scrapes N TelemetryServer endpoints concurrently (the
+// lock-free ThreadPool via parallel::fan_out — one in-flight scrape per
+// runner), decodes each /metrics.wire reply, and merges:
+//
+//   counters    sum across sources
+//   gauges      last-written value wins (source input order)
+//   histograms  bucket-wise sum — exact, associative, and commutative
+//               because every process shares the same power-of-two bucket
+//               edges (no resolution loss, no rebinning)
+//
+// Every input series reappears stamped with a source label (default
+// `rank="<source>"`), and each input key also feeds an *aggregate* series
+// under its original labels, so the federated view answers both "what is
+// the fleet-wide p99" and "which rank is the outlier". Stamping is
+// insert-if-absent: a series that already carries the label — e.g. one
+// produced by a lower Aggregator tier — keeps its original attribution,
+// which is what lets Aggregators scrape other Aggregators (/metrics.wire
+// is served by both).
+//
+// Determinism: merge output ordering comes from sorted MetricKey maps, so
+// a fixed set of input snapshots produces one byte-stable result
+// regardless of scrape completion order (golden test over a fixed-seed
+// 4-rank sim in tests/obs_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "parallel/thread_pool.hpp"
+#include "support/status.hpp"
+
+namespace pdc::obs {
+
+/// One federated input: the snapshot scraped from `source` (the value
+/// stamped into the source label).
+struct SourceSnapshot {
+  std::string source;
+  MetricsSnapshot snapshot;
+};
+
+/// Pure merge of per-source snapshots into one federated view (semantics
+/// in the file comment). Exposed separately from Aggregator so merge
+/// algebra is testable without a network.
+[[nodiscard]] MetricsSnapshot merge_federated(
+    const std::vector<SourceSnapshot>& sources,
+    std::string_view source_label = "rank");
+
+/// One scrape target: a telemetry endpoint plus the source-label value its
+/// series are stamped with.
+struct ScrapeTarget {
+  net::Address address;
+  std::string source;
+};
+
+struct AggregatorConfig {
+  std::string source_label = "rank";
+  net::ThreadingModel model = net::ThreadingModel::kThreadPerConnection;
+  std::size_t workers = 2;         // worker-pool model only
+  std::size_t scrape_threads = 3;  // fan-out pool for concurrent scrapes
+};
+
+/// Scrapes a fixed target set on demand and re-exposes the merged view on
+/// its own telemetry endpoints (/metrics, /metrics.json, /metrics.wire,
+/// /healthz), plus the control verbs `reset` (broadcast to every target)
+/// and `snapshot-now` (immediate federated /metrics.json body).
+///
+/// Self-metrics (pdc.fed.*) go to the process-wide registry, never into
+/// the federated output — unless a target happens to serve that registry.
+class Aggregator {
+ public:
+  Aggregator(net::Network& net, int host, std::uint16_t port,
+             std::vector<ScrapeTarget> targets, AggregatorConfig config = {});
+  ~Aggregator();
+
+  Aggregator(const Aggregator&) = delete;
+  Aggregator& operator=(const Aggregator&) = delete;
+
+  [[nodiscard]] net::Address address() const;
+
+  /// Scrapes every target concurrently and merges. Unreachable targets
+  /// are skipped (their series simply disappear from this round) and
+  /// counted in pdc.fed.scrape_errors.
+  [[nodiscard]] MetricsSnapshot federate();
+
+  /// Sends a control verb ("reset", "snapshot-now") to every target
+  /// concurrently; returns how many targets acknowledged.
+  std::size_t broadcast_control(const std::string& verb);
+
+  /// Stops accepting; existing connections finish their current request.
+  void stop();
+
+ private:
+  [[nodiscard]] std::string endpoint_body(const std::string& endpoint);
+  [[nodiscard]] support::Result<MetricsSnapshot> scrape_target(
+      const ScrapeTarget& target);
+
+  net::Network& net_;
+  int host_;
+  std::vector<ScrapeTarget> targets_;
+  AggregatorConfig config_;
+  parallel::ThreadPool pool_;
+  std::unique_ptr<net::Server> server_;  // last member: threads start here
+};
+
+}  // namespace pdc::obs

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -8,6 +9,126 @@
 #include <sstream>
 
 namespace pdc::obs {
+
+void append_json_string(std::string& out, std::string_view text) {
+  out += '"';
+  for (char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += ch;
+    }
+  }
+  out += '"';
+}
+
+std::string MetricKey::canonical() const {
+  if (labels.empty()) return name;
+  std::string out = name;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    for (char ch : v) {
+      switch (ch) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        default: out += ch;
+      }
+    }
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+void MetricKey::canonicalize() {
+  std::stable_sort(
+      labels.begin(), labels.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  labels.erase(std::unique(labels.begin(), labels.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.first == b.first;
+                           }),
+               labels.end());
+}
+
+void MetricKey::add_label_if_absent(std::string_view key,
+                                    std::string_view value) {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return;
+  }
+  labels.emplace_back(std::string(key), std::string(value));
+  canonicalize();
+}
+
+std::optional<MetricKey> MetricKey::parse(std::string_view text) {
+  MetricKey key;
+  const std::size_t brace = text.find('{');
+  if (brace == std::string_view::npos) {
+    key.name = std::string(text);
+    return key;
+  }
+  key.name = std::string(text.substr(0, brace));
+  std::size_t i = brace + 1;
+  if (i < text.size() && text[i] == '}') {
+    if (i + 1 != text.size()) return std::nullopt;
+    return key;
+  }
+  while (i < text.size()) {
+    const std::size_t eq = text.find('=', i);
+    if (eq == std::string_view::npos || eq == i) return std::nullopt;
+    std::string label_key(text.substr(i, eq - i));
+    if (label_key.find_first_of(",{}\"") != std::string::npos) {
+      return std::nullopt;
+    }
+    if (eq + 1 >= text.size() || text[eq + 1] != '"') return std::nullopt;
+    std::string value;
+    std::size_t j = eq + 2;
+    bool closed = false;
+    while (j < text.size()) {
+      const char ch = text[j];
+      if (ch == '\\') {
+        if (j + 1 >= text.size()) return std::nullopt;
+        const char esc = text[j + 1];
+        if (esc == 'n') {
+          value += '\n';
+        } else if (esc == '"' || esc == '\\') {
+          value += esc;
+        } else {
+          return std::nullopt;
+        }
+        j += 2;
+      } else if (ch == '"') {
+        closed = true;
+        ++j;
+        break;
+      } else {
+        value += ch;
+        ++j;
+      }
+    }
+    if (!closed) return std::nullopt;
+    key.labels.emplace_back(std::move(label_key), std::move(value));
+    if (j >= text.size()) return std::nullopt;
+    if (text[j] == ',') {
+      i = j + 1;
+      continue;
+    }
+    if (text[j] == '}' && j + 1 == text.size()) {
+      key.canonicalize();
+      return key;
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
 
 namespace detail {
 
@@ -62,6 +183,15 @@ double Histogram::Snapshot::quantile(double q) const {
   return histogram_quantile(buckets.data(), buckets.size(), count, q);
 }
 
+Histogram::Snapshot& Histogram::Snapshot::merge(const Snapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    buckets[b] += other.buckets[b];
+  }
+  return *this;
+}
+
 double MetricSample::quantile(double q) const {
   if (kind != MetricKind::kHistogram) return 0.0;
   return histogram_quantile(buckets.data(), buckets.size(), count, q);
@@ -85,57 +215,92 @@ MetricsRegistry& MetricsRegistry::instance() {
   return registry;
 }
 
-Counter& MetricsRegistry::counter(std::string_view name) {
-  std::scoped_lock lock(mutex_);
-  auto it = counters_.find(name);
-  if (it == counters_.end()) {
-    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+namespace {
+
+template <typename T>
+T& intern_flat(std::map<MetricKey, std::unique_ptr<T>, MetricKeyLess>& map,
+               std::string_view name) {
+  auto it = map.find(name);  // transparent: no MetricKey built on the hit path
+  if (it == map.end()) {
+    it = map.emplace(MetricKey{std::string(name), {}}, std::make_unique<T>())
+             .first;
   }
   return *it->second;
+}
+
+template <typename T>
+T& intern_labeled(std::map<MetricKey, std::unique_ptr<T>, MetricKeyLess>& map,
+                  std::string_view name, Labels labels) {
+  MetricKey key{std::string(name), std::move(labels)};
+  key.canonicalize();
+  auto it = map.find(key);
+  if (it == map.end()) {
+    it = map.emplace(std::move(key), std::make_unique<T>()).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::scoped_lock lock(mutex_);
+  return intern_flat(counters_, name);
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
   std::scoped_lock lock(mutex_);
-  auto it = gauges_.find(name);
-  if (it == gauges_.end()) {
-    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
-  }
-  return *it->second;
+  return intern_flat(gauges_, name);
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
   std::scoped_lock lock(mutex_);
-  auto it = histograms_.find(name);
-  if (it == histograms_.end()) {
-    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
-             .first;
-  }
-  return *it->second;
+  return intern_flat(histograms_, name);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Labels labels) {
+  std::scoped_lock lock(mutex_);
+  return intern_labeled(counters_, name, std::move(labels));
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
+  std::scoped_lock lock(mutex_);
+  return intern_labeled(gauges_, name, std::move(labels));
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, Labels labels) {
+  std::scoped_lock lock(mutex_);
+  return intern_labeled(histograms_, name, std::move(labels));
 }
 
 MetricsSnapshot MetricsRegistry::scrape() const {
   MetricsSnapshot out;
   std::scoped_lock lock(mutex_);
   out.samples.reserve(counters_.size() + gauges_.size() + histograms_.size());
-  for (const auto& [name, c] : counters_) {
+  for (const auto& [key, c] : counters_) {
     MetricSample s;
-    s.name = name;
+    s.name = key.canonical();
+    s.base = key.name;
+    s.labels = key.labels;
     s.kind = MetricKind::kCounter;
     s.count = c->total();
     out.samples.push_back(std::move(s));
   }
-  for (const auto& [name, g] : gauges_) {
+  for (const auto& [key, g] : gauges_) {
     MetricSample s;
-    s.name = name;
+    s.name = key.canonical();
+    s.base = key.name;
+    s.labels = key.labels;
     s.kind = MetricKind::kGauge;
     s.value = g->value();
     s.high_water = g->high_water();
     out.samples.push_back(std::move(s));
   }
-  for (const auto& [name, h] : histograms_) {
+  for (const auto& [key, h] : histograms_) {
     const auto snap = h->snapshot();
     MetricSample s;
-    s.name = name;
+    s.name = key.canonical();
+    s.base = key.name;
+    s.labels = key.labels;
     s.kind = MetricKind::kHistogram;
     s.count = snap.count;
     s.sum = snap.sum;
@@ -148,9 +313,9 @@ MetricsSnapshot MetricsRegistry::scrape() const {
 
 void MetricsRegistry::reset() {
   std::scoped_lock lock(mutex_);
-  for (auto& [name, c] : counters_) c->reset();
-  for (auto& [name, g] : gauges_) g->reset();
-  for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [key, c] : counters_) c->reset();
+  for (auto& [key, g] : gauges_) g->reset();
+  for (auto& [key, h] : histograms_) h->reset();
 }
 
 const MetricSample* MetricsSnapshot::find(std::string_view name) const {
@@ -171,18 +336,11 @@ std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
 
 namespace {
 
-void append_json_string(std::string& out, std::string_view text) {
-  out += '"';
-  for (char ch : text) {
-    switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += ch;
-    }
-  }
-  out += '"';
+/// Inner text of a canonical label block (no braces): `k="v",k2="v2"`.
+std::string label_block(const Labels& labels) {
+  if (labels.empty()) return {};
+  const std::string text = MetricKey{"", labels}.canonical();
+  return text.substr(1, text.size() - 2);
 }
 
 }  // namespace
@@ -194,13 +352,32 @@ std::string MetricsSnapshot::to_json() const {
     append_json_string(out, key);
     out += ":{";
     bool first = true;
-    for (const auto& s : samples) {
-      if (s.kind != kind) continue;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      if (samples[i].kind != kind) continue;
+      // Samples of one kind are sorted by (base, labels), so a family is a
+      // contiguous run of equal bases.
+      std::size_t j = i + 1;
+      while (j < samples.size() && samples[j].kind == kind &&
+             samples[j].base == samples[i].base) {
+        ++j;
+      }
       if (!first) out += ',';
       first = false;
-      append_json_string(out, s.name);
+      append_json_string(out, samples[i].base);
       out += ':';
-      emit_value(s);
+      if (j == i + 1 && samples[i].labels.empty()) {
+        emit_value(samples[i]);  // plain series keep the flat PR-4 shape
+      } else {
+        out += '{';
+        for (std::size_t k = i; k < j; ++k) {
+          if (k != i) out += ',';
+          append_json_string(out, label_block(samples[k].labels));
+          out += ':';
+          emit_value(samples[k]);
+        }
+        out += '}';
+      }
+      i = j - 1;
     }
     out += '}';
   };
@@ -251,6 +428,149 @@ void MetricsSnapshot::render(std::ostream& os) const {
       }
     }
   }
+}
+
+std::string MetricsSnapshot::to_wire() const {
+  std::string out = "pdcwire 1\n";
+  for (const auto& s : samples) {
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += "c ";
+        append_json_string(out, s.name);
+        out += ' ';
+        out += std::to_string(s.count);
+        out += '\n';
+        break;
+      case MetricKind::kGauge:
+        out += "g ";
+        append_json_string(out, s.name);
+        out += ' ';
+        out += std::to_string(s.value);
+        out += ' ';
+        out += std::to_string(s.high_water);
+        out += '\n';
+        break;
+      case MetricKind::kHistogram:
+        out += "h ";
+        append_json_string(out, s.name);
+        out += ' ';
+        out += std::to_string(s.count);
+        out += ' ';
+        out += std::to_string(s.sum);
+        out += ' ';
+        out += std::to_string(s.buckets.size());
+        for (const std::uint64_t b : s.buckets) {
+          out += ' ';
+          out += std::to_string(b);
+        }
+        out += '\n';
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool parse_quoted(std::string_view line, std::size_t& i, std::string& out) {
+  if (i >= line.size() || line[i] != '"') return false;
+  ++i;
+  while (i < line.size()) {
+    const char ch = line[i];
+    if (ch == '\\') {
+      if (i + 1 >= line.size()) return false;
+      switch (line[i + 1]) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        default: return false;
+      }
+      i += 2;
+    } else if (ch == '"') {
+      ++i;
+      return true;
+    } else {
+      out += ch;
+      ++i;
+    }
+  }
+  return false;
+}
+
+template <typename Int>
+bool parse_int(std::string_view line, std::size_t& i, Int& out) {
+  if (i >= line.size() || line[i] != ' ') return false;
+  ++i;
+  const auto [ptr, ec] =
+      std::from_chars(line.data() + i, line.data() + line.size(), out);
+  if (ec != std::errc{}) return false;
+  i = static_cast<std::size_t>(ptr - line.data());
+  return true;
+}
+
+}  // namespace
+
+std::optional<MetricsSnapshot> MetricsSnapshot::from_wire(
+    std::string_view wire) {
+  MetricsSnapshot out;
+  bool saw_header = false;
+  std::size_t start = 0;
+  while (start <= wire.size()) {
+    if (start == wire.size()) break;
+    std::size_t end = wire.find('\n', start);
+    if (end == std::string_view::npos) end = wire.size();
+    const std::string_view line = wire.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line != "pdcwire 1") return std::nullopt;
+      saw_header = true;
+      continue;
+    }
+    const char kind = line[0];
+    std::size_t i = 1;
+    if (i >= line.size() || line[i] != ' ') return std::nullopt;
+    ++i;
+    std::string name;
+    if (!parse_quoted(line, i, name)) return std::nullopt;
+    auto key = MetricKey::parse(name);
+    if (!key) return std::nullopt;
+    MetricSample s;
+    s.name = std::move(name);
+    s.base = std::move(key->name);
+    s.labels = std::move(key->labels);
+    switch (kind) {
+      case 'c':
+        s.kind = MetricKind::kCounter;
+        if (!parse_int(line, i, s.count)) return std::nullopt;
+        break;
+      case 'g':
+        s.kind = MetricKind::kGauge;
+        if (!parse_int(line, i, s.value)) return std::nullopt;
+        if (!parse_int(line, i, s.high_water)) return std::nullopt;
+        break;
+      case 'h': {
+        s.kind = MetricKind::kHistogram;
+        std::size_t n_buckets = 0;
+        if (!parse_int(line, i, s.count)) return std::nullopt;
+        if (!parse_int(line, i, s.sum)) return std::nullopt;
+        if (!parse_int(line, i, n_buckets)) return std::nullopt;
+        if (n_buckets > kHistogramBuckets) return std::nullopt;
+        s.buckets.resize(n_buckets);
+        for (std::size_t b = 0; b < n_buckets; ++b) {
+          if (!parse_int(line, i, s.buckets[b])) return std::nullopt;
+        }
+        break;
+      }
+      default:
+        return std::nullopt;
+    }
+    if (i != line.size()) return std::nullopt;
+    out.samples.push_back(std::move(s));
+  }
+  if (!saw_header) return std::nullopt;
+  return out;
 }
 
 }  // namespace pdc::obs

@@ -20,6 +20,15 @@
 // Histograms use exponential base-2 buckets: bucket 0 counts values < 1,
 // bucket b counts values in [2^(b-1), 2^b). The value unit is chosen per
 // histogram by its writers (this library records microseconds).
+//
+// Metrics may carry labels (PR 5, scrape federation): a metric is
+// identified by a MetricKey{name, sorted label pairs}. The flat-name
+// overloads remain the fast path — a label-free lookup never builds a
+// MetricKey (transparent map comparison against the string_view). Labeled
+// series of one name form a family, rendered `name{k="v",...}` in the
+// exposition and nested objects in JSON. Labels only affect *lookup*; the
+// returned Counter/Gauge/Histogram objects keep the identical wait-free
+// sharded update path.
 #pragma once
 
 #include <array>
@@ -29,14 +38,66 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace pdc::obs {
 
 inline constexpr std::size_t kMetricShards = 16;
 inline constexpr std::size_t kHistogramBuckets = 32;
+
+/// Label pairs of one metric series. Canonical form is sorted by key with
+/// unique keys; MetricsRegistry canonicalizes on lookup.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Identity of one metric series: base name plus canonical labels.
+struct MetricKey {
+  std::string name;
+  Labels labels;  // sorted by key, keys unique
+
+  /// `name{k="v",...}` with Prometheus label-value escaping (backslash,
+  /// quote, newline); just `name` when unlabeled. Canonical keys are the
+  /// series identity everywhere a string identifies a series: snapshot
+  /// find(), delta frames, the wire format, compare.py report keys.
+  [[nodiscard]] std::string canonical() const;
+
+  /// Inverse of canonical(); nullopt on malformed input.
+  [[nodiscard]] static std::optional<MetricKey> parse(std::string_view text);
+
+  /// Sorts labels by key (value order breaks ties) and drops duplicate
+  /// keys (first occurrence wins).
+  void canonicalize();
+
+  /// Adds a label only if `key` is absent — federation stamps a source
+  /// label without clobbering one applied by a lower aggregation tier.
+  void add_label_if_absent(std::string_view key, std::string_view value);
+
+  friend bool operator==(const MetricKey&, const MetricKey&) = default;
+};
+
+/// Orders series by (name, labels); transparent against a bare name so the
+/// unlabeled fast path can probe the map with a string_view (an unlabeled
+/// key sorts before every labeled sibling).
+struct MetricKeyLess {
+  using is_transparent = void;
+  bool operator()(const MetricKey& a, const MetricKey& b) const {
+    const int c = a.name.compare(b.name);
+    return c != 0 ? c < 0 : a.labels < b.labels;
+  }
+  bool operator()(const MetricKey& a, std::string_view b) const {
+    return a.name.compare(b) < 0;
+  }
+  bool operator()(std::string_view a, const MetricKey& b) const {
+    const int c = b.name.compare(a);
+    return c != 0 ? c > 0 : !b.labels.empty();
+  }
+};
+
+/// Appends `text` as a JSON string literal (quoted, escaped).
+void append_json_string(std::string& out, std::string_view text);
 
 namespace detail {
 /// Slot index of the calling thread: assigned round-robin on first use,
@@ -168,6 +229,13 @@ class Histogram {
     [[nodiscard]] double quantile_upper(double q) const;
     /// Interpolated quantile estimate (see obs::histogram_quantile).
     [[nodiscard]] double quantile(double q) const;
+
+    /// Bucket-wise sum. Because every process uses the same power-of-two
+    /// bucket edges, merging is *exact* (no resolution loss), associative,
+    /// and commutative — the algebra scrape federation relies on.
+    Snapshot& merge(const Snapshot& other);
+
+    friend bool operator==(const Snapshot&, const Snapshot&) = default;
   };
 
   [[nodiscard]] Snapshot snapshot() const noexcept {
@@ -201,9 +269,12 @@ class Histogram {
 
 enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
 
-/// One metric's aggregated value at scrape time.
+/// One metric's aggregated value at scrape time. `name` is the canonical
+/// series key (base + label block); `base`/`labels` are its parsed parts.
 struct MetricSample {
-  std::string name;
+  std::string name;  // MetricKey::canonical() — unique within the snapshot
+  std::string base;  // label-free metric name
+  Labels labels;     // canonical label pairs (empty for flat series)
   MetricKind kind = MetricKind::kCounter;
   std::uint64_t count = 0;             // counter total / histogram count
   std::int64_t value = 0;              // gauge value
@@ -213,47 +284,76 @@ struct MetricSample {
 
   /// Interpolated quantile estimate for histogram samples (0.0 otherwise).
   [[nodiscard]] double quantile(double q) const;
+
+  friend bool operator==(const MetricSample&, const MetricSample&) = default;
 };
 
 struct MetricsSnapshot {
-  std::vector<MetricSample> samples;  // sorted by name within each kind group
+  // Sorted by (base, labels) within each kind group; kind groups appear in
+  // the order counters, gauges, histograms. Canonical names are unique.
+  std::vector<MetricSample> samples;
 
   [[nodiscard]] const MetricSample* find(std::string_view name) const;
   /// Counter total / gauge value / histogram count; 0 when absent.
   [[nodiscard]] std::uint64_t counter(std::string_view name) const;
 
   /// Compact JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Labeled families nest one level: `"base":{"k=\"v\"":...}`, with an
+  /// unlabeled series of the same base under the empty-string key.
   [[nodiscard]] std::string to_json() const;
   /// Human-readable dump (one metric per line), zero-valued metrics skipped.
   void render(std::ostream& os) const;
+
+  /// Deterministic line-oriented encoding for cross-process federation
+  /// (exact integers — unlike the exposition, which rounds derived
+  /// quantiles). One line per series: `c "name" count`,
+  /// `g "name" value high_water`, `h "name" count sum n b0..bn-1`, with the
+  /// canonical name JSON-quoted. Round-trips through from_wire().
+  [[nodiscard]] std::string to_wire() const;
+  /// Inverse of to_wire(); nullopt on any malformed line.
+  [[nodiscard]] static std::optional<MetricsSnapshot> from_wire(
+      std::string_view wire);
 };
 
-/// The process-wide registry. Metric objects are interned by name and live
-/// for the process lifetime, so hot paths cache the returned reference in
-/// a function-local static (see the PDC_OBS_* macros in obs/obs.hpp).
+/// A registry of metrics. `instance()` is the process-wide default that the
+/// PDC_OBS_* macros write to; additional instances can be created for
+/// logically separate metric planes (e.g. one per simulated rank, each
+/// behind its own TelemetryServer — see obs/federation.hpp). Metric objects
+/// are interned by MetricKey and live for the registry's lifetime, so hot
+/// paths cache the returned reference (function-local static for the
+/// macros, a member pointer for per-instance users).
 class MetricsRegistry {
  public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
   static MetricsRegistry& instance();
 
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
 
+  /// Labeled lookups: `labels` is canonicalized (sorted by key, duplicate
+  /// keys dropped) before interning, so every permutation of the same
+  /// pairs maps to one series.
+  Counter& counter(std::string_view name, Labels labels);
+  Gauge& gauge(std::string_view name, Labels labels);
+  Histogram& histogram(std::string_view name, Labels labels);
+
   /// Aggregates every registered metric. Safe to call concurrently with
   /// updates (monitoring semantics; see file comment).
   [[nodiscard]] MetricsSnapshot scrape() const;
 
   /// Zeroes every metric, keeping registrations (cached references stay
-  /// valid). Intended for tests and benches that want a clean window.
+  /// valid). Intended for tests, benches, and the `reset` control verb.
   void reset();
 
  private:
-  MetricsRegistry() = default;
-
   mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<MetricKey, std::unique_ptr<Counter>, MetricKeyLess> counters_;
+  std::map<MetricKey, std::unique_ptr<Gauge>, MetricKeyLess> gauges_;
+  std::map<MetricKey, std::unique_ptr<Histogram>, MetricKeyLess> histograms_;
 };
 
 }  // namespace pdc::obs

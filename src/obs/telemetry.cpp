@@ -24,48 +24,113 @@ std::string sanitize_name(std::string_view name) {
   return out;
 }
 
+/// Exposition label text (no braces): keys sanitized like metric names,
+/// values escaped per the Prometheus text format.
+std::string exposition_labels(const Labels& labels) {
+  std::string out;
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += sanitize_name(k);
+    out += "=\"";
+    for (char ch : v) {
+      switch (ch) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        default: out += ch;
+      }
+    }
+    out += '"';
+  }
+  return out;
+}
+
+/// `name`, `name{labels}`, or `name{labels,extra}` — `extra` carries the
+/// reserved le/quantile pair, appended after the series' own labels.
+std::string series_ref(const std::string& name, const std::string& labels,
+                       const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return name;
+  std::string out = name + '{';
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out += ',';
+  out += extra;
+  out += '}';
+  return out;
+}
+
 }  // namespace
 
 std::string prometheus_exposition(const MetricsSnapshot& snapshot) {
   std::string out;
   out.reserve(4096);
-  for (const auto& s : snapshot.samples) {
-    const std::string name = sanitize_name(s.name);
-    switch (s.kind) {
+  const auto& samples = snapshot.samples;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    // A family — one base name, every labeled series — is a contiguous run
+    // (snapshot sort order) and gets a single # TYPE header.
+    std::size_t j = i + 1;
+    while (j < samples.size() && samples[j].kind == samples[i].kind &&
+           samples[j].base == samples[i].base) {
+      ++j;
+    }
+    const std::string name = sanitize_name(samples[i].base);
+    switch (samples[i].kind) {
       case MetricKind::kCounter:
         out += "# TYPE " + name + " counter\n";
-        out += name + " " + std::to_string(s.count) + "\n";
+        for (std::size_t k = i; k < j; ++k) {
+          out += series_ref(name, exposition_labels(samples[k].labels)) + " " +
+                 std::to_string(samples[k].count) + "\n";
+        }
         break;
-      case MetricKind::kGauge:
+      case MetricKind::kGauge: {
         out += "# TYPE " + name + " gauge\n";
-        out += name + " " + std::to_string(s.value) + "\n";
+        for (std::size_t k = i; k < j; ++k) {
+          out += series_ref(name, exposition_labels(samples[k].labels)) + " " +
+                 std::to_string(samples[k].value) + "\n";
+        }
         out += "# TYPE " + name + "_high_water gauge\n";
-        out += name + "_high_water " + std::to_string(s.high_water) + "\n";
+        for (std::size_t k = i; k < j; ++k) {
+          out += series_ref(name + "_high_water",
+                            exposition_labels(samples[k].labels)) +
+                 " " + std::to_string(samples[k].high_water) + "\n";
+        }
         break;
+      }
       case MetricKind::kHistogram: {
         out += "# TYPE " + name + " histogram\n";
-        std::uint64_t cum = 0;
-        for (std::size_t b = 0; b < s.buckets.size(); ++b) {
-          const double upper = Histogram::bucket_upper(b);
-          cum += s.buckets[b];
-          // The unbounded tail (if ever populated) is covered by +Inf.
-          if (std::isinf(upper)) continue;
-          out += name + "_bucket{le=\"" + format_double(upper) + "\"} " +
-                 std::to_string(cum) + "\n";
-        }
-        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(s.count) + "\n";
-        out += name + "_sum " + std::to_string(s.sum) + "\n";
-        out += name + "_count " + std::to_string(s.count) + "\n";
-        for (const auto& [q, label] :
-             {std::pair<double, const char*>{0.5, "0.5"},
-              {0.9, "0.9"},
-              {0.99, "0.99"}}) {
-          out += name + "{quantile=\"" + label + "\"} " +
-                 format_double(s.quantile(q)) + "\n";
+        for (std::size_t k = i; k < j; ++k) {
+          const MetricSample& s = samples[k];
+          const std::string labels = exposition_labels(s.labels);
+          std::uint64_t cum = 0;
+          for (std::size_t b = 0; b < s.buckets.size(); ++b) {
+            const double upper = Histogram::bucket_upper(b);
+            cum += s.buckets[b];
+            // The unbounded tail (if ever populated) is covered by +Inf.
+            if (std::isinf(upper)) continue;
+            out += series_ref(name + "_bucket", labels,
+                              "le=\"" + format_double(upper) + "\"") +
+                   " " + std::to_string(cum) + "\n";
+          }
+          out += series_ref(name + "_bucket", labels, "le=\"+Inf\"") + " " +
+                 std::to_string(s.count) + "\n";
+          out += series_ref(name + "_sum", labels) + " " +
+                 std::to_string(s.sum) + "\n";
+          out += series_ref(name + "_count", labels) + " " +
+                 std::to_string(s.count) + "\n";
+          for (const auto& [q, label] :
+               {std::pair<double, const char*>{0.5, "0.5"},
+                {0.9, "0.9"},
+                {0.99, "0.99"}}) {
+            out += series_ref(name, labels,
+                              std::string("quantile=\"") + label + "\"") +
+                   " " + format_double(s.quantile(q)) + "\n";
+          }
         }
         break;
       }
     }
+    i = j - 1;
   }
   return out;
 }
@@ -84,14 +149,17 @@ std::string delta_json(const MetricsSnapshot& prev, const MetricsSnapshot& cur,
     const std::uint64_t before = p != nullptr ? p->count : 0;
     if (s.count == before) continue;
     comma();
-    out += '"' + s.name + "\":" + std::to_string(s.count - before);
+    // Canonical names can contain quotes (labels) — always escape.
+    append_json_string(out, s.name);
+    out += ':' + std::to_string(s.count - before);
   }
   out += "},\"gauges\":{";
   first = true;
   for (const auto& s : cur.samples) {
     if (s.kind != MetricKind::kGauge) continue;
     comma();
-    out += '"' + s.name + "\":{\"value\":" + std::to_string(s.value) +
+    append_json_string(out, s.name);
+    out += ":{\"value\":" + std::to_string(s.value) +
            ",\"high_water\":" + std::to_string(s.high_water) + '}';
   }
   out += "},\"histograms\":{";
@@ -106,8 +174,8 @@ std::string delta_json(const MetricsSnapshot& prev, const MetricsSnapshot& cur,
     // Quantiles are over the cumulative distribution (buckets cannot be
     // diffed meaningfully once a scrape races updates), deltas over
     // count/sum.
-    out += '"' + s.name + "\":{\"count\":" +
-           std::to_string(s.count - count_before) +
+    append_json_string(out, s.name);
+    out += ":{\"count\":" + std::to_string(s.count - count_before) +
            ",\"sum\":" + std::to_string(s.sum - sum_before) +
            ",\"p50\":" + format_double(s.quantile(0.5)) +
            ",\"p90\":" + format_double(s.quantile(0.9)) +
@@ -118,16 +186,21 @@ std::string delta_json(const MetricsSnapshot& prev, const MetricsSnapshot& cur,
 }
 
 TelemetryServer::TelemetryServer(net::Network& net, int host,
-                                 std::uint16_t port, TelemetryConfig config) {
+                                 std::uint16_t port, TelemetryConfig config)
+    : registry_(config.registry) {
   // Self-metrics are registered eagerly so the *first* scrape already
   // lists them: a lazy first-bump-after-render would make consecutive
   // fixed-seed runs disagree on the metric set and break the golden
-  // exposition (see header contract).
+  // exposition (see header contract). They always live in the process-wide
+  // registry, even when this server serves a custom one.
   if constexpr (kObsEnabled) {
     auto& registry = MetricsRegistry::instance();
     registry.counter("pdc.telemetry.requests");
     registry.counter("pdc.telemetry.pushes");
     registry.histogram("pdc.telemetry.render_us");
+    registry.counter("pdc.trace.stream.chunks");
+    registry.counter("pdc.trace.stream.events");
+    registry.counter("pdc.trace.stream.dropped");
   }
   net::ServerConfig server_config;
   server_config.model = config.model;
@@ -152,13 +225,29 @@ void TelemetryServer::attach_collector(const TraceCollector* collector) {
 
 void TelemetryServer::stop() { server_->stop(); }
 
+MetricsRegistry& TelemetryServer::registry() const {
+  return registry_ != nullptr ? *registry_ : MetricsRegistry::instance();
+}
+
 std::string TelemetryServer::endpoint_body(const std::string& endpoint) {
   if (endpoint == "/healthz") return "ok\n";
   if (endpoint == "/metrics") {
-    return prometheus_exposition(MetricsRegistry::instance().scrape());
+    return prometheus_exposition(registry().scrape());
   }
   if (endpoint == "/metrics.json") {
-    return MetricsRegistry::instance().scrape().to_json();
+    return registry().scrape().to_json();
+  }
+  if (endpoint == "/metrics.wire") {
+    return registry().scrape().to_wire();
+  }
+  if (endpoint == "reset") {
+    registry().reset();
+    return "ok\n";
+  }
+  if (endpoint == "snapshot-now") {
+    // An immediate scrape, bypassing whatever cadence the operator tier
+    // polls at; body matches /metrics.json so consumers share a parser.
+    return registry().scrape().to_json();
   }
   if (endpoint == "/trace") {
     const TraceCollector* collector =
@@ -167,13 +256,16 @@ std::string TelemetryServer::endpoint_body(const std::string& endpoint) {
       return "{\"error\":\"no trace collector attached\"}\n";
     }
     if (collector->running()) {
-      return "{\"error\":\"trace collector still running\"}\n";
+      return "{\"error\":\"trace collector still running\",\"hint\":\"use "
+             "/trace/stream <frames> [interval_ms] for live events, or stop "
+             "the collector for a full dump\"}\n";
     }
     return collector->chrome_trace_json();
   }
   return "error: unknown endpoint '" + endpoint +
-         "' (try /metrics, /metrics.json, /trace, /healthz, "
-         "/subscribe <frames> [interval_ms])\n";
+         "' (try /metrics, /metrics.json, /metrics.wire, /trace, /healthz, "
+         "reset, snapshot-now, /subscribe <frames> [interval_ms], "
+         "/trace/stream <frames> [interval_ms])\n";
 }
 
 net::Bytes TelemetryServer::handle(const net::Bytes& request) {
@@ -189,24 +281,33 @@ net::Bytes TelemetryServer::handle(const net::Bytes& request) {
 bool TelemetryServer::handle_stream(const net::Bytes& request,
                                     net::StreamSocket& socket) {
   const std::string text = net::to_string(request);
-  if (text.rfind("/subscribe", 0) != 0) return false;
+  const bool is_subscribe = text.rfind("/subscribe", 0) == 0;
+  const bool is_trace_stream = text.rfind("/trace/stream", 0) == 0;
+  if (!is_subscribe && !is_trace_stream) return false;
+  const char* verb = is_subscribe ? "/subscribe" : "/trace/stream";
   unsigned long long frames = 0;
   unsigned long long interval_ms = 0;
-  const int got =
-      std::sscanf(text.c_str(), "/subscribe %llu %llu", &frames, &interval_ms);
+  const int got = std::sscanf(text.c_str() + std::string_view(verb).size(),
+                              " %llu %llu", &frames, &interval_ms);
   if (got < 1 || frames == 0) {
     (void)net::MessageCodec::send_message(
-        socket,
-        net::to_bytes(
-            std::string("error: usage /subscribe <frames> [interval_ms]\n")));
+        socket, net::to_bytes(std::string("error: usage ") + verb +
+                              " <frames> [interval_ms]\n"));
     return true;
   }
+  return is_subscribe ? stream_subscription(frames, interval_ms, socket)
+                      : stream_trace(frames, interval_ms, socket);
+}
+
+bool TelemetryServer::stream_subscription(std::uint64_t frames,
+                                          std::uint64_t interval_ms,
+                                          net::StreamSocket& socket) {
   // Per-client cursor state lives right here on the connection's stack:
   // frame 1 diffs against the empty snapshot (= full totals), frame k
   // against what this client saw in frame k-1.
   MetricsSnapshot prev;
   for (std::uint64_t cursor = 1; cursor <= frames; ++cursor) {
-    MetricsSnapshot cur = MetricsRegistry::instance().scrape();
+    MetricsSnapshot cur = registry().scrape();
     const std::string frame = delta_json(prev, cur, cursor);
     if (!net::MessageCodec::send_message(socket, net::to_bytes(frame))
              .is_ok()) {
@@ -215,6 +316,42 @@ bool TelemetryServer::handle_stream(const net::Bytes& request,
     PDC_OBS_COUNT("pdc.telemetry.pushes");
     prev = std::move(cur);
     if (cursor < frames && interval_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  }
+  return true;
+}
+
+bool TelemetryServer::stream_trace(std::uint64_t frames,
+                                   std::uint64_t interval_ms,
+                                   net::StreamSocket& socket) {
+  const TraceCollector* collector = collector_.load(std::memory_order_acquire);
+  if (collector == nullptr || !collector->running()) {
+    (void)net::MessageCodec::send_message(
+        socket, net::to_bytes(std::string(
+                    collector == nullptr
+                        ? "{\"error\":\"no trace collector attached\"}"
+                        : "{\"error\":\"trace collector not running\"}")));
+    return true;
+  }
+  // The per-client stream position lives on the connection's stack, like
+  // the subscription cursor: the collector itself keeps no client state.
+  TraceStreamCursor cursor;
+  for (std::uint64_t frame_no = 1; frame_no <= frames; ++frame_no) {
+    const TraceStreamChunk chunk = collector->stream_chunk(cursor);
+    std::string frame = "{\"cursor\":" + std::to_string(frame_no) +
+                        ",\"dropped\":" + std::to_string(cursor.dropped) +
+                        ",\"events\":[" + chunk.events_json + "]}";
+    if (!net::MessageCodec::send_message(socket, net::to_bytes(frame))
+             .is_ok()) {
+      break;  // client went away
+    }
+    PDC_OBS_COUNT("pdc.trace.stream.chunks");
+    PDC_OBS_COUNT("pdc.trace.stream.events", chunk.events);
+    if (chunk.dropped != 0) {
+      PDC_OBS_COUNT("pdc.trace.stream.dropped", chunk.dropped);
+    }
+    if (frame_no < frames && interval_ms > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
     }
   }
@@ -255,6 +392,31 @@ support::Status TelemetryClient::subscribe(
     auto frame = net::MessageCodec::recv_message(socket_);
     if (!frame.is_ok()) return frame.status();
     on_frame(net::to_string(frame.value()));
+  }
+  return support::Status::ok();
+}
+
+support::Status TelemetryClient::stream_trace(
+    std::size_t frames, std::uint64_t interval_ms,
+    const std::function<void(const std::string&)>& on_chunk) {
+  PDC_CHECK_MSG(socket_.valid(), "stream_trace before connect");
+  const std::string request = "/trace/stream " + std::to_string(frames) + " " +
+                              std::to_string(interval_ms);
+  if (auto status =
+          net::MessageCodec::send_message(socket_, net::to_bytes(request));
+      !status.is_ok()) {
+    return status;
+  }
+  for (std::size_t i = 0; i < frames; ++i) {
+    auto frame = net::MessageCodec::recv_message(socket_);
+    if (!frame.is_ok()) return frame.status();
+    const std::string text = net::to_string(frame.value());
+    on_chunk(text);
+    // A usage/collector problem arrives as a single error frame; stop
+    // instead of blocking on frames the server will never push.
+    if (text.rfind("{\"error\"", 0) == 0 || text.rfind("error:", 0) == 0) {
+      break;
+    }
   }
   return support::Status::ok();
 }

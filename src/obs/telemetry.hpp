@@ -8,10 +8,24 @@
 //
 //   /metrics        Prometheus-style text exposition of the registry
 //   /metrics.json   the same scrape as MetricsSnapshot::to_json()
+//   /metrics.wire   the same scrape as MetricsSnapshot::to_wire() — the
+//                   exact-integer encoding federation scrapes (see
+//                   obs/federation.hpp)
 //   /trace          Chrome trace_event JSON of the attached collector's
-//                   harvested session (error JSON when none is attached)
+//                   harvested session (error JSON when none is attached
+//                   or it is still running — stream instead, below)
 //   /healthz        "ok\n"
 //   /subscribe N I  push N framed delta snapshots, I ms apart (see below)
+//   /trace/stream N I  push N framed chunks of live trace events from the
+//                   *running* collector, I ms apart: per-client
+//                   TraceStreamCursor on the connection stack; each frame
+//                   is {"cursor":k,"dropped":<cumulative laps>,
+//                   "events":[...]} with events byte-identical to their
+//                   /trace dump twins
+//   reset           control verb: zero every metric in the served
+//                   registry, reply "ok\n"
+//   snapshot-now    control verb: immediate /metrics.json body, bypassing
+//                   any scrape cadence an operator tier imposes
 //
 // Delta subscriptions use net::ServerConfig::raw_handler: the serving
 // thread scrapes, diffs against the previous scrape it sent *this client*
@@ -52,6 +66,9 @@ namespace pdc::obs {
 ///   histogram  # TYPE <name> histogram      + cumulative <name>_bucket{le=...}
 ///              lines (power-of-two bounds), _sum, _count, and
 ///              <name>{quantile="0.5|0.9|0.99"} interpolated summaries.
+/// Labeled series render as `<name>{k="v",...} <value>` (label keys
+/// sanitized like names, values escaped) with one `# TYPE` line per
+/// family, and `le`/`quantile` appended after the series labels.
 [[nodiscard]] std::string prometheus_exposition(const MetricsSnapshot& snapshot);
 
 /// One frame of the delta-subscription stream: counters and histograms
@@ -65,6 +82,13 @@ namespace pdc::obs {
 struct TelemetryConfig {
   net::ThreadingModel model = net::ThreadingModel::kThreadPerConnection;
   std::size_t workers = 2;  // worker-pool model only
+  // Registry this server scrapes and resets; nullptr means the
+  // process-wide MetricsRegistry::instance(). Per-rank servers in a
+  // federated sim each point at their own instance so every endpoint
+  // exports that rank's plane only. The server's own self-metrics always
+  // go to the process-wide registry, keeping a custom plane unperturbed
+  // by the act of scraping it.
+  MetricsRegistry* registry = nullptr;
 };
 
 class TelemetryServer {
@@ -87,10 +111,16 @@ class TelemetryServer {
   void stop();
 
  private:
+  [[nodiscard]] MetricsRegistry& registry() const;
   [[nodiscard]] std::string endpoint_body(const std::string& endpoint);
   net::Bytes handle(const net::Bytes& request);
   bool handle_stream(const net::Bytes& request, net::StreamSocket& socket);
+  bool stream_subscription(std::uint64_t frames, std::uint64_t interval_ms,
+                           net::StreamSocket& socket);
+  bool stream_trace(std::uint64_t frames, std::uint64_t interval_ms,
+                    net::StreamSocket& socket);
 
+  MetricsRegistry* registry_ = nullptr;  // nullptr = process-wide instance
   std::atomic<const TraceCollector*> collector_{nullptr};
   std::unique_ptr<net::Server> server_;  // last member: threads start here
 };
@@ -111,6 +141,13 @@ class TelemetryClient {
   support::Status subscribe(
       std::size_t frames, std::uint64_t interval_ms,
       const std::function<void(const std::string&)>& on_frame);
+
+  /// Streams `frames` chunks of live trace events from the server's
+  /// running collector (`/trace/stream`), calling `on_chunk` with each
+  /// frame's JSON. Returns after the last frame.
+  support::Status stream_trace(
+      std::size_t frames, std::uint64_t interval_ms,
+      const std::function<void(const std::string&)>& on_chunk);
 
   void close();
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -23,7 +24,11 @@ std::atomic<std::uint64_t> g_session_epoch{1};
 
 struct Ring {
   std::mutex mutex;
-  std::vector<TraceEvent> events;
+  // Circular: events[i] holds sequence base_seq + i; a full ring pops the
+  // front (overwrite-oldest) so stream cursors can detect laps by
+  // comparing their position against base_seq.
+  std::deque<TraceEvent> events;
+  std::uint64_t base_seq = 0;
   std::uint64_t dropped = 0;
   std::uint64_t tid = 0;  // session-local track id (registration order)
   const char* thread_name = nullptr;
@@ -67,7 +72,6 @@ Ring& current_ring() {
   const std::uint64_t epoch = g_session_epoch.load(std::memory_order_acquire);
   if (!ring || ring_epoch != epoch) {
     auto fresh = std::make_shared<Ring>();
-    fresh->events.reserve(1024);
     auto& st = state();
     std::scoped_lock lock(st.mutex);
     fresh->tid = st.next_tid++;
@@ -80,8 +84,9 @@ Ring& current_ring() {
 
 void append(Ring& ring, TraceEvent event) {
   if (ring.events.size() >= kTraceRingCapacity) {
+    ring.events.pop_front();
+    ++ring.base_seq;
     ++ring.dropped;
-    return;
   }
   ring.events.push_back(event);
 }
@@ -107,6 +112,42 @@ void append_json_string(std::string& out, const char* text) {
     }
   }
   out += '"';
+}
+
+/// One Chrome trace_event object — shared by the post-stop dump and the
+/// live stream so a streamed event is byte-identical to its dump twin.
+void append_event_json(std::string& out, const TraceEvent& ev,
+                       std::uint64_t tid) {
+  out += "{\"ph\":\"";
+  out += phase_of(ev.kind);
+  out += "\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+         ",\"ts\":" + std::to_string(ev.ts_us) + ",\"name\":";
+  append_json_string(out, ev.name);
+  switch (ev.kind) {
+    case TraceEventKind::kFlowStart:
+      out += ",\"cat\":\"wire\",\"id\":" + std::to_string(ev.id);
+      break;
+    case TraceEventKind::kFlowEnd:
+      // bp:"e" binds the arrow to the enclosing slice rather than the
+      // next one — required for the causal reading of the trace.
+      out += ",\"cat\":\"wire\",\"bp\":\"e\",\"id\":" + std::to_string(ev.id);
+      break;
+    case TraceEventKind::kInstant:
+      out += ",\"s\":\"t\"";
+      break;
+    default:
+      break;
+  }
+  if (ev.kind != TraceEventKind::kEnd) {
+    out += ",\"args\":{\"arg\":" + std::to_string(ev.arg) +
+           ",\"lamport\":" + std::to_string(ev.lamport);
+    if (ev.kind == TraceEventKind::kFlowStart ||
+        ev.kind == TraceEventKind::kFlowEnd) {
+      out += ",\"bytes\":" + std::to_string(ev.bytes);
+    }
+    out += "}";
+  }
+  out += "}";
 }
 
 }  // namespace
@@ -202,7 +243,7 @@ void TraceCollector::stop() {
     std::scoped_lock ring_lock(ring->mutex);
     st.harvest.push_back(detail::HarvestedRing{
         ring->tid, ring->thread_name, ring->name_index, ring->dropped,
-        ring->events});
+        std::vector<TraceEvent>(ring->events.begin(), ring->events.end())});
   }
   std::sort(st.harvest.begin(), st.harvest.end(),
             [](const auto& a, const auto& b) { return a.tid < b.tid; });
@@ -251,42 +292,45 @@ std::string TraceCollector::chrome_trace_json() const {
   }
   for (const auto& ring : st.harvest) {
     for (const auto& ev : ring.events) {
-      std::string line = "{\"ph\":\"";
-      line += detail::phase_of(ev.kind);
-      line += "\",\"pid\":1,\"tid\":" + std::to_string(ring.tid) +
-              ",\"ts\":" + std::to_string(ev.ts_us) + ",\"name\":";
-      detail::append_json_string(line, ev.name);
-      switch (ev.kind) {
-        case TraceEventKind::kFlowStart:
-          line += ",\"cat\":\"wire\",\"id\":" + std::to_string(ev.id);
-          break;
-        case TraceEventKind::kFlowEnd:
-          // bp:"e" binds the arrow to the enclosing slice rather than the
-          // next one — required for the causal reading of the trace.
-          line += ",\"cat\":\"wire\",\"bp\":\"e\",\"id\":" +
-                  std::to_string(ev.id);
-          break;
-        case TraceEventKind::kInstant:
-          line += ",\"s\":\"t\"";
-          break;
-        default:
-          break;
-      }
-      if (ev.kind != TraceEventKind::kEnd) {
-        line += ",\"args\":{\"arg\":" + std::to_string(ev.arg) +
-                ",\"lamport\":" + std::to_string(ev.lamport);
-        if (ev.kind == TraceEventKind::kFlowStart ||
-            ev.kind == TraceEventKind::kFlowEnd) {
-          line += ",\"bytes\":" + std::to_string(ev.bytes);
-        }
-        line += "}";
-      }
-      line += "}";
+      std::string line;
+      detail::append_event_json(line, ev, ring.tid);
       emit(line);
     }
   }
   out += "\n],\"displayTimeUnit\":\"ms\"}\n";
   return out;
+}
+
+TraceStreamChunk TraceCollector::stream_chunk(TraceStreamCursor& cursor) const {
+  TraceStreamChunk chunk;
+  auto& st = detail::state();
+  std::scoped_lock lock(st.mutex);
+  for (const auto& ring : st.rings) {
+    std::scoped_lock ring_lock(ring->mutex);
+    std::uint64_t seq = 0;
+    if (const auto it = cursor.next_seq.find(ring->tid);
+        it != cursor.next_seq.end()) {
+      seq = it->second;
+    }
+    if (seq < ring->base_seq) {
+      // The ring lapped this client: everything between its cursor and the
+      // oldest retained event is gone for good.
+      chunk.dropped += ring->base_seq - seq;
+      seq = ring->base_seq;
+    }
+    const std::uint64_t end = ring->base_seq + ring->events.size();
+    for (; seq < end; ++seq) {
+      if (!chunk.events_json.empty()) chunk.events_json += ',';
+      detail::append_event_json(
+          chunk.events_json,
+          ring->events[static_cast<std::size_t>(seq - ring->base_seq)],
+          ring->tid);
+      ++chunk.events;
+    }
+    cursor.next_seq[ring->tid] = end;
+  }
+  cursor.dropped += chunk.dropped;
+  return chunk;
 }
 
 }  // namespace pdc::obs

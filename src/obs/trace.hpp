@@ -30,7 +30,9 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <map>
 #include <string>
 
 namespace pdc::obs {
@@ -162,6 +164,25 @@ class ScopedSpan {
 /// SimScheduler run, steady_clock otherwise.
 [[nodiscard]] std::uint64_t now_us();
 
+/// A stream client's position in the live event stream: the next unseen
+/// sequence number per thread ring, plus the cumulative count of events
+/// lost to ring laps (the cursor falling behind a ring's oldest retained
+/// event because the consumer was too slow). One cursor per client; state
+/// lives with the client, so the collector itself stays client-free.
+struct TraceStreamCursor {
+  std::map<std::uint64_t, std::uint64_t> next_seq;  // ring tid -> next seq
+  std::uint64_t dropped = 0;
+};
+
+/// One incremental harvest: Chrome trace_event objects (comma-joined, no
+/// enclosing array — ready to splice into an "events":[...] frame) for
+/// every event appended since the cursor's position.
+struct TraceStreamChunk {
+  std::string events_json;
+  std::size_t events = 0;
+  std::uint64_t dropped = 0;  // newly lapped since the previous chunk
+};
+
 /// A trace session. Construction does nothing; start() begins recording
 /// process-wide, stop() ends it; harvest with chrome_trace_json().
 /// One collector may be running at a time (checked).
@@ -185,6 +206,15 @@ class TraceCollector {
   /// (timestamp, thread track, ring position) so the output is stable.
   [[nodiscard]] std::string chrome_trace_json() const;
 
+  /// Incremental harvest from the *running* session — the live
+  /// counterpart of chrome_trace_json(): drains events appended since
+  /// `cursor`, advances the cursor, and counts events a ring overwrote
+  /// before this client consumed them (ring lap -> chunk.dropped and
+  /// cursor.dropped). Events come out in (ring, sequence) order as the
+  /// same JSON objects a post-stop dump would contain, so concatenating
+  /// every chunk of a lap-free client reproduces the dump's event set.
+  [[nodiscard]] TraceStreamChunk stream_chunk(TraceStreamCursor& cursor) const;
+
   /// Total events harvested (post-stop convenience for tests).
   [[nodiscard]] std::size_t event_count() const;
 
@@ -196,9 +226,11 @@ class TraceCollector {
   bool running_ = false;
 };
 
-/// Events each thread ring can hold per session. Oldest events are NOT
-/// overwritten — a full ring drops new events and counts them — so span
-/// begin/ends stay paired.
+/// Events each thread ring can hold per session. Rings are circular: a
+/// full ring overwrites its oldest event and counts the loss, so live
+/// stream clients always see the newest activity; a post-stop dump of an
+/// overflowed ring holds the trailing window (unmatched span begins are
+/// possible there — the stream saw the complete prefix).
 inline constexpr std::size_t kTraceRingCapacity = 1u << 16;
 
 }  // namespace pdc::obs

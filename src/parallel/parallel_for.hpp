@@ -213,6 +213,18 @@ void parallel_inclusive_scan(ThreadPool& pool, std::vector<T>& data, Op&& op) {
       {.schedule = Schedule::kStatic, .chunk = 1});
 }
 
+/// Concurrent fan-out: `body(i)` for every i in [0, n), each claimed as
+/// its own dynamic chunk, with the caller participating as a runner.
+/// Shaped for n independent *blocking* calls (scatter-gather RPC, scrape
+/// federation): every runner holds exactly one in-flight call, so with a
+/// pool of at least n-1 workers all n calls overlap; with fewer, runners
+/// pipeline the remainder as calls complete. First exception rethrown.
+template <typename Body>
+void fan_out(ThreadPool& pool, std::size_t n, Body&& body) {
+  parallel_for(pool, 0, n, body,
+               {.schedule = Schedule::kDynamic, .chunk = 1, .max_runners = n});
+}
+
 /// Out-of-place map: out[i] = fn(in[i]).
 template <typename In, typename Out, typename Fn>
 void parallel_transform(ThreadPool& pool, const std::vector<In>& in,

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "net/framing.hpp"
 #include "net/network.hpp"
 #include "obs/bench_report.hpp"
+#include "obs/federation.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/replay.hpp"
@@ -791,6 +793,523 @@ TEST(Telemetry, ScrapeUnderLoadStress) {
   stop.store(true, std::memory_order_relaxed);
   for (auto& writer : writers) writer.join();
   EXPECT_NE(last.find("test.load.counter"), std::string::npos);
+  client.close();
+}
+
+// ------------------------------------------------- labels & federation
+
+TEST(Labels, MetricKeyCanonicalAndParseRoundTrip) {
+  obs::MetricKey key{"pdc.demo", {{"b", "2"}, {"a", "x\"y\\z\n"}}};
+  key.canonicalize();
+  ASSERT_EQ(key.labels.size(), 2u);
+  EXPECT_EQ(key.labels.front().first, "a");  // sorted by key
+  const std::string canon = key.canonical();
+  EXPECT_EQ(canon, "pdc.demo{a=\"x\\\"y\\\\z\\n\",b=\"2\"}");
+  const auto parsed = obs::MetricKey::parse(canon);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, key);
+
+  const auto flat = obs::MetricKey::parse("pdc.flat");
+  ASSERT_TRUE(flat.has_value());
+  EXPECT_TRUE(flat->labels.empty());
+
+  obs::MetricKey dup{"m", {{"k", "1"}, {"k", "2"}}};
+  dup.canonicalize();  // duplicate keys: first occurrence wins
+  ASSERT_EQ(dup.labels.size(), 1u);
+  EXPECT_EQ(dup.labels[0].second, "1");
+
+  EXPECT_FALSE(obs::MetricKey::parse("x{a=\"1\"").has_value());   // no brace
+  EXPECT_FALSE(obs::MetricKey::parse("x{a=1}").has_value());      // no quotes
+  EXPECT_FALSE(obs::MetricKey::parse("x{a=\"1\"}z").has_value()); // trailing
+}
+
+TEST(Labels, RegistryInternsPermutationsAsOneSeries) {
+  obs::MetricsRegistry reg;
+  auto& a = reg.counter("test.lab", {{"x", "1"}, {"y", "2"}});
+  auto& b = reg.counter("test.lab", {{"y", "2"}, {"x", "1"}});
+  EXPECT_EQ(&a, &b);  // permutations canonicalize to one series
+  auto& flat = reg.counter("test.lab");
+  EXPECT_NE(&flat, &a);  // the flat series is its own key
+  a.inc(3);
+  flat.inc(1);
+
+  const auto snap = reg.scrape();
+  const auto* labeled = snap.find("test.lab{x=\"1\",y=\"2\"}");
+  ASSERT_NE(labeled, nullptr);
+  EXPECT_EQ(labeled->count, 3u);
+  EXPECT_EQ(labeled->base, "test.lab");
+  ASSERT_EQ(labeled->labels.size(), 2u);
+  EXPECT_EQ(snap.counter("test.lab"), 1u);
+  // Mixed families nest in JSON: unlabeled series under the "" key.
+  EXPECT_NE(snap.to_json().find(
+                "\"test.lab\":{\"\":1,\"x=\\\"1\\\",y=\\\"2\\\"\":3}"),
+            std::string::npos);
+}
+
+TEST(Labels, WireFormatRoundTrips) {
+  obs::MetricsRegistry reg;
+  reg.counter("w.c").inc(5);
+  reg.counter("w.c", {{"rank", "0"}}).inc(2);
+  reg.gauge("w.g", {{"host", "h\"x"}}).add(-3);
+  reg.histogram("w.h", {{"rank", "1"}}).record(std::uint64_t{1000});
+  const auto snap = reg.scrape();
+  const auto back = obs::MetricsSnapshot::from_wire(snap.to_wire());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->samples, snap.samples);
+
+  EXPECT_FALSE(obs::MetricsSnapshot::from_wire("pdcwire 2\n").has_value());
+  EXPECT_FALSE(obs::MetricsSnapshot::from_wire("bogus").has_value());
+}
+
+TEST(Labels, MpRanksAndNetHostsGetLabeledTwins) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with PDCKIT_OBS_NOOP";
+  MetricsRegistry::instance().reset();
+  mp::World world(3);
+  world.run([](mp::Communicator& comm) {
+    if (comm.rank() == 0) {
+      (void)dist::run_2pc_coordinator(comm);
+    } else {
+      (void)dist::run_2pc_participant(comm, /*vote_commit=*/true);
+    }
+  });
+  net::Network net(2, fast_net());
+  auto tx = net.open_datagram(0, 7000);
+  auto rx = net.open_datagram(1, 7001);
+  tx->send_to(rx->local(), net::to_bytes(std::string("hi")));
+  ASSERT_TRUE(rx->recv().is_ok());
+
+  const auto snap = MetricsRegistry::instance().scrape();
+  for (const char* rank : {"0", "1", "2"}) {
+    EXPECT_GT(snap.counter("pdc.mp.rank_sent{rank=\"" + std::string(rank) +
+                           "\"}"),
+              0u);
+    EXPECT_GT(snap.counter("pdc.mp.rank_received{rank=\"" + std::string(rank) +
+                           "\"}"),
+              0u);
+  }
+  EXPECT_GE(snap.counter("pdc.net.host_sent{host=\"0\"}"), 1u);
+  EXPECT_GE(snap.counter("pdc.net.host_received{host=\"1\"}"), 1u);
+}
+
+TEST(Federation, HistogramMergeIsAssociativeAndCommutative) {
+  support::Rng rng(123);
+  auto random_snap = [&rng] {
+    obs::Histogram h;
+    const std::int64_t n = rng.uniform_int(1, 200);
+    for (std::int64_t i = 0; i < n; ++i) {
+      h.record(static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20)));
+    }
+    return h.snapshot();
+  };
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto a = random_snap(), b = random_snap(), c = random_snap();
+    obs::Histogram::Snapshot left = a;
+    left.merge(b);
+    left.merge(c);  // (a + b) + c
+    obs::Histogram::Snapshot bc = b;
+    bc.merge(c);
+    obs::Histogram::Snapshot right = a;
+    right.merge(bc);  // a + (b + c)
+    EXPECT_EQ(left, right);
+    obs::Histogram::Snapshot ab = a, ba = b;
+    ab.merge(b);
+    ba.merge(a);
+    EXPECT_EQ(ab, ba);
+  }
+}
+
+namespace {
+
+obs::SourceSnapshot counting_source(const std::string& name,
+                                    std::uint64_t seed) {
+  obs::MetricsRegistry reg;
+  support::Rng rng(seed);
+  reg.counter("prop.requests").inc(static_cast<std::uint64_t>(
+      rng.uniform_int(1, 1000)));
+  reg.counter("prop.errors", {{"kind", "timeout"}})
+      .inc(static_cast<std::uint64_t>(rng.uniform_int(0, 50)));
+  auto& hist = reg.histogram("prop.latency_us");
+  const std::int64_t n = rng.uniform_int(10, 300);
+  for (std::int64_t i = 0; i < n; ++i) {
+    hist.record(static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 16)));
+  }
+  return {name, reg.scrape()};
+}
+
+}  // namespace
+
+// Gauge-free inputs merge to byte-identical output under any source
+// permutation (gauges are last-write and deliberately order-dependent).
+TEST(Federation, MergeIsPermutationInvariantWithoutGauges) {
+  const auto a = counting_source("0", 11);
+  const auto b = counting_source("1", 22);
+  const auto c = counting_source("2", 33);
+  const std::string abc = obs::merge_federated({a, b, c}).to_wire();
+  const std::string cab = obs::merge_federated({c, a, b}).to_wire();
+  const std::string bca = obs::merge_federated({b, c, a}).to_wire();
+  EXPECT_EQ(abc, cab);
+  EXPECT_EQ(abc, bca);
+}
+
+TEST(Federation, MergeStampsSourcesAndAggregates) {
+  obs::MetricsRegistry r0, r1;
+  r0.counter("f.c").inc(3);
+  r0.gauge("f.g").add(5);
+  r1.counter("f.c").inc(4);
+  r1.gauge("f.g").add(9);
+  const auto merged =
+      obs::merge_federated({{"0", r0.scrape()}, {"1", r1.scrape()}});
+  EXPECT_EQ(merged.counter("f.c"), 7u);  // aggregate: counters sum
+  EXPECT_EQ(merged.counter("f.c{rank=\"0\"}"), 3u);
+  EXPECT_EQ(merged.counter("f.c{rank=\"1\"}"), 4u);
+  const auto* gauge = merged.find("f.g");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->value, 9);  // aggregate: gauges last-write
+
+  // Second tier: series already stamped keep their attribution (no double
+  // stamp) and feed no second aggregate (no double count); only the
+  // first-tier aggregate gets this tier's label.
+  const auto tier2 = obs::merge_federated({{"9", merged}});
+  EXPECT_EQ(tier2.counter("f.c"), 7u);
+  EXPECT_EQ(tier2.counter("f.c{rank=\"9\"}"), 7u);
+  EXPECT_EQ(tier2.counter("f.c{rank=\"0\"}"), 3u);
+  EXPECT_EQ(tier2.counter("f.c{rank=\"1\"}"), 4u);
+}
+
+// Acceptance: quantiles of the merged histogram equal quantiles of one
+// histogram fed every rank's samples — bucket merge loses nothing.
+TEST(Federation, MergedQuantilesMatchConcatenatedSamples) {
+  obs::Histogram h0, h1, all;
+  std::vector<double> raw;
+  support::Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v =
+        static_cast<std::uint64_t>(rng.uniform_int(0, 100000));
+    (i % 2 == 0 ? h0 : h1).record(v);
+    all.record(v);
+    raw.push_back(static_cast<double>(v));
+  }
+  obs::Histogram::Snapshot merged = h0.snapshot();
+  merged.merge(h1.snapshot());
+  EXPECT_EQ(merged, all.snapshot());
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(merged.quantile(q), all.snapshot().quantile(q));
+    // And the estimate stays inside the exact percentile's bucket — same
+    // resolution contract the single-process Quantiles test pins down.
+    const double exact = support::percentile(raw, q * 100.0);
+    const std::size_t bucket =
+        obs::Histogram::bucket_of(static_cast<std::uint64_t>(exact));
+    const double lower =
+        bucket == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(bucket) - 1);
+    EXPECT_GE(merged.quantile(q), lower) << "q=" << q;
+    EXPECT_LE(merged.quantile(q), obs::Histogram::bucket_upper(bucket))
+        << "q=" << q;
+  }
+}
+
+namespace {
+
+/// One federated round: a fixed-seed 4-rank 2PC where each rank records
+/// into its own registry, served by four TelemetryServers and merged by an
+/// Aggregator (the examples/telemetry_federation workload, condensed).
+struct FederatedRound {
+  std::string exposition;
+  obs::MetricsSnapshot merged;
+};
+
+FederatedRound federated_round(std::uint64_t seed) {
+  constexpr int kRanks = 4;
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> regs;
+  for (int r = 0; r < kRanks; ++r) {
+    regs.push_back(std::make_unique<obs::MetricsRegistry>());
+  }
+  mp::World world(kRanks);
+  auto bodies = world.rank_bodies([&regs](mp::Communicator& comm) {
+    const int rank = comm.rank();
+    auto& reg = *regs[static_cast<std::size_t>(rank)];
+    const dist::TpcStats stats =
+        rank == 0 ? dist::run_2pc_coordinator(comm)
+                  : dist::run_2pc_participant(comm, /*vote_commit=*/true);
+    reg.counter("app.2pc.messages").inc(stats.messages_sent);
+    auto& hist = reg.histogram("app.step_us");
+    for (std::uint64_t i = 1; i <= 64; ++i) {
+      hist.record(i * static_cast<std::uint64_t>(rank + 1));
+    }
+  });
+  SchedulerOptions options;
+  options.policy = SchedulePolicy::kRandom;
+  options.seed = seed;
+  options.max_steps = 1u << 22;
+  SimScheduler scheduler(options);
+  const auto report = scheduler.run(std::move(bodies));
+  EXPECT_TRUE(report.ok()) << report.error;
+
+  net::Network net(kRanks + 2, fast_net());
+  std::vector<std::unique_ptr<obs::TelemetryServer>> servers;
+  std::vector<obs::ScrapeTarget> targets;
+  for (int r = 0; r < kRanks; ++r) {
+    obs::TelemetryConfig config;
+    config.registry = regs[static_cast<std::size_t>(r)].get();
+    servers.push_back(std::make_unique<obs::TelemetryServer>(
+        net, /*host=*/r, /*port=*/9100, config));
+    targets.push_back({servers.back()->address(), std::to_string(r)});
+  }
+  obs::Aggregator aggregator(net, /*host=*/kRanks, /*port=*/9200,
+                             std::move(targets));
+  obs::TelemetryClient client(net, /*host=*/kRanks + 1);
+  EXPECT_TRUE(client.connect(aggregator.address()).is_ok());
+  FederatedRound round;
+  round.exposition = client.get("/metrics").value();
+  round.merged = aggregator.federate();
+  client.close();
+  return round;
+}
+
+}  // namespace
+
+// Acceptance: two identical fixed-seed multi-rank runs federate to
+// byte-identical /metrics bodies, and every per-rank series carries its
+// rank label.
+TEST(Federation, GoldenFederatedScrapeIsByteStable) {
+  const FederatedRound a = federated_round(7);
+  const FederatedRound b = federated_round(7);
+  EXPECT_EQ(a.exposition, b.exposition);
+  for (const char* rank : {"0", "1", "2", "3"}) {
+    EXPECT_NE(a.exposition.find("app_2pc_messages{rank=\"" +
+                                std::string(rank) + "\"}"),
+              std::string::npos);
+  }
+
+  // The aggregate histogram is the exact bucket merge of the per-rank
+  // series: counts add up and quantiles match the rebuilt merge.
+  const auto* aggregate = a.merged.find("app.step_us");
+  ASSERT_NE(aggregate, nullptr);
+  obs::Histogram::Snapshot rebuilt;
+  std::uint64_t per_rank_total = 0;
+  for (const char* rank : {"0", "1", "2", "3"}) {
+    const auto* sample =
+        a.merged.find("app.step_us{rank=\"" + std::string(rank) + "\"}");
+    ASSERT_NE(sample, nullptr);
+    per_rank_total += sample->count;
+    rebuilt.count += sample->count;
+    rebuilt.sum += sample->sum;
+    for (std::size_t i = 0; i < sample->buckets.size(); ++i) {
+      rebuilt.buckets[i] += sample->buckets[i];
+    }
+  }
+  EXPECT_EQ(aggregate->count, per_rank_total);
+  EXPECT_EQ(aggregate->count, 4u * 64u);
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(aggregate->quantile(q), rebuilt.quantile(q));
+  }
+}
+
+TEST(Federation, ControlVerbsResetAndSnapshotNow) {
+  obs::MetricsRegistry r0, r1;
+  r0.counter("ctl.hits").inc(2);
+  r1.counter("ctl.hits").inc(5);
+  net::Network net(4, fast_net());
+  obs::TelemetryConfig c0, c1;
+  c0.registry = &r0;
+  c1.registry = &r1;
+  obs::TelemetryServer s0(net, 0, 9100, c0);
+  obs::TelemetryServer s1(net, 1, 9100, c1);
+  obs::Aggregator aggregator(
+      net, 2, 9200, {{s0.address(), "0"}, {s1.address(), "1"}});
+  obs::TelemetryClient client(net, 3);
+  ASSERT_TRUE(client.connect(aggregator.address()).is_ok());
+
+  // snapshot-now on the aggregator is an immediate federated JSON body.
+  const std::string snap = client.get("snapshot-now").value();
+  EXPECT_NE(snap.find("\"ctl.hits\""), std::string::npos);
+  EXPECT_NE(snap.find(":7"), std::string::npos);
+
+  // reset broadcasts to every rank; the next scrape is zeroed.
+  EXPECT_EQ(client.get("reset").value(), "ok\n");
+  EXPECT_EQ(r0.scrape().counter("ctl.hits"), 0u);
+  EXPECT_EQ(r1.scrape().counter("ctl.hits"), 0u);
+  EXPECT_EQ(aggregator.federate().counter("ctl.hits"), 0u);
+  client.close();
+}
+
+// Free-running labeled-counter writers racing federated scrapes; under
+// -DPDCKIT_SANITIZE=thread this is the federation race check.
+TEST(Federation, LabeledWritesRacingFederatedScrapeStress) {
+  obs::MetricsRegistry r0, r1;
+  net::Network net(4, fast_net());
+  obs::TelemetryConfig c0, c1;
+  c0.registry = &r0;
+  c1.registry = &r1;
+  obs::TelemetryServer s0(net, 0, 9100, c0);
+  obs::TelemetryServer s1(net, 1, 9100, c1);
+  obs::Aggregator aggregator(
+      net, 2, 9200, {{s0.address(), "0"}, {s1.address(), "1"}});
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&stop, &r0, &r1, t] {
+      auto& mine = (t % 2 == 0 ? r0 : r1);
+      auto& counter =
+          mine.counter("race.ops", {{"worker", std::to_string(t)}});
+      auto& hist = mine.histogram("race.lat_us", {{"worker", "all"}});
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        counter.inc();
+        hist.record(i++ % 512);
+      }
+    });
+  }
+  obs::TelemetryClient client(net, 3);
+  ASSERT_TRUE(client.connect(aggregator.address()).is_ok());
+  std::string last;
+  for (int i = 0; i < 25; ++i) {
+    auto body = client.get(i % 2 == 0 ? "/metrics" : "/metrics.wire");
+    ASSERT_TRUE(body.is_ok());
+    last = std::move(body).value();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& writer : writers) writer.join();
+  EXPECT_NE(last.find("race"), std::string::npos);
+  client.close();
+}
+
+// -------------------------------------------------------- trace stream
+
+TEST(TraceStream, ChunksMatchPostStopDump) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with PDCKIT_OBS_NOOP";
+  obs::TraceCollector collector;
+  collector.start();
+  for (std::uint64_t i = 0; i < 100; ++i) obs::trace_instant("stream.tick", i);
+  obs::TraceStreamCursor cursor;
+  const auto chunk1 = collector.stream_chunk(cursor);
+  EXPECT_EQ(chunk1.events, 100u);
+  EXPECT_EQ(chunk1.dropped, 0u);
+  for (std::uint64_t i = 0; i < 50; ++i) obs::trace_instant("stream.tock", i);
+  const auto chunk2 = collector.stream_chunk(cursor);
+  EXPECT_EQ(chunk2.events, 50u);
+  const auto chunk3 = collector.stream_chunk(cursor);  // drained
+  EXPECT_EQ(chunk3.events, 0u);
+  EXPECT_TRUE(chunk3.events_json.empty());
+  collector.stop();
+
+  // A lap-free client saw every event; each streamed object is
+  // byte-identical to its dump twin (the dump separates with ",\n", the
+  // stream with "," — normalize before the contiguous-substring check).
+  EXPECT_EQ(collector.event_count(), 150u);
+  EXPECT_EQ(cursor.dropped, 0u);
+  const std::string dump = collector.chrome_trace_json();
+  const auto dump_style = [](std::string events) {
+    for (std::size_t at = events.find("},{"); at != std::string::npos;
+         at = events.find("},{", at + 3)) {
+      events.replace(at, 3, "},\n{");
+    }
+    return events;
+  };
+  EXPECT_NE(dump.find(dump_style(chunk1.events_json)), std::string::npos);
+  EXPECT_NE(dump.find(dump_style(chunk2.events_json)), std::string::npos);
+}
+
+TEST(TraceStream, RingLapCountsDropped) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with PDCKIT_OBS_NOOP";
+  obs::TraceCollector collector;
+  collector.start();
+  const std::uint64_t overshoot = 500;
+  for (std::uint64_t i = 0; i < obs::kTraceRingCapacity + overshoot; ++i) {
+    obs::trace_instant("lap.tick", i);
+  }
+  obs::TraceStreamCursor cursor;
+  const auto chunk = collector.stream_chunk(cursor);
+  EXPECT_EQ(chunk.dropped, overshoot);  // the lap is visible to the client
+  EXPECT_EQ(cursor.dropped, overshoot);
+  EXPECT_EQ(chunk.events, obs::kTraceRingCapacity);
+  collector.stop();
+  EXPECT_EQ(collector.dropped_events(), overshoot);
+}
+
+TEST(TraceStream, EndpointStreamsLiveChunks) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with PDCKIT_OBS_NOOP";
+  MetricsRegistry::instance().reset();
+  obs::TraceCollector collector;
+  net::Network net(2, fast_net());
+  obs::TelemetryServer server(net, 0, 9100);
+  server.attach_collector(&collector);
+  collector.start();
+  for (std::uint64_t i = 0; i < 32; ++i) obs::trace_instant("live.tick", i);
+
+  obs::TelemetryClient client(net, 1);
+  ASSERT_TRUE(client.connect(server.address()).is_ok());
+  std::vector<std::string> frames;
+  ASSERT_TRUE(client
+                  .stream_trace(/*frames=*/2, /*interval_ms=*/0,
+                                [&](const std::string& frame) {
+                                  frames.push_back(frame);
+                                })
+                  .is_ok());
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_NE(frames[0].find("\"cursor\":1"), std::string::npos);
+  EXPECT_NE(frames[1].find("\"cursor\":2"), std::string::npos);
+  EXPECT_NE(frames[0].find("\"dropped\":0"), std::string::npos);
+  EXPECT_NE(frames[0].find("\"live.tick\""), std::string::npos);
+  collector.stop();
+
+  // The post-hoc dump holds the streamed events too.
+  const std::string dump = client.get("/trace").value();
+  EXPECT_NE(dump.find("\"live.tick\""), std::string::npos);
+  client.close();
+
+  const auto snap = MetricsRegistry::instance().scrape();
+  EXPECT_GE(snap.counter("pdc.trace.stream.chunks"), 2u);
+  EXPECT_GE(snap.counter("pdc.trace.stream.events"), 32u);
+}
+
+TEST(TraceStream, EndpointReportsDroppedOnDeliberateLap) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with PDCKIT_OBS_NOOP";
+  MetricsRegistry::instance().reset();
+  obs::TraceCollector collector;
+  net::Network net(2, fast_net());
+  obs::TelemetryServer server(net, 0, 9100);
+  server.attach_collector(&collector);
+  collector.start();
+  const std::uint64_t overshoot = 200;
+  for (std::uint64_t i = 0; i < obs::kTraceRingCapacity + overshoot; ++i) {
+    obs::trace_instant("lap.net.tick", i);
+  }
+  obs::TelemetryClient client(net, 1);
+  ASSERT_TRUE(client.connect(server.address()).is_ok());
+  std::vector<std::string> frames;
+  ASSERT_TRUE(client
+                  .stream_trace(/*frames=*/1, /*interval_ms=*/0,
+                                [&](const std::string& frame) {
+                                  frames.push_back(frame);
+                                })
+                  .is_ok());
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_NE(frames[0].find("\"dropped\":" + std::to_string(overshoot)),
+            std::string::npos);
+  collector.stop();
+  client.close();
+  EXPECT_GE(MetricsRegistry::instance().scrape().counter(
+                "pdc.trace.stream.dropped"),
+            overshoot);
+}
+
+TEST(TraceStream, TraceEndpointAnswersJsonErrorWhileRunning) {
+  if (!obs::kObsEnabled) GTEST_SKIP() << "built with PDCKIT_OBS_NOOP";
+  obs::TraceCollector collector;
+  net::Network net(2, fast_net());
+  obs::TelemetryServer server(net, 0, 9100);
+  server.attach_collector(&collector);
+  collector.start();
+  obs::TelemetryClient client(net, 1);
+  ASSERT_TRUE(client.connect(server.address()).is_ok());
+  const std::string body = client.get("/trace").value();
+  EXPECT_NE(body.find("\"error\":\"trace collector still running\""),
+            std::string::npos);
+  EXPECT_NE(body.find("/trace/stream"), std::string::npos);  // the hint
+  collector.stop();
+  EXPECT_NE(client.get("/trace").value().find("\"traceEvents\""),
+            std::string::npos);
   client.close();
 }
 
