@@ -1,0 +1,186 @@
+// replicated_kv — a linearizable KV store surviving a leader crash
+// (docs/raft.md walks through the protocol this demonstrates).
+//
+// Part 1 runs a 3-rank dist::ReplicatedKV cluster under a fixed-seed
+// testkit::SimScheduler: a leader is elected, every rank writes and reads
+// through the replicated log, then the leader is killed mid-run (its
+// volatile state destroyed; the durable RaftPersistentState survives, as
+// a restarted process's disk would). The survivors elect a replacement,
+// the crashed rank rejoins from its log, and every read observes every
+// acknowledged write — the linearizability that tests/raft_test.cpp
+// checks mechanically, shown here narratively.
+//
+// Part 2 federates the telemetry the cluster produced: a TelemetryServer
+// exposes the process registry, an obs::Aggregator scrapes it, and the
+// /metrics exposition shows pdc.raft.term{rank="…"} jumping past the
+// crash (the new term) plus the pdc.kv.* client counters — how an
+// operator would watch a failover from outside.
+#include <array>
+#include <atomic>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dist/replicated_kv.hpp"
+#include "mp/world.hpp"
+#include "net/network.hpp"
+#include "obs/federation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "testkit/sim_scheduler.hpp"
+
+using namespace pdc;
+
+namespace {
+
+constexpr int kRanks = 3;
+
+struct Outcome {
+  std::atomic<int> first_leader{-1};
+  std::atomic<int> second_leader{-1};
+  std::atomic<bool> crashed{false};
+  std::atomic<int> done{0};
+  std::array<std::uint64_t, kRanks> final_term{};
+  std::array<std::string, kRanks> observed;
+};
+
+void run_cluster(Outcome& out) {
+  auto storage =
+      std::make_shared<std::vector<dist::RaftPersistentState>>(kRanks);
+  mp::World world(kRanks);
+  auto bodies = world.rank_bodies([&out, storage](mp::Communicator& comm) {
+    const auto rank = comm.rank();
+    dist::KvConfig cfg;
+    cfg.raft.seed = 77;
+    std::optional<dist::ReplicatedKV> kv(
+        std::in_place, comm, (*storage)[static_cast<std::size_t>(rank)], cfg);
+    auto spin = [&] {
+      kv->step();
+      testkit::poll_pause("kv.example", 0.5e-3);
+    };
+
+    while (out.first_leader.load() == -1) {
+      if (kv->is_leader()) out.first_leader = rank;
+      spin();
+    }
+    const std::string me = "rank:" + std::to_string(rank);
+    (void)kv->put(me, "before-crash");
+
+    if (rank == out.first_leader.load()) {
+      // The crash: volatile state (role, commit index, match indexes) is
+      // gone; the durable log in `storage` survives.
+      kv.reset();
+      out.crashed = true;
+      while (out.second_leader.load() == -1) {
+        testkit::poll_pause("kv.down", 1e-3);
+      }
+      auto rejoin = cfg;
+      rejoin.base_seq = 1;  // one op issued before the crash
+      kv.emplace(comm, (*storage)[static_cast<std::size_t>(rank)], rejoin);
+    } else {
+      while (!out.crashed.load()) spin();
+      while (out.second_leader.load() == -1) {
+        if (kv->is_leader()) out.second_leader = rank;
+        spin();
+      }
+    }
+
+    (void)kv->put(me, "after-failover");
+    const auto got = kv->get(me);
+    out.observed[static_cast<std::size_t>(rank)] =
+        got.ok() ? got.value : std::string("<") + to_string(got.status) + ">";
+
+    ++out.done;
+    while (out.done.load() < kRanks) spin();
+    out.final_term[static_cast<std::size_t>(rank)] =
+        kv->raft().current_term();
+  });
+
+  testkit::SchedulerOptions options;
+  options.seed = 9;
+  options.max_steps = 1u << 22;
+  testkit::SimScheduler scheduler(options);
+  const auto report = scheduler.run(std::move(bodies));
+  if (!report.ok()) {
+    std::cerr << "scheduler error: " << report.error << '\n';
+    std::exit(1);
+  }
+}
+
+/// Lines of the exposition that belong to the Raft/KV planes. The text
+/// format sanitizes metric names (dots become underscores), so the series
+/// registered as pdc.raft.term renders as pdc_raft_term{rank="..."}.
+std::string cluster_lines(const std::string& exposition) {
+  std::istringstream in(exposition);
+  std::ostringstream kept;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("# TYPE", 0) == 0) continue;
+    if (line.find("pdc_raft_term") != std::string::npos ||
+        line.find("pdc_raft_commit_index") != std::string::npos ||
+        line.find("pdc_kv_") != std::string::npos) {
+      kept << "  " << line << '\n';
+    }
+  }
+  return kept.str();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== replicated_kv: surviving a leader crash ===\n\n";
+
+  Outcome out;
+  run_cluster(out);
+
+  std::cout << "part 1: 3-rank ReplicatedKV, fixed sim seed\n";
+  std::cout << "  first leader:  rank " << out.first_leader.load()
+            << " (killed after every rank's first put)\n";
+  std::cout << "  second leader: rank " << out.second_leader.load()
+            << " (elected by the surviving majority)\n";
+  for (int r = 0; r < kRanks; ++r) {
+    std::cout << "  rank " << r << " get(rank:" << r << ") -> \""
+              << out.observed[static_cast<std::size_t>(r)]
+              << "\" at term " << out.final_term[static_cast<std::size_t>(r)]
+              << '\n';
+  }
+  std::cout << "  every acknowledged write survived the crash; the term "
+               "advanced past the failover\n\n";
+
+  // ------------------------------------------------ part 2: federation
+  net::NetConfig net_config;
+  net_config.latency_ms = 0.01;
+  net::Network net(3, net_config);
+
+  obs::TelemetryConfig config;  // default registry: the process instance
+  obs::TelemetryServer server(net, /*host=*/0, /*port=*/9100, config);
+  std::vector<obs::ScrapeTarget> targets{{server.address(), "cluster"}};
+  obs::Aggregator aggregator(net, /*host=*/1, /*port=*/9200,
+                             std::move(targets));
+
+  obs::TelemetryClient client(net, /*host=*/2);
+  if (!client.connect(aggregator.address()).is_ok()) {
+    std::cerr << "aggregator connect failed\n";
+    return 1;
+  }
+  const std::string exposition = client.get("/metrics").value();
+  std::cout << "part 2: federated GET /metrics (" << exposition.size()
+            << " bytes); the cluster's plane:\n";
+  const std::string lines = cluster_lines(exposition);
+  if (lines.empty()) {
+    std::cout << "  (obs compiled out: PDCKIT_OBS_NOOP build)\n";
+  } else {
+    std::cout << lines;
+  }
+  std::cout << "\n(pdc_raft_term{rank=\"...\"} holds the post-failover term "
+               "on every rank; the pdc_kv_* counters count the clients "
+               "chasing the new leader)\n";
+
+  client.close();
+  aggregator.stop();
+  server.stop();
+  return 0;
+}

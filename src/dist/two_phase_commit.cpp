@@ -3,9 +3,9 @@
 #include <thread>
 #include <vector>
 
+#include "dist/retry_clock.hpp"
 #include "obs/obs.hpp"
 #include "support/check.hpp"
-#include "support/stopwatch.hpp"
 #include "testkit/hooks.hpp"
 
 namespace pdc::dist {
@@ -23,35 +23,6 @@ constexpr int kTagAck = 43;
 // delivery).
 constexpr double kRetryMillis = 2.0;
 constexpr int kMaxRounds = 250;
-
-// Elapsed-time source for the retry/timeout cadences. Under a
-// SimScheduler run the wall clock is meaningless (threads execute one at
-// a time and only parked deadlines advance the virtual clock), so
-// elapsed time must come from testkit::sim_now(); off-sim it is a plain
-// Stopwatch.
-class RetryClock {
- public:
-  RetryClock() { reset(); }
-
-  void reset() {
-    sim_ = testkit::detail::sim_thread_active();
-    if (sim_) {
-      start_ = testkit::sim_now();
-    } else {
-      watch_.reset();
-    }
-  }
-
-  [[nodiscard]] double elapsed_millis() const {
-    if (sim_) return (testkit::sim_now() - start_) * 1e3;
-    return watch_.elapsed_millis();
-  }
-
- private:
-  bool sim_ = false;
-  double start_ = 0.0;
-  support::Stopwatch watch_;
-};
 }  // namespace
 
 const char* to_string(TxnDecision d) {

@@ -11,14 +11,15 @@ namespace pdc::mp {
 
 namespace detail {
 
-void Fabric::deliver(std::size_t box, Message message) {
+void Fabric::deliver(std::size_t box, Message message, int src) {
   // Collective/internal contexts (odd) and un-instrumented fabrics take
   // the direct path.
   if (!injector || message.envelope.context % 2 != 0) {
     boxes[box]->deliver(std::move(message));
     return;
   }
-  const testkit::FaultDecision decision = injector->next();
+  const testkit::FaultDecision decision =
+      injector->next(src, static_cast<int>(box));
   if (decision.drop) PDC_OBS_COUNT("pdc.mp.dropped");
   if (decision.copies > 1) PDC_OBS_COUNT("pdc.mp.duplicated");
   if (decision.reordered) PDC_OBS_COUNT("pdc.mp.reordered");

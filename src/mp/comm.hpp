@@ -54,8 +54,10 @@ struct Fabric {
   }
 
   /// Delivery entry point used by Communicator; applies fault injection.
-  /// Defined in comm.cpp (needs the FaultInjector definition).
-  void deliver(std::size_t box, Message message);
+  /// `src` is the sender's world rank so the injector can apply per-link
+  /// faults (network partitions). Defined in comm.cpp (needs the
+  /// FaultInjector definition).
+  void deliver(std::size_t box, Message message, int src);
 
   std::vector<std::unique_ptr<Mailbox>> boxes;
   std::atomic<std::uint32_t> next_context{2};  // 0/1 belong to the world comm
@@ -526,7 +528,7 @@ class Communicator {
                           message.payload.size());
     fabric_->deliver(
         static_cast<std::size_t>(members_[static_cast<std::size_t>(dest)]),
-        std::move(message));
+        std::move(message), world_rank());
   }
 
   template <typename T>

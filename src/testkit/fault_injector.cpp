@@ -43,6 +43,46 @@ FaultDecision FaultInjector::next() {
   return decision;
 }
 
+FaultDecision FaultInjector::next(int src, int dst) {
+  {
+    std::scoped_lock lock(mutex_);
+    if (partitioned_ && !reachable_locked(src, dst)) {
+      ++stats_.messages;
+      ++stats_.dropped;
+      ++stats_.partitioned;
+      FaultDecision decision;
+      decision.drop = true;
+      return decision;
+    }
+  }
+  return next();
+}
+
+void FaultInjector::partition(const std::vector<std::vector<int>>& groups) {
+  std::scoped_lock lock(mutex_);
+  group_of_.clear();
+  int id = 0;
+  for (const auto& group : groups) {
+    for (int rank : group) {
+      PDC_CHECK_MSG(group_of_.emplace(rank, id).second,
+                    "rank appears in two partition groups");
+    }
+    ++id;
+  }
+  partitioned_ = true;
+}
+
+void FaultInjector::heal() {
+  std::scoped_lock lock(mutex_);
+  partitioned_ = false;
+  group_of_.clear();
+}
+
+bool FaultInjector::reachable(int src, int dst) const {
+  std::scoped_lock lock(mutex_);
+  return !partitioned_ || reachable_locked(src, dst);
+}
+
 FaultStats FaultInjector::stats() const {
   std::scoped_lock lock(mutex_);
   return stats_;

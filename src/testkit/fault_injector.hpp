@@ -21,6 +21,8 @@
 
 #include <cstdint>
 #include <mutex>
+#include <unordered_map>
+#include <vector>
 
 #include "support/rng.hpp"
 
@@ -50,6 +52,7 @@ struct FaultStats {
   std::uint64_t dropped = 0;
   std::uint64_t duplicated = 0;
   std::uint64_t reordered = 0;
+  std::uint64_t partitioned = 0;  // crossed a partition cut (also dropped)
 };
 
 class FaultInjector {
@@ -63,14 +66,45 @@ class FaultInjector {
   /// is deterministic in consultation order.
   FaultDecision next();
 
+  /// Endpoint-aware decision: a message crossing an active partition cut
+  /// is dropped outright. Partition drops consult no randomness, so the
+  /// probabilistic decision stream for delivered traffic is identical
+  /// with and without partitions — a split-brain test replays from the
+  /// same seed as its healthy twin.
+  FaultDecision next(int src, int dst);
+
+  /// Installs a symmetric network partition: ranks can exchange messages
+  /// iff some group contains both. Ranks not named in any group are
+  /// isolated from everyone. Replaces any earlier partition; takes effect
+  /// for messages consulted after the call (in-flight/held messages are
+  /// not recalled — a real cut does not eat packets already delivered).
+  void partition(const std::vector<std::vector<int>>& groups);
+
+  /// Removes the partition; all ranks can communicate again.
+  void heal();
+
+  /// True when src -> dst traffic passes the current partition (always
+  /// true when none is installed; self-sends always pass).
+  [[nodiscard]] bool reachable(int src, int dst) const;
+
   [[nodiscard]] FaultStats stats() const;
   [[nodiscard]] const FaultConfig& config() const { return config_; }
 
  private:
+  [[nodiscard]] bool reachable_locked(int src, int dst) const {
+    if (src == dst) return true;
+    const auto a = group_of_.find(src);
+    const auto b = group_of_.find(dst);
+    return a != group_of_.end() && b != group_of_.end() &&
+           a->second == b->second;
+  }
+
   const FaultConfig config_;
   mutable std::mutex mutex_;
   support::Rng rng_;
   FaultStats stats_;
+  bool partitioned_ = false;
+  std::unordered_map<int, int> group_of_;  // rank -> partition group id
 };
 
 }  // namespace pdc::testkit

@@ -1,0 +1,260 @@
+#include "testkit/linearizability.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_set>
+
+#include "support/check.hpp"
+
+namespace pdc::testkit {
+
+const char* to_string(KvOp::Kind kind) {
+  switch (kind) {
+    case KvOp::Kind::kPut: return "put";
+    case KvOp::Kind::kGet: return "get";
+    case KvOp::Kind::kCas: return "cas";
+  }
+  return "?";
+}
+
+const char* to_string(LinOutcome outcome) {
+  switch (outcome) {
+    case LinOutcome::kLinearizable: return "linearizable";
+    case LinOutcome::kViolation: return "violation";
+    case LinOutcome::kStateLimit: return "state-limit";
+  }
+  return "?";
+}
+
+std::string KvOp::describe() const {
+  std::ostringstream os;
+  os << "[client " << client << "] " << to_string(kind) << '(' << key;
+  if (kind == KvOp::Kind::kPut) os << '=' << arg;
+  if (kind == KvOp::Kind::kCas) os << ", " << expected << "->" << arg;
+  os << ") @ [" << invoke << ", ";
+  if (pending()) {
+    os << "pending)";
+  } else {
+    os << ret << ')';
+  }
+  if (!pending()) {
+    switch (kind) {
+      case KvOp::Kind::kPut: os << " -> ok"; break;
+      case KvOp::Kind::kGet:
+        if (ok) {
+          os << " -> \"" << result << '"';
+        } else {
+          os << " -> absent";
+        }
+        break;
+      case KvOp::Kind::kCas: os << (ok ? " -> swapped" : " -> failed"); break;
+    }
+  }
+  return os.str();
+}
+
+// ----------------------------------------------------------- HistoryRecorder
+
+std::size_t HistoryRecorder::invoke(KvOp op) {
+  op.invoke = clock_.fetch_add(1, std::memory_order_relaxed);
+  op.ret = KvOp::kPendingReturn;
+  std::scoped_lock lock(mutex_);
+  ops_.push_back(std::move(op));
+  return ops_.size() - 1;
+}
+
+void HistoryRecorder::complete(std::size_t ticket, bool ok,
+                               std::string result) {
+  const std::uint64_t now = clock_.fetch_add(1, std::memory_order_relaxed);
+  std::scoped_lock lock(mutex_);
+  PDC_CHECK_MSG(ticket < ops_.size(), "unknown history ticket");
+  KvOp& op = ops_[ticket];
+  PDC_CHECK_MSG(op.pending(), "operation completed twice");
+  op.ok = ok;
+  op.result = std::move(result);
+  op.ret = now;
+}
+
+std::vector<KvOp> HistoryRecorder::history() const {
+  std::scoped_lock lock(mutex_);
+  return ops_;
+}
+
+std::size_t HistoryRecorder::size() const {
+  std::scoped_lock lock(mutex_);
+  return ops_.size();
+}
+
+void HistoryRecorder::clear() {
+  std::scoped_lock lock(mutex_);
+  ops_.clear();
+}
+
+// ------------------------------------------------------------- WGL search
+
+namespace {
+
+/// Sequential register state for one key: absent until the first put.
+struct RegState {
+  bool has = false;
+  std::string value;
+};
+
+/// Applies `op` to `state`; returns false when the recorded outcome is
+/// impossible at this point in the candidate linearization. Pending ops
+/// have no recorded outcome, so only their effect is modelled.
+bool apply(const KvOp& op, RegState& state) {
+  switch (op.kind) {
+    case KvOp::Kind::kPut:
+      state.has = true;
+      state.value = op.arg;
+      return true;
+    case KvOp::Kind::kGet:
+      if (op.pending()) return true;  // no observed output to contradict
+      if (!op.ok) return !state.has;
+      return state.has && state.value == op.result;
+    case KvOp::Kind::kCas: {
+      const bool would_succeed = state.has && state.value == op.expected;
+      if (would_succeed) {
+        state.value = op.arg;
+      }
+      if (op.pending()) return true;
+      return would_succeed == op.ok;
+    }
+  }
+  return false;
+}
+
+/// One key's WGL search. `ops` is the per-key subhistory.
+/// Returns kLinearizable / kViolation / kStateLimit; adds visited states
+/// to `states_explored`.
+LinOutcome check_key(const std::vector<KvOp>& ops, std::size_t max_states,
+                     std::size_t& states_explored) {
+  const std::size_t n = ops.size();
+  const std::size_t words = (n + 63) / 64;
+
+  std::size_t completed = 0;
+  for (const KvOp& op : ops) {
+    if (!op.pending()) ++completed;
+  }
+  if (completed == 0) return LinOutcome::kLinearizable;
+
+  struct Frame {
+    std::vector<std::uint64_t> mask;  // chosen (linearized) ops
+    RegState state;
+    std::size_t chosen_completed = 0;
+    std::size_t next = 0;  // next candidate index to try
+  };
+  auto test_bit = [&](const std::vector<std::uint64_t>& mask, std::size_t i) {
+    return (mask[i >> 6] >> (i & 63)) & 1u;
+  };
+  auto set_bit = [](std::vector<std::uint64_t>& mask, std::size_t i) {
+    mask[i >> 6] |= std::uint64_t{1} << (i & 63);
+  };
+  auto memo_key = [&](const std::vector<std::uint64_t>& mask,
+                      const RegState& state) {
+    std::string key(reinterpret_cast<const char*>(mask.data()),
+                    mask.size() * sizeof(std::uint64_t));
+    key.push_back(state.has ? '\1' : '\0');
+    key += state.value;
+    return key;
+  };
+
+  std::unordered_set<std::string> seen;
+  std::vector<Frame> stack;
+  stack.push_back(Frame{std::vector<std::uint64_t>(words, 0), RegState{}, 0, 0});
+  seen.insert(memo_key(stack.back().mask, stack.back().state));
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.chosen_completed == completed) return LinOutcome::kLinearizable;
+
+    // Earliest return among unchosen completed ops: anything invoked after
+    // it cannot be linearized yet (that op strictly precedes it).
+    std::uint64_t min_ret = KvOp::kPendingReturn;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!test_bit(frame.mask, i) && !ops[i].pending()) {
+        min_ret = std::min(min_ret, ops[i].ret);
+      }
+    }
+
+    bool descended = false;
+    while (frame.next < n) {
+      const std::size_t i = frame.next++;
+      if (test_bit(frame.mask, i)) continue;
+      // Minimality: no unchosen completed op returned before i's invoke.
+      // (i itself can never precede itself: invoke < ret.)
+      if (ops[i].invoke > min_ret) continue;
+      RegState next_state = frame.state;
+      if (!apply(ops[i], next_state)) continue;
+      std::vector<std::uint64_t> next_mask = frame.mask;
+      set_bit(next_mask, i);
+      std::string memo = memo_key(next_mask, next_state);
+      if (!seen.insert(std::move(memo)).second) continue;
+      if (++states_explored > max_states) return LinOutcome::kStateLimit;
+      const std::size_t chosen =
+          frame.chosen_completed + (ops[i].pending() ? 0 : 1);
+      stack.push_back(Frame{std::move(next_mask), std::move(next_state),
+                            chosen, 0});
+      descended = true;
+      break;
+    }
+    if (!descended) stack.pop_back();
+  }
+  return LinOutcome::kViolation;
+}
+
+}  // namespace
+
+std::string LinearizabilityReport::describe() const {
+  std::ostringstream os;
+  os << to_string(outcome) << " (" << states_explored << " states explored)";
+  if (outcome == LinOutcome::kViolation) {
+    os << "\nno linearization exists for key \"" << violating_key << "\":";
+    for (const KvOp& op : violating_ops) {
+      os << "\n  " << op.describe();
+    }
+  }
+  return os.str();
+}
+
+LinearizabilityChecker::LinearizabilityChecker(CheckerConfig config)
+    : config_(config) {}
+
+LinearizabilityReport LinearizabilityChecker::check(
+    const std::vector<KvOp>& history) const {
+  LinearizabilityReport report;
+
+  // Compositionality: partition by key and check each subhistory alone.
+  std::map<std::string, std::vector<KvOp>> by_key;
+  for (const KvOp& op : history) {
+    PDC_CHECK_MSG(op.pending() || op.invoke < op.ret,
+                  "operation must return after it was invoked");
+    // A pending get neither constrains nor changes the register — drop it
+    // up front instead of doubling the search space.
+    if (op.pending() && op.kind == KvOp::Kind::kGet) continue;
+    by_key[op.key].push_back(op);
+  }
+
+  for (auto& [key, ops] : by_key) {
+    // Stable candidate order: by invoke time (ties cannot happen — the
+    // recorder's clock is strictly monotonic).
+    std::sort(ops.begin(), ops.end(), [](const KvOp& a, const KvOp& b) {
+      return a.invoke < b.invoke;
+    });
+    const LinOutcome outcome =
+        check_key(ops, config_.max_states, report.states_explored);
+    if (outcome != LinOutcome::kLinearizable) {
+      report.outcome = outcome;
+      if (outcome == LinOutcome::kViolation) {
+        report.violating_key = key;
+        report.violating_ops = std::move(ops);
+      }
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace pdc::testkit

@@ -1,0 +1,121 @@
+// LinearizabilityChecker: Wing–Gong / WGL-style search over concurrent
+// operation histories against a key-value sequential model.
+//
+// A history is a set of client operations, each bracketed by logical
+// invoke/return timestamps (HistoryRecorder hands them out from one
+// process-wide counter, so under testkit::SimScheduler the bracketing is
+// deterministic). The history is linearizable iff every operation can be
+// assigned a single atomic point between its invoke and return such that
+// the resulting sequence is legal for a sequential KV register.
+//
+// Linearizability is compositional (Herlihy & Wing, Theorem 1): a history
+// is linearizable iff each per-key subhistory is. The checker exploits
+// this — it partitions by key and runs the WGL search per key, which
+// turns an exponential global search into many small ones. Within a key
+// the search enumerates "minimal" operations (no other pending-or-
+// unlinearized op returned before their invoke), applies them to the
+// model, and backtracks on illegal outputs; visited (chosen-set, value)
+// states are memoized so diamond-shaped interleavings are explored once.
+//
+// Operations that never returned (client crashed, run ended) are recorded
+// as pending: the checker may linearize them anywhere after their invoke
+// or drop them entirely — both futures are searched, which is exactly the
+// ambiguity a crashed client leaves behind.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pdc::testkit {
+
+/// One client operation against the replicated KV store.
+struct KvOp {
+  enum class Kind : std::uint8_t { kPut, kGet, kCas };
+
+  static constexpr std::uint64_t kPendingReturn = ~std::uint64_t{0};
+
+  Kind kind = Kind::kGet;
+  std::string key;
+  std::string arg;       // kPut: value written; kCas: desired value
+  std::string expected;  // kCas only: compare value
+  std::string result;    // kGet: observed value (meaningful when ok)
+  bool ok = true;        // kGet: key present; kCas: swap succeeded
+  std::uint64_t invoke = 0;
+  std::uint64_t ret = kPendingReturn;  // logical timestamps, invoke < ret
+  int client = -1;
+
+  [[nodiscard]] bool pending() const { return ret == kPendingReturn; }
+  [[nodiscard]] std::string describe() const;
+};
+
+const char* to_string(KvOp::Kind kind);
+
+/// Records a concurrent history with bracketing logical timestamps.
+/// Thread-safe; the timestamp source is a single atomic counter, so the
+/// real-time partial order it induces is exactly the order in which
+/// invokes and returns executed.
+class HistoryRecorder {
+ public:
+  /// Stamps `op.invoke` and registers the operation as pending.
+  /// Returns a ticket for complete().
+  std::size_t invoke(KvOp op);
+
+  /// Fills in the outcome and stamps `ret`. Call at most once per ticket;
+  /// tickets never completed stay pending in the history.
+  void complete(std::size_t ticket, bool ok, std::string result = "");
+
+  [[nodiscard]] std::vector<KvOp> history() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<KvOp> ops_;
+  std::atomic<std::uint64_t> clock_{1};
+};
+
+struct CheckerConfig {
+  /// Per-key cap on distinct (linearized-set, register-value) states the
+  /// WGL search may visit before giving up.
+  std::size_t max_states = 1u << 22;
+};
+
+enum class LinOutcome : std::uint8_t {
+  kLinearizable,
+  kViolation,
+  kStateLimit,  // search budget exhausted before a verdict
+};
+
+const char* to_string(LinOutcome outcome);
+
+struct LinearizabilityReport {
+  LinOutcome outcome = LinOutcome::kLinearizable;
+  std::string violating_key;        // set when outcome == kViolation
+  std::vector<KvOp> violating_ops;  // the per-key subhistory that failed
+  std::size_t states_explored = 0;  // summed across keys
+
+  [[nodiscard]] bool linearizable() const {
+    return outcome == LinOutcome::kLinearizable;
+  }
+  /// Human-readable verdict; on violation, the failing subhistory sorted
+  /// by invoke time — small enough to eyeball against docs/raft.md.
+  [[nodiscard]] std::string describe() const;
+};
+
+class LinearizabilityChecker {
+ public:
+  explicit LinearizabilityChecker(CheckerConfig config = {});
+
+  /// Checks one history against the sequential KV model (per-key atomic
+  /// register with put / get / compare-and-swap; keys start absent).
+  [[nodiscard]] LinearizabilityReport check(
+      const std::vector<KvOp>& history) const;
+
+ private:
+  CheckerConfig config_;
+};
+
+}  // namespace pdc::testkit

@@ -1,0 +1,641 @@
+// Deterministic simulation tests for dist::Raft and dist::ReplicatedKV:
+// leader election, log convergence across a leader crash, stale-leader
+// rejection through a network partition, snapshot install to a lagging
+// follower, the term-start no-op barrier, and linearizability of the KV
+// store — including the unsafe_early_commit teaching bug, which the
+// checker must catch with a replayable minimal trace.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/raft.hpp"
+#include "dist/replicated_kv.hpp"
+#include "mp/world.hpp"
+#include "testkit/fault_injector.hpp"
+#include "testkit/linearizability.hpp"
+#include "testkit/schedule_explorer.hpp"
+#include "testkit/sim_scheduler.hpp"
+
+namespace {
+
+using namespace pdc;
+using dist::RaftNode;
+using dist::RaftOptions;
+using dist::RaftPersistentState;
+using dist::RaftRole;
+using mp::Communicator;
+using mp::World;
+using testkit::FaultConfig;
+using testkit::FaultInjector;
+using testkit::SchedulerOptions;
+using testkit::SimScheduler;
+
+std::vector<std::uint8_t> cmd(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+/// State machine that records applied commands as strings; the snapshot
+/// image is the full applied list, so a restore is observable.
+class RecordingMachine : public dist::StateMachine {
+ public:
+  std::vector<std::uint8_t> apply(
+      std::uint64_t index, const std::vector<std::uint8_t>& command) override {
+    (void)index;
+    applied_.emplace_back(command.begin(), command.end());
+    return {};
+  }
+  std::vector<std::uint8_t> snapshot_image() override {
+    dist::wire::Writer w;
+    w.u64(applied_.size());
+    for (const auto& s : applied_) w.str(s);
+    return w.take();
+  }
+  void restore(const std::vector<std::uint8_t>& image) override {
+    applied_.clear();
+    if (image.empty()) return;
+    dist::wire::Reader r(image);
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) applied_.push_back(r.str());
+  }
+  [[nodiscard]] const std::vector<std::string>& applied() const {
+    return applied_;
+  }
+
+ private:
+  std::vector<std::string> applied_;
+};
+
+void pump(RaftNode& node, double seconds = 0.5e-3) {
+  node.tick();
+  testkit::poll_pause("raft.pump", seconds);
+}
+
+// --------------------------------------------------------------- election
+
+struct ElectionOutcome {
+  std::array<int, 3> roles{};
+  std::array<std::uint64_t, 3> terms{};
+  std::string trace;
+};
+
+ElectionOutcome run_election(std::uint64_t seed) {
+  ElectionOutcome out;
+  World world(3);
+  auto bodies = world.rank_bodies([&out](Communicator& comm) {
+    RecordingMachine machine;
+    RaftPersistentState storage;
+    RaftNode node(comm, machine, storage, RaftOptions{});
+    while (testkit::sim_now() < 0.10) pump(node);
+    out.roles[static_cast<std::size_t>(comm.rank())] =
+        static_cast<int>(node.role());
+    out.terms[static_cast<std::size_t>(comm.rank())] = node.current_term();
+  });
+  SchedulerOptions options;
+  options.seed = seed;
+  options.max_steps = 1u << 22;
+  SimScheduler scheduler(options);
+  const auto report = scheduler.run(std::move(bodies));
+  EXPECT_TRUE(report.ok()) << report.error;
+  out.trace = report.format_trace();
+  return out;
+}
+
+TEST(RaftSim, SingleTermElectionProducesExactlyOneLeader) {
+  const auto out = run_election(7);
+  int leaders = 0;
+  for (const int role : out.roles) {
+    if (role == static_cast<int>(RaftRole::kLeader)) ++leaders;
+  }
+  EXPECT_EQ(leaders, 1);
+  // Distinct randomized timeouts: the first candidate wins outright, so
+  // one term suffices and every rank converges on it.
+  for (const auto term : out.terms) EXPECT_EQ(term, 1u);
+}
+
+TEST(RaftSim, ElectionTraceIsByteStableUnderFixedSeed) {
+  const auto a = run_election(21);
+  const auto b = run_election(21);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.roles, b.roles);
+  const auto c = run_election(22);
+  EXPECT_NE(a.trace, c.trace);  // the seed is what's driving the schedule
+}
+
+// ------------------------------------------------- leader crash mid-append
+
+TEST(RaftSim, LogConvergesAfterLeaderCrashMidAppend) {
+  constexpr int kRanks = 3;
+  struct Shared {
+    std::atomic<int> first_leader{-1};
+    std::atomic<int> second_leader{-1};
+    std::atomic<bool> crashed{false};
+    std::atomic<int> done{0};
+    std::array<std::vector<std::string>, kRanks> applied;
+  };
+  auto shared = std::make_shared<Shared>();
+  auto storage = std::make_shared<std::vector<RaftPersistentState>>(kRanks);
+
+  World world(kRanks);
+  auto bodies = world.rank_bodies([shared, storage](Communicator& comm) {
+    const auto rank = comm.rank();
+    RaftOptions opts;
+    opts.seed = 2024;
+    std::optional<RecordingMachine> machine(std::in_place);
+    std::optional<RaftNode> node;
+    node.emplace(comm, *machine, (*storage)[static_cast<std::size_t>(rank)],
+                 opts);
+
+    while (shared->first_leader.load() == -1) {
+      if (node->role() == RaftRole::kLeader) shared->first_leader = rank;
+      pump(*node);
+    }
+    if (rank == shared->first_leader.load()) {
+      const auto idx_a = node->submit(cmd("a"));
+      ASSERT_TRUE(idx_a.has_value());
+      while (node->commit_index() < *idx_a) pump(*node);
+      // Mid-append crash: "b" is broadcast but the leader dies before any
+      // acknowledgement can commit it. Volatile state is gone; the
+      // persistent log (with "b") survives in `storage`.
+      ASSERT_TRUE(node->submit(cmd("b")).has_value());
+      node.reset();
+      shared->crashed = true;
+      while (shared->second_leader.load() == -1) {
+        testkit::poll_pause("raft.down", 1e-3);
+      }
+      machine.emplace();  // fresh machine: state rebuilt from the log
+      node.emplace(comm, *machine, (*storage)[static_cast<std::size_t>(rank)],
+                   opts);
+    } else {
+      while (!shared->crashed.load()) pump(*node);
+      while (shared->second_leader.load() == -1) {
+        if (node->role() == RaftRole::kLeader) shared->second_leader = rank;
+        pump(*node);
+      }
+      if (rank == shared->second_leader.load()) {
+        ASSERT_TRUE(node->submit(cmd("c")).has_value());
+      }
+    }
+    bool counted = false;
+    while (shared->done.load() < kRanks) {
+      const auto& a = machine->applied();
+      if (!counted && !a.empty() && a.back() == "c") {
+        ++shared->done;
+        counted = true;
+      }
+      pump(*node);
+    }
+    shared->applied[static_cast<std::size_t>(rank)] = machine->applied();
+  });
+
+  SchedulerOptions options;
+  options.seed = 5;
+  options.max_steps = 1u << 22;
+  SimScheduler scheduler(options);
+  const auto report = scheduler.run(std::move(bodies));
+  ASSERT_TRUE(report.ok()) << report.error;
+
+  // "b" reached both followers before the crash, so the new leader's
+  // no-op barrier commits it; every log (including the rejoined crasher's)
+  // converges to the same applied sequence.
+  const std::vector<std::string> expect{"a", "b", "c"};
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(shared->applied[static_cast<std::size_t>(r)], expect)
+        << "rank " << r;
+  }
+}
+
+// -------------------------------------------- stale leader via partition
+
+TEST(RaftSim, StaleLeaderIsRejectedAndTruncatedAfterPartitionHeals) {
+  constexpr int kRanks = 3;
+  struct Shared {
+    std::atomic<int> first_leader{-1};
+    std::atomic<int> second_leader{-1};
+    std::atomic<bool> partitioned{false};
+    std::atomic<bool> healed{false};
+    std::atomic<int> done{0};
+    std::array<std::vector<std::string>, kRanks> applied;
+    std::array<std::uint64_t, kRanks> terms{};
+    std::atomic<int> old_leader_final_role{-1};
+  };
+  auto shared = std::make_shared<Shared>();
+  auto storage = std::make_shared<std::vector<RaftPersistentState>>(kRanks);
+  auto injector = std::make_shared<FaultInjector>(FaultConfig{});
+
+  World world(kRanks);
+  world.set_fault_injector(injector);
+  auto bodies = world.rank_bodies([shared, storage,
+                                   injector](Communicator& comm) {
+    const auto rank = comm.rank();
+    RaftOptions opts;
+    opts.seed = 31;
+    RecordingMachine machine;
+    RaftNode node(comm, machine, (*storage)[static_cast<std::size_t>(rank)],
+                  opts);
+
+    while (shared->first_leader.load() == -1) {
+      if (node.role() == RaftRole::kLeader) shared->first_leader = rank;
+      pump(node);
+    }
+    const int old_leader = shared->first_leader.load();
+    if (rank == old_leader) {
+      std::vector<int> rest;
+      for (int r = 0; r < kRanks; ++r) {
+        if (r != rank) rest.push_back(r);
+      }
+      injector->partition({{rank}, rest});
+      shared->partitioned = true;
+      // Appended on the stale side only: must be truncated after healing.
+      ASSERT_TRUE(node.submit(cmd("x")).has_value());
+      while (!shared->healed.load()) pump(node);
+      // The first append/heartbeat exchange after healing deposes us.
+      while (node.role() == RaftRole::kLeader) pump(node);
+    } else {
+      while (!shared->partitioned.load()) pump(node);
+      while (shared->second_leader.load() == -1) {
+        if (node.role() == RaftRole::kLeader) shared->second_leader = rank;
+        pump(node);
+      }
+      if (rank == shared->second_leader.load()) {
+        const auto idx_y = node.submit(cmd("y"));
+        ASSERT_TRUE(idx_y.has_value());
+        while (node.commit_index() < *idx_y) pump(node);
+        injector->heal();
+        shared->healed = true;
+      }
+    }
+    bool counted = false;
+    while (shared->done.load() < kRanks) {
+      const auto& a = machine.applied();
+      const bool caught_up = !a.empty() && a.back() == "y" &&
+                             (rank != old_leader ||
+                              node.role() == RaftRole::kFollower);
+      if (!counted && caught_up) {
+        ++shared->done;
+        counted = true;
+      }
+      pump(node);
+    }
+    shared->applied[static_cast<std::size_t>(rank)] = machine.applied();
+    shared->terms[static_cast<std::size_t>(rank)] = node.current_term();
+    if (rank == old_leader) {
+      shared->old_leader_final_role = static_cast<int>(node.role());
+    }
+  });
+
+  SchedulerOptions options;
+  options.seed = 11;
+  options.max_steps = 1u << 22;
+  SimScheduler scheduler(options);
+  const auto report = scheduler.run(std::move(bodies));
+  ASSERT_TRUE(report.ok()) << report.error;
+
+  const std::vector<std::string> expect{"y"};
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(shared->applied[static_cast<std::size_t>(r)], expect)
+        << "rank " << r;
+    EXPECT_EQ(shared->terms[static_cast<std::size_t>(r)], shared->terms[0]);
+  }
+  EXPECT_EQ(shared->old_leader_final_role.load(),
+            static_cast<int>(RaftRole::kFollower));
+  // The stale entry is gone from the deposed leader's durable log.
+  const auto& old_log =
+      (*storage)[static_cast<std::size_t>(shared->first_leader.load())].log;
+  for (const auto& entry : old_log) {
+    EXPECT_NE(std::string(entry.command.begin(), entry.command.end()), "x");
+  }
+  EXPECT_GT(injector->stats().partitioned, 0u);
+}
+
+// ------------------------------------------- snapshot to lagging follower
+
+TEST(RaftSim, SnapshotInstallsOnLaggingFollower) {
+  constexpr int kRanks = 3;
+  constexpr int kLagger = 2;
+  struct Shared {
+    std::atomic<bool> feed_done{false};
+    std::atomic<bool> lagger_caught_up{false};
+    std::atomic<int> done{0};
+    std::array<std::vector<std::string>, kRanks> applied;
+    std::atomic<std::uint64_t> installs{0};
+  };
+  auto shared = std::make_shared<Shared>();
+  auto storage = std::make_shared<std::vector<RaftPersistentState>>(kRanks);
+  auto injector = std::make_shared<FaultInjector>(FaultConfig{});
+  // The lagger is cut off from the start so nothing accumulates in its
+  // mailbox; by the time it heals, the feed entries are compacted away and
+  // only InstallSnapshot can catch it up.
+  injector->partition({{0, 1}, {kLagger}});
+
+  World world(kRanks);
+  world.set_fault_injector(injector);
+  auto bodies = world.rank_bodies([shared, storage,
+                                   injector](Communicator& comm) {
+    const auto rank = comm.rank();
+    RaftOptions opts;
+    opts.seed = 12;
+    opts.snapshot_threshold = 4;
+    RecordingMachine machine;
+
+    if (rank == kLagger) {
+      while (!shared->feed_done.load()) {
+        testkit::poll_pause("raft.lag", 1e-3);
+      }
+      injector->heal();
+      RaftNode node(comm, machine,
+                    (*storage)[static_cast<std::size_t>(rank)], opts);
+      while (machine.applied().size() < 8) pump(node);
+      shared->installs = node.snapshots_installed();
+      shared->lagger_caught_up = true;
+      bool counted = false;
+      while (shared->done.load() < kRanks) {
+        const auto& a = machine.applied();
+        if (!counted && !a.empty() && a.back() == "tail") {
+          ++shared->done;
+          counted = true;
+        }
+        pump(node);
+      }
+      shared->applied[static_cast<std::size_t>(rank)] = machine.applied();
+      return;
+    }
+
+    RaftNode node(comm, machine, (*storage)[static_cast<std::size_t>(rank)],
+                  opts);
+    // Ranks 0 and 1 elect and commit 8 entries; the snapshot threshold
+    // forces compaction long before the lagger appears.
+    bool is_feeder = false;
+    while (!shared->feed_done.load()) {
+      if (node.role() == RaftRole::kLeader && !is_feeder) {
+        is_feeder = true;
+        for (int i = 0; i < 8; ++i) {
+          const auto idx = node.submit(cmd("v" + std::to_string(i)));
+          ASSERT_TRUE(idx.has_value());
+          while (node.commit_index() < *idx) pump(node);
+        }
+        EXPECT_GT((*storage)[static_cast<std::size_t>(rank)].snapshot_index,
+                  0u);
+        shared->feed_done = true;
+      }
+      pump(node);
+    }
+    if (is_feeder) {
+      while (!shared->lagger_caught_up.load()) pump(node);
+      const auto idx = node.submit(cmd("tail"));
+      ASSERT_TRUE(idx.has_value());
+    }
+    bool counted = false;
+    while (shared->done.load() < kRanks) {
+      const auto& a = machine.applied();
+      if (!counted && !a.empty() && a.back() == "tail") {
+        ++shared->done;
+        counted = true;
+      }
+      pump(node);
+    }
+    shared->applied[static_cast<std::size_t>(rank)] = machine.applied();
+  });
+
+  SchedulerOptions options;
+  options.seed = 3;
+  options.max_steps = 1u << 22;
+  SimScheduler scheduler(options);
+  const auto report = scheduler.run(std::move(bodies));
+  ASSERT_TRUE(report.ok()) << report.error;
+
+  EXPECT_GE(shared->installs.load(), 1u);
+  std::vector<std::string> expect;
+  for (int i = 0; i < 8; ++i) expect.push_back("v" + std::to_string(i));
+  expect.emplace_back("tail");
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(shared->applied[static_cast<std::size_t>(r)], expect)
+        << "rank " << r;
+  }
+}
+
+// ------------------------------------------------- term-start no-op entry
+
+TEST(RaftSim, LeaderAppendsNoOpBarrierOnTermStart) {
+  struct Seen {
+    std::atomic<std::uint64_t> index{0};
+    std::atomic<bool> empty_command{false};
+    std::atomic<std::uint64_t> term{0};
+  };
+  auto seen = std::make_shared<Seen>();
+  World world(1);
+  auto bodies = world.rank_bodies([seen](Communicator& comm) {
+    RecordingMachine machine;
+    RaftPersistentState storage;
+    RaftNode node(comm, machine, storage, RaftOptions{});
+    node.set_apply_listener([seen](std::uint64_t index, std::uint64_t term,
+                                   const std::vector<std::uint8_t>& command,
+                                   const std::vector<std::uint8_t>& reply) {
+      (void)reply;
+      if (seen->index.load() == 0) {
+        seen->index = index;
+        seen->empty_command = command.empty();
+        seen->term = term;
+      }
+    });
+    while (node.commit_index() < 1) pump(node);
+    EXPECT_EQ(node.role(), RaftRole::kLeader);
+    const auto* noop = node.entry(1);
+    ASSERT_NE(noop, nullptr);
+    EXPECT_TRUE(noop->command.empty());
+    EXPECT_EQ(noop->term, node.current_term());
+    EXPECT_TRUE(machine.applied().empty());  // no-ops bypass the machine
+  });
+  SchedulerOptions options;
+  options.seed = 2;
+  options.max_steps = 1u << 22;
+  SimScheduler scheduler(options);
+  const auto report = scheduler.run(std::move(bodies));
+  ASSERT_TRUE(report.ok()) << report.error;
+  // The first applied entry is the barrier itself: index 1, empty command,
+  // stamped with the leader's term.
+  EXPECT_EQ(seen->index.load(), 1u);
+  EXPECT_TRUE(seen->empty_command.load());
+  EXPECT_EQ(seen->term.load(), 1u);
+}
+
+// ------------------------------- linearizability: safe vs unsafe commit
+
+/// The partition scenario as a RunPlan: a leader is elected, isolated,
+/// accepts (or times out on) a put, the majority elects a replacement that
+/// serves a read after healing. With the correct commit rule the put
+/// either commits through a quorum or stays pending; with
+/// unsafe_early_commit the isolated leader acknowledges the put and the
+/// later read misses it — a linearizability violation.
+testkit::RunPlan make_partition_kv_plan(
+    bool unsafe, std::shared_ptr<testkit::HistoryRecorder> recorder) {
+  constexpr int kRanks = 3;
+  struct Shared {
+    std::atomic<int> first_leader{-1};
+    std::atomic<int> second_leader{-1};
+    std::atomic<bool> put_done{false};
+    std::atomic<bool> healed{false};
+    std::atomic<bool> read_done{false};
+    std::atomic<int> done{0};
+  };
+  auto shared = std::make_shared<Shared>();
+  auto storage = std::make_shared<std::vector<RaftPersistentState>>(kRanks);
+  auto injector = std::make_shared<FaultInjector>(FaultConfig{});
+  auto world = std::make_shared<World>(kRanks);
+  world->set_fault_injector(injector);
+
+  testkit::RunPlan plan;
+  plan.threads = world->rank_bodies([shared, storage, injector, recorder,
+                                     unsafe, world](Communicator& comm) {
+    const auto rank = comm.rank();
+    dist::KvConfig cfg;
+    cfg.raft.seed = 404;
+    cfg.raft.unsafe_early_commit = unsafe;
+    cfg.op_timeout_ms = 60.0;
+    dist::ReplicatedKV kv(comm, (*storage)[static_cast<std::size_t>(rank)],
+                          cfg);
+    kv.set_recorder(recorder.get());
+    auto spin = [&] {
+      kv.step();
+      testkit::poll_pause("kv.pump", 0.5e-3);
+    };
+
+    while (shared->first_leader.load() == -1) {
+      if (kv.is_leader()) shared->first_leader = rank;
+      spin();
+    }
+    if (rank == shared->first_leader.load()) {
+      std::vector<int> rest;
+      for (int r = 0; r < kRanks; ++r) {
+        if (r != rank) rest.push_back(r);
+      }
+      injector->partition({{rank}, rest});
+      const auto res = kv.put("k", "lost");
+      if (unsafe) {
+        // The bug in action: acknowledged with no quorum.
+        EXPECT_TRUE(res.ok());
+      }
+      shared->put_done = true;
+      while (!shared->healed.load()) spin();
+    } else {
+      while (!shared->put_done.load()) spin();
+      while (shared->second_leader.load() == -1) {
+        if (kv.is_leader()) shared->second_leader = rank;
+        spin();
+      }
+      if (rank == shared->second_leader.load()) {
+        injector->heal();
+        shared->healed = true;
+        const auto res = kv.get("k");
+        EXPECT_NE(res.status, dist::KvResult::Status::kTimeout);
+        shared->read_done = true;
+      }
+    }
+    bool counted = false;
+    while (shared->done.load() < kRanks) {
+      if (!counted && shared->read_done.load()) {
+        ++shared->done;
+        counted = true;
+      }
+      spin();
+    }
+  });
+  plan.check = [recorder] {
+    const auto report =
+        testkit::LinearizabilityChecker{}.check(recorder->history());
+    return report.linearizable() ? std::string{} : report.describe();
+  };
+  return plan;
+}
+
+TEST(RaftLinearizability, SafeCommitSurvivesPartitionScenario) {
+  testkit::ExplorerConfig config;
+  config.iterations = 2;
+  config.max_steps = 1u << 22;
+  testkit::ScheduleExplorer explorer(config);
+  const auto result = explorer.explore([] {
+    return make_partition_kv_plan(/*unsafe=*/false,
+                                  std::make_shared<testkit::HistoryRecorder>());
+  });
+  EXPECT_FALSE(result.failure_found) << result.describe();
+}
+
+TEST(RaftLinearizability, UnsafeEarlyCommitIsCaughtWithReplayableTrace) {
+  testkit::ExplorerConfig config;
+  config.iterations = 3;
+  config.max_steps = 1u << 22;
+  testkit::ScheduleExplorer explorer(config);
+  auto make_run = [] {
+    return make_partition_kv_plan(/*unsafe=*/true,
+                                  std::make_shared<testkit::HistoryRecorder>());
+  };
+  const auto result = explorer.explore(make_run);
+  ASSERT_TRUE(result.failure_found);
+  EXPECT_NE(result.failure.find("no linearization exists"), std::string::npos)
+      << result.failure;
+  // The acceptance bar: the violating seed replays bit-identically, minimal
+  // trace included, so the broken interleaving can be studied offline.
+  std::string failure1;
+  std::string failure2;
+  const auto replay1 = explorer.replay(result.failing_seed, make_run, &failure1);
+  const auto replay2 = explorer.replay(result.failing_seed, make_run, &failure2);
+  EXPECT_EQ(failure1, failure2);
+  EXPECT_FALSE(failure1.empty());
+  EXPECT_EQ(replay1.format_trace(), replay2.format_trace());
+  EXPECT_EQ(replay1.format_minimal_trace(), replay2.format_minimal_trace());
+}
+
+// --------------------------------------- faulty sweep stays linearizable
+
+TEST(RaftLinearizability, KvSweepUnderMessageFaultsStaysLinearizable) {
+  testkit::ExplorerConfig config;
+  config.iterations = 3;
+  config.max_steps = 1u << 22;
+  testkit::ScheduleExplorer explorer(config);
+  const auto result = explorer.explore([] {
+    constexpr int kRanks = 3;
+    auto recorder = std::make_shared<testkit::HistoryRecorder>();
+    auto storage = std::make_shared<std::vector<RaftPersistentState>>(kRanks);
+    auto done = std::make_shared<std::atomic<int>>(0);
+    auto world = std::make_shared<World>(kRanks);
+    FaultConfig faults;
+    faults.drop = 0.1;
+    faults.duplicate = 0.05;
+    faults.reorder = 0.05;
+    faults.seed = 99;
+    world->set_fault_injector(std::make_shared<FaultInjector>(faults));
+
+    testkit::RunPlan plan;
+    plan.threads = world->rank_bodies([recorder, storage, done,
+                                       world](Communicator& comm) {
+      const auto rank = comm.rank();
+      dist::KvConfig cfg;
+      cfg.raft.seed = 7;
+      cfg.op_timeout_ms = 200.0;
+      dist::ReplicatedKV kv(comm, (*storage)[static_cast<std::size_t>(rank)],
+                            cfg);
+      kv.set_recorder(recorder.get());
+      const std::string key = rank % 2 == 0 ? "even" : "odd";
+      (void)kv.put(key, "r" + std::to_string(rank));
+      (void)kv.get(key);
+      ++*done;
+      while (done->load() < kRanks) {
+        kv.step();
+        testkit::poll_pause("kv.pump", 0.5e-3);
+      }
+    });
+    plan.check = [recorder] {
+      const auto report =
+          testkit::LinearizabilityChecker{}.check(recorder->history());
+      return report.linearizable() ? std::string{} : report.describe();
+    };
+    return plan;
+  });
+  EXPECT_FALSE(result.failure_found) << result.describe();
+}
+
+}  // namespace

@@ -19,6 +19,7 @@
 #include "net/network.hpp"
 #include "testkit/fault_injector.hpp"
 #include "testkit/hooks.hpp"
+#include "testkit/linearizability.hpp"
 #include "testkit/schedule_explorer.hpp"
 #include "testkit/sim_scheduler.hpp"
 
@@ -610,6 +611,249 @@ TEST(FaultInjection, StopAndWaitDeliversUnderThirtyPercentLoss) {
   ASSERT_TRUE(stats.is_ok());
   EXPECT_EQ(stats.value().bytes_delivered, data.size());
   EXPECT_GT(net.dropped(), 0u);
+}
+
+// ----------------------------------------------- FaultInjector partitions
+
+TEST(FaultInjectorPartition, BlocksCrossGroupTrafficUntilHealed) {
+  FaultInjector injector{FaultConfig{}};  // no probabilistic faults
+  injector.partition({{0, 1}, {2}});
+  EXPECT_TRUE(injector.reachable(0, 1));
+  EXPECT_TRUE(injector.reachable(1, 0));
+  EXPECT_FALSE(injector.reachable(0, 2));
+  EXPECT_FALSE(injector.reachable(2, 1));
+
+  EXPECT_FALSE(injector.next(0, 1).drop);
+  EXPECT_TRUE(injector.next(0, 2).drop);
+  EXPECT_TRUE(injector.next(2, 1).drop);
+  const auto stats = injector.stats();
+  EXPECT_EQ(stats.messages, 3u);
+  EXPECT_EQ(stats.dropped, 2u);
+  EXPECT_EQ(stats.partitioned, 2u);
+
+  injector.heal();
+  EXPECT_TRUE(injector.reachable(0, 2));
+  EXPECT_FALSE(injector.next(0, 2).drop);
+}
+
+TEST(FaultInjectorPartition, UnlistedRankIsIsolatedButSelfReachable) {
+  FaultInjector injector{FaultConfig{}};
+  injector.partition({{0, 1}});  // rank 2 not named: fully isolated
+  EXPECT_FALSE(injector.reachable(2, 0));
+  EXPECT_FALSE(injector.reachable(0, 2));
+  EXPECT_TRUE(injector.reachable(2, 2));  // self-delivery always works
+  EXPECT_FALSE(injector.next(2, 2).drop);
+  EXPECT_TRUE(injector.next(2, 0).drop);
+}
+
+TEST(FaultInjectorPartition, PartitionDropsConsumeNoRandomness) {
+  // The replay property: the probabilistic decision stream for delivered
+  // traffic must be identical with and without a partition, so a seed
+  // found under partitioning replays the same drops/dups either way.
+  FaultConfig config;
+  config.drop = 0.3;
+  config.duplicate = 0.2;
+  config.reorder = 0.1;
+  config.seed = 4242;
+  FaultInjector partitioned(config);
+  FaultInjector plain(config);
+  partitioned.partition({{0}, {1, 2}});
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(partitioned.next(0, 1).drop);  // cross-cut: no rng draw
+    const auto a = partitioned.next(1, 2);     // same-group: real decision
+    const auto b = plain.next(1, 2);
+    EXPECT_EQ(a.drop, b.drop);
+    EXPECT_EQ(a.copies, b.copies);
+    EXPECT_EQ(a.reordered, b.reordered);
+    EXPECT_DOUBLE_EQ(a.extra_delay_ms, b.extra_delay_ms);
+  }
+  EXPECT_EQ(partitioned.stats().partitioned, 200u);
+}
+
+// --------------------------------------------- LinearizabilityChecker
+
+KvOp make_op(KvOp::Kind kind, std::string key, std::uint64_t invoke,
+             std::uint64_t ret, std::string arg = "", bool ok = true,
+             std::string result = "", std::string expected = "") {
+  KvOp op;
+  op.kind = kind;
+  op.key = std::move(key);
+  op.arg = std::move(arg);
+  op.expected = std::move(expected);
+  op.result = std::move(result);
+  op.ok = ok;
+  op.invoke = invoke;
+  op.ret = ret;
+  return op;
+}
+
+TEST(LinearizabilityChecker, SequentialPutGetIsLinearizable) {
+  const std::vector<KvOp> history{
+      make_op(KvOp::Kind::kPut, "k", 1, 2, "v"),
+      make_op(KvOp::Kind::kGet, "k", 3, 4, "", true, "v"),
+  };
+  const auto report = LinearizabilityChecker{}.check(history);
+  EXPECT_TRUE(report.linearizable()) << report.describe();
+}
+
+TEST(LinearizabilityChecker, CompletedPutMustBeVisibleToLaterGet) {
+  // The canonical violation: the put returned, then a get that started
+  // strictly afterwards missed it.
+  const std::vector<KvOp> history{
+      make_op(KvOp::Kind::kPut, "k", 1, 2, "v"),
+      make_op(KvOp::Kind::kGet, "k", 3, 4, "", /*ok=*/false),
+  };
+  const auto report = LinearizabilityChecker{}.check(history);
+  EXPECT_EQ(report.outcome, LinOutcome::kViolation);
+  EXPECT_EQ(report.violating_key, "k");
+  EXPECT_EQ(report.violating_ops.size(), 2u);
+  EXPECT_NE(report.describe().find("no linearization exists"),
+            std::string::npos);
+}
+
+TEST(LinearizabilityChecker, StaleReadAfterOverwriteIsAViolation) {
+  const std::vector<KvOp> history{
+      make_op(KvOp::Kind::kPut, "k", 1, 2, "v1"),
+      make_op(KvOp::Kind::kPut, "k", 3, 4, "v2"),
+      make_op(KvOp::Kind::kGet, "k", 5, 6, "", true, "v1"),
+  };
+  const auto report = LinearizabilityChecker{}.check(history);
+  EXPECT_EQ(report.outcome, LinOutcome::kViolation);
+}
+
+TEST(LinearizabilityChecker, ConcurrentPutsAllowEitherOrder) {
+  // Two overlapping puts: a reader may observe whichever linearized last,
+  // but not a value nobody wrote.
+  for (const char* observed : {"v1", "v2"}) {
+    const std::vector<KvOp> history{
+        make_op(KvOp::Kind::kPut, "k", 1, 4, "v1"),
+        make_op(KvOp::Kind::kPut, "k", 2, 5, "v2"),
+        make_op(KvOp::Kind::kGet, "k", 6, 7, "", true, observed),
+    };
+    const auto report = LinearizabilityChecker{}.check(history);
+    EXPECT_TRUE(report.linearizable())
+        << observed << ": " << report.describe();
+  }
+  const std::vector<KvOp> phantom{
+      make_op(KvOp::Kind::kPut, "k", 1, 4, "v1"),
+      make_op(KvOp::Kind::kPut, "k", 2, 5, "v2"),
+      make_op(KvOp::Kind::kGet, "k", 6, 7, "", true, "v3"),
+  };
+  EXPECT_EQ(LinearizabilityChecker{}.check(phantom).outcome,
+            LinOutcome::kViolation);
+}
+
+TEST(LinearizabilityChecker, ReadDuringOverlapMaySeeOldOrNewValue) {
+  // A get concurrent with a put can linearize on either side of it.
+  for (const bool sees_new : {false, true}) {
+    const std::vector<KvOp> history{
+        make_op(KvOp::Kind::kPut, "k", 1, 2, "old"),
+        make_op(KvOp::Kind::kPut, "k", 3, 6, "new"),
+        make_op(KvOp::Kind::kGet, "k", 4, 5, "", true,
+                sees_new ? "new" : "old"),
+    };
+    const auto report = LinearizabilityChecker{}.check(history);
+    EXPECT_TRUE(report.linearizable()) << report.describe();
+  }
+}
+
+TEST(LinearizabilityChecker, CasOutcomeMustMatchModelState) {
+  const std::vector<KvOp> ok_history{
+      make_op(KvOp::Kind::kPut, "k", 1, 2, "v1"),
+      make_op(KvOp::Kind::kCas, "k", 3, 4, "v2", true, "", "v1"),
+      make_op(KvOp::Kind::kGet, "k", 5, 6, "", true, "v2"),
+  };
+  EXPECT_TRUE(LinearizabilityChecker{}.check(ok_history).linearizable());
+
+  // A cas that claims success while comparing against a value that was
+  // never current cannot be linearized.
+  const std::vector<KvOp> bad_history{
+      make_op(KvOp::Kind::kPut, "k", 1, 2, "v1"),
+      make_op(KvOp::Kind::kCas, "k", 3, 4, "v2", true, "", "stale"),
+  };
+  EXPECT_EQ(LinearizabilityChecker{}.check(bad_history).outcome,
+            LinOutcome::kViolation);
+
+  // A failed cas is legal exactly when the compare genuinely mismatched.
+  const std::vector<KvOp> failed_ok{
+      make_op(KvOp::Kind::kPut, "k", 1, 2, "v1"),
+      make_op(KvOp::Kind::kCas, "k", 3, 4, "v2", false, "", "stale"),
+      make_op(KvOp::Kind::kGet, "k", 5, 6, "", true, "v1"),
+  };
+  EXPECT_TRUE(LinearizabilityChecker{}.check(failed_ok).linearizable());
+}
+
+TEST(LinearizabilityChecker, PendingPutMayOrMayNotHaveTakenEffect) {
+  // A put whose client never heard back (crash / timeout) is pending: a
+  // later read is allowed to see it...
+  const std::vector<KvOp> took_effect{
+      make_op(KvOp::Kind::kPut, "k", 1, KvOp::kPendingReturn, "v"),
+      make_op(KvOp::Kind::kGet, "k", 2, 3, "", true, "v"),
+  };
+  EXPECT_TRUE(LinearizabilityChecker{}.check(took_effect).linearizable());
+  // ...or to miss it entirely.
+  const std::vector<KvOp> dropped{
+      make_op(KvOp::Kind::kPut, "k", 1, KvOp::kPendingReturn, "v"),
+      make_op(KvOp::Kind::kGet, "k", 2, 3, "", /*ok=*/false),
+  };
+  EXPECT_TRUE(LinearizabilityChecker{}.check(dropped).linearizable());
+  // But it cannot half-happen: once observed, it stays observed.
+  const std::vector<KvOp> flicker{
+      make_op(KvOp::Kind::kPut, "k", 1, KvOp::kPendingReturn, "v"),
+      make_op(KvOp::Kind::kGet, "k", 2, 3, "", true, "v"),
+      make_op(KvOp::Kind::kGet, "k", 4, 5, "", /*ok=*/false),
+  };
+  EXPECT_EQ(LinearizabilityChecker{}.check(flicker).outcome,
+            LinOutcome::kViolation);
+}
+
+TEST(LinearizabilityChecker, KeysAreCheckedIndependently) {
+  // Compositionality: a violation on one key is pinned to that key even
+  // when other keys carry a large healthy history.
+  std::vector<KvOp> history;
+  std::uint64_t t = 1;
+  for (int i = 0; i < 6; ++i) {
+    const std::string v = "v" + std::to_string(i);
+    history.push_back(make_op(KvOp::Kind::kPut, "healthy", t, t + 1, v));
+    t += 2;
+    history.push_back(
+        make_op(KvOp::Kind::kGet, "healthy", t, t + 1, "", true, v));
+    t += 2;
+  }
+  history.push_back(make_op(KvOp::Kind::kPut, "broken", t, t + 1, "x"));
+  t += 2;
+  history.push_back(
+      make_op(KvOp::Kind::kGet, "broken", t, t + 1, "", false));
+  const auto report = LinearizabilityChecker{}.check(history);
+  EXPECT_EQ(report.outcome, LinOutcome::kViolation);
+  EXPECT_EQ(report.violating_key, "broken");
+  EXPECT_EQ(report.violating_ops.size(), 2u);
+}
+
+TEST(HistoryRecorder, StampsBracketingTimestamps) {
+  HistoryRecorder recorder;
+  KvOp put;
+  put.kind = KvOp::Kind::kPut;
+  put.key = "k";
+  put.arg = "v";
+  const auto t_put = recorder.invoke(put);
+  KvOp get;
+  get.kind = KvOp::Kind::kGet;
+  get.key = "k";
+  const auto t_get = recorder.invoke(get);
+  recorder.complete(t_put, true);
+  // t_get never completed: it must surface as pending.
+  const auto history = recorder.history();
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_LT(history[t_put].invoke, history[t_put].ret);
+  EXPECT_LT(history[t_put].invoke, history[t_get].invoke);
+  EXPECT_FALSE(history[t_put].pending());
+  EXPECT_TRUE(history[t_get].pending());
+  recorder.complete(t_get, true, "v");
+  EXPECT_FALSE(recorder.history()[t_get].pending());
+  EXPECT_EQ(recorder.history()[t_get].result, "v");
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
 }
 
 }  // namespace
