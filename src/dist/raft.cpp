@@ -129,9 +129,10 @@ void RaftNode::step_down(std::uint64_t term) {
     obs::trace_instant("raft.step_down", storage_.current_term);
   }
   role_ = RaftRole::kFollower;
-  votes_ = 0;
+  vote_granted_.clear();
   round_ = 0;
   confirmed_round_ = 0;
+  term_start_index_ = 0;
   submit_ms_.clear();
   reset_election_timer();
 }
@@ -140,12 +141,13 @@ void RaftNode::start_election() {
   ++storage_.current_term;
   storage_.voted_for = comm_.rank();
   role_ = RaftRole::kCandidate;
-  votes_ = 1;
+  vote_granted_.assign(static_cast<std::size_t>(comm_.size()), false);
+  vote_granted_[static_cast<std::size_t>(comm_.rank())] = true;
   leader_hint_ = -1;
   reset_election_timer();
   PDC_OBS_COUNT("pdc.raft.elections");
   obs::trace_instant("raft.election", storage_.current_term);
-  if (votes_ >= quorum()) {  // single-node cluster
+  if (granted_votes() >= quorum()) {  // single-node cluster
     become_leader();
     return;
   }
@@ -174,6 +176,7 @@ void RaftNode::become_leader() {
   // visible to read-index reads — every entry from previous terms without
   // waiting for client traffic.
   storage_.log.push_back(RaftLogEntry{storage_.current_term, {}});
+  term_start_index_ = last_index();
   match_index_[static_cast<std::size_t>(comm_.rank())] = last_index();
   submit_ms_.emplace_back(last_index(), age_.elapsed_millis());
   if (options_.unsafe_early_commit) {
@@ -226,6 +229,7 @@ void RaftNode::replicate(int peer) {
     w.u64(storage_.current_term);
     w.u64(storage_.snapshot_index);
     w.u64(storage_.snapshot_term);
+    w.u64(round_);
     w.bytes(storage_.snapshot);
     send(peer, kTagInstallSnapshot, w.take());
     PDC_OBS_COUNT("pdc.raft.snapshot_sent");
@@ -277,7 +281,6 @@ void RaftNode::handle_request_vote(int src, const std::vector<std::uint8_t>& raw
 }
 
 void RaftNode::handle_vote_reply(int src, const std::vector<std::uint8_t>& raw) {
-  (void)src;
   wire::Reader r(raw);
   const std::uint64_t term = r.u64();
   const bool granted = r.u8() != 0;
@@ -288,7 +291,12 @@ void RaftNode::handle_vote_reply(int src, const std::vector<std::uint8_t>& raw) 
   if (role_ != RaftRole::kCandidate || term != storage_.current_term || !granted) {
     return;
   }
-  if (++votes_ >= quorum()) become_leader();
+  // Per-rank, not a counter: the fabric may deliver a duplicated copy of
+  // this reply, and a double-counted voter would elect a leader without a
+  // true majority (split brain).
+  if (vote_granted_[static_cast<std::size_t>(src)]) return;
+  vote_granted_[static_cast<std::size_t>(src)] = true;
+  if (granted_votes() >= quorum()) become_leader();
 }
 
 void RaftNode::handle_append(int src, const std::vector<std::uint8_t>& raw) {
@@ -386,6 +394,11 @@ void RaftNode::handle_append_reply(int src, const std::vector<std::uint8_t>& raw
     // already handled via the term check — here it is just a floor.
     next_index_[p] = std::max<std::uint64_t>(
         1, std::min(next_index_[p], std::max<std::uint64_t>(match_or_hint, 1)));
+    // A same-term rejection still proves the follower recognizes this
+    // leader, so it counts toward read-round confirmation — otherwise
+    // reads stall behind log repair.
+    acked_round_[p] = std::max(acked_round_[p], round);
+    update_confirmed_round();
     PDC_OBS_COUNT("pdc.raft.append_rejected");
     replicate(src);
   }
@@ -396,11 +409,13 @@ void RaftNode::handle_install_snapshot(int src, const std::vector<std::uint8_t>&
   const std::uint64_t term = r.u64();
   const std::uint64_t snap_index = r.u64();
   const std::uint64_t snap_term = r.u64();
+  const std::uint64_t round = r.u64();
   auto image = r.bytes();
   if (term < storage_.current_term) {
     wire::Writer w;
     w.u64(storage_.current_term);
     w.u64(0);
+    w.u64(round);
     send(src, kTagSnapshotReply, w.take());
     return;
   }
@@ -436,6 +451,7 @@ void RaftNode::handle_install_snapshot(int src, const std::vector<std::uint8_t>&
   wire::Writer w;
   w.u64(storage_.current_term);
   w.u64(snap_index);
+  w.u64(round);
   send(src, kTagSnapshotReply, w.take());
 }
 
@@ -443,6 +459,7 @@ void RaftNode::handle_snapshot_reply(int src, const std::vector<std::uint8_t>& r
   wire::Reader r(raw);
   const std::uint64_t term = r.u64();
   const std::uint64_t snap_index = r.u64();
+  const std::uint64_t round = r.u64();
   if (term > storage_.current_term) {
     step_down(term);
     return;
@@ -451,6 +468,9 @@ void RaftNode::handle_snapshot_reply(int src, const std::vector<std::uint8_t>& r
   const auto p = static_cast<std::size_t>(src);
   match_index_[p] = std::max(match_index_[p], snap_index);
   next_index_[p] = std::max(next_index_[p], snap_index + 1);
+  // Like append replies, a snapshot ack proves leadership recognition.
+  acked_round_[p] = std::max(acked_round_[p], round);
+  update_confirmed_round();
   if (next_index_[p] <= last_index()) replicate(src);
 }
 

@@ -34,6 +34,7 @@
 // harness catches a real protocol bug — never enable it otherwise.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <functional>
@@ -197,6 +198,11 @@ class RaftNode {
   /// read snapshot.
   std::uint64_t begin_read_round();
   [[nodiscard]] std::uint64_t confirmed_round() const { return confirmed_round_; }
+  /// Index of this term's no-op barrier entry (leader only). A new
+  /// leader's commit index may lag the true committed prefix until the
+  /// barrier commits (§8), so read-index reads must wait for
+  /// `last_applied() >= term_start_index()` before serving.
+  [[nodiscard]] std::uint64_t term_start_index() const { return term_start_index_; }
 
   // ---------------------------------------------------- introspection
   [[nodiscard]] RaftRole role() const { return role_; }
@@ -247,6 +253,10 @@ class RaftNode {
   void send(int dest, int tag, std::vector<std::uint8_t> payload);
 
   [[nodiscard]] int quorum() const { return comm_.size() / 2 + 1; }
+  [[nodiscard]] int granted_votes() const {
+    return static_cast<int>(
+        std::count(vote_granted_.begin(), vote_granted_.end(), true));
+  }
   void export_gauges();
 
   mp::Communicator& comm_;
@@ -261,8 +271,10 @@ class RaftNode {
   std::uint64_t last_applied_ = 0;
   ApplyListener listener_;
 
-  // Candidate state.
-  int votes_ = 0;
+  // Candidate state: which ranks granted us a vote this election. A set
+  // (not a counter) so duplicated VoteReply deliveries from the fault
+  // injector stay idempotent — a candidate must count distinct voters.
+  std::vector<bool> vote_granted_;
 
   // Leader state (reinitialized each term).
   std::vector<std::uint64_t> next_index_;
@@ -270,6 +282,7 @@ class RaftNode {
   std::vector<std::uint64_t> acked_round_;
   std::uint64_t round_ = 0;            // heartbeat round counter (this term)
   std::uint64_t confirmed_round_ = 0;  // highest quorum-acked round
+  std::uint64_t term_start_index_ = 0; // index of this term's no-op barrier
   std::vector<std::pair<std::uint64_t, double>> submit_ms_;  // index -> submit time
 
   RetryClock election_timer_;

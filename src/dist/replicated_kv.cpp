@@ -1,5 +1,6 @@
 #include "dist/replicated_kv.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/obs.hpp"
@@ -133,8 +134,13 @@ void ReplicatedKV::serve_requests() {
     if (kind == OpKind::kGet) {
       // Read-index (§6.4): snapshot the commit index, then require one
       // quorum-confirmed heartbeat round before serving — proves this
-      // node was still the leader after the read arrived.
-      const std::uint64_t read_index = raft_.commit_index();
+      // node was still the leader after the read arrived. Floor the
+      // snapshot at the term-start barrier: a fresh leader's commit index
+      // can lag the true committed prefix until its no-op commits
+      // (Figure 8), and serving below the barrier could miss an
+      // acknowledged write from a prior term.
+      const std::uint64_t read_index =
+          std::max(raft_.commit_index(), raft_.term_start_index());
       const std::uint64_t round = raft_.begin_read_round();
       pending_reads_.push_back(PendingRead{src, seq, key, read_index, round});
       continue;

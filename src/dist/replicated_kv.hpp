@@ -142,7 +142,7 @@ class ReplicatedKV {
     int client = -1;
     std::uint64_t seq = 0;
     std::string key;
-    std::uint64_t read_index = 0;  // commit index when the read arrived
+    std::uint64_t read_index = 0;  // max(commit index, term-start barrier) at arrival
     std::uint64_t round = 0;       // heartbeat round that must be confirmed
   };
 

@@ -126,6 +126,46 @@ TEST(RaftSim, ElectionTraceIsByteStableUnderFixedSeed) {
   EXPECT_NE(a.trace, c.trace);  // the seed is what's driving the schedule
 }
 
+// ------------------------------- duplicated votes must not elect a leader
+
+// Regression: vote counting must be idempotent per rank. With every
+// message duplicated and a 2-node minority partition {0,1} of a 5-rank
+// cluster, a candidate in the minority collects at most 2 distinct votes
+// (self + peer) — short of quorum 3. A bare vote counter would count the
+// duplicated VoteReply twice and elect a minority leader (split brain).
+TEST(RaftSim, DuplicatedVoteRepliesCannotElectMinorityLeader) {
+  constexpr int kRanks = 5;
+  auto minority_led = std::make_shared<std::atomic<bool>>(false);
+  FaultConfig faults;
+  faults.duplicate = 1.0;  // every delivered message arrives twice
+  auto injector = std::make_shared<FaultInjector>(faults);
+  injector->partition({{0, 1}, {2, 3, 4}});
+
+  World world(kRanks);
+  world.set_fault_injector(injector);
+  auto bodies = world.rank_bodies([minority_led](Communicator& comm) {
+    RecordingMachine machine;
+    RaftPersistentState storage;
+    RaftNode node(comm, machine, storage, RaftOptions{});
+    // ~6-12 election attempts on the minority side, each with a
+    // duplicated granted reply: any double-count elects immediately.
+    while (testkit::sim_now() < 0.15) {
+      pump(node);
+      if (comm.rank() <= 1 && node.role() == RaftRole::kLeader) {
+        *minority_led = true;
+      }
+    }
+  });
+  SchedulerOptions options;
+  options.seed = 9;
+  options.max_steps = 1u << 22;
+  SimScheduler scheduler(options);
+  const auto report = scheduler.run(std::move(bodies));
+  ASSERT_TRUE(report.ok()) << report.error;
+  EXPECT_GT(injector->stats().duplicated, 0u);
+  EXPECT_FALSE(minority_led->load());
+}
+
 // ------------------------------------------------- leader crash mid-append
 
 TEST(RaftSim, LogConvergesAfterLeaderCrashMidAppend) {
