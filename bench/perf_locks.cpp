@@ -8,11 +8,14 @@
 // pays for fairness; std::mutex is the baseline.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
 #include <mutex>
 
 #include "concurrency/rwlock.hpp"
 #include "concurrency/semaphore.hpp"
 #include "concurrency/spinlock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 
 namespace {
 
@@ -81,4 +84,33 @@ BENCHMARK(BM_RwLockReaders)->Threads(1)->Threads(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the threaded workloads above
+// hammer the slow paths of every lock, which feed the contention
+// observatory's per-site wait histograms — so after the benchmark tables,
+// print the `/profile/contention`-style top-k. The epilogue goes to
+// stderr so --benchmark_out / stdout capture stay pure benchmark output.
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+
+  const auto stats = pdc::obs::contention_topk(
+      pdc::obs::MetricsRegistry::instance().scrape(), 8);
+  if (stats.empty()) {
+    std::cerr << "contention observatory: no samples (PDCKIT_OBS_NOOP build, "
+                 "or no lock ever hit its slow path)\n";
+    return 0;
+  }
+  std::cerr << "contention top-k (pdc.contend.wait_us by total wait):\n";
+  for (const auto& s : stats) {
+    std::cerr << "  " << s.site << " waits=" << s.count
+              << " total=" << s.total_wait_us << "us mean=" << s.mean_us
+              << "us p99=" << s.p99_us << "us";
+    if (const auto loc = pdc::obs::contention_site_location(s.site)) {
+      std::cerr << "  [" << loc->file << ":" << loc->line << "]";
+    }
+    std::cerr << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,143 @@
+// profile_contention — the continuous profiling plane end to end
+// (docs/observability.md, "Continuous profiling", walks through the
+// output).
+//
+// Part 1 runs a fixed-seed workload under testkit::SimScheduler: three
+// logical workers publish phase-labeled work into their profiler slots
+// (virtual-time phases of different lengths, so the folded profile has a
+// visible skew) while Profiler::run_sim_sampler samples every 1 ms of
+// virtual time. Alongside, the workers fight over two lock sites with
+// deliberately skewed hold times — "demo.hot" blocks an order of
+// magnitude longer than "demo.cold" — feeding the contention observatory.
+//
+// Part 2 writes the folded flamegraph stacks to argv[1] (default
+// profile_folded.txt). Everything is virtual-clock-driven, so re-running
+// this binary produces the identical file (CI runs it twice and
+// byte-compares), and the stacks are flamegraph.pl-compatible:
+//
+//   flamegraph.pl profile_folded.txt > profile.svg
+//
+// Part 3 prints the contention top-k: the intentionally-hot site must
+// rank first, with its file:line resolved from the site catalog.
+//
+// Under PDCKIT_OBS_NOOP every instrument compiles out: the folded file is
+// empty and the top-k has no rows — the binary still runs cleanly.
+#include <atomic>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/profile.hpp"
+#include "testkit/hooks.hpp"
+#include "testkit/sim_scheduler.hpp"
+
+using namespace pdc;
+
+namespace {
+
+constexpr int kWorkers = 3;
+
+// One worker: alternating compute/exchange phases (compute scales with
+// the worker index) plus two contended "lock" waits per round with a 10x
+// skew between the hot and cold site.
+void worker_body(int w, std::atomic<int>& remaining) {
+  auto& prof = obs::Profiler::instance();
+  obs::WorkerSlot* slot =
+      prof.register_worker("demo.w" + std::to_string(w));
+  obs::Profiler::bind_current_thread(slot);
+  const std::uint32_t compute = prof.intern_label("phase.compute");
+  const std::uint32_t exchange = prof.intern_label("phase.exchange");
+  for (int round = 0; round < 4; ++round) {
+    {
+      obs::ProfiledTask task(compute);
+      testkit::poll_pause("demo.compute", 0.003 * (w + 1));
+      // The hot site: every round, every worker, a long virtual wait.
+      const std::uint64_t start = obs::now_us();
+      testkit::poll_pause("demo.lock.hot", 0.002);
+      PDC_CONTENTION_SITE("demo.hot").record(obs::now_us() - start);
+    }
+    {
+      obs::ProfiledTask task(exchange);
+      testkit::poll_pause("demo.exchange", 0.001);
+      // The cold site: a 10x shorter wait, half as often.
+      if (round % 2 == 0) {
+        const std::uint64_t start = obs::now_us();
+        testkit::poll_pause("demo.lock.cold", 0.0002);
+        PDC_CONTENTION_SITE("demo.cold").record(obs::now_us() - start);
+      }
+    }
+    obs::publish_worker_state(obs::WorkerState::kParked);
+    testkit::poll_pause("demo.park", 0.001);
+  }
+  obs::Profiler::bind_current_thread(nullptr);
+  prof.release_worker(slot);
+  remaining.fetch_sub(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string folded_path =
+      argc > 1 ? argv[1] : "profile_folded.txt";
+
+  auto& prof = obs::Profiler::instance();
+  prof.reset();
+  obs::MetricsRegistry::instance().reset();
+
+  // Part 1: fixed-seed sim — workers + the virtual-clock sampler.
+  std::atomic<int> remaining{kWorkers};
+  std::vector<std::function<void()>> bodies;
+  for (int w = 0; w < kWorkers; ++w) {
+    bodies.push_back([w, &remaining] { worker_body(w, remaining); });
+  }
+  bodies.push_back([&remaining, &prof] {
+    prof.run_sim_sampler(/*period_seconds=*/0.001,
+                         [&] { return remaining.load() == 0; });
+  });
+  testkit::SchedulerOptions options;
+  options.policy = testkit::SchedulePolicy::kRandom;
+  options.seed = 2026;
+  options.max_steps = 1u << 22;
+  testkit::SimScheduler scheduler(options);
+  const auto report = scheduler.run(std::move(bodies));
+  if (!report.ok()) {
+    std::cerr << "sim run failed: " << report.error << "\n";
+    return 1;
+  }
+
+  // Part 2: the folded stacks, byte-stable across runs.
+  const std::string folded = prof.folded();
+  std::ofstream out(folded_path);
+  out << folded;
+  out.close();
+  std::cout << "folded profile (" << prof.samples() << " samples) -> "
+            << folded_path << "\n\n"
+            << folded << "\n";
+
+  // Part 3: contention top-k — demo.hot must outrank demo.cold.
+  const auto stats =
+      obs::contention_topk(obs::MetricsRegistry::instance().scrape(), 5);
+  std::cout << "contention top-" << stats.size() << ":\n";
+  for (const auto& s : stats) {
+    std::cout << "  " << s.site << "  waits=" << s.count
+              << "  total=" << s.total_wait_us << "us  mean=" << s.mean_us
+              << "us";
+    if (!s.file.empty()) {
+      std::cout << "  (" << s.file << ":" << s.line << ")";
+    }
+    std::cout << "\n";
+  }
+  if (obs::kObsEnabled) {
+    if (stats.empty() || stats[0].site != "demo.hot") {
+      std::cerr << "expected demo.hot to rank first\n";
+      return 1;
+    }
+  }
+  std::cout << "\nrender with: flamegraph.pl " << folded_path
+            << " > profile.svg\n";
+  return 0;
+}

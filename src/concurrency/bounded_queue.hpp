@@ -44,11 +44,16 @@ class BoundedQueue {
     // backpressure, not the uncontended fast path.
     if (items_.size() >= capacity_ && !closed_) {
       PDC_OBS_COUNT("pdc.queue.push_blocked");
-      obs::BlockTimer timer;
+      std::uint64_t wait_start = 0;
+      if constexpr (obs::kObsEnabled) wait_start = obs::now_us();
       testkit::wait(lock, not_full_,
                     [&] { return items_.size() < capacity_ || closed_; },
                     "bq.push.wait");
-      timer.record("pdc.queue.block_us");
+      if constexpr (obs::kObsEnabled) {
+        const std::uint64_t waited = obs::now_us() - wait_start;
+        PDC_OBS_HIST("pdc.queue.block_us", waited);
+        PDC_CONTENTION_SITE("queue.push").record(waited);
+      }
     }
     if (closed_) return {support::StatusCode::kClosed, "queue closed"};
     items_.push_back(std::move(item));
@@ -77,10 +82,15 @@ class BoundedQueue {
     std::unique_lock lock(mutex_);
     if (items_.empty() && !closed_) {
       PDC_OBS_COUNT("pdc.queue.pop_blocked");
-      obs::BlockTimer timer;
+      std::uint64_t wait_start = 0;
+      if constexpr (obs::kObsEnabled) wait_start = obs::now_us();
       testkit::wait(lock, not_empty_,
                     [&] { return !items_.empty() || closed_; }, "bq.pop.wait");
-      timer.record("pdc.queue.block_us");
+      if constexpr (obs::kObsEnabled) {
+        const std::uint64_t waited = obs::now_us() - wait_start;
+        PDC_OBS_HIST("pdc.queue.block_us", waited);
+        PDC_CONTENTION_SITE("queue.pop").record(waited);
+      }
     }
     if (items_.empty()) {
       return support::Status{support::StatusCode::kClosed, "queue closed and drained"};

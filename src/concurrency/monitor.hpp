@@ -56,8 +56,20 @@ class Monitor {
     testkit::yield_point("monitor.wait");
     PDC_OBS_COUNT("pdc.monitor.wait");
     std::unique_lock lock(mutex_);
+    // Contention accounting only when the wait actually blocks (predicate
+    // initially false): the satisfied-on-entry path stays store-free.
+    const bool blocked = !pred(std::as_const(data_));
+    std::uint64_t wait_start = 0;
+    if (blocked) {
+      if constexpr (obs::kObsEnabled) wait_start = obs::now_us();
+    }
     testkit::wait(lock, changed_,
                   [&] { return pred(std::as_const(data_)); }, "monitor.wait");
+    if (blocked) {
+      if constexpr (obs::kObsEnabled) {
+        PDC_CONTENTION_SITE("monitor.wait").record(obs::now_us() - wait_start);
+      }
+    }
     if constexpr (std::is_void_v<decltype(fn(data_))>) {
       std::forward<Fn>(fn)(data_);
       testkit::notify_all(changed_);

@@ -27,12 +27,20 @@ class RwLock {
     testkit::yield_point("rw.lock_shared");
     PDC_OBS_COUNT("pdc.rwlock.read.acquire");
     std::unique_lock lock(mutex_);
-    if (writer_active_ || writers_waiting_ != 0) {
+    const bool contended = writer_active_ || writers_waiting_ != 0;
+    std::uint64_t wait_start = 0;
+    if (contended) {
       PDC_OBS_COUNT("pdc.rwlock.read.contended");
+      if constexpr (obs::kObsEnabled) wait_start = obs::now_us();
     }
     testkit::wait(lock, readers_turn_,
                   [&] { return !writer_active_ && writers_waiting_ == 0; },
                   "rw.lock_shared.wait");
+    if (contended) {
+      if constexpr (obs::kObsEnabled) {
+        PDC_CONTENTION_SITE("rwlock.read").record(obs::now_us() - wait_start);
+      }
+    }
     ++readers_active_;
   }
 
@@ -49,14 +57,22 @@ class RwLock {
     testkit::yield_point("rw.lock");
     PDC_OBS_COUNT("pdc.rwlock.write.acquire");
     std::unique_lock lock(mutex_);
-    if (writer_active_ || readers_active_ != 0) {
+    const bool contended = writer_active_ || readers_active_ != 0;
+    std::uint64_t wait_start = 0;
+    if (contended) {
       PDC_OBS_COUNT("pdc.rwlock.write.contended");
+      if constexpr (obs::kObsEnabled) wait_start = obs::now_us();
     }
     ++writers_waiting_;
     testkit::wait(lock, writers_turn_,
                   [&] { return !writer_active_ && readers_active_ == 0; },
                   "rw.lock.wait");
     --writers_waiting_;
+    if (contended) {
+      if constexpr (obs::kObsEnabled) {
+        PDC_CONTENTION_SITE("rwlock.write").record(obs::now_us() - wait_start);
+      }
+    }
     writer_active_ = true;
   }
 

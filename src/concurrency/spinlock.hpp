@@ -51,11 +51,20 @@ class TasLock {
     PDC_OBS_COUNT("pdc.lock.tas.acquire");
     detail::Backoff backoff;
     bool contended = false;
+    std::uint64_t wait_start = 0;
     while (flag_.exchange(true, std::memory_order_acquire)) {
-      contended = true;
+      if (!contended) {
+        contended = true;
+        if constexpr (obs::kObsEnabled) wait_start = obs::now_us();
+      }
       backoff.pause();
     }
-    if (contended) PDC_OBS_COUNT("pdc.lock.tas.contended");
+    if (contended) {
+      PDC_OBS_COUNT("pdc.lock.tas.contended");
+      if constexpr (obs::kObsEnabled) {
+        PDC_CONTENTION_SITE("lock.tas").record(obs::now_us() - wait_start);
+      }
+    }
   }
 
   bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
@@ -78,15 +87,27 @@ class TtasLock {
     PDC_OBS_COUNT("pdc.lock.ttas.acquire");
     detail::Backoff backoff;
     bool contended = false;
+    std::uint64_t wait_start = 0;
+    const auto note_contended = [&] {
+      if (!contended) {
+        contended = true;
+        if constexpr (obs::kObsEnabled) wait_start = obs::now_us();
+      }
+    };
     for (;;) {
       while (flag_.load(std::memory_order_relaxed)) {
-        contended = true;
+        note_contended();
         backoff.pause();
       }
       if (!flag_.exchange(true, std::memory_order_acquire)) break;
-      contended = true;
+      note_contended();
     }
-    if (contended) PDC_OBS_COUNT("pdc.lock.ttas.contended");
+    if (contended) {
+      PDC_OBS_COUNT("pdc.lock.ttas.contended");
+      if constexpr (obs::kObsEnabled) {
+        PDC_CONTENTION_SITE("lock.ttas").record(obs::now_us() - wait_start);
+      }
+    }
   }
 
   bool try_lock() {
@@ -112,11 +133,20 @@ class TicketLock {
         next_ticket_.fetch_add(1, std::memory_order_relaxed);
     detail::Backoff backoff;
     bool contended = false;
+    std::uint64_t wait_start = 0;
     while (now_serving_.load(std::memory_order_acquire) != ticket) {
-      contended = true;
+      if (!contended) {
+        contended = true;
+        if constexpr (obs::kObsEnabled) wait_start = obs::now_us();
+      }
       backoff.pause();
     }
-    if (contended) PDC_OBS_COUNT("pdc.lock.ticket.contended");
+    if (contended) {
+      PDC_OBS_COUNT("pdc.lock.ticket.contended");
+      if constexpr (obs::kObsEnabled) {
+        PDC_CONTENTION_SITE("lock.ticket").record(obs::now_us() - wait_start);
+      }
+    }
   }
 
   bool try_lock() {
@@ -157,10 +187,15 @@ class McsLock {
     Node* predecessor = tail_.exchange(&node, std::memory_order_acq_rel);
     if (predecessor != nullptr) {
       PDC_OBS_COUNT("pdc.lock.mcs.contended");
+      std::uint64_t wait_start = 0;
+      if constexpr (obs::kObsEnabled) wait_start = obs::now_us();
       node.locked.store(true, std::memory_order_relaxed);
       predecessor->next.store(&node, std::memory_order_release);
       detail::Backoff backoff;
       while (node.locked.load(std::memory_order_acquire)) backoff.pause();
+      if constexpr (obs::kObsEnabled) {
+        PDC_CONTENTION_SITE("lock.mcs").record(obs::now_us() - wait_start);
+      }
     }
   }
 

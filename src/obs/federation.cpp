@@ -1,8 +1,10 @@
 #include "obs/federation.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <utility>
 
 #include "obs/obs.hpp"
@@ -50,6 +52,9 @@ void insert_or_merge(KeyedSamples& bucket, MetricKey key,
     merge_into(it->second, sample);
   }
 }
+
+constexpr const char kProfilingDisabledJson[] =
+    "{\"error\":\"profiling disabled (PDCKIT_OBS_NOOP)\"}\n";
 
 }  // namespace
 
@@ -126,14 +131,47 @@ net::Address Aggregator::address() const { return server_->address(); }
 
 void Aggregator::stop() { server_->stop(); }
 
-support::Result<MetricsSnapshot> Aggregator::scrape_target(
-    const ScrapeTarget& target) {
+std::vector<ScrapeTarget> Aggregator::targets_copy() const {
+  std::scoped_lock lock(targets_mutex_);
+  return targets_;
+}
+
+void Aggregator::add_target(ScrapeTarget target) {
+  std::scoped_lock lock(targets_mutex_);
+  targets_.push_back(std::move(target));
+  PDC_OBS_GAUGE_ADD("pdc.fed.targets", 1);
+}
+
+bool Aggregator::remove_target(std::string_view source) {
+  std::scoped_lock lock(targets_mutex_);
+  auto it = std::find_if(
+      targets_.begin(), targets_.end(),
+      [&](const ScrapeTarget& t) { return t.source == source; });
+  if (it == targets_.end()) return false;
+  targets_.erase(it);
+  PDC_OBS_GAUGE_SUB("pdc.fed.targets", 1);
+  return true;
+}
+
+std::size_t Aggregator::target_count() const {
+  std::scoped_lock lock(targets_mutex_);
+  return targets_.size();
+}
+
+support::Result<std::string> Aggregator::fetch_text(
+    const ScrapeTarget& target, const std::string& endpoint) {
   net::Client client(net_, host_);
   if (auto status = client.connect(target.address); !status.is_ok()) {
     return status;
   }
-  auto reply = client.call_text("/metrics.wire");
+  auto reply = client.call_text(endpoint);
   client.close();
+  return reply;
+}
+
+support::Result<MetricsSnapshot> Aggregator::scrape_target(
+    const ScrapeTarget& target) {
+  auto reply = fetch_text(target, "/metrics.wire");
   if (!reply.is_ok()) return reply.status();
   auto snapshot = MetricsSnapshot::from_wire(reply.value());
   if (!snapshot) {
@@ -145,11 +183,12 @@ support::Result<MetricsSnapshot> Aggregator::scrape_target(
 }
 
 MetricsSnapshot Aggregator::federate() {
-  std::vector<std::optional<MetricsSnapshot>> scraped(targets_.size());
+  const std::vector<ScrapeTarget> targets = targets_copy();
+  std::vector<std::optional<MetricsSnapshot>> scraped(targets.size());
   std::atomic<std::uint64_t> errors{0};
-  parallel::fan_out(pool_, targets_.size(), [&](std::size_t i) {
+  parallel::fan_out(pool_, targets.size(), [&](std::size_t i) {
     const std::uint64_t start = now_us();
-    auto result = scrape_target(targets_[i]);
+    auto result = scrape_target(targets[i]);
     PDC_OBS_HIST("pdc.fed.scrape_us", now_us() - start);
     if (result.is_ok()) {
       scraped[i] = std::move(result).value();
@@ -160,10 +199,10 @@ MetricsSnapshot Aggregator::federate() {
   // Sources merge in target-declaration order (index-stable slots), not
   // completion order — part of the byte-stability contract.
   std::vector<SourceSnapshot> sources;
-  sources.reserve(targets_.size());
-  for (std::size_t i = 0; i < targets_.size(); ++i) {
+  sources.reserve(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
     if (scraped[i].has_value()) {
-      sources.push_back({targets_[i].source, std::move(*scraped[i])});
+      sources.push_back({targets[i].source, std::move(*scraped[i])});
     }
   }
   const std::uint64_t merge_start = now_us();
@@ -175,18 +214,88 @@ MetricsSnapshot Aggregator::federate() {
   return merged;
 }
 
+FoldedProfile Aggregator::federate_profiles() {
+  const std::vector<ScrapeTarget> targets = targets_copy();
+  std::vector<std::optional<FoldedProfile>> fetched(targets.size());
+  parallel::fan_out(pool_, targets.size(), [&](std::size_t i) {
+    auto reply = fetch_text(targets[i], "/profile/folded");
+    // NOOP ranks answer an error JSON — a single line with no trailing
+    // count, which parse_folded drops, leaving an empty (skipped) profile.
+    if (reply.is_ok() && reply.value().rfind("{\"error\"", 0) != 0) {
+      fetched[i] = parse_folded(reply.value());
+    }
+  });
+  FoldedProfile merged;
+  const std::string stamp_prefix = config_.source_label + "=";
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (!fetched[i].has_value()) continue;
+    for (const auto& [key, count] : *fetched[i]) {
+      // Insert-if-absent stamping, same contract as merge_federated: a
+      // stack already rooted at `<source_label>=...` came from a lower
+      // aggregator tier and keeps its original attribution.
+      if (key.rfind(stamp_prefix, 0) == 0) {
+        merged[key] += count;
+      } else {
+        merged[stamp_prefix + targets[i].source + ";" + key] += count;
+      }
+    }
+  }
+  return merged;
+}
+
 std::size_t Aggregator::broadcast_control(const std::string& verb) {
+  const std::vector<ScrapeTarget> targets = targets_copy();
   std::atomic<std::size_t> acked{0};
-  parallel::fan_out(pool_, targets_.size(), [&](std::size_t i) {
-    net::Client client(net_, host_);
-    if (!client.connect(targets_[i].address).is_ok()) return;
-    auto reply = client.call_text(verb);
-    client.close();
+  parallel::fan_out(pool_, targets.size(), [&](std::size_t i) {
+    auto reply = fetch_text(targets[i], verb);
     if (reply.is_ok() && reply.value().rfind("error", 0) != 0) {
       acked.fetch_add(1, std::memory_order_relaxed);
     }
   });
   return acked.load(std::memory_order_relaxed);
+}
+
+std::string Aggregator::topk_body(const std::string& endpoint) {
+  const std::uint64_t n = endpoint_query_u64(endpoint, "n", 10);
+  std::string by = endpoint_query(endpoint, "by");
+  if (by.empty()) by = "value";
+  if (by != "value" && by != "rate") {
+    return "error: by must be 'value' or 'rate'\n";
+  }
+  const MetricsSnapshot merged = federate();
+  std::vector<std::pair<std::string, std::uint64_t>> entries;
+  std::map<std::string, std::uint64_t> totals;
+  for (const auto& s : merged.samples) {
+    if (s.kind != MetricKind::kCounter) continue;
+    totals.emplace(s.name, s.count);
+  }
+  if (by == "value") {
+    entries.assign(totals.begin(), totals.end());
+  } else {
+    // Rate = increase since the previous ?by=rate call (server-wide
+    // cursor). First call diffs against empty, i.e. reports totals.
+    std::scoped_lock lock(rate_mutex_);
+    for (const auto& [name, count] : totals) {
+      auto it = rate_prev_.find(name);
+      const std::uint64_t prev = it == rate_prev_.end() ? 0 : it->second;
+      if (count > prev) entries.emplace_back(name, count - prev);
+    }
+    rate_prev_ = std::move(totals);
+  }
+  entries = top_k_by_value(std::move(entries), static_cast<std::size_t>(n));
+  std::string out = "{\"by\":\"" + by + "\",\"n\":" + std::to_string(n) +
+                    ",\"top\":[";
+  bool first = true;
+  for (const auto& [name, value] : entries) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"series\":";
+    // Canonical names can contain quotes (label blocks) — always escape.
+    append_json_string(out, name);
+    out += ",\"value\":" + std::to_string(value) + "}";
+  }
+  out += "]}\n";
+  return out;
 }
 
 std::string Aggregator::endpoint_body(const std::string& endpoint) {
@@ -196,15 +305,51 @@ std::string Aggregator::endpoint_body(const std::string& endpoint) {
     return federate().to_json();
   }
   if (endpoint == "/metrics.wire") return federate().to_wire();
+  if (endpoint.rfind("/metrics/topk", 0) == 0) return topk_body(endpoint);
+  if (endpoint == "/profile/folded") {
+    if (!kObsEnabled) return kProfilingDisabledJson;
+    return render_folded(federate_profiles());
+  }
+  if (endpoint.rfind("/profile/contention", 0) == 0) {
+    if (!kObsEnabled) return kProfilingDisabledJson;
+    const std::uint64_t n = endpoint_query_u64(endpoint, "n", 10);
+    return contention_json(contention_topk(
+               federate(), static_cast<std::size_t>(n))) +
+           "\n";
+  }
   if (endpoint == "reset") {
     const std::size_t acked = broadcast_control("reset");
-    if (acked == targets_.size()) return "ok\n";
+    const std::size_t total = target_count();
+    if (acked == total) return "ok\n";
     return "error: reset acked by " + std::to_string(acked) + "/" +
-           std::to_string(targets_.size()) + " targets\n";
+           std::to_string(total) + " targets\n";
+  }
+  if (endpoint.rfind("add-target", 0) == 0) {
+    std::istringstream in(endpoint);
+    std::string verb, source;
+    int host = 0;
+    std::uint16_t port = 0;
+    in >> verb >> host >> port >> source;
+    if (in.fail() || source.empty()) {
+      return "error: usage add-target <host> <port> <source>\n";
+    }
+    add_target({net::Address{host, port}, source});
+    return "ok\n";
+  }
+  if (endpoint.rfind("remove-target", 0) == 0) {
+    std::istringstream in(endpoint);
+    std::string verb, source;
+    in >> verb >> source;
+    if (source.empty()) return "error: usage remove-target <source>\n";
+    if (!remove_target(source)) {
+      return "error: no target with source '" + source + "'\n";
+    }
+    return "ok\n";
   }
   return "error: unknown endpoint '" + endpoint +
-         "' (try /metrics, /metrics.json, /metrics.wire, /healthz, reset, "
-         "snapshot-now)\n";
+         "' (try /metrics, /metrics.json, /metrics.wire, /metrics/topk, "
+         "/profile/folded, /profile/contention, /healthz, reset, "
+         "snapshot-now, add-target, remove-target)\n";
 }
 
 }  // namespace pdc::obs

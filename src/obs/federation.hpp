@@ -35,13 +35,16 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "net/server.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/status.hpp"
 
@@ -75,10 +78,24 @@ struct AggregatorConfig {
   std::size_t scrape_threads = 3;  // fan-out pool for concurrent scrapes
 };
 
-/// Scrapes a fixed target set on demand and re-exposes the merged view on
-/// its own telemetry endpoints (/metrics, /metrics.json, /metrics.wire,
-/// /healthz), plus the control verbs `reset` (broadcast to every target)
-/// and `snapshot-now` (immediate federated /metrics.json body).
+/// Scrapes its target set on demand and re-exposes the merged view on its
+/// own telemetry endpoints (/metrics, /metrics.json, /metrics.wire,
+/// /healthz), plus:
+///
+///   /metrics/topk?n=K&by=value|rate   top-K merged counter series as
+///       JSON — by=value ranks totals, by=rate ranks deltas since the
+///       previous /metrics/topk?by=rate call (server-wide cursor)
+///   /profile/folded   federated folded profile: each target's
+///       /profile/folded, every stack rank-stamped with a
+///       `<source_label>=<source>` root frame (insert-if-absent, so
+///       aggregator tiers stack) and summed by key
+///   /profile/contention?n=K   top-K contended sites over the *merged*
+///       snapshot — pdc.contend.wait_us{site=} federates like any series
+///   reset             control verb, broadcast to every target
+///   snapshot-now      immediate federated /metrics.json body
+///   add-target <host> <port> <source>   hot-add a scrape target; it
+///       appears in the next federated scrape
+///   remove-target <source>              hot-remove by source value
 ///
 /// Self-metrics (pdc.fed.*) go to the process-wide registry, never into
 /// the federated output — unless a target happens to serve that registry.
@@ -98,23 +115,44 @@ class Aggregator {
   /// counted in pdc.fed.scrape_errors.
   [[nodiscard]] MetricsSnapshot federate();
 
+  /// Federates the targets' /profile/folded bodies: rank-stamps each
+  /// stack with a `<source_label>=<source>` root frame (unless already
+  /// stamped) and sums by key. Targets answering errors (NOOP ranks,
+  /// unreachable) are skipped.
+  [[nodiscard]] FoldedProfile federate_profiles();
+
   /// Sends a control verb ("reset", "snapshot-now") to every target
   /// concurrently; returns how many targets acknowledged.
   std::size_t broadcast_control(const std::string& verb);
+
+  /// Hot add/remove (also reachable as the add-target / remove-target
+  /// control verbs): the change is visible to the next federate() round.
+  /// remove_target returns false when no target matches `source`.
+  void add_target(ScrapeTarget target);
+  bool remove_target(std::string_view source);
+  [[nodiscard]] std::size_t target_count() const;
 
   /// Stops accepting; existing connections finish their current request.
   void stop();
 
  private:
   [[nodiscard]] std::string endpoint_body(const std::string& endpoint);
+  [[nodiscard]] std::string topk_body(const std::string& endpoint);
+  [[nodiscard]] support::Result<std::string> fetch_text(
+      const ScrapeTarget& target, const std::string& endpoint);
   [[nodiscard]] support::Result<MetricsSnapshot> scrape_target(
       const ScrapeTarget& target);
+  [[nodiscard]] std::vector<ScrapeTarget> targets_copy() const;
 
   net::Network& net_;
   int host_;
-  std::vector<ScrapeTarget> targets_;
+  mutable std::mutex targets_mutex_;
+  std::vector<ScrapeTarget> targets_;  // guarded by targets_mutex_
   AggregatorConfig config_;
   parallel::ThreadPool pool_;
+  std::mutex rate_mutex_;
+  // Previous /metrics/topk?by=rate counter totals (server-wide cursor).
+  std::map<std::string, std::uint64_t> rate_prev_;
   std::unique_ptr<net::Server> server_;  // last member: threads start here
 };
 

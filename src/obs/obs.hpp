@@ -10,6 +10,7 @@
 #pragma once
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
 #ifdef PDCKIT_OBS_NOOP

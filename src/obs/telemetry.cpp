@@ -2,7 +2,7 @@
 
 #include <chrono>
 #include <cmath>
-#include <cstdio>
+#include <sstream>
 #include <thread>
 
 #include "net/framing.hpp"
@@ -60,7 +60,42 @@ std::string series_ref(const std::string& name, const std::string& labels,
   return out;
 }
 
+constexpr const char kProfilingDisabledJson[] =
+    "{\"error\":\"profiling disabled (PDCKIT_OBS_NOOP)\"}\n";
+
 }  // namespace
+
+std::string endpoint_query(const std::string& endpoint,
+                           std::string_view key) {
+  const std::size_t q = endpoint.find('?');
+  if (q == std::string::npos) return {};
+  std::size_t pos = q + 1;
+  while (pos < endpoint.size()) {
+    std::size_t amp = endpoint.find('&', pos);
+    if (amp == std::string::npos) amp = endpoint.size();
+    const std::string_view pair =
+        std::string_view(endpoint).substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return std::string(pair.substr(eq + 1));
+    }
+    pos = amp + 1;
+  }
+  return {};
+}
+
+std::uint64_t endpoint_query_u64(const std::string& endpoint,
+                                 std::string_view key,
+                                 std::uint64_t fallback) {
+  const std::string value = endpoint_query(endpoint, key);
+  if (value.empty()) return fallback;
+  std::uint64_t out = 0;
+  for (char ch : value) {
+    if (ch < '0' || ch > '9') return fallback;
+    out = out * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  return out;
+}
 
 std::string prometheus_exposition(const MetricsSnapshot& snapshot) {
   std::string out;
@@ -136,7 +171,10 @@ std::string prometheus_exposition(const MetricsSnapshot& snapshot) {
 }
 
 std::string delta_json(const MetricsSnapshot& prev, const MetricsSnapshot& cur,
-                       std::uint64_t cursor) {
+                       std::uint64_t cursor, std::string_view filter) {
+  const auto matches = [&](const MetricSample& s) {
+    return filter.empty() || s.name.compare(0, filter.size(), filter) == 0;
+  };
   std::string out = "{\"cursor\":" + std::to_string(cursor) + ",\"counters\":{";
   bool first = true;
   const auto comma = [&] {
@@ -144,7 +182,7 @@ std::string delta_json(const MetricsSnapshot& prev, const MetricsSnapshot& cur,
     first = false;
   };
   for (const auto& s : cur.samples) {
-    if (s.kind != MetricKind::kCounter) continue;
+    if (s.kind != MetricKind::kCounter || !matches(s)) continue;
     const MetricSample* p = prev.find(s.name);
     const std::uint64_t before = p != nullptr ? p->count : 0;
     if (s.count == before) continue;
@@ -156,7 +194,7 @@ std::string delta_json(const MetricsSnapshot& prev, const MetricsSnapshot& cur,
   out += "},\"gauges\":{";
   first = true;
   for (const auto& s : cur.samples) {
-    if (s.kind != MetricKind::kGauge) continue;
+    if (s.kind != MetricKind::kGauge || !matches(s)) continue;
     comma();
     append_json_string(out, s.name);
     out += ":{\"value\":" + std::to_string(s.value) +
@@ -165,7 +203,7 @@ std::string delta_json(const MetricsSnapshot& prev, const MetricsSnapshot& cur,
   out += "},\"histograms\":{";
   first = true;
   for (const auto& s : cur.samples) {
-    if (s.kind != MetricKind::kHistogram) continue;
+    if (s.kind != MetricKind::kHistogram || !matches(s)) continue;
     const MetricSample* p = prev.find(s.name);
     const std::uint64_t count_before = p != nullptr ? p->count : 0;
     const std::uint64_t sum_before = p != nullptr ? p->sum : 0;
@@ -262,9 +300,31 @@ std::string TelemetryServer::endpoint_body(const std::string& endpoint) {
     }
     return collector->chrome_trace_json();
   }
+  if (endpoint == "/profile/folded") {
+    if (!kObsEnabled) return kProfilingDisabledJson;
+    return Profiler::instance().folded();
+  }
+  if (endpoint == "/profile/contention" ||
+      endpoint.rfind("/profile/contention?", 0) == 0) {
+    if (!kObsEnabled) return kProfilingDisabledJson;
+    const std::uint64_t k = endpoint_query_u64(endpoint, "n", 10);
+    return contention_json(contention_topk(
+               registry().scrape(), static_cast<std::size_t>(k))) +
+           "\n";
+  }
+  if (endpoint == "/profile" || endpoint.rfind("/profile?", 0) == 0) {
+    if (!kObsEnabled) return kProfilingDisabledJson;
+    // Collect-then-respond: this connection's serving thread samples for
+    // the requested window, then replies with just that window's folded
+    // stacks (the Profiler's global accumulation is untouched).
+    const std::uint64_t ms = endpoint_query_u64(endpoint, "ms", 50);
+    const std::uint64_t period = endpoint_query_u64(endpoint, "period_us", 1000);
+    return Profiler::instance().collect(ms, period);
+  }
   return "error: unknown endpoint '" + endpoint +
          "' (try /metrics, /metrics.json, /metrics.wire, /trace, /healthz, "
-         "reset, snapshot-now, /subscribe <frames> [interval_ms], "
+         "/profile?ms=N, /profile/folded, /profile/contention?n=K, reset, "
+         "snapshot-now, /subscribe <frames> [interval_ms] [filter], "
          "/trace/stream <frames> [interval_ms])\n";
 }
 
@@ -285,22 +345,33 @@ bool TelemetryServer::handle_stream(const net::Bytes& request,
   const bool is_trace_stream = text.rfind("/trace/stream", 0) == 0;
   if (!is_subscribe && !is_trace_stream) return false;
   const char* verb = is_subscribe ? "/subscribe" : "/trace/stream";
-  unsigned long long frames = 0;
-  unsigned long long interval_ms = 0;
-  const int got = std::sscanf(text.c_str() + std::string_view(verb).size(),
-                              " %llu %llu", &frames, &interval_ms);
-  if (got < 1 || frames == 0) {
+  std::istringstream in(text.substr(std::string_view(verb).size()));
+  std::uint64_t frames = 0;
+  std::uint64_t interval_ms = 0;
+  std::string filter;
+  const bool got_frames = static_cast<bool>(in >> frames);
+  if (!(in >> interval_ms)) {
+    // Second token absent or non-numeric: default the interval and let a
+    // bare "/subscribe N pdc.pool." treat the token as the filter.
+    in.clear();
+    interval_ms = 0;
+  }
+  in >> filter;
+  if (!got_frames || frames == 0) {
     (void)net::MessageCodec::send_message(
         socket, net::to_bytes(std::string("error: usage ") + verb +
-                              " <frames> [interval_ms]\n"));
+                              " <frames> [interval_ms]" +
+                              (is_subscribe ? " [filter]" : "") + "\n"));
     return true;
   }
-  return is_subscribe ? stream_subscription(frames, interval_ms, socket)
-                      : stream_trace(frames, interval_ms, socket);
+  return is_subscribe
+             ? stream_subscription(frames, interval_ms, filter, socket)
+             : stream_trace(frames, interval_ms, socket);
 }
 
 bool TelemetryServer::stream_subscription(std::uint64_t frames,
                                           std::uint64_t interval_ms,
+                                          const std::string& filter,
                                           net::StreamSocket& socket) {
   // Per-client cursor state lives right here on the connection's stack:
   // frame 1 diffs against the empty snapshot (= full totals), frame k
@@ -308,7 +379,7 @@ bool TelemetryServer::stream_subscription(std::uint64_t frames,
   MetricsSnapshot prev;
   for (std::uint64_t cursor = 1; cursor <= frames; ++cursor) {
     MetricsSnapshot cur = registry().scrape();
-    const std::string frame = delta_json(prev, cur, cursor);
+    const std::string frame = delta_json(prev, cur, cursor, filter);
     if (!net::MessageCodec::send_message(socket, net::to_bytes(frame))
              .is_ok()) {
       break;  // client went away
@@ -379,10 +450,15 @@ support::Result<std::string> TelemetryClient::get(const std::string& endpoint) {
 
 support::Status TelemetryClient::subscribe(
     std::size_t frames, std::uint64_t interval_ms,
-    const std::function<void(const std::string&)>& on_frame) {
+    const std::function<void(const std::string&)>& on_frame,
+    std::string_view filter) {
   PDC_CHECK_MSG(socket_.valid(), "subscribe before connect");
-  const std::string request = "/subscribe " + std::to_string(frames) + " " +
-                              std::to_string(interval_ms);
+  std::string request = "/subscribe " + std::to_string(frames) + " " +
+                        std::to_string(interval_ms);
+  if (!filter.empty()) {
+    request += ' ';
+    request += filter;
+  }
   if (auto status =
           net::MessageCodec::send_message(socket_, net::to_bytes(request));
       !status.is_ok()) {

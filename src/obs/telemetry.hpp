@@ -15,7 +15,23 @@
 //                   harvested session (error JSON when none is attached
 //                   or it is still running — stream instead, below)
 //   /healthz        "ok\n"
-//   /subscribe N I  push N framed delta snapshots, I ms apart (see below)
+//   /profile?ms=N&period_us=P   collect-then-respond profile: samples the
+//                   worker slots inline for N ms (default 50) at period P
+//                   (default 1000) and replies with that window's folded
+//                   stacks — the global accumulation is untouched
+//   /profile/folded flamegraph.pl-compatible folded stacks of the
+//                   Profiler's global accumulation (whatever sampler is
+//                   feeding it: start(), run_sim_sampler, sample_once)
+//   /profile/contention?n=K   top-K most-contended sites as JSON, ranked
+//                   by total wait from pdc.contend.wait_us{site=} in the
+//                   served registry
+//                   (all three /profile endpoints answer an error JSON
+//                   under PDCKIT_OBS_NOOP)
+//   /subscribe N I [filter]  push N framed delta snapshots, I ms apart;
+//                   the optional third token restricts frames to series
+//                   whose canonical name starts with it — "pdc.pool." for
+//                   a family, `pdc.raft.term{rank="1"}` for one labeled
+//                   series (see below)
 //   /trace/stream N I  push N framed chunks of live trace events from the
 //                   *running* collector, I ms apart: per-client
 //                   TraceStreamCursor on the connection stack; each frame
@@ -73,11 +89,25 @@ namespace pdc::obs {
 
 /// One frame of the delta-subscription stream: counters and histograms
 /// report activity since `prev` (names whose delta is zero are omitted);
-/// gauges always report their current value and high-water mark. Pure
-/// function so cursor semantics are unit-testable without a network.
+/// gauges always report their current value and high-water mark. A
+/// non-empty `filter` keeps only series whose canonical name starts with
+/// it (label-aware: canonical names embed the label block). Pure function
+/// so cursor semantics are unit-testable without a network.
 [[nodiscard]] std::string delta_json(const MetricsSnapshot& prev,
                                      const MetricsSnapshot& cur,
-                                     std::uint64_t cursor);
+                                     std::uint64_t cursor,
+                                     std::string_view filter = {});
+
+/// Value of `key` in an endpoint's `?k=v&k2=v2` query block; empty when
+/// absent. Shared by the telemetry and aggregator endpoint parsers.
+[[nodiscard]] std::string endpoint_query(const std::string& endpoint,
+                                         std::string_view key);
+
+/// Like endpoint_query, parsed as an unsigned integer; `fallback` when
+/// absent or malformed.
+[[nodiscard]] std::uint64_t endpoint_query_u64(const std::string& endpoint,
+                                               std::string_view key,
+                                               std::uint64_t fallback);
 
 struct TelemetryConfig {
   net::ThreadingModel model = net::ThreadingModel::kThreadPerConnection;
@@ -116,6 +146,7 @@ class TelemetryServer {
   net::Bytes handle(const net::Bytes& request);
   bool handle_stream(const net::Bytes& request, net::StreamSocket& socket);
   bool stream_subscription(std::uint64_t frames, std::uint64_t interval_ms,
+                           const std::string& filter,
                            net::StreamSocket& socket);
   bool stream_trace(std::uint64_t frames, std::uint64_t interval_ms,
                     net::StreamSocket& socket);
@@ -137,10 +168,13 @@ class TelemetryClient {
   support::Result<std::string> get(const std::string& endpoint);
 
   /// Subscribes to `frames` delta snapshots `interval_ms` apart and calls
-  /// `on_frame` with each frame's JSON. Returns after the last frame.
+  /// `on_frame` with each frame's JSON. A non-empty `filter` restricts the
+  /// frames to series whose canonical name starts with it. Returns after
+  /// the last frame.
   support::Status subscribe(
       std::size_t frames, std::uint64_t interval_ms,
-      const std::function<void(const std::string&)>& on_frame);
+      const std::function<void(const std::string&)>& on_frame,
+      std::string_view filter = {});
 
   /// Streams `frames` chunks of live trace events from the server's
   /// running collector (`/trace/stream`), calling `on_chunk` with each

@@ -115,6 +115,10 @@ bool ThreadPool::try_take(std::size_t self, Task& out) {
     return true;
   }
   if (inject_.try_pop(out)) return true;
+  // Entering the steal sweep: own deque and injection were both empty, so
+  // the worker is now hunting — visible to the sampling profiler until the
+  // next running/parked publish.
+  obs::publish_worker_state(obs::WorkerState::kStealing);
   const std::size_t n = workers_.size();
   const std::size_t start = next_victim_.fetch_add(1, std::memory_order_relaxed);
   for (std::size_t k = 0; k < n; ++k) {
@@ -139,16 +143,32 @@ bool ThreadPool::try_take(std::size_t self, Task& out) {
 void ThreadPool::worker_loop(std::size_t self) {
   t_worker_index = self;
   t_current_pool = this;
+  // Profiler slot: published with plain relaxed stores around each task
+  // (the "store pair" hot path); registration happens once per worker
+  // thread. Slots are keyed by name, so repeated pool construction reuses
+  // them (see obs/profile.hpp).
+  obs::WorkerSlot* slot = nullptr;
+  if constexpr (obs::kObsEnabled) {
+    slot = obs::Profiler::instance().register_worker("pool.w" +
+                                                     std::to_string(self));
+    obs::Profiler::bind_current_thread(slot);
+  }
   concurrency::Backoff backoff;
   for (;;) {
     Task task;
     if (try_take(self, task)) {
       PDC_OBS_GAUGE_SUB("pdc.pool.queue_depth", 1);
+      if constexpr (obs::kObsEnabled) {
+        slot->publish(obs::WorkerState::kRunning, obs::Profiler::kTaskLabel);
+      }
       {
         obs::ScopedSpan span("pool.task");
         obs::BlockTimer timer;
         task();
         timer.record("pdc.pool.task_us");
+      }
+      if constexpr (obs::kObsEnabled) {
+        slot->publish(obs::WorkerState::kIdle);
       }
       PDC_OBS_COUNT("pdc.pool.executed");
       task.reset();  // drop closure state before signaling quiescence
@@ -181,6 +201,9 @@ void ThreadPool::worker_loop(std::size_t self) {
     }
     parked_.fetch_add(1, std::memory_order_release);
     PDC_OBS_GAUGE_ADD("pdc.pool.parked_workers", 1);
+    if constexpr (obs::kObsEnabled) {
+      slot->publish(obs::WorkerState::kParked);
+    }
     testkit::wait_for(
         lock, idle_cv_, kParkTimeout,
         [&] {
@@ -188,9 +211,16 @@ void ThreadPool::worker_loop(std::size_t self) {
                  pending_.load(std::memory_order_acquire) != 0;
         },
         "pool.park");
+    if constexpr (obs::kObsEnabled) {
+      slot->publish(obs::WorkerState::kIdle);
+    }
     parked_.fetch_sub(1, std::memory_order_release);
     PDC_OBS_GAUGE_SUB("pdc.pool.parked_workers", 1);
     backoff.reset();
+  }
+  if constexpr (obs::kObsEnabled) {
+    obs::Profiler::bind_current_thread(nullptr);
+    obs::Profiler::instance().release_worker(slot);
   }
   t_current_pool = nullptr;
   t_worker_index = SIZE_MAX;

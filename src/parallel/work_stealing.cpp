@@ -93,6 +93,10 @@ bool WorkStealingPool::try_take(std::size_t self, Task& out) {
     }
   }
   if (inject_.try_pop(out)) return true;
+  // Entering the steal sweep: visible to the sampling profiler as
+  // "stealing" until the next running/parked publish (no-op for external
+  // threads, which have no bound slot).
+  obs::publish_worker_state(obs::WorkerState::kStealing);
   // Steal sweep starting at a rotating offset to spread contention. A
   // kLost race (someone else claimed the element first) retries the same
   // victim — losing means there IS work, the worst time to give up.
@@ -122,7 +126,13 @@ bool WorkStealingPool::run_one(std::size_t hint) {
   Task task;
   if (!try_take(hint, task)) return false;
   PDC_OBS_COUNT("pdc.steal.run");
-  task();
+  {
+    // The per-task store pair: running before, idle after (restored by the
+    // scope so nested helpers attribute correctly). External helper
+    // threads have no slot and skip both stores.
+    obs::ProfiledTask profiled(obs::Profiler::kTaskLabel);
+    task();
+  }
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     // Quiescent: release wait_idle() and parked workers. Under the lock —
     // the waiter may destroy the pool the instant the predicate holds.
@@ -169,6 +179,15 @@ void WorkStealingPool::wait_idle() {
 void WorkStealingPool::worker_loop(std::size_t self) {
   t_worker_index = self;
   t_worker_pool = this;
+  // Profiler slot, published via the bound-slot helpers in run_one and
+  // try_take; slots are keyed by name so repeated pool construction reuses
+  // them (see obs/profile.hpp).
+  obs::WorkerSlot* slot = nullptr;
+  if constexpr (obs::kObsEnabled) {
+    slot = obs::Profiler::instance().register_worker("steal.w" +
+                                                     std::to_string(self));
+    obs::Profiler::bind_current_thread(slot);
+  }
   concurrency::Backoff backoff;
   while (!stopping_.load(std::memory_order_acquire)) {
     if (run_one(self)) {
@@ -191,6 +210,9 @@ void WorkStealingPool::worker_loop(std::size_t self) {
     }
     parked_.fetch_add(1, std::memory_order_release);
     PDC_OBS_GAUGE_ADD("pdc.steal.parked_workers", 1);
+    if constexpr (obs::kObsEnabled) {
+      slot->publish(obs::WorkerState::kParked);
+    }
     testkit::wait_for(
         lock, idle_cv_, kParkTimeout,
         [&] {
@@ -198,9 +220,16 @@ void WorkStealingPool::worker_loop(std::size_t self) {
                  pending_.load(std::memory_order_acquire) != 0;
         },
         "ws.park");
+    if constexpr (obs::kObsEnabled) {
+      slot->publish(obs::WorkerState::kIdle);
+    }
     parked_.fetch_sub(1, std::memory_order_release);
     PDC_OBS_GAUGE_SUB("pdc.steal.parked_workers", 1);
     backoff.reset();
+  }
+  if constexpr (obs::kObsEnabled) {
+    obs::Profiler::bind_current_thread(nullptr);
+    obs::Profiler::instance().release_worker(slot);
   }
   t_worker_pool = nullptr;
   t_worker_index = SIZE_MAX;
