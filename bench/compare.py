@@ -22,9 +22,18 @@ in the bad direction (0.5 = 50% worse). Microbenchmarks on shared CI
 runners are noisy; pick thresholds accordingly and treat this as a tripwire
 for order-of-magnitude slips, not a precision gate.
 
+Near-zero-duration rows (sub-µs framing ops, single cache-line probes) sit
+at the runner's timing noise floor: a 2x relative swing on a 40 ns row is
+scheduler jitter, not a regression. ``--noise-floor N`` declares that
+floor, in microseconds: a time-direction metric whose baseline AND current
+values both fall below it (after normalizing the metric's ns/us/ms/seconds
+unit suffix) is annotated as sub-floor and reported informationally, never
+flagged. Harvests here are single-run — the floor plays the role a
+``--min-runs`` repetition gate would on a harness that reran noisy rows.
+
 Usage:
   bench/compare.py BASELINE CURRENT [--threshold 0.5]
-                   [--save-combined PATH]
+                   [--noise-floor 0] [--save-combined PATH]
 """
 
 from __future__ import annotations
@@ -60,6 +69,18 @@ def direction(metric: str) -> int:
         if needle in base.lower():
             return -1
     return 0
+
+
+def time_in_us(metric: str, value: float) -> float | None:
+    """`value` in microseconds when the metric's unit suffix is a time
+    unit; None for non-time metrics (throughputs, ratios, counts)."""
+    base = metric.split("{", 1)[0]
+    parts = base.lower().replace("/", ".").replace("_", ".").split(".")
+    scale = {"ns": 1e-3, "us": 1.0, "ms": 1e3, "seconds": 1e6}
+    for token in reversed(parts):  # last unit token wins, as in direction()
+        if token in scale:
+            return value * scale[token]
+    return None
 
 
 def extract_metrics(doc: dict) -> dict[str, float]:
@@ -117,6 +138,14 @@ def main() -> int:
         help="relative change that counts as a regression (0.5 = 50%% worse)",
     )
     parser.add_argument(
+        "--noise-floor",
+        type=float,
+        default=0.0,
+        metavar="US",
+        help="time metrics below this many microseconds on both sides are "
+        "annotated but never flagged (0 = off)",
+    )
+    parser.add_argument(
         "--save-combined",
         type=Path,
         metavar="PATH",
@@ -141,6 +170,7 @@ def main() -> int:
     regressions: list[str] = []
     improvements = 0
     compared = 0
+    sub_floor = 0
     for bench in sorted(baseline):
         if bench not in current:
             print(f"note: bench '{bench}' missing from current harvest")
@@ -159,6 +189,25 @@ def main() -> int:
                 delta = (base_value - cur_value) / abs(base_value)
             else:
                 delta = (cur_value - base_value) / abs(base_value)
+            if args.noise_floor > 0 and sign < 0:
+                base_us = time_in_us(metric, base_value)
+                cur_us = time_in_us(metric, cur_value)
+                if (
+                    base_us is not None
+                    and cur_us is not None
+                    and base_us < args.noise_floor
+                    and cur_us < args.noise_floor
+                ):
+                    sub_floor += 1
+                    if abs(delta) > args.threshold:
+                        arrow = "worse" if delta > 0 else "better"
+                        print(
+                            f"{bench}:{metric}: {base_value:.4g} -> "
+                            f"{cur_value:.4g} ({abs(delta) * 100:.1f}% "
+                            f"{arrow})  (below --noise-floor "
+                            f"{args.noise_floor:g}us, informational)"
+                        )
+                    continue
             tag = ""
             if delta > args.threshold:
                 tag = "  << REGRESSION"
@@ -173,9 +222,15 @@ def main() -> int:
                     f"({abs(delta) * 100:.1f}% {arrow}){tag}"
                 )
 
+    floor_note = (
+        f", {sub_floor} below the {args.noise_floor:g}us noise floor"
+        if sub_floor
+        else ""
+    )
     print(
         f"\ncompared {compared} metrics: {len(regressions)} regression(s), "
         f"{improvements} improvement(s) beyond {args.threshold * 100:.0f}%"
+        f"{floor_note}"
     )
     if regressions:
         print("regressed: " + ", ".join(regressions), file=sys.stderr)

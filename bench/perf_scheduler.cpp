@@ -207,6 +207,33 @@ double forkjoin_us_per_tree(Pool& pool) {
   return timer.elapsed_micros() / kForkTrees;
 }
 
+/// Hot-owner flood probe: one worker spawns the whole flood from inside
+/// the pool, so every task lands in that worker's deque and the peers can
+/// only make progress by stealing from it — the shape a connection-event
+/// flood produces when one shard goes hot. This is the probe the
+/// steal-half batching in ChaseLevDeque::steal_batch targets: a thief
+/// claims up to half the victim's backlog per sweep instead of paying
+/// victim selection and a wakeup per task.
+template <typename Pool>
+double hot_owner_flood_per_second(Pool& pool) {
+  alignas(64) static std::atomic<int> sink{0};
+  sink.store(0, std::memory_order_relaxed);
+  constexpr int kFlood = 100000;
+  Stopwatch timer;
+  pool.spawn([&pool] {
+    for (int i = 0; i < kFlood; ++i) {
+      pool.spawn([] { sink.fetch_add(1, std::memory_order_relaxed); });
+    }
+  });
+  pool.wait_idle();
+  const double seconds = timer.elapsed_seconds();
+  if (sink.load(std::memory_order_relaxed) != kFlood) {
+    std::cerr << "hot-owner flood lost tasks\n";
+    std::exit(1);
+  }
+  return kFlood / seconds;
+}
+
 std::string tkey(std::size_t threads) {
   return "t" + std::to_string(threads);
 }
@@ -224,24 +251,32 @@ int main() {
   TextTable fork_table("2. Fork/join latency (us per 4095-task tree)");
   fork_table.set_header(
       {"threads", "mutexed deques", "lock-free", "speedup"});
+  TextTable flood_table(
+      "3. Hot-owner flood (tasks/s; thieves batch-steal half the backlog)");
+  flood_table.set_header(
+      {"threads", "mutexed deques", "lock-free", "speedup"});
 
   for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
                                     std::size_t{4}}) {
     double mutex_spawn = 0.0;
     double mutex_fork = 0.0;
+    double mutex_flood = 0.0;
     {
       baseline::MutexedPool pool(threads);
       spawn_tasks_per_second(pool);  // warmup
       mutex_spawn = spawn_tasks_per_second(pool);
       mutex_fork = forkjoin_us_per_tree(pool);
+      if (threads > 1) mutex_flood = hot_owner_flood_per_second(pool);
     }
     double lockfree_spawn = 0.0;
     double lockfree_fork = 0.0;
+    double lockfree_flood = 0.0;
     {
       pdc::parallel::WorkStealingPool pool(threads);
       spawn_tasks_per_second(pool);  // warmup
       lockfree_spawn = spawn_tasks_per_second(pool);
       lockfree_fork = forkjoin_us_per_tree(pool);
+      if (threads > 1) lockfree_flood = hot_owner_flood_per_second(pool);
     }
 
     const double spawn_speedup = lockfree_spawn / mutex_spawn;
@@ -262,6 +297,16 @@ int main() {
                         TextTable::num(mutex_fork, 0),
                         TextTable::num(lockfree_fork, 0),
                         TextTable::num(fork_speedup, 2) + "x"});
+    if (threads > 1) {
+      const double flood_speedup = lockfree_flood / mutex_flood;
+      report.add_metric("flood.mutex." + key + ".per_s", mutex_flood);
+      report.add_metric("flood.lockfree." + key + ".per_s", lockfree_flood);
+      report.add_metric("flood_speedup_vs_mutex." + key, flood_speedup);
+      flood_table.add_row({std::to_string(threads),
+                           TextTable::num(mutex_flood / 1e6, 2) + "M/s",
+                           TextTable::num(lockfree_flood / 1e6, 2) + "M/s",
+                           TextTable::num(flood_speedup, 2) + "x"});
+    }
   }
 
   spawn_table.render(std::cout);
@@ -272,7 +317,12 @@ int main() {
   fork_table.render(std::cout);
   report.add_table(fork_table);
   std::cout << "(fork/join leans on the owner LIFO fast path, so the gap "
-               "widens with nesting depth)\n";
+               "widens with nesting depth)\n\n";
+  flood_table.render(std::cout);
+  report.add_table(flood_table);
+  std::cout << "(all tasks land in one worker's deque; peers batch-steal up "
+               "to half the backlog per sweep — see docs/scheduler.md, 'Why "
+               "steal-half is a loop, not one CAS')\n";
 
   report.write_if_requested();
   return 0;

@@ -4,13 +4,17 @@
 
 namespace pdc::net {
 
-std::uint16_t fletcher16(const Bytes& data) {
+std::uint16_t fletcher16(const std::byte* data, std::size_t size) {
   std::uint32_t sum1 = 0, sum2 = 0;
-  for (std::byte b : data) {
-    sum1 = (sum1 + static_cast<std::uint32_t>(b)) % 255;
+  for (std::size_t i = 0; i < size; ++i) {
+    sum1 = (sum1 + static_cast<std::uint32_t>(data[i])) % 255;
     sum2 = (sum2 + sum1) % 255;
   }
   return static_cast<std::uint16_t>((sum2 << 8) | sum1);
+}
+
+std::uint16_t fletcher16(const Bytes& data) {
+  return fletcher16(data.data(), data.size());
 }
 
 std::uint64_t fnv1a(const Bytes& data) {

@@ -19,6 +19,10 @@ namespace pdc::net {
 /// Fletcher-16 checksum: catches the bit errors a lossy link introduces.
 std::uint16_t fletcher16(const Bytes& data);
 
+/// Pointer-range overload for zero-copy framing: checksums a payload view
+/// inside a larger receive buffer without materializing a Bytes.
+std::uint16_t fletcher16(const std::byte* data, std::size_t size);
+
 /// FNV-1a 64-bit hash (non-cryptographic).
 std::uint64_t fnv1a(const Bytes& data);
 

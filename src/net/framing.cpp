@@ -36,13 +36,34 @@ std::uint32_t get_u32(const Bytes& in, std::size_t at) {
 
 }  // namespace
 
-Status MessageCodec::send_message(StreamSocket& socket, const Bytes& payload) {
+void MessageCodec::encode_message(const Bytes& payload, Bytes& wire) {
   PDC_CHECK_MSG(payload.size() <= kMaxMessage, "message exceeds kMaxMessage");
-  Bytes header;
-  put_u32(header, static_cast<std::uint32_t>(payload.size()));
-  put_u16(header, fletcher16(payload));
-  if (auto status = socket.send(header); !status.is_ok()) return status;
-  return socket.send(payload);
+  wire.reserve(wire.size() + kHeaderBytes + payload.size());
+  put_u32(wire, static_cast<std::uint32_t>(payload.size()));
+  put_u16(wire, fletcher16(payload));
+  wire.insert(wire.end(), payload.begin(), payload.end());
+}
+
+Status MessageCodec::send_message(StreamSocket& socket, const Bytes& payload) {
+  Bytes wire;
+  encode_message(payload, wire);
+  return socket.send(wire);
+}
+
+MessageCodec::Scan MessageCodec::scan_message(const Bytes& buffer,
+                                              std::size_t& offset,
+                                              BytesView& out) {
+  const std::size_t avail = buffer.size() - offset;
+  if (avail < kHeaderBytes) return Scan::kNeedMore;
+  const std::uint32_t length = get_u32(buffer, offset);
+  if (length > kMaxMessage) return Scan::kCorrupt;
+  if (avail < kHeaderBytes + length) return Scan::kNeedMore;
+  const std::uint16_t checksum = get_u16(buffer, offset + 4);
+  const std::byte* payload = buffer.data() + offset + kHeaderBytes;
+  if (fletcher16(payload, length) != checksum) return Scan::kCorrupt;
+  out = BytesView{payload, length};
+  offset += kHeaderBytes + length;
+  return Scan::kFrame;
 }
 
 support::Result<Bytes> MessageCodec::recv_message(StreamSocket& socket) {

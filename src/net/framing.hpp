@@ -16,19 +16,47 @@
 
 namespace pdc::net {
 
+/// Non-owning view of a message payload parsed in place inside a
+/// connection's receive buffer (zero-copy framing). Valid only until the
+/// buffer is next mutated — consume or copy before draining again.
+struct BytesView {
+  const std::byte* data = nullptr;
+  std::size_t size = 0;
+
+  [[nodiscard]] Bytes to_owned() const { return Bytes(data, data + size); }
+};
+
 /// Length-prefixed, checksummed message framing over a StreamSocket.
 ///
 /// Wire format: u32 length (LE) | u16 fletcher16 | payload.
 class MessageCodec {
  public:
   static constexpr std::size_t kMaxMessage = 16 * 1024 * 1024;
+  static constexpr std::size_t kHeaderBytes = 6;
 
-  /// Sends one framed message.
+  /// Sends one framed message (header and payload in one buffer — one
+  /// socket send, one fabric event).
   static support::Status send_message(StreamSocket& socket, const Bytes& payload);
+
+  /// Appends the full wire frame (header + payload) for `payload` to
+  /// `wire`. Lets callers batch several frames into one send.
+  static void encode_message(const Bytes& payload, Bytes& wire);
 
   /// Receives one framed message; kAborted on checksum mismatch, kClosed
   /// when the peer closed cleanly between messages.
   static support::Result<Bytes> recv_message(StreamSocket& socket);
+
+  enum class Scan {
+    kFrame,     // a complete frame was parsed; `out` points into `buffer`
+    kNeedMore,  // the buffer holds only a partial frame
+    kCorrupt,   // implausible length or checksum mismatch — poison the stream
+  };
+
+  /// Zero-copy parse of the next frame at `offset` in a receive buffer:
+  /// on kFrame, `out` views the payload *in place* and `offset` advances
+  /// past the frame. The view dies with the next mutation of `buffer`.
+  static Scan scan_message(const Bytes& buffer, std::size_t& offset,
+                           BytesView& out);
 };
 
 /// Datagram frame used by the ARQ implementations.

@@ -11,6 +11,51 @@ namespace pdc::net {
 using support::Status;
 using support::StatusCode;
 
+namespace {
+
+/// Enqueues the watcher's tag if registered and not already queued.
+/// Caller holds the watched endpoint's mutex; ReadySet's own mutex nests
+/// inside it (the one watch-side lock order: endpoint mutex → set mutex).
+void signal_watch(WatchState& watch) {
+  if (watch.set != nullptr && !watch.queued) {
+    watch.queued = true;
+    watch.set->push(watch.tag);
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ ReadySet
+
+std::size_t ReadySet::poll(std::vector<std::uint64_t>& out,
+                           std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mutex_);
+  cv_.wait_for(lock, timeout, [&] { return !ready_.empty() || woken_; });
+  woken_ = false;
+  const std::size_t n = ready_.size();
+  if (n != 0) {
+    out.insert(out.end(), ready_.begin(), ready_.end());
+    ready_.clear();
+  }
+  return n;
+}
+
+void ReadySet::wake() {
+  {
+    std::scoped_lock lock(mutex_);
+    woken_ = true;
+  }
+  cv_.notify_all();
+}
+
+void ReadySet::push(std::uint64_t tag) {
+  {
+    std::scoped_lock lock(mutex_);
+    ready_.push_back(tag);
+  }
+  cv_.notify_one();
+}
+
 // ------------------------------------------------------------ DatagramSocket
 
 DatagramSocket::~DatagramSocket() { net_.unbind_datagram(local_); }
@@ -82,15 +127,16 @@ support::Result<Bytes> StreamSocket::recv(std::size_t max_bytes) {
   PDC_CHECK(valid());
   Half& half = inbound();
   std::unique_lock lock(half.mutex);
-  half.arrived.wait(lock, [&] { return !half.buffer.empty() || half.closed; });
-  if (half.buffer.empty()) {
+  half.arrived.wait(lock, [&] { return half.available() != 0 || half.closed; });
+  if (half.available() == 0) {
     return Status{StatusCode::kClosed, "peer closed the connection"};
   }
-  const std::size_t n = std::min(max_bytes, half.buffer.size());
-  Bytes out(half.buffer.begin(),
-            half.buffer.begin() + static_cast<std::ptrdiff_t>(n));
-  half.buffer.erase(half.buffer.begin(),
-                    half.buffer.begin() + static_cast<std::ptrdiff_t>(n));
+  const std::size_t n = std::min(max_bytes, half.available());
+  const auto first =
+      half.buffer.begin() + static_cast<std::ptrdiff_t>(half.head);
+  Bytes out(first, first + static_cast<std::ptrdiff_t>(n));
+  half.head += n;
+  half.compact();
   return out;
 }
 
@@ -98,15 +144,59 @@ support::Result<Bytes> StreamSocket::recv_exact(std::size_t n) {
   PDC_CHECK(valid());
   Half& half = inbound();
   std::unique_lock lock(half.mutex);
-  half.arrived.wait(lock, [&] { return half.buffer.size() >= n || half.closed; });
-  if (half.buffer.size() < n) {
+  half.arrived.wait(lock, [&] { return half.available() >= n || half.closed; });
+  if (half.available() < n) {
     return Status{StatusCode::kClosed, "connection closed mid-message"};
   }
-  Bytes out(half.buffer.begin(),
-            half.buffer.begin() + static_cast<std::ptrdiff_t>(n));
-  half.buffer.erase(half.buffer.begin(),
-                    half.buffer.begin() + static_cast<std::ptrdiff_t>(n));
+  const auto first =
+      half.buffer.begin() + static_cast<std::ptrdiff_t>(half.head);
+  Bytes out(first, first + static_cast<std::ptrdiff_t>(n));
+  half.head += n;
+  half.compact();
   return out;
+}
+
+StreamSocket::Drained StreamSocket::try_recv_into(Bytes& out) {
+  PDC_CHECK(valid());
+  Half& half = inbound();
+  std::scoped_lock lock(half.mutex);
+  Drained drained{half.available(), half.closed};
+  if (drained.bytes != 0) {
+    out.insert(out.end(),
+               half.buffer.begin() + static_cast<std::ptrdiff_t>(half.head),
+               half.buffer.end());
+    half.buffer.clear();
+    half.head = 0;
+  }
+  return drained;
+}
+
+void StreamSocket::watch(ReadySet* set, std::uint64_t tag) {
+  PDC_CHECK(valid());
+  Half& half = inbound();
+  std::scoped_lock lock(half.mutex);
+  half.watch.set = set;
+  half.watch.tag = tag;
+  half.watch.queued = false;
+  if (half.available() != 0 || half.closed) signal_watch(half.watch);
+}
+
+void StreamSocket::rearm() {
+  if (!valid()) return;
+  Half& half = inbound();
+  std::scoped_lock lock(half.mutex);
+  half.watch.queued = false;
+  // Data (or the FIN) that raced in while the owner was draining would
+  // otherwise be a lost wakeup: re-enqueue immediately.
+  if (half.available() != 0 || half.closed) signal_watch(half.watch);
+}
+
+void StreamSocket::unwatch() {
+  if (!valid()) return;
+  Half& half = inbound();
+  std::scoped_lock lock(half.mutex);
+  half.watch.set = nullptr;
+  half.watch.queued = false;
 }
 
 void StreamSocket::close() {
@@ -120,6 +210,7 @@ void StreamSocket::abort() {
     {
       std::scoped_lock lock(half->mutex);
       half->closed = true;
+      signal_watch(half->watch);
     }
     half->arrived.notify_all();
   }
@@ -141,10 +232,42 @@ support::Result<StreamSocket> Listener::accept() {
   return socket;
 }
 
+support::Result<StreamSocket> Listener::try_accept() {
+  std::scoped_lock lock(mutex_);
+  if (pending_.empty()) {
+    if (closed_) return Status{StatusCode::kClosed, "listener shut down"};
+    return Status{StatusCode::kUnavailable, "no pending connection"};
+  }
+  StreamSocket socket = std::move(pending_.front());
+  pending_.pop_front();
+  return socket;
+}
+
+void Listener::watch(ReadySet* set, std::uint64_t tag) {
+  std::scoped_lock lock(mutex_);
+  watch_.set = set;
+  watch_.tag = tag;
+  watch_.queued = false;
+  if (!pending_.empty() || closed_) signal_watch(watch_);
+}
+
+void Listener::rearm() {
+  std::scoped_lock lock(mutex_);
+  watch_.queued = false;
+  if (!pending_.empty() || closed_) signal_watch(watch_);
+}
+
+void Listener::unwatch() {
+  std::scoped_lock lock(mutex_);
+  watch_.set = nullptr;
+  watch_.queued = false;
+}
+
 void Listener::shutdown() {
   {
     std::scoped_lock lock(mutex_);
     closed_ = true;
+    signal_watch(watch_);
   }
   arrived_.notify_all();
 }
@@ -154,6 +277,7 @@ void Listener::deliver(StreamSocket socket) {
     std::scoped_lock lock(mutex_);
     if (closed_) return;  // connection dropped: listener is gone
     pending_.push_back(std::move(socket));
+    signal_watch(watch_);
   }
   arrived_.notify_one();
 }
@@ -272,53 +396,72 @@ std::unique_ptr<Listener> Network::listen(int host, std::uint16_t port) {
 
 support::Result<StreamSocket> Network::connect(int from_host,
                                                const Address& to) {
+  // The blocking connect is the async one plus a one-RTT latch.
+  struct Sync {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    support::Result<StreamSocket> result =
+        Status{StatusCode::kUnavailable, "connect pending"};
+  };
+  auto sync = std::make_shared<Sync>();
+  connect_async(from_host, to, [sync](support::Result<StreamSocket> result) {
+    std::scoped_lock lock(sync->mutex);
+    sync->result = std::move(result);
+    sync->done = true;
+    // Notify while holding the lock: the waiter's stack (and with it the
+    // shared_ptr's other owner) may unwind the instant done flips.
+    sync->cv.notify_one();
+  });
+  std::unique_lock lock(sync->mutex);
+  sync->cv.wait(lock, [&] { return sync->done; });
+  return std::move(sync->result);
+}
+
+void Network::connect_async(
+    int from_host, const Address& to,
+    std::function<void(support::Result<StreamSocket>)> done) {
   PDC_CHECK(from_host >= 0 && from_host < hosts_);
-  Address local;
+  auto state = std::make_shared<StreamSocket::ConnState>();
+  bool missing = false;
   {
     std::scoped_lock lock(mutex_);
-    if (listeners_.find(to) == listeners_.end()) {
-      return Status{StatusCode::kNotFound, "nothing listening at " + to.to_string()};
-    }
-    local = Address{from_host, next_ephemeral_++};
+    missing = listeners_.find(to) == listeners_.end();
+    if (!missing) state->a = Address{from_host, next_ephemeral_++};
   }
-  auto state = std::make_shared<StreamSocket::ConnState>();
-  state->a = local;
+  if (missing) {
+    // No listener now means no SYN to send; report inline (the only case
+    // where `done` runs on the caller's thread).
+    done(Status{StatusCode::kNotFound, "nothing listening at " + to.to_string()});
+    return;
+  }
   state->b = to;
   StreamSocket client(this, state, /*is_a=*/true);
   StreamSocket server(this, state, /*is_a=*/false);
-
   // SYN travels one latency; the handshake completes when the listener
-  // receives its endpoint. (Abstracted two-way handshake: connect() itself
-  // waits one RTT below.)
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  bool accepted = false;
+  // receives its endpoint (abstracted two-way handshake).
   schedule(
-      [this, to, server = std::move(server), &done_mutex, &done_cv,
-       &accepted]() mutable {
+      [this, to, client = std::move(client), server = std::move(server),
+       done = std::move(done)]() mutable {
+        bool delivered = false;
         {
           std::scoped_lock net_lock(mutex_);
           auto it = listeners_.find(to);
           if (it != listeners_.end()) {
-            // Deliver outside the net lock would be nicer; listener
-            // delivery only takes its own mutex (no lock-order issue).
+            // Listener delivery only takes its own mutex (no lock-order
+            // issue nesting inside the net mutex).
             it->second->deliver(std::move(server));
+            delivered = true;
           }
         }
-        {
-          // Notify while holding the lock: connect()'s stack frame (and the
-          // CV on it) may vanish the instant the waiter sees accepted==true.
-          std::scoped_lock lock(done_mutex);
-          accepted = true;
-          done_cv.notify_one();
+        if (delivered) {
+          done(std::move(client));
+        } else {
+          done(Status{StatusCode::kNotFound,
+                      "listener shut down before the SYN arrived"});
         }
       },
       /*impaired=*/false);
-  {
-    std::unique_lock lock(done_mutex);
-    done_cv.wait(lock, [&] { return accepted; });
-  }
-  return client;
 }
 
 std::uint64_t Network::dropped() const {
@@ -367,34 +510,73 @@ void Network::send_datagram(const Address& from, const Address& to,
       /*impaired=*/true);
 }
 
+double Network::stream_impairment_ms() {
+  if (!config_.impair_streams) return 0.0;
+  if (injector_) {
+    // Reliability is a service: a chunk the injector would drop or reorder
+    // is "retransmitted" instead — it arrives late by reorder_ms, never out
+    // of order (the due-time clamp in send_stream_bytes). Totals stay
+    // deterministic across thread interleavings because every consultation
+    // draws the same number of values from the seeded stream.
+    const testkit::FaultDecision decision = injector_->next();
+    double extra = decision.extra_delay_ms;
+    if (decision.drop || decision.reordered) {
+      extra += injector_->config().reorder_ms;
+    }
+    return extra;
+  }
+  if (config_.jitter_ms > 0.0) return rng_.uniform(0.0, config_.jitter_ms);
+  return 0.0;
+}
+
 void Network::send_stream_bytes(
     const std::shared_ptr<StreamSocket::ConnState>& state, bool from_a,
     Bytes data) {
-  schedule(
-      [state, from_a, data = std::move(data)] {
-        auto& half = from_a ? state->a_to_b : state->b_to_a;
-        {
-          std::scoped_lock lock(half.mutex);
-          if (half.closed) return;
-          half.buffer.insert(half.buffer.end(), data.begin(), data.end());
-        }
-        half.arrived.notify_all();
-      },
-      /*impaired=*/false);
+  {
+    std::scoped_lock lock(mutex_);
+    const double extra_ms = stream_impairment_ms();
+    // FIFO clamp: a chunk delayed less than its predecessor would overtake
+    // it in the priority queue; pinning each due time at or after the
+    // previous one keeps the byte stream in order under any impairment.
+    double& last_due = from_a ? state->a_to_b_due : state->b_to_a_due;
+    const double due =
+        std::max(now() + (config_.latency_ms + extra_ms) / 1e3, last_due);
+    last_due = due;
+    events_.push(Event{due, next_seq_++, [state, from_a,
+                                          data = std::move(data)] {
+                         auto& half = from_a ? state->a_to_b : state->b_to_a;
+                         {
+                           std::scoped_lock half_lock(half.mutex);
+                           if (half.closed) return;
+                           half.buffer.insert(half.buffer.end(), data.begin(),
+                                              data.end());
+                           signal_watch(half.watch);
+                         }
+                         half.arrived.notify_all();
+                       }});
+  }
+  wake_.notify_all();
 }
 
 void Network::close_stream_half(
     const std::shared_ptr<StreamSocket::ConnState>& state, bool from_a) {
-  schedule(
-      [state, from_a] {
-        auto& half = from_a ? state->a_to_b : state->b_to_a;
-        {
-          std::scoped_lock lock(half.mutex);
-          half.closed = true;
-        }
-        half.arrived.notify_all();
-      },
-      /*impaired=*/false);
+  {
+    std::scoped_lock lock(mutex_);
+    // Same clamp as data: the FIN must not overtake bytes still in flight.
+    double& last_due = from_a ? state->a_to_b_due : state->b_to_a_due;
+    const double due = std::max(now() + config_.latency_ms / 1e3, last_due);
+    last_due = due;
+    events_.push(Event{due, next_seq_++, [state, from_a] {
+                         auto& half = from_a ? state->a_to_b : state->b_to_a;
+                         {
+                           std::scoped_lock half_lock(half.mutex);
+                           half.closed = true;
+                           signal_watch(half.watch);
+                         }
+                         half.arrived.notify_all();
+                       }});
+  }
+  wake_.notify_all();
 }
 
 }  // namespace pdc::net

@@ -8,12 +8,23 @@
 //    in arq.hpp are built on);
 //  - Listener/StreamSocket: connection-oriented, reliable, in-order byte
 //    streams (the kernel-TCP abstraction the client-server framework in
-//    server.hpp uses). Stream traffic ignores the loss/jitter knobs the
-//    way applications never see TCP's retransmissions — reliability as a
-//    *service*; how it is achieved is taught separately by arq.hpp.
+//    server.hpp uses). By default stream traffic ignores the loss/jitter
+//    knobs the way applications never see TCP's retransmissions —
+//    reliability as a *service*; how it is achieved is taught separately
+//    by arq.hpp. NetConfig::impair_streams opts streams into the fault
+//    model as *delay*: a "dropped" chunk costs a retransmit penalty but
+//    still arrives, and per-direction delivery times are clamped monotone
+//    so the byte stream stays in order.
 //
 // A single dispatcher thread delivers packets at their scheduled times, so
 // latency effects are real wall-clock effects observable in benches.
+//
+// Readiness (event-driven servers): a StreamSocket or Listener can be
+// *watched* by a ReadySet. Arriving bytes, a peer close, or a pending
+// accept enqueue the socket's tag exactly once; the owner drains tags in
+// batches with ReadySet::poll, consumes the socket non-blockingly
+// (try_recv_into / try_accept), and re-arms. rearm() re-enqueues the tag
+// if data raced in while the owner was consuming, so no wakeup is lost.
 #pragma once
 
 #include <chrono>
@@ -47,9 +58,53 @@ struct NetConfig {
   double loss = 0.0;            // datagram drop probability
   double duplicate = 0.0;       // datagram duplication probability
   std::uint64_t seed = 0x5eed;  // impairment randomness
+  // Apply the impairment model to stream chunks too — as delay only
+  // (drop/reorder decisions become a retransmit penalty of the injector's
+  // reorder_ms; without an injector, jitter_ms applies). Delivery stays
+  // reliable and in-order: per-direction due times are clamped monotone.
+  bool impair_streams = false;
 };
 
 class Network;
+class ReadySet;
+
+/// Registration of one watched endpoint (guarded by the endpoint's mutex).
+/// `queued` keeps each tag enqueued at most once between rearm()s.
+struct WatchState {
+  ReadySet* set = nullptr;
+  std::uint64_t tag = 0;
+  bool queued = false;
+};
+
+/// Level-triggered-with-rearm readiness queue for an event loop. Watched
+/// endpoints push their tag when they become ready; poll() hands the
+/// accumulated batch to the loop in one call (one wakeup can carry
+/// thousands of ready connections). Tags are just integers — a tag for an
+/// endpoint the consumer already closed is harmless and simply ignored.
+class ReadySet {
+ public:
+  ReadySet() = default;
+  ReadySet(const ReadySet&) = delete;
+  ReadySet& operator=(const ReadySet&) = delete;
+
+  /// Blocks up to `timeout` for at least one ready tag (or a wake()),
+  /// appends the whole batch to `out`, and returns how many were added.
+  std::size_t poll(std::vector<std::uint64_t>& out,
+                   std::chrono::milliseconds timeout);
+
+  /// Unblocks a poll() in progress (shutdown path).
+  void wake();
+
+  /// Enqueues a tag directly (callable by watched endpoints and by event
+  /// loops that need to self-post work).
+  void push(std::uint64_t tag);
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::uint64_t> ready_;
+  bool woken_ = false;
+};
 
 /// Unreliable, unordered message socket (UDP analogue).
 class DatagramSocket {
@@ -100,6 +155,11 @@ class StreamSocket {
   [[nodiscard]] bool valid() const { return state_ != nullptr; }
   [[nodiscard]] Address peer() const;
 
+  /// True when both handles refer to the same underlying connection.
+  [[nodiscard]] bool is_same(const StreamSocket& other) const {
+    return state_ != nullptr && state_ == other.state_;
+  }
+
   /// Sends the whole buffer (never partial). kClosed after either side
   /// closed the connection.
   support::Status send(const Bytes& data);
@@ -111,6 +171,30 @@ class StreamSocket {
 
   /// Receives exactly `n` bytes or fails with kClosed.
   support::Result<Bytes> recv_exact(std::size_t n);
+
+  /// What a non-blocking drain observed.
+  struct Drained {
+    std::size_t bytes = 0;  // bytes appended to the caller's buffer
+    bool closed = false;    // peer has closed this direction
+  };
+
+  /// Non-blocking: appends every buffered inbound byte to `out` and
+  /// reports whether the peer closed. Never waits — the event-loop
+  /// counterpart of recv(). Bytes already appended remain valid even when
+  /// `closed` is set (a FIN behind buffered data).
+  Drained try_recv_into(Bytes& out);
+
+  /// Registers this socket's inbound direction with a ReadySet: `tag` is
+  /// enqueued when data or a close is (or becomes) available. One watcher
+  /// per socket; watching again replaces the previous registration.
+  void watch(ReadySet* set, std::uint64_t tag);
+
+  /// Clears the queued-flag and re-enqueues the tag if the socket became
+  /// ready while the owner was consuming it. Call after each drain.
+  void rearm();
+
+  /// Removes the ReadySet registration (before destroying the ReadySet).
+  void unwatch();
 
   /// Closes this direction; the peer's recv drains then reports kClosed.
   void close();
@@ -127,13 +211,36 @@ class StreamSocket {
   struct Half {  // one direction's receive buffer
     std::mutex mutex;
     std::condition_variable arrived;
-    std::deque<std::byte> buffer;
+    // Contiguous stream buffer; live bytes are [head, buffer.size()).
+    // Contiguity is what makes zero-copy framing possible: a codec can
+    // parse headers and hand out payload views in place.
+    Bytes buffer;
+    std::size_t head = 0;
     bool closed = false;
+    WatchState watch;
+
+    [[nodiscard]] std::size_t available() const { return buffer.size() - head; }
+    /// Reclaims the consumed prefix once it dominates the buffer.
+    void compact() {
+      if (head == buffer.size()) {
+        buffer.clear();
+        head = 0;
+      } else if (head >= 4096 && head * 2 >= buffer.size()) {
+        buffer.erase(buffer.begin(),
+                     buffer.begin() + static_cast<std::ptrdiff_t>(head));
+        head = 0;
+      }
+    }
   };
   struct ConnState {
     Half a_to_b;
     Half b_to_a;
     Address a, b;
+    // Last scheduled delivery time per direction (guarded by the Network
+    // mutex): impairment delays are clamped so bytes — and the FIN — never
+    // overtake earlier bytes.
+    double a_to_b_due = 0.0;
+    double b_to_a_due = 0.0;
   };
 
   StreamSocket(Network* net, std::shared_ptr<ConnState> state, bool is_a)
@@ -159,6 +266,16 @@ class Listener {
   /// Blocks for the next connection; kClosed after shutdown().
   support::Result<StreamSocket> accept();
 
+  /// Non-blocking accept: kUnavailable when nothing is pending, kClosed
+  /// after shutdown() once the backlog is drained.
+  support::Result<StreamSocket> try_accept();
+
+  /// ReadySet registration mirroring StreamSocket::watch/rearm: the tag is
+  /// enqueued when a connection is (or becomes) pending.
+  void watch(ReadySet* set, std::uint64_t tag);
+  void rearm();
+  void unwatch();
+
   /// Unblocks pending and future accepts with kClosed.
   void shutdown();
 
@@ -174,6 +291,7 @@ class Listener {
   std::condition_variable arrived_;
   std::deque<StreamSocket> pending_;
   bool closed_ = false;
+  WatchState watch_;
 };
 
 class Network {
@@ -198,13 +316,23 @@ class Network {
   /// Blocks for one round trip; kNotFound if nobody listens there.
   support::Result<StreamSocket> connect(int from_host, const Address& to);
 
+  /// Non-blocking connect: schedules the SYN and returns immediately;
+  /// `done` is invoked on the dispatcher thread with the client socket
+  /// (or kNotFound) one latency later. `done` must not block — it runs in
+  /// the fabric's delivery loop. This is how a load generator opens 10^5+
+  /// connections without 10^5 round-trip waits in series.
+  void connect_async(int from_host, const Address& to,
+                     std::function<void(support::Result<StreamSocket>)> done);
+
   /// Datagrams dropped by the impairment model so far.
   [[nodiscard]] std::uint64_t dropped() const;
 
   /// Replaces the NetConfig impairment model for datagram traffic with a
   /// testkit::FaultInjector: drop/duplicate/delay come from the injector's
   /// seeded decision stream, and "reordered" packets get an extra delay so
-  /// later packets overtake them. Stream traffic stays reliable. Pass
+  /// later packets overtake them. Stream traffic stays reliable; with
+  /// NetConfig::impair_streams the injector's decisions additionally delay
+  /// stream chunks (drop => retransmit penalty — see NetConfig). Pass
   /// nullptr to restore the built-in model.
   void set_fault_injector(std::shared_ptr<testkit::FaultInjector> injector);
 
@@ -237,6 +365,8 @@ class Network {
                          bool from_a, Bytes data);
   void close_stream_half(const std::shared_ptr<StreamSocket::ConnState>& state,
                          bool from_a);
+  /// Extra stream delay (ms) from the impairment model; caller holds mutex_.
+  double stream_impairment_ms();
 
   int hosts_;
   NetConfig config_;

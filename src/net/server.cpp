@@ -1,5 +1,10 @@
 #include "net/server.hpp"
 
+#include <algorithm>
+#include <unordered_map>
+
+#include "obs/obs.hpp"
+#include "parallel/work_stealing.hpp"
 #include "support/check.hpp"
 
 namespace pdc::net {
@@ -7,11 +12,243 @@ namespace pdc::net {
 using support::Status;
 using support::StatusCode;
 
+// ----------------------------------------------------------------EventEngine
+//
+// The event-driven model. One acceptor thread runs the readiness loop:
+// it polls a ReadySet shared by the listener (tag 0) and every connection
+// (tag = connection id), so a single poll() carries an entire batch of
+// ready endpoints. Connections are sharded by id; the loop routes each
+// ready id into its shard's run queue and schedules at most one drain
+// task per shard on the work-stealing pool (the `scheduled` flag). The
+// drain task swap-takes the queue, drains each connection non-blockingly,
+// parses frames zero-copy in place, runs the handler inline, and re-arms
+// the socket — rearm() re-enqueues the tag if bytes raced in, so no
+// wakeup is lost. Per-connection processing is serialized by construction
+// (one drain task per shard), so connection state needs no lock beyond
+// the shard map's.
+struct Server::EventEngine {
+  static constexpr std::uint64_t kListenerTag = 0;
+
+  struct Conn {
+    StreamSocket socket;
+    Bytes rx;             // receive buffer; frames parsed in place
+    std::size_t off = 0;  // parse offset into rx
+  };
+
+  struct alignas(64) Shard {
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t, Conn> conns;
+    std::vector<std::uint64_t> ready;  // ids with pending readiness
+    std::atomic<bool> scheduled{false};
+  };
+
+  explicit EventEngine(Server& server)
+      : server(server),
+        pool(server.config_.workers),
+        shard_count(server.config_.shards != 0 ? server.config_.shards
+                                               : 2 * server.config_.workers) {
+    shards.reserve(shard_count);
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      shards.push_back(std::make_unique<Shard>());
+    }
+    server.listener_->watch(&ready_set, kListenerTag);
+  }
+
+  Shard& shard_of(std::uint64_t id) { return *shards[id % shard_count]; }
+
+  /// Readiness loop (runs on the Server's acceptor thread).
+  void loop() {
+    std::vector<std::uint64_t> tags;
+    while (!stopping.load(std::memory_order_acquire)) {
+      tags.clear();
+      ready_set.poll(tags, std::chrono::milliseconds(50));
+      if (stopping.load(std::memory_order_acquire)) return;
+      if (tags.empty()) continue;
+      PDC_OBS_HIST("pdc.server.ready_batch",
+                   static_cast<std::uint64_t>(tags.size()));
+      for (const std::uint64_t tag : tags) {
+        if (tag == kListenerTag) {
+          accept_burst();
+        } else {
+          route(tag);
+        }
+      }
+    }
+  }
+
+  /// Drains the whole accept backlog in one pass.
+  void accept_burst() {
+    for (;;) {
+      auto accepted = server.listener_->try_accept();
+      if (!accepted.is_ok()) break;
+      StreamSocket socket = std::move(accepted).value();
+      if (server.stopping_.load(std::memory_order_acquire)) {
+        socket.abort();
+        continue;
+      }
+      const std::uint64_t id = next_id++;
+      Shard& shard = shard_of(id);
+      {
+        std::scoped_lock lock(shard.mutex);
+        shard.conns[id].socket = socket;
+      }
+      PDC_OBS_COUNT("pdc.server.accepted");
+      PDC_OBS_GAUGE_ADD("pdc.server.conns", 1);
+      // Registering after the shard insert: if data already arrived the
+      // watch signals immediately and route() finds the connection.
+      socket.watch(&ready_set, id);
+    }
+    server.listener_->rearm();
+  }
+
+  void route(std::uint64_t id) {
+    Shard& shard = shard_of(id);
+    {
+      std::scoped_lock lock(shard.mutex);
+      // A tag can outlive its connection (closed while the tag sat in the
+      // ready queue); integers don't dangle, just drop it.
+      if (shard.conns.find(id) == shard.conns.end()) return;
+      shard.ready.push_back(id);
+    }
+    schedule(shard);
+  }
+
+  void schedule(Shard& shard) {
+    // One in-flight drain task per shard: the flag is cleared only when
+    // the run queue is observed empty under the shard lock, so a route()
+    // racing that clear either lands in the still-running drain's next
+    // sweep or wins this exchange and schedules a fresh task.
+    if (!shard.scheduled.exchange(true, std::memory_order_acq_rel)) {
+      pool.spawn([this, &shard] { drain(shard); });
+    }
+  }
+
+  void drain(Shard& shard) {
+    std::vector<std::uint64_t> batch;
+    for (;;) {
+      batch.clear();
+      {
+        std::scoped_lock lock(shard.mutex);
+        batch.swap(shard.ready);
+      }
+      PDC_OBS_HIST("pdc.server.shard_batch",
+                   static_cast<std::uint64_t>(batch.size()));
+      for (const std::uint64_t id : batch) {
+        Conn* conn = nullptr;
+        {
+          std::scoped_lock lock(shard.mutex);
+          auto it = shard.conns.find(id);
+          // unordered_map references are stable across other keys'
+          // inserts/erases; this id is only erased below, by this task.
+          if (it != shard.conns.end()) conn = &it->second;
+        }
+        if (conn == nullptr) continue;
+        if (process(*conn)) {
+          conn->socket.rearm();
+        } else {
+          conn->socket.unwatch();
+          conn->socket.close();
+          {
+            std::scoped_lock lock(shard.mutex);
+            shard.conns.erase(id);
+          }
+          PDC_OBS_GAUGE_SUB("pdc.server.conns", 1);
+        }
+      }
+      {
+        std::scoped_lock lock(shard.mutex);
+        if (shard.ready.empty()) {
+          shard.scheduled.store(false, std::memory_order_release);
+          return;
+        }
+      }
+    }
+  }
+
+  /// Drains and serves one connection; false when it should be closed.
+  bool process(Conn& conn) {
+    const auto drained = conn.socket.try_recv_into(conn.rx);
+    bool alive = true;
+    for (;;) {
+      BytesView request;
+      const auto scan = MessageCodec::scan_message(conn.rx, conn.off, request);
+      if (scan == MessageCodec::Scan::kNeedMore) break;
+      if (scan == MessageCodec::Scan::kCorrupt) {
+        alive = false;
+        break;
+      }
+      PDC_OBS_COUNT("pdc.server.frames");
+      if (!dispatch(conn, request)) {
+        alive = false;
+        break;
+      }
+    }
+    if (conn.off == conn.rx.size()) {
+      conn.rx.clear();
+      conn.off = 0;
+    } else if (conn.off >= 4096 && conn.off * 2 >= conn.rx.size()) {
+      conn.rx.erase(conn.rx.begin(),
+                    conn.rx.begin() + static_cast<std::ptrdiff_t>(conn.off));
+      conn.off = 0;
+    }
+    // Peer FIN: frames ahead of it were answered above; a trailing partial
+    // frame can never complete.
+    if (drained.closed) alive = false;
+    return alive;
+  }
+
+  bool dispatch(Conn& conn, BytesView request) {
+    if (server.config_.raw_handler) {
+      const Bytes owned = request.to_owned();
+      if (server.config_.raw_handler(owned, conn.socket)) {
+        server.requests_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    const Bytes reply = server.invoke(request);
+    server.requests_.fetch_add(1, std::memory_order_relaxed);
+    return MessageCodec::send_message(conn.socket, reply).is_ok();
+  }
+
+  /// stop() path: called after the loop thread joined. Aborts every live
+  /// connection, then quiesces the pool so no drain task outlives us.
+  /// Every watch is removed first — the client half of a connection can
+  /// outlive this engine, and a late delivery must not signal a destroyed
+  /// ReadySet.
+  void shutdown() {
+    server.listener_->unwatch();
+    for (auto& shard : shards) {
+      std::scoped_lock lock(shard->mutex);
+      for (auto& [id, conn] : shard->conns) {
+        conn.socket.unwatch();
+        conn.socket.abort();
+      }
+    }
+    pool.wait_idle();
+    for (auto& shard : shards) {
+      std::scoped_lock lock(shard->mutex);
+      PDC_OBS_GAUGE_SUB("pdc.server.conns",
+                        static_cast<std::int64_t>(shard->conns.size()));
+      shard->conns.clear();
+    }
+  }
+
+  Server& server;
+  ReadySet ready_set;
+  parallel::WorkStealingPool pool;
+  std::size_t shard_count;
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::uint64_t next_id = 1;  // acceptor thread only; 0 is the listener
+  std::atomic<bool> stopping{false};
+};
+
+// --------------------------------------------------------------------- Server
+
 Server::Server(Network& net, int host, std::uint16_t port, Handler handler,
                ServerConfig config)
-    : net_(net), handler_(std::move(handler)), config_(config),
+    : net_(net), handler_(std::move(handler)), config_(std::move(config)),
       listener_(net.listen(host, port)), pending_(1024) {
-  PDC_CHECK(handler_ != nullptr);
+  PDC_CHECK(handler_ != nullptr || config_.view_handler != nullptr);
   if (config_.model == ThreadingModel::kWorkerPool) {
     PDC_CHECK(config_.workers >= 1);
     for (std::size_t w = 0; w < config_.workers; ++w) {
@@ -23,11 +260,25 @@ Server::Server(Network& net, int host, std::uint16_t port, Handler handler,
         }
       });
     }
+  } else if (config_.model == ThreadingModel::kEventDriven) {
+    PDC_CHECK(config_.workers >= 1);
+    engine_ = std::make_unique<EventEngine>(*this);
   }
-  acceptor_ = std::thread([this] { accept_loop(); });
+  acceptor_ = std::thread([this] {
+    if (engine_) {
+      engine_->loop();
+    } else {
+      accept_loop();
+    }
+  });
 }
 
 Server::~Server() { stop(); }
+
+Bytes Server::invoke(BytesView request) {
+  if (config_.view_handler) return config_.view_handler(request);
+  return handler_(request.to_owned());
+}
 
 void Server::stop() {
   if (stopping_.exchange(true)) {
@@ -35,14 +286,38 @@ void Server::stop() {
     return;
   }
   listener_->shutdown();
+
+  if (engine_) {
+    engine_->stopping.store(true, std::memory_order_release);
+    engine_->ready_set.wake();
+    if (acceptor_.joinable()) acceptor_.join();
+    engine_->shutdown();
+    return;
+  }
+
   pending_.close();
+  // Claim every queued-but-unserved connection before the hard abort: each
+  // is served from its buffer and closed *gracefully* below, so its replies
+  // actually reach the client (an abort would kill them in flight).
+  std::vector<StreamSocket> queued;
+  for (;;) {
+    auto socket = pending_.try_pop();
+    if (!socket.is_ok()) break;
+    queued.push_back(std::move(socket).value());
+  }
   // Hard-abort live connections so handler threads blocked in recv wake up
-  // even when the client never closed its end.
+  // even when the client never closed its end — skipping the claimed ones.
   {
     std::scoped_lock lock(conn_mutex_);
-    for (auto& socket : active_) socket.abort();
+    for (auto& socket : active_) {
+      const bool claimed =
+          std::any_of(queued.begin(), queued.end(),
+                      [&](const StreamSocket& q) { return q.is_same(socket); });
+      if (!claimed) socket.abort();
+    }
   }
   if (acceptor_.joinable()) acceptor_.join();
+  for (auto& socket : queued) drain_buffered(std::move(socket));
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -89,7 +364,32 @@ void Server::serve_connection(StreamSocket socket) {
       requests_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    Bytes reply = handler_(request.value());
+    const Bytes& owned = request.value();
+    Bytes reply = invoke(BytesView{owned.data(), owned.size()});
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (!MessageCodec::send_message(socket, reply).is_ok()) break;
+  }
+  socket.close();
+}
+
+void Server::drain_buffered(StreamSocket socket) {
+  Bytes rx;
+  std::size_t off = 0;
+  (void)socket.try_recv_into(rx);
+  for (;;) {
+    BytesView request;
+    if (MessageCodec::scan_message(rx, off, request) !=
+        MessageCodec::Scan::kFrame) {
+      break;
+    }
+    if (config_.raw_handler) {
+      const Bytes owned = request.to_owned();
+      if (config_.raw_handler(owned, socket)) {
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+    }
+    const Bytes reply = invoke(request);
     requests_.fetch_add(1, std::memory_order_relaxed);
     if (!MessageCodec::send_message(socket, reply).is_ok()) break;
   }

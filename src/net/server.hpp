@@ -2,11 +2,22 @@
 //
 // "Client-server programming" appears in Table I under both systems
 // programming and networks, and the RIT course builds network application
-// programs around it. Server supports the two canonical threading models —
-// thread-per-connection and a fixed worker pool — so their trade-off is
-// observable in bench/lab_rit_netserver. The RPC layer adds named-procedure
-// dispatch on top (the "middleware" rung of the distributed-systems
-// lecture).
+// programs around it. Server supports three threading models so their
+// trade-offs are observable in bench/perf_server and bench/lab_rit_netserver:
+//
+//  - kThreadPerConnection: classic, simple, O(connections) threads;
+//  - kWorkerPool: a fixed pool pulls whole connections from a queue — one
+//    blocked connection holds one worker hostage, so concurrency is capped
+//    at the pool size;
+//  - kEventDriven: a readiness loop over the simulated fabric multiplexes
+//    every connection onto a lock-free WorkStealingPool. Connections are
+//    sharded by id; each ready batch is drained by a task on the shard,
+//    frames are parsed zero-copy against the connection's receive buffer,
+//    and handler invocations run inline in the task. This is the model
+//    that holds 10^5..10^6 concurrent connections (see docs/serving.md).
+//
+// The RPC layer adds named-procedure dispatch on top (the "middleware"
+// rung of the distributed-systems lecture).
 #pragma once
 
 #include <atomic>
@@ -26,6 +37,12 @@ namespace pdc::net {
 /// Computes the reply for one request (invoked concurrently).
 using Handler = std::function<Bytes(const Bytes& request)>;
 
+/// Zero-copy variant: the request is a view into the connection's receive
+/// buffer, valid only for the duration of the call. When set, it replaces
+/// Handler on every threading model (the event engine never materializes
+/// the request; the legacy models pass a view of their owned copy).
+using ViewHandler = std::function<Bytes(BytesView request)>;
+
 /// Stream-level interceptor, consulted before `Handler` for every framed
 /// request on a connection: return true after writing zero or more framed
 /// replies directly to the socket (the connection then resumes normal
@@ -38,12 +55,15 @@ using RawHandler = std::function<bool(const Bytes& request, StreamSocket& socket
 enum class ThreadingModel {
   kThreadPerConnection,  // classic: simple, unbounded threads
   kWorkerPool,           // fixed pool pulls connections from a queue
+  kEventDriven,          // readiness loop + sharded lock-free task pool
 };
 
 struct ServerConfig {
   ThreadingModel model = ThreadingModel::kThreadPerConnection;
-  std::size_t workers = 4;    // worker-pool model only
+  std::size_t workers = 4;    // pool threads (worker-pool and event-driven)
+  std::size_t shards = 0;     // event-driven connection shards (0 = 2x workers)
   RawHandler raw_handler;     // optional; see RawHandler
+  ViewHandler view_handler;   // optional; see ViewHandler
 };
 
 /// Request-response server: each connection carries a sequence of framed
@@ -63,11 +83,22 @@ class Server {
   }
 
   /// Stops accepting; existing connections finish their current request.
+  /// Worker-pool model: connections still queued (accepted but never
+  /// picked up by a worker) are drained deterministically — every complete
+  /// frame already delivered is answered, then the connection is closed
+  /// gracefully — so no accepted connection is silently dropped.
   void stop();
 
  private:
+  struct EventEngine;  // defined in server.cpp (owns the task pool)
+  friend struct EventEngine;
+
   void accept_loop();
   void serve_connection(StreamSocket socket);
+  /// Answers every complete frame already buffered on `socket` without
+  /// blocking, then closes it gracefully (stop()-time drain).
+  void drain_buffered(StreamSocket socket);
+  Bytes invoke(BytesView request);
 
   Network& net_;
   Handler handler_;
@@ -78,6 +109,7 @@ class Server {
 
   concurrency::BoundedQueue<StreamSocket> pending_;  // worker-pool model
   std::vector<std::thread> workers_;
+  std::unique_ptr<EventEngine> engine_;  // event-driven model
   std::thread acceptor_;
   std::mutex conn_mutex_;
   std::vector<std::thread> conn_threads_;  // thread-per-connection model

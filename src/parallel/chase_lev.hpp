@@ -30,6 +30,7 @@
 // deterministically; off-sim each is one relaxed atomic load.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -125,6 +126,46 @@ class ChaseLevDeque {
       return StealResult::kLost;
     }
     return StealResult::kStolen;
+  }
+
+  /// Any thread. Claims up to `max` elements in one call, additionally
+  /// bounded by half of the backlog observed at entry (rounded up) so a
+  /// flooded victim keeps half its queue — the steal-half heuristic for
+  /// fine-grained task floods. Returns the number claimed; when `last` is
+  /// non-null it reports why the batch stopped (kEmpty / kLost / kStolen
+  /// when the budget was exhausted).
+  ///
+  /// Implementation note: each claim is an individual proven single
+  /// steal() CAS, deliberately NOT one CAS of `top_ += n`. A range claim
+  /// is unsound in this deque because the owner's pop() takes an element
+  /// WITHOUT touching top_ whenever more than one element remains: a thief
+  /// whose top-read is stale can CAS [t, t+n) "successfully" while the
+  /// owner concurrently pops element t+n-1 at the bottom — a double-take.
+  /// The single-element steal is race-free precisely because the element
+  /// it claims is validated by the CAS on its own index. What batching
+  /// amortizes is everything *around* the CAS — victim selection, cache
+  /// misses on a remote deque, the wakeup path — not the CAS itself. See
+  /// docs/scheduler.md ("Why steal-half is a loop, not one CAS").
+  std::size_t steal_batch(T* out, std::size_t max,
+                          StealResult* last = nullptr) {
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t backlog = b - t;
+    std::size_t budget = max;
+    if (backlog > 1) {
+      budget = std::min<std::size_t>(
+          max, static_cast<std::size_t>((backlog + 1) / 2));
+    }
+    // backlog <= 1 (possibly a stale estimate): still attempt one steal.
+    std::size_t got = 0;
+    StealResult result = StealResult::kEmpty;
+    while (got < budget) {
+      result = steal(out[got]);
+      if (result != StealResult::kStolen) break;
+      ++got;
+    }
+    if (last != nullptr) *last = result;
+    return got;
   }
 
   /// Racy size estimate (monitoring/heuristics only).

@@ -15,6 +15,9 @@ thread_local const WorkStealingPool* t_worker_pool = nullptr;
 
 constexpr std::size_t kInjectCapacity = 1u << 12;
 constexpr auto kParkTimeout = std::chrono::milliseconds(1);
+// Max tasks claimed per steal sweep (further capped at half the victim's
+// backlog by ChaseLevDeque::steal_batch).
+constexpr std::size_t kStealBatch = 8;
 }  // namespace
 
 WorkStealingPool::WorkStealingPool(std::size_t threads)
@@ -98,24 +101,48 @@ bool WorkStealingPool::try_take(std::size_t self, Task& out) {
   // threads, which have no bound slot).
   obs::publish_worker_state(obs::WorkerState::kStealing);
   // Steal sweep starting at a rotating offset to spread contention. A
-  // kLost race (someone else claimed the element first) retries the same
-  // victim — losing means there IS work, the worst time to give up.
+  // kLost race with nothing claimed (someone else got the element first)
+  // retries the same victim — losing means there IS work, the worst time
+  // to give up. Workers steal a *batch* (up to kStealBatch, capped at half
+  // the victim's backlog): the first task is returned, the surplus is
+  // re-homed into the stealer's own slab and deque so a fine-grained flood
+  // costs one sweep instead of one sweep per task. External threads (no
+  // own deque to bank into) keep the single steal.
   const std::size_t n = workers_.size();
   const std::size_t start = next_victim_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t want = (self != SIZE_MAX) ? kStealBatch : 1;
   for (std::size_t k = 0; k < n; ++k) {
     const std::size_t victim = (start + k) % n;
     if (victim == self) continue;
     for (;;) {
-      TaskNode* node = nullptr;
-      const StealResult result = workers_[victim]->deque.steal(node);
-      if (result == StealResult::kStolen) {
-        steals_.fetch_add(1, std::memory_order_relaxed);
-        PDC_OBS_COUNT("pdc.steal.stolen");
-        out = std::move(node->fn);
-        TaskSlab::release(node, /*owner=*/false);
+      TaskNode* nodes[kStealBatch];
+      StealResult last = StealResult::kEmpty;
+      const std::size_t got =
+          workers_[victim]->deque.steal_batch(nodes, want, &last);
+      if (got > 0) {
+        steals_.fetch_add(got, std::memory_order_relaxed);
+        PDC_OBS_COUNT("pdc.steal.stolen", got);
+        if (got > 1) PDC_OBS_HIST("pdc.steal.batch", got);
+        out = std::move(nodes[0]->fn);
+        TaskSlab::release(nodes[0], /*owner=*/false);
+        // Surplus: move each closure into a node from OUR slab and push it
+        // onto OUR deque (owner-side, no CAS); the victim's nodes go back
+        // through its remote-free stack. pending_ is untouched — the tasks
+        // merely changed queues, none completed. got > 1 implies a worker
+        // (external threads request want == 1), so workers_[self] is valid.
+        if (got > 1) {
+          Worker& mine = *workers_[self];
+          for (std::size_t i = 1; i < got; ++i) {
+            TaskNode* rehomed = mine.slab.acquire();
+            rehomed->fn = std::move(nodes[i]->fn);
+            TaskSlab::release(nodes[i], /*owner=*/false);
+            mine.deque.push(rehomed);
+          }
+          wake_one();  // banked work: let a parked peer help
+        }
         return true;
       }
-      if (result == StealResult::kEmpty) break;
+      if (last == StealResult::kEmpty) break;
       concurrency::cpu_relax();  // kLost: contended, try again immediately
     }
   }

@@ -1104,6 +1104,63 @@ TEST(Federation, GoldenFederatedScrapeIsByteStable) {
   }
 }
 
+// The event-driven server model serves the same telemetry plane
+// byte-for-byte: a deterministic custom registry exposed through
+// kEventDriven and kThreadPerConnection yields identical bodies (the
+// golden byte-stability contract holds regardless of threading model).
+TEST(Telemetry, EventDrivenModelServesIdenticalBytes) {
+  obs::MetricsRegistry registry;
+  registry.counter("app.requests").inc(41);
+  registry.gauge("app.depth").add(17);
+  auto& hist = registry.histogram("app.lat_us");
+  for (std::uint64_t i = 1; i <= 32; ++i) hist.record(i * i);
+
+  auto fetch = [&](net::ThreadingModel model) {
+    net::Network net(2, fast_net());
+    obs::TelemetryConfig config;
+    config.model = model;
+    config.registry = &registry;
+    obs::TelemetryServer server(net, 0, 9100, config);
+    obs::TelemetryClient client(net, 1);
+    EXPECT_TRUE(client.connect(server.address()).is_ok());
+    const std::string metrics = client.get("/metrics").value();
+    const std::string wire = client.get("/metrics.wire").value();
+    client.close();
+    server.stop();
+    return metrics + "\x1f" + wire;
+  };
+  const std::string baseline = fetch(net::ThreadingModel::kThreadPerConnection);
+  const std::string event = fetch(net::ThreadingModel::kEventDriven);
+  EXPECT_EQ(event, baseline);
+  EXPECT_NE(event.find("app_requests 41"), std::string::npos);
+}
+
+TEST(Federation, AggregatorRunsEventDriven) {
+  obs::MetricsRegistry r0, r1;
+  r0.counter("ev.hits").inc(3);
+  r1.counter("ev.hits").inc(4);
+  net::Network net(4, fast_net());
+  obs::TelemetryConfig c0, c1;
+  c0.registry = &r0;
+  c0.model = net::ThreadingModel::kEventDriven;
+  c1.registry = &r1;
+  c1.model = net::ThreadingModel::kEventDriven;
+  obs::TelemetryServer s0(net, 0, 9100, c0);
+  obs::TelemetryServer s1(net, 1, 9100, c1);
+  obs::AggregatorConfig aggregator_config;
+  aggregator_config.model = net::ThreadingModel::kEventDriven;
+  obs::Aggregator aggregator(net, 2, 9200,
+                             {{s0.address(), "0"}, {s1.address(), "1"}},
+                             aggregator_config);
+  obs::TelemetryClient client(net, 3);
+  ASSERT_TRUE(client.connect(aggregator.address()).is_ok());
+  const std::string body = client.get("/metrics").value();
+  EXPECT_NE(body.find("ev_hits{rank=\"0\"} 3"), std::string::npos);
+  EXPECT_NE(body.find("ev_hits{rank=\"1\"} 4"), std::string::npos);
+  EXPECT_EQ(aggregator.federate().counter("ev.hits"), 7u);
+  client.close();
+}
+
 TEST(Federation, ControlVerbsResetAndSnapshotNow) {
   obs::MetricsRegistry r0, r1;
   r0.counter("ctl.hits").inc(2);

@@ -18,7 +18,9 @@
 #include "dist/two_phase_commit.hpp"
 #include "mp/world.hpp"
 #include "net/arq.hpp"
+#include "net/loadgen.hpp"
 #include "net/network.hpp"
+#include "net/server.hpp"
 #include "parallel/chase_lev.hpp"
 #include "parallel/thread_pool.hpp"
 #include "testkit/fault_injector.hpp"
@@ -292,6 +294,53 @@ TEST(StressPool, PostsRacingShutdownAreOrderly) {
     EXPECT_EQ(executed.load(), accepted.load());
     pool.reset();
   }
+}
+
+// The fault-injected load test at a scale worth pointing TSan at: tens of
+// thousands of open-loop requests over thousands of connections exercise
+// every cross-thread edge at once — dispatcher -> ReadySet wakeups, shard
+// single-flight scheduling, batch steals re-homing tasks, and the
+// generator's driver threads (build with -DPDCKIT_SANITIZE=thread and
+// -DPDCKIT_STRESS=ON to run it under the race detector).
+TEST(StressServer, EventDrivenLoadWithFaultsConservesRequests) {
+  net::NetConfig net_config;
+  net_config.latency_ms = 0.01;
+  net_config.impair_streams = true;
+  net_config.seed = 0xbead;
+  net::Network net(4, net_config);
+  FaultConfig fault_config;
+  fault_config.drop = 0.05;
+  fault_config.reorder = 0.05;
+  fault_config.reorder_ms = 0.3;
+  fault_config.seed = 0xbead;
+  auto injector = std::make_shared<FaultInjector>(fault_config);
+  net.set_fault_injector(injector);
+
+  net::ServerConfig server_config;
+  server_config.model = net::ThreadingModel::kEventDriven;
+  server_config.workers = 3;
+  server_config.view_handler = [](net::BytesView request) {
+    return request.to_owned();
+  };
+  net::Server server(net, 0, 80, nullptr, server_config);
+
+  net::LoadGenConfig load;
+  load.connections = 4000;
+  load.requests = 40000;
+  load.duration_s = 1.0;
+  load.curve = net::ArrivalCurve::kThunderingHerd;
+  load.drivers = 2;
+  load.first_client_host = 1;
+  load.client_hosts = 3;
+  net::LoadGen gen(net, server.address());
+  const auto report = gen.run(load);
+  server.stop();
+  EXPECT_EQ(report.connect_failures, 0u);
+  EXPECT_EQ(report.closed_early, 0u);
+  EXPECT_EQ(report.sent, 40000u);
+  EXPECT_EQ(report.received, report.sent);
+  EXPECT_EQ(server.requests_served(), report.sent);
+  EXPECT_EQ(injector->stats().messages, 2u * report.sent);
 }
 
 }  // namespace
