@@ -19,7 +19,13 @@
 //   9. the profiling plane: worker-slot publish (the single relaxed
 //      store), the full per-task ProfiledTask pair, one sampler walk over
 //      eight slots, and the whole-workload slowdown of 1 kHz background
-//      sampling (acceptance: pair < 5 ns, slowdown < 2%, NOOP at zero).
+//      sampling (acceptance: pair < 5 ns, slowdown < 2%, NOOP at zero);
+//  10. the span plane: mint+finish pair with and without a collector
+//      running (tracing-off acceptance: <= 1 ns over the bare loop),
+//      SpanScope enter/exit, traced vs untraced frame encode+scan, and
+//      the headline end-to-end number — LoadGen RPS against an
+//      event-driven echo server at 10k connections, tracing off vs on
+//      (acceptance: within 5%).
 #include <atomic>
 #include <cstdint>
 #include <iostream>
@@ -27,7 +33,10 @@
 #include <string>
 #include <vector>
 
+#include "net/framing.hpp"
+#include "net/loadgen.hpp"
 #include "net/network.hpp"
+#include "net/server.hpp"
 #include "obs/bench_report.hpp"
 #include "obs/federation.hpp"
 #include "obs/metrics.hpp"
@@ -413,6 +422,145 @@ int main() {
     report.add_metric("profile.sample_once.us", sample_us);
     report.add_metric("profile.sampling_1khz.overhead", slowdown);
     std::cout << '\n';
+  }
+
+  {
+    // The span plane's hot costs. "Tracing off" is the price every
+    // request pays when no SpanCollector session is running — the
+    // span_root/span_end pair must collapse onto the zero check.
+    constexpr std::size_t kIters = 1 << 21;
+    MetricsRegistry::instance().reset();
+    const double baseline = ns_per_op(kIters, [](std::size_t i) {
+      g_sink = g_sink + i;
+    });
+    const double off_pair = ns_per_op(kIters, [](std::size_t i) {
+      auto span = pdc::obs::span_root("bench.request", i + 1);
+      g_sink = g_sink + i;
+      pdc::obs::span_end(span);
+    });
+
+    pdc::obs::SpanCollectorConfig span_config;
+    span_config.keep_slowest = 8;
+    pdc::obs::SpanCollector collector(span_config);
+    collector.start();
+    const double on_pair = ns_per_op(kIters, [](std::size_t i) {
+      auto span = pdc::obs::span_root("bench.request", i + 1);
+      g_sink = g_sink + i;
+      pdc::obs::span_end(span);
+    });
+    const double scope_ns = ns_per_op(kIters, [](std::size_t i) {
+      pdc::obs::SpanScope scope(pdc::obs::SpanContext{i + 1, 1});
+      g_sink = g_sink + i;
+    });
+    collector.stop();
+
+    // Frame codec: the 16-byte trace header is absent from untraced
+    // frames, so the untraced encode+scan pair is the no-regression row.
+    const pdc::net::Bytes payload = pdc::net::to_bytes("0123456789abcdef");
+    const auto codec_ns = [&payload](pdc::obs::SpanContext ctx) {
+      pdc::net::Bytes wire;
+      return ns_per_op(1 << 18, [&payload, &wire, ctx](std::size_t) {
+        wire.clear();
+        pdc::net::MessageCodec::encode_message(payload, wire, ctx);
+        std::size_t offset = 0;
+        pdc::net::BytesView view;
+        pdc::obs::SpanContext seen;
+        const auto scan =
+            pdc::net::MessageCodec::scan_message(wire, offset, view, seen);
+        g_sink = scan == pdc::net::MessageCodec::Scan::kFrame ? view.size : 0;
+      });
+    };
+    const double untraced_codec = codec_ns(pdc::obs::SpanContext{});
+    const double traced_codec = codec_ns(pdc::obs::SpanContext{42, 7});
+
+    TextTable table("8. Span plane (mint/finish, scope, frame codec)");
+    table.set_header({"operation", "ns/op", "vs baseline"});
+    const auto delta = [&](double cost) {
+      return TextTable::num(cost - baseline, 2) + " ns";
+    };
+    table.add_row({"loop baseline", TextTable::num(baseline, 2), "-"});
+    table.add_row({"span pair, tracing off", TextTable::num(off_pair, 2),
+                   delta(off_pair)});
+    table.add_row({"span pair, collector running", TextTable::num(on_pair, 2),
+                   delta(on_pair)});
+    table.add_row({"SpanScope enter/exit", TextTable::num(scope_ns, 2),
+                   delta(scope_ns)});
+    table.add_row({"frame encode+scan, untraced",
+                   TextTable::num(untraced_codec, 2), "-"});
+    table.add_row({"frame encode+scan, traced (+16B header)",
+                   TextTable::num(traced_codec, 2), "-"});
+    table.render(std::cout);
+    report.add_table(table);
+    report.add_metric("span.baseline.ns", baseline);
+    report.add_metric("span.pair_off.ns", off_pair);
+    report.add_metric("span.pair_off.overhead_ns", off_pair - baseline);
+    report.add_metric("span.pair_on.ns", on_pair);
+    report.add_metric("span.scope.ns", scope_ns);
+    report.add_metric("span.codec_untraced.ns", untraced_codec);
+    report.add_metric("span.codec_traced.ns", traced_codec);
+    std::cout << "(acceptance: tracing-off span pair within 1 ns of the "
+                 "bare loop)\n\n";
+  }
+
+  {
+    // The headline: does minting a root span per request and carrying it
+    // through the frame header move the load generator's throughput?
+    // Same 10k-connection storm against the event-driven echo server,
+    // tracing off then on (collector running, tail-keep 32).
+    pdc::net::NetConfig config;
+    config.latency_ms = 0.01;
+    pdc::net::Network net(5, config);
+    pdc::net::ServerConfig server_config;
+    server_config.model = pdc::net::ThreadingModel::kEventDriven;
+    server_config.workers = 3;
+    server_config.view_handler = [](pdc::net::BytesView request) {
+      return request.to_owned();
+    };
+    pdc::net::Server server(net, 0, 80, nullptr, server_config);
+
+    pdc::net::LoadGenConfig load;
+    load.connections = 10'000;
+    load.requests = 50'000;
+    load.duration_s = 0.4;
+    load.drivers = 2;
+    load.first_client_host = 1;
+    load.client_hosts = 4;
+    load.seed = 0x0b5;
+    pdc::net::LoadGen gen(net, server.address());
+
+    const auto report_off = gen.run(load);
+
+    MetricsRegistry::instance().reset();
+    pdc::obs::SpanCollectorConfig span_config;
+    span_config.keep_slowest = 32;
+    pdc::obs::SpanCollector collector(span_config);
+    collector.start();
+    load.trace = true;
+    const auto report_on = gen.run(load);
+    collector.stop();
+    server.stop();
+
+    const double ratio =
+        report_off.rps > 0.0 ? report_on.rps / report_off.rps : 0.0;
+    TextTable table("9. LoadGen 10k connections, tracing off vs on");
+    table.set_header({"mode", "rps", "p99 us", "answered"});
+    table.add_row({"tracing off",
+                   TextTable::num(report_off.rps, 0),
+                   TextTable::num(report_off.p99_us, 0),
+                   std::to_string(report_off.received)});
+    table.add_row({"tracing on (tail-keep 32)",
+                   TextTable::num(report_on.rps, 0),
+                   TextTable::num(report_on.p99_us, 0),
+                   std::to_string(report_on.received)});
+    table.add_row({"on/off rps ratio", TextTable::num(ratio, 3), "-", "-"});
+    table.render(std::cout);
+    report.add_table(table);
+    report.add_metric("span.loadgen_off.rps", report_off.rps);
+    report.add_metric("span.loadgen_on.rps", report_on.rps);
+    report.add_metric("span.loadgen.on_off_ratio", ratio);
+    std::cout << "(acceptance: ratio within 0.95; kept "
+              << collector.traces_kept() << " of "
+              << collector.traces_completed() << " traces)\n\n";
   }
 
   report.write_if_requested();

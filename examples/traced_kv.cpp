@@ -1,0 +1,378 @@
+// traced_kv — one request's life across every layer: LoadGen mints a
+// root span, net::Server opens a drain child off the frame header,
+// dist::ReplicatedKV adopts the context off the mp piggyback, and Raft
+// brackets replication and apply — one trace id end to end
+// (docs/observability.md#request-tracing walks through the span tree).
+//
+// Part 1 runs a fixed-seed 3-rank ReplicatedKV under testkit::SimScheduler
+// with traced client ops from rank 0. Virtual timestamps make the kept
+// span trees and their critical paths byte-stable: the slowest trace's
+// critical path — which hop owned how much of the latency — is written to
+// argv[1] (default traced_kv_trace.txt) and CI runs the binary twice and
+// byte-compares the files, the same golden contract as load_storm.
+//
+// Part 2 goes live: the same cluster on free-running threads, each rank
+// fronted by a net::Server speaking "PUT k v" / "GET k" / "LEADER?"
+// (answers "OK" / "VALUE v" / "ABSENT" / "REDIRECT host port" /
+// "LEADER"), stormed by a traced, leader-routed net::LoadGen. Wall-clock
+// numbers go to stdout for the human; only the conservation booleans —
+// request and span ledgers that must balance on any machine — are
+// appended to the compared file.
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/replicated_kv.hpp"
+#include "mp/world.hpp"
+#include "net/loadgen.hpp"
+#include "net/network.hpp"
+#include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/telemetry.hpp"
+#include "testkit/sim_scheduler.hpp"
+
+using namespace pdc;
+
+namespace {
+
+constexpr int kRanks = 3;
+constexpr std::uint16_t kPort = 7000;
+
+std::string render_critical_path(const obs::TraceSummary& trace) {
+  std::ostringstream out;
+  out << "  slowest trace " << trace.trace_id << ": root " << trace.root_us
+      << "us over " << trace.spans.size() << " spans\n  critical path:\n";
+  for (const auto& hop : obs::critical_path(trace)) {
+    out << "    " << hop.name << "  self " << hop.self_us << "us  ["
+        << hop.start_us << ".." << hop.end_us << "]us\n";
+  }
+  return out.str();
+}
+
+// ------------------------------------------------ part 1: fixed-seed sim
+
+/// Rank 0 issues traced PUT/GET ops through the replicated log while the
+/// other ranks pump; returns the deterministic section of the output.
+std::string run_sim_part() {
+  obs::MetricsRegistry::instance().reset();
+  obs::SpanCollectorConfig config;
+  config.keep_slowest = 8;
+  obs::SpanCollector collector(config);
+  collector.start();
+
+  auto storage =
+      std::make_shared<std::vector<dist::RaftPersistentState>>(kRanks);
+  auto done = std::make_shared<std::atomic<bool>>(false);
+  mp::World world(kRanks);
+  auto bodies = world.rank_bodies([storage, done](mp::Communicator& comm) {
+    const auto rank = comm.rank();
+    dist::KvConfig cfg;
+    cfg.raft.seed = 77;
+    dist::ReplicatedKV kv(comm, (*storage)[static_cast<std::size_t>(rank)],
+                          cfg);
+    if (rank == 0) {
+      for (int op = 0; op < 6; ++op) {
+        auto root =
+            obs::span_root("request", 9000 + static_cast<std::uint64_t>(op));
+        obs::SpanScope scope(root.context());
+        const std::string key = "course" + std::to_string(op / 2);
+        const auto result =
+            op % 2 == 0 ? kv.put(key, "v" + std::to_string(op)) : kv.get(key);
+        obs::span_end(root, result.timed_out());
+      }
+      done->store(true);
+    } else {
+      while (!done->load()) {
+        kv.step();
+        testkit::poll_pause("traced_kv.pump", 0.5e-3);
+      }
+    }
+  });
+
+  testkit::SchedulerOptions options;
+  options.seed = 11;
+  options.max_steps = 1u << 22;
+  testkit::SimScheduler scheduler(options);
+  const auto report = scheduler.run(std::move(bodies));
+  if (!report.ok()) {
+    std::cerr << "scheduler error: " << report.error << '\n';
+    std::exit(1);
+  }
+  collector.stop();
+
+  std::ostringstream out;
+  out << "=== traced_kv part 1: fixed-seed sim span trees ===\n"
+      << "  completed " << collector.traces_completed() << " kept "
+      << collector.traces_kept() << " dropped " << collector.traces_dropped()
+      << " evicted " << collector.traces_evicted() << "\n";
+  const auto slowest = collector.slowest(1);
+  if (slowest.empty()) {
+    out << "  (obs compiled out: PDCKIT_OBS_NOOP build)\n";
+  } else {
+    out << render_critical_path(slowest.front());
+  }
+  return out.str();
+}
+
+// --------------------------------------------------- part 2: live storm
+
+/// One text-protocol op handed from a server handler thread to the
+/// rank's KV thread. `ctx` is the server's ambient "server.drain" span,
+/// so the KV-side spans join the request's trace.
+struct LiveOp {
+  std::string text;
+  obs::SpanContext ctx;
+  std::promise<std::string> reply;
+};
+
+struct RankPlane {
+  std::mutex mutex;
+  std::deque<LiveOp*> ops;
+};
+
+struct LivePart {
+  net::LoadGenReport report;
+  int leader = -1;
+  std::vector<obs::TraceSummary> kept;
+  std::string slowest_body;  // the /trace/slowest?n=1 reply, operator view
+  std::uint64_t started = 0;
+  std::uint64_t finished = 0;
+  std::uint64_t sampled = 0;
+  std::uint64_t dropped = 0;
+};
+
+LivePart run_live_part() {
+  obs::MetricsRegistry::instance().reset();
+  obs::SpanCollectorConfig config;
+  config.keep_slowest = 32;
+  obs::SpanCollector collector(config);
+  collector.start();
+
+  net::NetConfig net_config;
+  net_config.latency_ms = 0.01;
+  net::Network net(7, net_config);
+
+  std::vector<dist::RaftPersistentState> storage(kRanks);
+  std::vector<RankPlane> planes(kRanks);
+  std::atomic<int> leader_rank{-1};
+  std::atomic<int> ready{0};
+  std::atomic<bool> stop{false};
+
+  mp::World world(kRanks);
+  std::thread cluster([&] {
+    world.run([&](mp::Communicator& comm) {
+      const auto rank = comm.rank();
+      RankPlane& plane = planes[static_cast<std::size_t>(rank)];
+      dist::KvConfig cfg;
+      cfg.raft.seed = 201;
+      dist::ReplicatedKV kv(comm, storage[static_cast<std::size_t>(rank)],
+                            cfg);
+      // The ingress: "LEADER?" is answered inline off the shared leader
+      // hint; data ops are queued to this thread, which owns the KV.
+      net::Server server(
+          net, /*host=*/rank, kPort,
+          [&plane, &leader_rank, rank](const net::Bytes& request) {
+            const std::string text = net::to_string(request);
+            if (text == "LEADER?") {
+              const int leader = leader_rank.load();
+              if (leader == rank) return net::to_bytes("LEADER");
+              const int hint = leader >= 0 ? leader : (rank + 1) % kRanks;
+              return net::to_bytes("REDIRECT " + std::to_string(hint) + " " +
+                                   std::to_string(kPort));
+            }
+            LiveOp op;
+            op.text = text;
+            op.ctx = obs::current_span();
+            auto answered = op.reply.get_future();
+            {
+              const std::lock_guard<std::mutex> lock(plane.mutex);
+              plane.ops.push_back(&op);
+            }
+            return net::to_bytes(answered.get());
+          });
+      ready.fetch_add(1);
+
+      auto pop = [&plane]() -> LiveOp* {
+        const std::lock_guard<std::mutex> lock(plane.mutex);
+        if (plane.ops.empty()) return nullptr;
+        LiveOp* op = plane.ops.front();
+        plane.ops.pop_front();
+        return op;
+      };
+      auto serve = [&kv](LiveOp* op) {
+        // The scope rejoins the request's trace: the KV client send below
+        // is stamped with the server's drain span as parent.
+        obs::SpanScope scope(op->ctx);
+        std::istringstream in(op->text);
+        std::string verb, key, value;
+        in >> verb >> key;
+        if (verb == "PUT" && (in >> value)) {
+          const auto result = kv.put(key, value);
+          op->reply.set_value(result.ok() ? "OK" : to_string(result.status));
+        } else if (verb == "GET") {
+          const auto result = kv.get(key);
+          op->reply.set_value(
+              result.ok() ? "VALUE " + result.value
+              : result.status == dist::KvResult::Status::kAbsent
+                  ? "ABSENT"
+                  : to_string(result.status));
+        } else {
+          op->reply.set_value("ERR bad request");
+        }
+      };
+
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (kv.is_leader()) leader_rank.store(rank);
+        if (LiveOp* op = pop()) {
+          serve(op);
+        } else {
+          kv.step();
+          std::this_thread::yield();
+        }
+      }
+      while (LiveOp* op = pop()) serve(op);  // answer stragglers
+      server.stop();
+    });
+  });
+
+  while (ready.load() < kRanks || leader_rank.load() < 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  net::LoadGenConfig load;
+  load.connections = 64;
+  load.requests = 400;
+  load.duration_s = 0.2;
+  load.curve = net::ArrivalCurve::kBurst;
+  load.bursts = 2;
+  load.drivers = 2;
+  load.first_client_host = 3;
+  load.client_hosts = 4;
+  load.grace_s = 30.0;
+  load.seed = 0x7ace;
+  load.trace = true;
+  load.route_to_leader = true;
+  for (int rank = 0; rank < kRanks; ++rank) {
+    load.cluster.push_back(net::Address{rank, kPort});
+  }
+  load.probe_request = [] { return net::to_bytes("LEADER?"); };
+  load.redirect_of =
+      [](const net::Bytes& reply) -> std::optional<net::Address> {
+    const std::string text = net::to_string(reply);
+    if (text.rfind("REDIRECT ", 0) != 0) return std::nullopt;
+    std::istringstream in(text.substr(9));
+    net::Address address;
+    in >> address.host >> address.port;
+    return address;
+  };
+  load.request_of = [](std::uint64_t seq) {
+    const std::string key = "k" + std::to_string(seq % 16);
+    return seq % 2 == 0
+               ? net::to_bytes("PUT " + key + " v" + std::to_string(seq))
+               : net::to_bytes("GET " + key);
+  };
+
+  LivePart live;
+  net::LoadGen gen(net, net::Address{0, kPort});
+  live.report = gen.run(load);
+  live.leader = leader_rank.load();
+  stop.store(true);
+  cluster.join();
+  collector.stop();
+
+  live.kept = collector.slowest(config.keep_slowest);
+  const auto snapshot = obs::MetricsRegistry::instance().scrape();
+  live.started = snapshot.counter("pdc.span.started");
+  live.finished = snapshot.counter("pdc.span.finished");
+  live.sampled = snapshot.counter("pdc.span.sampled");
+  live.dropped = snapshot.counter("pdc.span.dropped");
+
+  // The operator view of the same store: /trace/slowest on a telemetry
+  // endpoint (a stopped collector stays renderable).
+  obs::TelemetryConfig telemetry_config;
+  obs::TelemetryServer telemetry(net, /*host=*/0, /*port=*/9100,
+                                 telemetry_config);
+  telemetry.attach_spans(&collector);
+  obs::TelemetryClient client(net, /*host=*/6);
+  if (client.connect(telemetry.address()).is_ok()) {
+    live.slowest_body = client.get("/trace/slowest?n=1").value();
+    client.close();
+  }
+  telemetry.stop();
+  return live;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "traced_kv_trace.txt";
+
+  const std::string sim_section = run_sim_part();
+  std::cout << sim_section << '\n';
+
+  std::cout << "=== traced_kv part 2: leader-routed traced storm ===\n";
+  const LivePart live = run_live_part();
+  const auto& report = live.report;
+  std::cout << "  leader rank " << live.leader << ", discovered in "
+            << report.redirects << " redirect hop(s); storm aimed at "
+            << report.target.to_string() << "\n  sent " << report.sent
+            << ", answered " << report.received << ", open-loop p50 "
+            << static_cast<std::uint64_t>(report.p50_us) << "us p99 "
+            << static_cast<std::uint64_t>(report.p99_us) << "us\n";
+
+  // The p99 trace: with 400 requests the 4th-slowest kept trace sits at
+  // the 99th percentile. Wall-clock, so printed for the human only.
+  const std::size_t p99_index = 3;
+  if (live.kept.size() > p99_index) {
+    std::cout << "  the p99 request's critical path (wall-clock):\n"
+              << render_critical_path(live.kept[p99_index]);
+  } else if (live.kept.empty()) {
+    std::cout << "  (obs compiled out: PDCKIT_OBS_NOOP build)\n";
+  }
+  if (!live.slowest_body.empty()) {
+    std::cout << "  /trace/slowest?n=1 served " << live.slowest_body.size()
+              << " bytes of the same store\n";
+  }
+
+  // Conservation: the request ledger and the span ledger must balance on
+  // any machine — these lines are byte-compared across runs by CI.
+  const bool requests_conserved =
+      report.sent == report.received && report.closed_early == 0;
+  const bool spans_conserved =
+      live.started == live.finished &&
+      live.sampled + live.dropped == live.finished;
+  std::ostringstream conservation;
+  conservation << "=== traced_kv part 2: conservation ===\n"
+               << "  requests: sent == answered, none lost: "
+               << (requests_conserved ? 1 : 0) << "\n"
+               << "  spans: started == finished, sampled + dropped == "
+                  "finished: "
+               << (spans_conserved ? 1 : 0) << "\n";
+  std::cout << conservation.str();
+
+  std::ofstream out(path);
+  out << sim_section << conservation.str();
+  if (requests_conserved && spans_conserved) {
+    out << "traced_kv: conservation ok\n";
+    std::cout << "traced_kv: conservation ok\n";
+  }
+  out.close();
+
+  if (!requests_conserved || !spans_conserved) {
+    std::cerr << "conservation violated (started " << live.started
+              << " finished " << live.finished << " sampled " << live.sampled
+              << " dropped " << live.dropped << ")\n";
+    return 1;
+  }
+  return 0;
+}

@@ -134,6 +134,13 @@ void RaftNode::step_down(std::uint64_t term) {
   confirmed_round_ = 0;
   term_start_index_ = 0;
   submit_ms_.clear();
+  // Entries this node was replicating may still commit under the next
+  // leader, but *this* replication attempt is over — close the spans as
+  // errors so the traces survive tail sampling.
+  for (TracedEntry& traced : traced_) {
+    obs::span_end(traced.replicate, /*error=*/true);
+  }
+  traced_.clear();
   reset_election_timer();
 }
 
@@ -187,12 +194,20 @@ void RaftNode::become_leader() {
   broadcast_heartbeats();
 }
 
-std::optional<std::uint64_t> RaftNode::submit(std::vector<std::uint8_t> command) {
+std::optional<std::uint64_t> RaftNode::submit(std::vector<std::uint8_t> command,
+                                              obs::SpanContext trace) {
   if (role_ != RaftRole::kLeader) return std::nullopt;
   storage_.log.push_back(RaftLogEntry{storage_.current_term, std::move(command)});
   const std::uint64_t index = last_index();
   match_index_[static_cast<std::size_t>(comm_.rank())] = index;
   submit_ms_.emplace_back(index, age_.elapsed_millis());
+  if (trace.valid() && obs::span_enabled()) {
+    TracedEntry traced;
+    traced.index = index;
+    traced.ctx = trace;
+    traced.replicate = obs::span_begin("raft.replicate", trace);
+    traced_.push_back(std::move(traced));
+  }
   PDC_OBS_COUNT("pdc.raft.submitted");
   if (options_.unsafe_early_commit) {
     // The teaching bug: "commit" without a quorum. The entry is applied
@@ -252,6 +267,19 @@ void RaftNode::replicate(int peer) {
     w.u64(e->term);
     w.bytes(e->command);
   }
+  // Ship the first traced entry's replicate-span context as the ambient
+  // scope: the envelope's piggyback carries it, so the follower's
+  // raft.append span nests under raft.replicate in the request's trace.
+  obs::SpanContext append_ctx{};
+  if (obs::span_enabled()) {
+    for (const TracedEntry& traced : traced_) {
+      if (traced.index >= first && traced.index <= last) {
+        append_ctx = traced.replicate.context();
+        break;
+      }
+    }
+  }
+  obs::SpanScope scope(append_ctx.valid() ? append_ctx : obs::current_span());
   send(peer, kTagAppend, w.take());
   PDC_OBS_COUNT("pdc.raft.append_sent");
 }
@@ -300,6 +328,9 @@ void RaftNode::handle_vote_reply(int src, const std::vector<std::uint8_t>& raw) 
 }
 
 void RaftNode::handle_append(int src, const std::vector<std::uint8_t>& raw) {
+  // Traced AppendEntries (stamped by the leader's replicate scope) get a
+  // follower-side span; untraced ones make this a no-op guard.
+  obs::SpanGuard append_span("raft.append", obs::take_incoming_span());
   wire::Reader r(raw);
   const std::uint64_t term = r.u64();
   const std::uint64_t prev_index = r.u64();
@@ -495,9 +526,24 @@ void RaftNode::apply_committed() {
     const RaftLogEntry* e = entry(index);
     PDC_CHECK_MSG(e != nullptr, "committed entry compacted before apply");
     const std::uint64_t entry_term = e->term;
+    // Commit point for a traced entry: its raft.replicate span ends here,
+    // and the apply below runs under a sibling raft.apply span (both
+    // children of the submitted context, so critical-path attribution
+    // separates replication wait from apply work).
+    obs::SpanContext trace_ctx{};
+    for (auto it = traced_.begin(); it != traced_.end(); ++it) {
+      if (it->index == index) {
+        trace_ctx = it->ctx;
+        obs::span_end(it->replicate);
+        traced_.erase(it);
+        break;
+      }
+    }
     std::vector<std::uint8_t> reply;
     if (!e->command.empty()) {
+      obs::ActiveSpan apply_span = obs::span_begin("raft.apply", trace_ctx);
       reply = machine_.apply(index, e->command);
+      obs::span_end(apply_span);
       PDC_OBS_COUNT("pdc.raft.applied");
     }
     // The entry pointer may dangle after apply/compaction below — copy

@@ -183,7 +183,12 @@ class RaftNode {
   /// Leader: appends a command and returns its log index (committed and
   /// applied later, reported through the apply listener). Followers and
   /// candidates return nullopt — redirect the client at `leader_hint()`.
-  std::optional<std::uint64_t> submit(std::vector<std::uint8_t> command);
+  /// A valid `trace` joins the entry to a request trace: a raft.replicate
+  /// span covers submit -> commit (AppendEntries carrying the entry are
+  /// stamped with it, so follower raft.append spans nest under it) and a
+  /// raft.apply span brackets the state-machine apply.
+  std::optional<std::uint64_t> submit(std::vector<std::uint8_t> command,
+                                      obs::SpanContext trace = {});
 
   /// Invoked once per applied entry, in index order (no-op entries
   /// included, with an empty command and reply).
@@ -284,6 +289,16 @@ class RaftNode {
   std::uint64_t confirmed_round_ = 0;  // highest quorum-acked round
   std::uint64_t term_start_index_ = 0; // index of this term's no-op barrier
   std::vector<std::pair<std::uint64_t, double>> submit_ms_;  // index -> submit time
+
+  /// Uncommitted traced entries (leader only, cleared like submit_ms_ on
+  /// step-down): the replicate span ends when the entry commits; the
+  /// submitted context parents the raft.apply span.
+  struct TracedEntry {
+    std::uint64_t index = 0;
+    obs::SpanContext ctx;         // the submitter's span (parents apply)
+    obs::ActiveSpan replicate;    // submit -> commit
+  };
+  std::vector<TracedEntry> traced_;
 
   RetryClock election_timer_;
   RetryClock heartbeat_timer_;

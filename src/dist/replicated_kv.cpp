@@ -119,6 +119,9 @@ void ReplicatedKV::serve_requests() {
   while (auto info = comm_.iprobe(mp::kAnySource, kTagClientRequest)) {
     const int src = info->source;
     const auto raw = comm_.recv_vector<std::uint8_t>(src, kTagClientRequest);
+    // recv parked the request's trace context (if any) in the incoming
+    // slot; claim it now so it cannot leak onto an unrelated message.
+    const obs::SpanContext incoming = obs::take_incoming_span();
     wire::Reader r(raw);
     const auto kind = static_cast<OpKind>(r.u8());
     const std::uint64_t seq = r.u64();
@@ -142,7 +145,9 @@ void ReplicatedKV::serve_requests() {
       const std::uint64_t read_index =
           std::max(raft_.commit_index(), raft_.term_start_index());
       const std::uint64_t round = raft_.begin_read_round();
-      pending_reads_.push_back(PendingRead{src, seq, key, read_index, round});
+      pending_reads_.push_back(PendingRead{src, seq, key, read_index, round,
+                                           obs::span_begin("server.drain",
+                                                           incoming)});
       continue;
     }
     wire::Writer w;
@@ -158,9 +163,12 @@ void ReplicatedKV::serve_requests() {
     // submit(), and the listener must find this record to send the reply.
     const std::uint64_t predicted = raft_.last_index() + 1;
     pending_writes_.push_back(
-        PendingWrite{predicted, raft_.current_term(), src, seq});
-    const auto index = raft_.submit(w.take());
+        PendingWrite{predicted, raft_.current_term(), src, seq,
+                     obs::span_begin("server.drain", incoming)});
+    const auto index =
+        raft_.submit(w.take(), pending_writes_.back().span.context());
     if (!index) {
+      obs::span_end(pending_writes_.back().span, /*error=*/true);
       pending_writes_.pop_back();
       reply_to(src, seq, WireStatus::kRetry);
       continue;
@@ -179,11 +187,13 @@ void ReplicatedKV::on_applied(std::uint64_t index, std::uint64_t term,
       // A different entry (from a newer leader) landed at our index: the
       // submitted command was truncated away. Tell the client to retry.
       reply_to(it->client, it->seq, WireStatus::kRetry);
+      obs::span_end(it->span, /*error=*/true);
     } else {
       wire::Reader r(reply);
       const auto status = static_cast<WireStatus>(r.u8());
       const std::string value = r.str();
       reply_to(it->client, it->seq, status, value);
+      obs::span_end(it->span);
     }
     pending_writes_.erase(it);
     return;
@@ -194,7 +204,7 @@ void ReplicatedKV::resolve_reads() {
   // FIFO: the front read has the smallest (round, read_index), so if it
   // cannot be served yet, neither can anything behind it.
   while (!pending_reads_.empty()) {
-    const PendingRead& read = pending_reads_.front();
+    PendingRead& read = pending_reads_.front();
     if (raft_.confirmed_round() < read.round ||
         raft_.last_applied() < read.read_index) {
       break;
@@ -206,17 +216,20 @@ void ReplicatedKV::resolve_reads() {
     } else {
       reply_to(read.client, read.seq, WireStatus::kAbsent);
     }
+    obs::span_end(read.span);
     PDC_OBS_COUNT("pdc.kv.reads_served");
     pending_reads_.pop_front();
   }
 }
 
 void ReplicatedKV::flush_pending_retry() {
-  for (const PendingWrite& w : pending_writes_) {
+  for (PendingWrite& w : pending_writes_) {
     reply_to(w.client, w.seq, WireStatus::kRetry);
+    obs::span_end(w.span, /*error=*/true);
   }
-  for (const PendingRead& read : pending_reads_) {
+  for (PendingRead& read : pending_reads_) {
     reply_to(read.client, read.seq, WireStatus::kRetry);
+    obs::span_end(read.span, /*error=*/true);
   }
   pending_writes_.clear();
   pending_reads_.clear();

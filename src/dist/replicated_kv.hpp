@@ -136,6 +136,7 @@ class ReplicatedKV {
     std::uint64_t term = 0;   // term it was submitted in
     int client = -1;
     std::uint64_t seq = 0;
+    obs::ActiveSpan span;     // "server.drain": intake -> reply sent
   };
 
   struct PendingRead {
@@ -144,6 +145,7 @@ class ReplicatedKV {
     std::string key;
     std::uint64_t read_index = 0;  // max(commit index, term-start barrier) at arrival
     std::uint64_t round = 0;       // heartbeat round that must be confirmed
+    obs::ActiveSpan span;          // "server.drain": intake -> reply sent
   };
 
   void serve_requests();

@@ -34,6 +34,20 @@ std::uint32_t get_u32(const Bytes& in, std::size_t at) {
   return v;
 }
 
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint64_t get_u64(const Bytes& in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[at + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  return v;
+}
+
 }  // namespace
 
 void MessageCodec::encode_message(const Bytes& payload, Bytes& wire) {
@@ -44,35 +58,97 @@ void MessageCodec::encode_message(const Bytes& payload, Bytes& wire) {
   wire.insert(wire.end(), payload.begin(), payload.end());
 }
 
+void MessageCodec::encode_message(const Bytes& payload, Bytes& wire,
+                                  obs::SpanContext trace) {
+  if (!trace.valid()) {
+    encode_message(payload, wire);
+    return;
+  }
+  PDC_CHECK_MSG(payload.size() <= kMaxMessage, "message exceeds kMaxMessage");
+  wire.reserve(wire.size() + kHeaderBytes + kTraceHeaderBytes + payload.size());
+  put_u32(wire, static_cast<std::uint32_t>(payload.size()) | kTraceFlag);
+  put_u16(wire, fletcher16(payload));
+  put_u64(wire, trace.trace_id);
+  put_u64(wire, trace.span_id);
+  wire.insert(wire.end(), payload.begin(), payload.end());
+}
+
 Status MessageCodec::send_message(StreamSocket& socket, const Bytes& payload) {
   Bytes wire;
   encode_message(payload, wire);
   return socket.send(wire);
 }
 
-MessageCodec::Scan MessageCodec::scan_message(const Bytes& buffer,
-                                              std::size_t& offset,
-                                              BytesView& out) {
+Status MessageCodec::send_message(StreamSocket& socket, const Bytes& payload,
+                                  obs::SpanContext trace) {
+  Bytes wire;
+  encode_message(payload, wire, trace);
+  return socket.send(wire);
+}
+
+namespace {
+
+MessageCodec::Scan scan_core(const Bytes& buffer, std::size_t& offset,
+                             BytesView& out, obs::SpanContext* trace) {
+  using Scan = MessageCodec::Scan;
   const std::size_t avail = buffer.size() - offset;
-  if (avail < kHeaderBytes) return Scan::kNeedMore;
-  const std::uint32_t length = get_u32(buffer, offset);
-  if (length > kMaxMessage) return Scan::kCorrupt;
-  if (avail < kHeaderBytes + length) return Scan::kNeedMore;
+  if (avail < MessageCodec::kHeaderBytes) return Scan::kNeedMore;
+  const std::uint32_t word = get_u32(buffer, offset);
+  const bool traced = (word & MessageCodec::kTraceFlag) != 0;
+  const std::uint32_t length = word & ~MessageCodec::kTraceFlag;
+  if (length > MessageCodec::kMaxMessage) return Scan::kCorrupt;
+  const std::size_t header =
+      MessageCodec::kHeaderBytes +
+      (traced ? MessageCodec::kTraceHeaderBytes : 0);
+  if (avail < header + length) return Scan::kNeedMore;
   const std::uint16_t checksum = get_u16(buffer, offset + 4);
-  const std::byte* payload = buffer.data() + offset + kHeaderBytes;
+  const std::byte* payload = buffer.data() + offset + header;
   if (fletcher16(payload, length) != checksum) return Scan::kCorrupt;
+  if (trace != nullptr) {
+    *trace = obs::SpanContext{};
+    if (traced) {
+      trace->trace_id = get_u64(buffer, offset + MessageCodec::kHeaderBytes);
+      trace->span_id = get_u64(buffer, offset + MessageCodec::kHeaderBytes + 8);
+    }
+  }
   out = BytesView{payload, length};
-  offset += kHeaderBytes + length;
+  offset += header + length;
   return Scan::kFrame;
 }
 
-support::Result<Bytes> MessageCodec::recv_message(StreamSocket& socket) {
+}  // namespace
+
+MessageCodec::Scan MessageCodec::scan_message(const Bytes& buffer,
+                                              std::size_t& offset,
+                                              BytesView& out) {
+  return scan_core(buffer, offset, out, nullptr);
+}
+
+MessageCodec::Scan MessageCodec::scan_message(const Bytes& buffer,
+                                              std::size_t& offset,
+                                              BytesView& out,
+                                              obs::SpanContext& trace) {
+  return scan_core(buffer, offset, out, &trace);
+}
+
+support::Result<Bytes> MessageCodec::recv_message(StreamSocket& socket,
+                                                  obs::SpanContext* trace) {
+  if (trace != nullptr) *trace = obs::SpanContext{};
   auto header = socket.recv_exact(6);
   if (!header.is_ok()) return header.status();
-  const std::uint32_t length = get_u32(header.value(), 0);
+  const std::uint32_t word = get_u32(header.value(), 0);
+  const std::uint32_t length = word & ~kTraceFlag;
   const std::uint16_t checksum = get_u16(header.value(), 4);
   if (length > kMaxMessage) {
     return Status{StatusCode::kAborted, "frame length implausible"};
+  }
+  if ((word & kTraceFlag) != 0) {
+    auto extra = socket.recv_exact(kTraceHeaderBytes);
+    if (!extra.is_ok()) return extra.status();
+    if (trace != nullptr) {
+      trace->trace_id = get_u64(extra.value(), 0);
+      trace->span_id = get_u64(extra.value(), 8);
+    }
   }
   auto payload = socket.recv_exact(length);
   if (!payload.is_ok()) return payload.status();

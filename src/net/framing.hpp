@@ -12,6 +12,7 @@
 
 #include "net/address.hpp"
 #include "net/network.hpp"
+#include "obs/span.hpp"
 #include "support/status.hpp"
 
 namespace pdc::net {
@@ -28,23 +29,42 @@ struct BytesView {
 
 /// Length-prefixed, checksummed message framing over a StreamSocket.
 ///
-/// Wire format: u32 length (LE) | u16 fletcher16 | payload.
+/// Wire format: u32 length (LE) | u16 fletcher16 | payload. The length
+/// word's top bit (kTraceFlag — kMaxMessage leaves it free) marks a
+/// traced frame, which carries a 16-byte trace header (u64 trace id |
+/// u64 span id, LE) between the fixed header and the payload. Untraced
+/// frames are byte-identical to the pre-tracing format: tracing off
+/// costs zero wire bytes and one mask on parse.
 class MessageCodec {
  public:
   static constexpr std::size_t kMaxMessage = 16 * 1024 * 1024;
   static constexpr std::size_t kHeaderBytes = 6;
+  static constexpr std::uint32_t kTraceFlag = 0x8000'0000u;
+  static constexpr std::size_t kTraceHeaderBytes = 16;
 
   /// Sends one framed message (header and payload in one buffer — one
   /// socket send, one fabric event).
   static support::Status send_message(StreamSocket& socket, const Bytes& payload);
 
+  /// Traced variant: embeds `trace` in the frame header when valid
+  /// (identical to the plain form when not).
+  static support::Status send_message(StreamSocket& socket,
+                                      const Bytes& payload,
+                                      obs::SpanContext trace);
+
   /// Appends the full wire frame (header + payload) for `payload` to
   /// `wire`. Lets callers batch several frames into one send.
   static void encode_message(const Bytes& payload, Bytes& wire);
 
+  /// Traced variant of encode_message.
+  static void encode_message(const Bytes& payload, Bytes& wire,
+                             obs::SpanContext trace);
+
   /// Receives one framed message; kAborted on checksum mismatch, kClosed
-  /// when the peer closed cleanly between messages.
-  static support::Result<Bytes> recv_message(StreamSocket& socket);
+  /// when the peer closed cleanly between messages. A traced frame's
+  /// context lands in `*trace` when non-null (zeroed otherwise).
+  static support::Result<Bytes> recv_message(StreamSocket& socket,
+                                             obs::SpanContext* trace = nullptr);
 
   enum class Scan {
     kFrame,     // a complete frame was parsed; `out` points into `buffer`
@@ -55,8 +75,14 @@ class MessageCodec {
   /// Zero-copy parse of the next frame at `offset` in a receive buffer:
   /// on kFrame, `out` views the payload *in place* and `offset` advances
   /// past the frame. The view dies with the next mutation of `buffer`.
+  /// A traced frame's header is skipped (context discarded).
   static Scan scan_message(const Bytes& buffer, std::size_t& offset,
                            BytesView& out);
+
+  /// Trace-aware scan: on kFrame, `trace` holds the frame's context
+  /// (zeroed for untraced frames).
+  static Scan scan_message(const Bytes& buffer, std::size_t& offset,
+                           BytesView& out, obs::SpanContext& trace);
 };
 
 /// Datagram frame used by the ARQ implementations.

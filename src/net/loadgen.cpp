@@ -60,12 +60,19 @@ double rate_at(const LoadGenConfig& config, double x) {
   return 1.0;
 }
 
+/// One in-flight request: its scheduled time, and (when tracing) the
+/// root span closed on reply arrival.
+struct PendingShot {
+  double at = 0.0;
+  obs::ActiveSpan span;
+};
+
 /// One connection as a driver thread sees it.
 struct GenConn {
   StreamSocket socket;
   Bytes rx;                     // reply bytes, frames parsed in place
   std::size_t off = 0;          // parse offset
-  std::vector<double> pending;  // scheduled times of unanswered requests
+  std::vector<PendingShot> pending;  // unanswered requests, send order
   std::size_t pending_head = 0; // replies arrive in order
   bool alive = false;
 };
@@ -117,6 +124,44 @@ LoadGenReport LoadGen::run(const LoadGenConfig& config) {
   PDC_CHECK(config.client_hosts >= 1);
   LoadGenReport report;
 
+  // ---- Discovery phase: follow redirects to the leader. -----------------
+  Address target = server_;
+  if (config.route_to_leader) {
+    PDC_CHECK_MSG(config.probe_request != nullptr &&
+                      config.redirect_of != nullptr,
+                  "route_to_leader needs probe_request and redirect_of");
+    if (!config.cluster.empty()) target = config.cluster.front();
+    std::size_t fallback = 0;
+    for (std::size_t hop = 0; hop < config.max_redirect_hops; ++hop) {
+      std::optional<Address> redirect;
+      bool probed = false;
+      auto socket = net_.connect(config.first_client_host, target);
+      if (socket.is_ok()) {
+        StreamSocket probe = std::move(socket).value();
+        if (MessageCodec::send_message(probe, config.probe_request())
+                .is_ok()) {
+          auto reply = MessageCodec::recv_message(probe);
+          if (reply.is_ok()) {
+            probed = true;
+            redirect = config.redirect_of(reply.value());
+          }
+        }
+        probe.close();
+      }
+      if (probed && !redirect.has_value()) break;  // target claims leadership
+      if (probed) {
+        target = redirect.value();
+        ++report.redirects;
+      } else if (!config.cluster.empty()) {
+        // Dead or unreachable candidate: rotate to the next one.
+        fallback = (fallback + 1) % config.cluster.size();
+        target = config.cluster[fallback];
+        ++report.redirects;
+      }
+    }
+  }
+  report.target = target;
+
   // ---- Connect phase: async waves, no serial round-trip waits. ----------
   std::vector<StreamSocket> sockets(config.connections);
   {
@@ -135,7 +180,7 @@ LoadGenReport LoadGen::run(const LoadGenConfig& config) {
                                           static_cast<std::size_t>(
                                               config.client_hosts));
         net_.connect_async(
-            host, server_,
+            host, target,
             [&, slot](support::Result<StreamSocket> result) {
               std::scoped_lock lock(mutex);
               if (result.is_ok()) {
@@ -161,6 +206,7 @@ LoadGenReport LoadGen::run(const LoadGenConfig& config) {
   struct Shot {
     double at;
     std::uint32_t conn;  // index into the driver's partition
+    std::uint64_t seq;   // global request sequence (trace id = seq + 1)
   };
   // Conn i belongs to driver i % drivers; its local index is i / drivers.
   std::vector<std::vector<Shot>> plans(config.drivers);
@@ -179,27 +225,32 @@ LoadGenReport LoadGen::run(const LoadGenConfig& config) {
   for (std::size_t i = 0; i < schedule.size(); ++i) {
     const std::size_t conn = i % config.connections;
     plans[conn % config.drivers].push_back(
-        Shot{schedule[i], static_cast<std::uint32_t>(conn / config.drivers)});
+        Shot{schedule[i], static_cast<std::uint32_t>(conn / config.drivers),
+             static_cast<std::uint64_t>(i)});
   }
 
   // One request template for the whole run: the framed wire bytes are
   // identical for every request, so encode once and reuse the buffer.
+  // Tracing or a request_of builder switches to per-request encoding.
   Bytes wire;
+  Bytes template_payload(config.payload_bytes);
   {
     support::Rng rng(config.seed);
-    Bytes payload(config.payload_bytes);
-    for (auto& b : payload) {
+    for (auto& b : template_payload) {
       b = static_cast<std::byte>(rng.next_u64() & 0xff);
     }
-    MessageCodec::encode_message(payload, wire);
+    MessageCodec::encode_message(template_payload, wire);
   }
 
   // ---- Drive phase. -----------------------------------------------------
   const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t t0_us = obs::now_us();  // span-clock origin of the run
   auto elapsed_s = [&t0] {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
         .count();
   };
+  const bool tracing = config.trace && obs::span_enabled();
+  const bool per_request = tracing || config.request_of != nullptr;
   std::vector<DriverResult> results(config.drivers);
   std::vector<std::thread> threads;
   threads.reserve(config.drivers);
@@ -229,8 +280,9 @@ LoadGenReport LoadGen::run(const LoadGenConfig& config) {
           // Replies are in order on a stream: this reply answers the
           // oldest pending request. Open-loop latency counts from the
           // SCHEDULED time — queueing delay lands in the tail.
-          const double scheduled = conn.pending[conn.pending_head++];
-          latency.record((elapsed_s() - scheduled) * 1e6);
+          PendingShot& shot = conn.pending[conn.pending_head++];
+          latency.record((elapsed_s() - shot.at) * 1e6);
+          obs::span_end(shot.span);
           ++result.received;
           --outstanding;
         }
@@ -244,6 +296,12 @@ LoadGenReport LoadGen::run(const LoadGenConfig& config) {
           outstanding -= lost;
           conn.alive = false;
           conn.socket.unwatch();
+          // Requests that died with the connection close as error spans —
+          // exactly the traces tail sampling must keep.
+          while (conn.pending_head < conn.pending.size()) {
+            obs::span_end(conn.pending[conn.pending_head++].span,
+                          /*error=*/true);
+          }
         } else {
           conn.socket.rearm();
         }
@@ -252,13 +310,35 @@ LoadGenReport LoadGen::run(const LoadGenConfig& config) {
         const double now_s = elapsed_s();
         while (next < plan.size() && plan[next].at <= now_s) {
           GenConn& conn = conns[plan[next].conn];
-          if (conn.alive && conn.socket.send(wire).is_ok()) {
-            conn.pending.push_back(plan[next].at);
+          obs::ActiveSpan root;
+          const Bytes* frame = &wire;
+          Bytes encoded;
+          if (per_request) {
+            if (tracing) {
+              // Root backdated to the scheduled time: send-queue lag is
+              // part of the request's story. client.queue covers exactly
+              // that stretch (scheduled -> this send).
+              const std::uint64_t sched_us =
+                  t0_us + static_cast<std::uint64_t>(plan[next].at * 1e6);
+              root = obs::span_root("request", plan[next].seq + 1, sched_us);
+              obs::ActiveSpan queue =
+                  obs::span_begin("client.queue", root.context(), sched_us);
+              obs::span_end(queue);
+            }
+            const Bytes payload = config.request_of != nullptr
+                                      ? config.request_of(plan[next].seq)
+                                      : template_payload;
+            MessageCodec::encode_message(payload, encoded, root.context());
+            frame = &encoded;
+          }
+          if (conn.alive && conn.socket.send(*frame).is_ok()) {
+            conn.pending.push_back(PendingShot{plan[next].at, std::move(root)});
             send_lag.record((now_s - plan[next].at) * 1e6);
             ++result.sent;
             ++outstanding;
           } else {
             ++result.closed_early;
+            obs::span_end(root, /*error=*/true);
           }
           ++next;
         }
@@ -277,6 +357,12 @@ LoadGenReport LoadGen::run(const LoadGenConfig& config) {
         if (conn.alive) {
           conn.socket.unwatch();
           conn.socket.close();
+        }
+        // Grace expired with replies still outstanding: close their root
+        // spans as errors so the span ledger balances.
+        while (conn.pending_head < conn.pending.size()) {
+          obs::span_end(conn.pending[conn.pending_head++].span,
+                        /*error=*/true);
         }
       }
       result.latency = latency.snapshot();

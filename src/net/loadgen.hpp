@@ -18,11 +18,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <vector>
 
 #include "net/address.hpp"
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace pdc::net {
 
@@ -49,6 +52,31 @@ struct LoadGenConfig {
   int client_hosts = 1;
   double grace_s = 5.0;              // extra wait for stragglers after the window
   std::uint64_t seed = 0x10ad;       // payload content
+
+  /// Request tracing: mint a root span per request (trace id = request
+  /// sequence + 1, backdated to the SCHEDULED send time so queueing is
+  /// attributed, with a client.queue child covering schedule -> send) and
+  /// embed the context in the frame header. No-op unless a SpanCollector
+  /// is running.
+  bool trace = false;
+
+  /// Leader routing: before the storm, probe the cluster and follow
+  /// redirects until a node claims leadership, then aim every connection
+  /// at it. Requires probe_request + redirect_of.
+  bool route_to_leader = false;
+  std::vector<Address> cluster;      // candidate targets (first is probed first);
+                                     // empty = start from the ctor target
+  std::size_t max_redirect_hops = 8;
+  /// Builds the discovery probe (e.g. "LEADER?" in traced_kv's protocol).
+  std::function<Bytes()> probe_request;
+  /// Parses a probe reply: an Address to re-probe, nullopt when the
+  /// replying node is the leader.
+  std::function<std::optional<Address>(const Bytes& reply)> redirect_of;
+
+  /// Per-request payload builder (by global request sequence). Unset =
+  /// one seeded constant payload, encoded once and reused (the perf
+  /// fast path).
+  std::function<Bytes(std::uint64_t seq)> request_of;
 };
 
 struct LoadGenReport {
@@ -65,6 +93,9 @@ struct LoadGenReport {
   double p999_us = 0.0;
   double send_lag_p99_us = 0.0;    // scheduled → actually sent (generator health)
   obs::Histogram::Snapshot latency;  // full distribution (exact merge algebra)
+  std::uint64_t redirects = 0;     // leader-discovery hops taken
+  Address target{};                // where the storm was aimed (the leader
+                                   // when route_to_leader found one)
 };
 
 class LoadGen {

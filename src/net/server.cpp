@@ -40,6 +40,9 @@ struct Server::EventEngine {
     std::unordered_map<std::uint64_t, Conn> conns;
     std::vector<std::uint64_t> ready;  // ids with pending readiness
     std::atomic<bool> scheduled{false};
+    // pdc.server.inflight{shard=}: readiness entries routed but not yet
+    // drained — the "queued in shard ready-list" depth per shard.
+    obs::Gauge* inflight = nullptr;
   };
 
   explicit EventEngine(Server& server)
@@ -50,6 +53,10 @@ struct Server::EventEngine {
     shards.reserve(shard_count);
     for (std::size_t i = 0; i < shard_count; ++i) {
       shards.push_back(std::make_unique<Shard>());
+      if constexpr (obs::kObsEnabled) {
+        shards.back()->inflight = &obs::MetricsRegistry::instance().gauge(
+            "pdc.server.inflight", {{"shard", std::to_string(i)}});
+      }
     }
     server.listener_->watch(&ready_set, kListenerTag);
   }
@@ -109,6 +116,7 @@ struct Server::EventEngine {
       // ready queue); integers don't dangle, just drop it.
       if (shard.conns.find(id) == shard.conns.end()) return;
       shard.ready.push_back(id);
+      if (shard.inflight != nullptr) shard.inflight->add(1);
     }
     schedule(shard);
   }
@@ -133,6 +141,9 @@ struct Server::EventEngine {
       }
       PDC_OBS_HIST("pdc.server.shard_batch",
                    static_cast<std::uint64_t>(batch.size()));
+      if (shard.inflight != nullptr && !batch.empty()) {
+        shard.inflight->sub(static_cast<std::int64_t>(batch.size()));
+      }
       for (const std::uint64_t id : batch) {
         Conn* conn = nullptr;
         {
@@ -171,14 +182,16 @@ struct Server::EventEngine {
     bool alive = true;
     for (;;) {
       BytesView request;
-      const auto scan = MessageCodec::scan_message(conn.rx, conn.off, request);
+      obs::SpanContext trace;
+      const auto scan =
+          MessageCodec::scan_message(conn.rx, conn.off, request, trace);
       if (scan == MessageCodec::Scan::kNeedMore) break;
       if (scan == MessageCodec::Scan::kCorrupt) {
         alive = false;
         break;
       }
       PDC_OBS_COUNT("pdc.server.frames");
-      if (!dispatch(conn, request)) {
+      if (!dispatch(conn, request, trace)) {
         alive = false;
         break;
       }
@@ -197,7 +210,7 @@ struct Server::EventEngine {
     return alive;
   }
 
-  bool dispatch(Conn& conn, BytesView request) {
+  bool dispatch(Conn& conn, BytesView request, obs::SpanContext trace) {
     if (server.config_.raw_handler) {
       const Bytes owned = request.to_owned();
       if (server.config_.raw_handler(owned, conn.socket)) {
@@ -205,6 +218,10 @@ struct Server::EventEngine {
         return true;
       }
     }
+    // The handler runs as a child span of the client's request: the
+    // bracket covers invoke + reply send, and the ambient scope lets
+    // anything the handler submits downstream inherit the trace.
+    obs::SpanGuard span("server.drain", trace);
     const Bytes reply = server.invoke(request);
     server.requests_.fetch_add(1, std::memory_order_relaxed);
     return MessageCodec::send_message(conn.socket, reply).is_ok();
@@ -358,12 +375,14 @@ void Server::accept_loop() {
 
 void Server::serve_connection(StreamSocket socket) {
   for (;;) {
-    auto request = MessageCodec::recv_message(socket);
+    obs::SpanContext trace;
+    auto request = MessageCodec::recv_message(socket, &trace);
     if (!request.is_ok()) break;  // closed or corrupt stream
     if (config_.raw_handler && config_.raw_handler(request.value(), socket)) {
       requests_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
+    obs::SpanGuard span("server.drain", trace);
     const Bytes& owned = request.value();
     Bytes reply = invoke(BytesView{owned.data(), owned.size()});
     requests_.fetch_add(1, std::memory_order_relaxed);
@@ -378,7 +397,8 @@ void Server::drain_buffered(StreamSocket socket) {
   (void)socket.try_recv_into(rx);
   for (;;) {
     BytesView request;
-    if (MessageCodec::scan_message(rx, off, request) !=
+    obs::SpanContext trace;
+    if (MessageCodec::scan_message(rx, off, request, trace) !=
         MessageCodec::Scan::kFrame) {
       break;
     }
@@ -389,6 +409,7 @@ void Server::drain_buffered(StreamSocket socket) {
         continue;
       }
     }
+    obs::SpanGuard span("server.drain", trace);
     const Bytes reply = invoke(request);
     requests_.fetch_add(1, std::memory_order_relaxed);
     if (!MessageCodec::send_message(socket, reply).is_ok()) break;

@@ -56,6 +56,10 @@ void insert_or_merge(KeyedSamples& bucket, MetricKey key,
 constexpr const char kProfilingDisabledJson[] =
     "{\"error\":\"profiling disabled (PDCKIT_OBS_NOOP)\"}\n";
 
+// Matches the TelemetryServer body for the whole /trace family under NOOP.
+constexpr const char kTracingDisabledJson[] =
+    "{\"error\":\"tracing disabled (PDCKIT_OBS_NOOP)\"}\n";
+
 }  // namespace
 
 MetricsSnapshot merge_federated(const std::vector<SourceSnapshot>& sources,
@@ -243,6 +247,38 @@ FoldedProfile Aggregator::federate_profiles() {
   return merged;
 }
 
+std::vector<TraceSummary> Aggregator::federate_traces(std::size_t n) {
+  const std::vector<ScrapeTarget> targets = targets_copy();
+  std::vector<std::vector<TraceSummary>> fetched(targets.size());
+  parallel::fan_out(pool_, targets.size(), [&](std::size_t i) {
+    auto reply = fetch_text(targets[i], "/trace/slowest.wire?n=" +
+                                            std::to_string(n));
+    // NOOP ranks and span-less servers answer an error JSON; skip them
+    // like federate_profiles does.
+    if (!reply.is_ok() || reply.value().rfind("{\"error\"", 0) == 0) return;
+    if (auto traces = parse_traces_wire(reply.value())) {
+      fetched[i] = std::move(*traces);
+    }
+  });
+  std::vector<TraceSummary> merged;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    for (TraceSummary& trace : fetched[i]) {
+      // Insert-if-absent stamping: a trace already attributed by a lower
+      // aggregator tier keeps its original source.
+      if (trace.source.empty()) trace.source = targets[i].source;
+      merged.push_back(std::move(trace));
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const TraceSummary& a, const TraceSummary& b) {
+              if (a.root_us != b.root_us) return a.root_us > b.root_us;
+              if (a.source != b.source) return a.source < b.source;
+              return a.trace_id < b.trace_id;
+            });
+  if (merged.size() > n) merged.resize(n);
+  return merged;
+}
+
 std::size_t Aggregator::broadcast_control(const std::string& verb) {
   const std::vector<ScrapeTarget> targets = targets_copy();
   std::atomic<std::size_t> acked{0};
@@ -317,6 +353,27 @@ std::string Aggregator::endpoint_body(const std::string& endpoint) {
                federate(), static_cast<std::size_t>(n))) +
            "\n";
   }
+  if (endpoint == "/trace/slowest.wire" ||
+      endpoint.rfind("/trace/slowest.wire?", 0) == 0) {
+    if (!kObsEnabled) return kTracingDisabledJson;
+    const std::uint64_t n = endpoint_query_u64(endpoint, "n", 8);
+    return trace_summaries_wire(
+        federate_traces(static_cast<std::size_t>(n)));
+  }
+  if (endpoint == "/trace/slowest" ||
+      endpoint.rfind("/trace/slowest?", 0) == 0) {
+    if (!kObsEnabled) return kTracingDisabledJson;
+    const std::uint64_t n = endpoint_query_u64(endpoint, "n", 8);
+    const std::vector<TraceSummary> traces =
+        federate_traces(static_cast<std::size_t>(n));
+    std::string out = "{\"traces\":[";
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      if (i != 0) out += ',';
+      out += trace_json(traces[i]);
+    }
+    out += "]}\n";
+    return out;
+  }
   if (endpoint == "reset") {
     const std::size_t acked = broadcast_control("reset");
     const std::size_t total = target_count();
@@ -348,8 +405,9 @@ std::string Aggregator::endpoint_body(const std::string& endpoint) {
   }
   return "error: unknown endpoint '" + endpoint +
          "' (try /metrics, /metrics.json, /metrics.wire, /metrics/topk, "
-         "/profile/folded, /profile/contention, /healthz, reset, "
-         "snapshot-now, add-target, remove-target)\n";
+         "/profile/folded, /profile/contention, /trace/slowest?n=K, "
+         "/trace/slowest.wire?n=K, /healthz, reset, snapshot-now, "
+         "add-target, remove-target)\n";
 }
 
 }  // namespace pdc::obs

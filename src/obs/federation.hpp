@@ -45,6 +45,7 @@
 #include "net/server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/span.hpp"
 #include "parallel/thread_pool.hpp"
 #include "support/status.hpp"
 
@@ -91,6 +92,11 @@ struct AggregatorConfig {
 ///       aggregator tiers stack) and summed by key
 ///   /profile/contention?n=K   top-K contended sites over the *merged*
 ///       snapshot — pdc.contend.wait_us{site=} federates like any series
+///   /trace/slowest?n=K        fleet-wide slowest kept traces as JSON:
+///       each target's /trace/slowest.wire list, source-stamped
+///       insert-if-absent, merged by root latency
+///   /trace/slowest.wire?n=K   the same list in wire form, so aggregator
+///       tiers federate traces the way they federate metrics
 ///   reset             control verb, broadcast to every target
 ///   snapshot-now      immediate federated /metrics.json body
 ///   add-target <host> <port> <source>   hot-add a scrape target; it
@@ -120,6 +126,15 @@ class Aggregator {
   /// stamped) and sums by key. Targets answering errors (NOOP ranks,
   /// unreachable) are skipped.
   [[nodiscard]] FoldedProfile federate_profiles();
+
+  /// Federates the targets' kept-trace lists: fetches each
+  /// /trace/slowest.wire?n=N, stamps `source` on traces that carry none
+  /// (insert-if-absent — a lower aggregator tier's attribution survives),
+  /// merges, and returns the fleet-wide n slowest (root_us descending;
+  /// ties broken by source then trace id, so the list is byte-stable).
+  /// Targets answering errors (NOOP ranks, no collector, unreachable)
+  /// are skipped.
+  [[nodiscard]] std::vector<TraceSummary> federate_traces(std::size_t n);
 
   /// Sends a control verb ("reset", "snapshot-now") to every target
   /// concurrently; returns how many targets acknowledged.

@@ -11,6 +11,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 #ifdef PDCKIT_OBS_NOOP

@@ -1,0 +1,597 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "support/check.hpp"
+
+namespace pdc::obs {
+
+namespace detail {
+
+std::atomic<bool> g_span_enabled{false};
+
+namespace {
+
+/// Contexts are plain thread-locals: the ambient slot is what
+/// wire_capture() stamps onto outgoing piggybacks, the incoming slot is
+/// where wire_accept() parks the context it pulled off a message until
+/// the handler claims it with take_incoming_span().
+thread_local SpanContext t_ambient{};
+thread_local SpanContext t_incoming{};
+
+/// A closed span waiting for its trace's root to close. Name stays a
+/// borrowed literal until the trace is kept.
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;
+  bool error = false;
+  const char* name = nullptr;
+};
+
+struct SpanState {
+  std::mutex mutex;
+  bool running = false;
+  SpanCollectorConfig config;
+  // Closed non-root spans buffered per trace until the root closes.
+  std::map<std::uint64_t, std::vector<SpanRecord>> pending;
+  // Kept traces ordered by (root latency, trace id): begin() is the
+  // rotating tail-sampling threshold candidate.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, TraceSummary> kept;
+  // Verdict per completed trace, so spans closing after their root
+  // (asynchronous completions) still land — or are still dropped —
+  // on the right side of the ledger.
+  std::map<std::uint64_t, bool> classified;
+  std::array<std::optional<TraceExemplar>, kHistogramBuckets> exemplars;
+  std::size_t kept_errors = 0;  // kept traces with the error tag
+  std::uint64_t completed = 0;
+  std::uint64_t kept_count = 0;
+  std::uint64_t dropped_count = 0;
+  std::uint64_t evicted_count = 0;
+};
+
+SpanState& state() {
+  static SpanState instance;
+  return instance;
+}
+
+std::atomic<std::uint64_t> g_next_span_id{1};
+
+void count_sampled(std::uint64_t n) { PDC_OBS_COUNT("pdc.span.sampled", n); }
+void count_dropped(std::uint64_t n) { PDC_OBS_COUNT("pdc.span.dropped", n); }
+
+SpanNode to_node(const SpanRecord& record) {
+  SpanNode node;
+  node.span_id = record.span_id;
+  node.parent_id = record.parent_id;
+  node.start_us = record.start_us;
+  node.end_us = record.end_us;
+  node.error = record.error;
+  node.name = record.name == nullptr ? "" : record.name;
+  return node;
+}
+
+/// Number of non-error traces currently kept — the population the
+/// rotating threshold rotates over (error traces are unconditional).
+std::size_t kept_plain(const SpanState& st) {
+  return st.kept.size() - st.kept_errors;
+}
+
+/// Smallest-latency kept trace without the error tag, or end().
+auto min_plain(SpanState& st) {
+  auto it = st.kept.begin();
+  while (it != st.kept.end() && it->second.error) ++it;
+  return it;
+}
+
+/// Root span closed: assemble the tree, pass the tail-sampling verdict,
+/// and settle the span ledger for everything buffered. Caller holds the
+/// state mutex.
+void complete_trace(SpanState& st, const SpanRecord& root) {
+  TraceSummary trace;
+  trace.trace_id = root.trace_id;
+  trace.root_us = root.end_us - std::min(root.start_us, root.end_us);
+  auto buffered = st.pending.find(root.trace_id);
+  if (buffered != st.pending.end()) {
+    trace.spans.reserve(buffered->second.size() + 1);
+    for (const SpanRecord& record : buffered->second) {
+      trace.spans.push_back(to_node(record));
+      trace.error = trace.error || record.error;
+    }
+    st.pending.erase(buffered);
+  }
+  trace.spans.push_back(to_node(root));
+  trace.error = trace.error || root.error;
+  std::sort(trace.spans.begin(), trace.spans.end(),
+            [](const SpanNode& a, const SpanNode& b) {
+              return a.span_id < b.span_id;
+            });
+
+  ++st.completed;
+  PDC_OBS_HIST("pdc.trace.root_us", trace.root_us);
+
+  bool keep = false;
+  if (trace.error) {
+    // Error traces are always kept and never evicted: the whole point of
+    // tail sampling is that the interesting tail survives.
+    keep = true;
+  } else if (kept_plain(st) < st.config.keep_slowest) {
+    keep = true;
+  } else {
+    auto min_it = min_plain(st);
+    if (min_it != st.kept.end() && trace.root_us > min_it->first.first) {
+      st.kept_count -= 1;
+      ++st.evicted_count;
+      st.kept.erase(min_it);
+      keep = true;
+    }
+  }
+
+  const std::uint64_t spans = trace.spans.size();
+  st.classified[trace.trace_id] = keep;
+  if (keep) {
+    ++st.kept_count;
+    if (trace.error) ++st.kept_errors;
+    const std::size_t bucket = Histogram::bucket_of(trace.root_us);
+    st.exemplars[bucket] = TraceExemplar{trace.trace_id, trace.root_us};
+    st.kept.emplace(std::make_pair(trace.root_us, trace.trace_id),
+                    std::move(trace));
+    count_sampled(spans);
+  } else {
+    ++st.dropped_count;
+    count_dropped(spans);
+  }
+}
+
+/// A span closed after its trace was already classified: kept traces
+/// absorb it (the tree stays complete), everything else drops.
+void settle_late(SpanState& st, const SpanRecord& record, bool kept) {
+  if (!kept) {
+    count_dropped(1);
+    return;
+  }
+  count_sampled(1);
+  for (auto& [key, trace] : st.kept) {
+    if (key.second != record.trace_id) continue;
+    trace.spans.push_back(to_node(record));
+    trace.error = trace.error || record.error;
+    std::sort(trace.spans.begin(), trace.spans.end(),
+              [](const SpanNode& a, const SpanNode& b) {
+                return a.span_id < b.span_id;
+              });
+    return;
+  }
+  // Kept once but since evicted: the ledger already called its siblings
+  // sampled, stay consistent.
+}
+
+}  // namespace
+
+void span_stamp_slow(WireTrace& trace) {
+  if (t_ambient.valid()) {
+    trace.trace_id = t_ambient.trace_id;
+    trace.trace_span = t_ambient.span_id;
+  }
+}
+
+void span_adopt_slow(const WireTrace& trace) {
+  // Sets *or clears*: an untraced message must not leave a stale context
+  // for the next handler to adopt.
+  t_incoming = SpanContext{trace.trace_id, trace.trace_span};
+}
+
+}  // namespace detail
+
+ActiveSpan span_root(const char* name, std::uint64_t trace_id,
+                     std::uint64_t start_us) {
+  ActiveSpan span;
+  if (!span_enabled() || trace_id == 0) return span;
+  span.ctx_.trace_id = trace_id;
+  span.ctx_.span_id =
+      detail::g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  span.parent_id_ = 0;
+  span.name_ = name;
+  span.start_us_ = start_us != 0 ? start_us : now_us();
+  PDC_OBS_COUNT("pdc.span.started");
+  return span;
+}
+
+ActiveSpan span_begin(const char* name, SpanContext parent,
+                      std::uint64_t start_us) {
+  ActiveSpan span;
+  if (!span_enabled() || !parent.valid()) return span;
+  span.ctx_.trace_id = parent.trace_id;
+  span.ctx_.span_id =
+      detail::g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  span.parent_id_ = parent.span_id;
+  span.name_ = name;
+  span.start_us_ = start_us != 0 ? start_us : now_us();
+  PDC_OBS_COUNT("pdc.span.started");
+  return span;
+}
+
+void span_end(ActiveSpan& span, bool error) {
+  if (!span.recording()) return;
+  detail::SpanRecord record;
+  record.trace_id = span.ctx_.trace_id;
+  record.span_id = span.ctx_.span_id;
+  record.parent_id = span.parent_id_;
+  record.start_us = span.start_us_;
+  record.end_us = std::max(span.start_us_, now_us());
+  record.error = error;
+  record.name = span.name_;
+  span.ctx_ = SpanContext{};  // stops recording; double-close is a no-op
+  PDC_OBS_COUNT("pdc.span.finished");
+
+  auto& st = detail::state();
+  std::scoped_lock lock(st.mutex);
+  if (!st.running) {
+    // Session ended while the span was open: finished, never sampled.
+    detail::count_dropped(1);
+    return;
+  }
+  auto verdict = st.classified.find(record.trace_id);
+  if (verdict != st.classified.end()) {
+    detail::settle_late(st, record, verdict->second);
+  } else if (record.parent_id == 0) {
+    detail::complete_trace(st, record);
+  } else {
+    st.pending[record.trace_id].push_back(record);
+  }
+}
+
+SpanContext current_span() noexcept { return detail::t_ambient; }
+
+SpanContext take_incoming_span() noexcept {
+  return std::exchange(detail::t_incoming, SpanContext{});
+}
+
+SpanScope::SpanScope(SpanContext ctx)
+    : prev_(std::exchange(detail::t_ambient, ctx)) {}
+
+SpanScope::~SpanScope() { detail::t_ambient = prev_; }
+
+SpanCollector::SpanCollector(SpanCollectorConfig config) : config_(config) {}
+
+SpanCollector::~SpanCollector() {
+  if (running_) stop();
+}
+
+void SpanCollector::start() {
+  auto& st = detail::state();
+  std::scoped_lock lock(st.mutex);
+  PDC_CHECK_MSG(!st.running, "only one SpanCollector may run at a time");
+  st.config = config_;
+  st.pending.clear();
+  st.kept.clear();
+  st.classified.clear();
+  st.exemplars.fill(std::nullopt);
+  st.kept_errors = 0;
+  st.completed = 0;
+  st.kept_count = 0;
+  st.dropped_count = 0;
+  st.evicted_count = 0;
+  detail::g_next_span_id.store(1, std::memory_order_relaxed);
+  if constexpr (kObsEnabled) {
+    // Conservation counters and the exemplar histogram exist from the
+    // first scrape on, whether or not a span ever closes.
+    auto& registry = MetricsRegistry::instance();
+    registry.counter("pdc.span.started");
+    registry.counter("pdc.span.finished");
+    registry.counter("pdc.span.sampled");
+    registry.counter("pdc.span.dropped");
+    registry.histogram("pdc.trace.root_us");
+    st.running = true;
+    detail::g_span_enabled.store(true, std::memory_order_release);
+  }
+  running_ = true;
+}
+
+void SpanCollector::stop() {
+  PDC_CHECK_MSG(running_, "SpanCollector::stop without start");
+  detail::g_span_enabled.store(false, std::memory_order_release);
+  auto& st = detail::state();
+  std::scoped_lock lock(st.mutex);
+  // Roots that never closed: their buffered spans finished but can no
+  // longer be sampled — settle them as dropped so the ledger balances.
+  for (const auto& [trace_id, records] : st.pending) {
+    detail::count_dropped(records.size());
+    ++st.dropped_count;
+    st.classified[trace_id] = false;
+  }
+  st.pending.clear();
+  st.running = false;
+  running_ = false;
+}
+
+std::uint64_t SpanCollector::traces_completed() const {
+  auto& st = detail::state();
+  std::scoped_lock lock(st.mutex);
+  return st.completed;
+}
+
+std::uint64_t SpanCollector::traces_kept() const {
+  auto& st = detail::state();
+  std::scoped_lock lock(st.mutex);
+  return st.kept_count;
+}
+
+std::uint64_t SpanCollector::traces_dropped() const {
+  auto& st = detail::state();
+  std::scoped_lock lock(st.mutex);
+  return st.dropped_count;
+}
+
+std::uint64_t SpanCollector::traces_evicted() const {
+  auto& st = detail::state();
+  std::scoped_lock lock(st.mutex);
+  return st.evicted_count;
+}
+
+std::uint64_t SpanCollector::threshold_us() const {
+  auto& st = detail::state();
+  std::scoped_lock lock(st.mutex);
+  if (detail::kept_plain(st) < st.config.keep_slowest) return 0;
+  auto it = detail::min_plain(st);
+  return it == st.kept.end() ? 0 : it->first.first;
+}
+
+std::vector<TraceSummary> SpanCollector::slowest(std::size_t n) const {
+  auto& st = detail::state();
+  std::scoped_lock lock(st.mutex);
+  std::vector<TraceSummary> out;
+  out.reserve(std::min(n, st.kept.size()));
+  for (auto it = st.kept.rbegin(); it != st.kept.rend() && out.size() < n;
+       ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::optional<TraceSummary> SpanCollector::by_id(std::uint64_t trace_id) const {
+  auto& st = detail::state();
+  std::scoped_lock lock(st.mutex);
+  for (const auto& [key, trace] : st.kept) {
+    if (key.second == trace_id) return trace;
+  }
+  return std::nullopt;
+}
+
+std::array<std::optional<TraceExemplar>, kHistogramBuckets>
+SpanCollector::exemplars() const {
+  auto& st = detail::state();
+  std::scoped_lock lock(st.mutex);
+  return st.exemplars;
+}
+
+namespace {
+
+struct TreeIndex {
+  const TraceSummary* trace = nullptr;
+  // children[i] = indices into trace->spans, sorted by (end, id) desc so
+  // the backward walk meets the latest-finishing child first.
+  std::vector<std::vector<std::size_t>> children;
+  std::size_t root = SIZE_MAX;
+};
+
+TreeIndex index_tree(const TraceSummary& trace) {
+  TreeIndex index;
+  index.trace = &trace;
+  index.children.resize(trace.spans.size());
+  std::map<std::uint64_t, std::size_t> by_id;
+  for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+    by_id[trace.spans[i].span_id] = i;
+  }
+  for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+    const SpanNode& span = trace.spans[i];
+    auto parent = by_id.find(span.parent_id);
+    if (span.parent_id != 0 && parent != by_id.end()) {
+      index.children[parent->second].push_back(i);
+    } else if (index.root == SIZE_MAX) {
+      // First orphan by span id is the root (parent 0, or a parent the
+      // sampler never saw).
+      index.root = i;
+    }
+  }
+  for (auto& kids : index.children) {
+    std::sort(kids.begin(), kids.end(), [&](std::size_t a, std::size_t b) {
+      const SpanNode& sa = trace.spans[a];
+      const SpanNode& sb = trace.spans[b];
+      if (sa.end_us != sb.end_us) return sa.end_us > sb.end_us;
+      return sa.span_id > sb.span_id;
+    });
+  }
+  return index;
+}
+
+void walk_critical(const TreeIndex& index, std::size_t at,
+                   std::vector<CriticalHop>& hops) {
+  const SpanNode& span = index.trace->spans[at];
+  CriticalHop hop{span.span_id, span.name, span.start_us, span.end_us, 0};
+  // Backward walk: start the cursor at this span's end; each on-path
+  // child accounts [child.start, child.end), the gap between the child's
+  // end and the cursor is *this* span's self-time.
+  std::uint64_t cursor = span.end_us;
+  std::uint64_t self = 0;
+  for (std::size_t child_at : index.children[at]) {
+    const SpanNode& child = index.trace->spans[child_at];
+    if (child.end_us > cursor) continue;  // overlapped by a later child
+    self += cursor - child.end_us;
+    walk_critical(index, child_at, hops);
+    cursor = std::clamp(child.start_us, span.start_us, cursor);
+  }
+  self += cursor - std::min(span.start_us, cursor);
+  hop.self_us = self;
+  hops.push_back(hop);
+}
+
+}  // namespace
+
+std::vector<CriticalHop> critical_path(const TraceSummary& trace) {
+  std::vector<CriticalHop> hops;
+  if (trace.spans.empty()) return hops;
+  const TreeIndex index = index_tree(trace);
+  if (index.root == SIZE_MAX) return hops;
+  walk_critical(index, index.root, hops);
+  std::sort(hops.begin(), hops.end(),
+            [](const CriticalHop& a, const CriticalHop& b) {
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.span_id < b.span_id;
+            });
+  return hops;
+}
+
+std::string trace_json(const TraceSummary& trace) {
+  std::string out = "{\"trace_id\":" + std::to_string(trace.trace_id);
+  out += ",\"source\":";
+  append_json_string(out, trace.source);
+  out += ",\"root_us\":" + std::to_string(trace.root_us);
+  out += ",\"error\":";
+  out += trace.error ? "true" : "false";
+  out += ",\"critical_path\":[";
+  bool first = true;
+  for (const CriticalHop& hop : critical_path(trace)) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"span_id\":" + std::to_string(hop.span_id) + ",\"name\":";
+    append_json_string(out, hop.name);
+    out += ",\"start_us\":" + std::to_string(hop.start_us);
+    out += ",\"end_us\":" + std::to_string(hop.end_us);
+    out += ",\"self_us\":" + std::to_string(hop.self_us) + "}";
+  }
+  out += "],\"spans\":[";
+  first = true;
+  for (const SpanNode& span : trace.spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"span_id\":" + std::to_string(span.span_id);
+    out += ",\"parent_id\":" + std::to_string(span.parent_id);
+    out += ",\"name\":";
+    append_json_string(out, span.name);
+    out += ",\"start_us\":" + std::to_string(span.start_us);
+    out += ",\"end_us\":" + std::to_string(span.end_us);
+    out += ",\"error\":";
+    out += span.error ? "true" : "false";
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string SpanCollector::slowest_json(std::size_t n) const {
+  const std::vector<TraceSummary> traces = slowest(n);
+  auto& st = detail::state();
+  std::scoped_lock lock(st.mutex);
+  std::string out = "{\"kept\":" + std::to_string(st.kept_count);
+  out += ",\"dropped\":" + std::to_string(st.dropped_count);
+  out += ",\"evicted\":" + std::to_string(st.evicted_count);
+  out += ",\"completed\":" + std::to_string(st.completed);
+  std::uint64_t threshold = 0;
+  if (detail::kept_plain(st) >= st.config.keep_slowest) {
+    auto it = detail::min_plain(st);
+    if (it != st.kept.end()) threshold = it->first.first;
+  }
+  out += ",\"threshold_us\":" + std::to_string(threshold);
+  out += ",\"traces\":[";
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    if (i != 0) out += ',';
+    out += trace_json(traces[i]);
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string SpanCollector::byid_json(std::uint64_t trace_id) const {
+  auto trace = by_id(trace_id);
+  if (!trace.has_value()) {
+    return "{\"error\":\"no kept trace with id " + std::to_string(trace_id) +
+           "\"}\n";
+  }
+  return trace_json(trace.value()) + "\n";
+}
+
+std::string SpanCollector::exemplars_json() const {
+  const auto pins = exemplars();
+  std::string out = "{\"pdc.trace.root_us\":[";
+  bool first = true;
+  for (std::size_t b = 0; b < pins.size(); ++b) {
+    if (!pins[b].has_value()) continue;
+    if (!first) out += ',';
+    first = false;
+    const double upper = Histogram::bucket_upper(b);
+    out += "{\"bucket\":" + std::to_string(b) + ",\"le\":\"";
+    out += std::isinf(upper) ? "+Inf" : format_double(upper);
+    out += "\",\"trace_id\":" + std::to_string(pins[b]->trace_id);
+    out += ",\"root_us\":" + std::to_string(pins[b]->root_us) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string SpanCollector::slowest_wire(std::size_t n) const {
+  return trace_summaries_wire(slowest(n));
+}
+
+std::string trace_summaries_wire(const std::vector<TraceSummary>& traces) {
+  std::string out;
+  for (const TraceSummary& trace : traces) {
+    out += "t " + std::to_string(trace.trace_id) + ' ' +
+           std::to_string(trace.root_us) + ' ' + (trace.error ? "1" : "0") +
+           ' ' + (trace.source.empty() ? "-" : trace.source) + '\n';
+    for (const SpanNode& span : trace.spans) {
+      out += "s " + std::to_string(span.span_id) + ' ' +
+             std::to_string(span.parent_id) + ' ' +
+             std::to_string(span.start_us) + ' ' +
+             std::to_string(span.end_us) + ' ' + (span.error ? "1" : "0") +
+             ' ' + span.name + '\n';
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<TraceSummary>> parse_traces_wire(
+    const std::string& text) {
+  std::vector<TraceSummary> traces;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "t") {
+      TraceSummary trace;
+      int error = 0;
+      std::string source;
+      if (!(fields >> trace.trace_id >> trace.root_us >> error >> source)) {
+        return std::nullopt;
+      }
+      trace.error = error != 0;
+      if (source != "-") trace.source = source;
+      traces.push_back(std::move(trace));
+    } else if (kind == "s") {
+      if (traces.empty()) return std::nullopt;
+      SpanNode span;
+      int error = 0;
+      if (!(fields >> span.span_id >> span.parent_id >> span.start_us >>
+            span.end_us >> error >> span.name)) {
+        return std::nullopt;
+      }
+      span.error = error != 0;
+      traces.back().spans.push_back(std::move(span));
+    } else {
+      return std::nullopt;
+    }
+  }
+  return traces;
+}
+
+}  // namespace pdc::obs

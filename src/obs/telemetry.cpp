@@ -63,6 +63,12 @@ std::string series_ref(const std::string& name, const std::string& labels,
 constexpr const char kProfilingDisabledJson[] =
     "{\"error\":\"profiling disabled (PDCKIT_OBS_NOOP)\"}\n";
 
+// One shape for the whole /trace family (including /trace/stream): a NOOP
+// build answers every tracing endpoint with this body, so clients need a
+// single "{\"error\"" check instead of per-endpoint shapes.
+constexpr const char kTracingDisabledJson[] =
+    "{\"error\":\"tracing disabled (PDCKIT_OBS_NOOP)\"}\n";
+
 }  // namespace
 
 std::string endpoint_query(const std::string& endpoint,
@@ -261,6 +267,10 @@ void TelemetryServer::attach_collector(const TraceCollector* collector) {
   collector_.store(collector, std::memory_order_release);
 }
 
+void TelemetryServer::attach_spans(const SpanCollector* spans) {
+  spans_.store(spans, std::memory_order_release);
+}
+
 void TelemetryServer::stop() { server_->stop(); }
 
 MetricsRegistry& TelemetryServer::registry() const {
@@ -273,7 +283,17 @@ std::string TelemetryServer::endpoint_body(const std::string& endpoint) {
     return prometheus_exposition(registry().scrape());
   }
   if (endpoint == "/metrics.json") {
-    return registry().scrape().to_json();
+    std::string body = registry().scrape().to_json();
+    // Exemplar splice: with a span collector attached, the scrape carries
+    // the trace ids pinned to each pdc.trace.root_us bucket — the jump
+    // from a histogram percentile to a concrete /trace/byid lookup.
+    const SpanCollector* spans = spans_.load(std::memory_order_acquire);
+    if (kObsEnabled && spans != nullptr && !body.empty() &&
+        body.back() == '}') {
+      body.pop_back();
+      body += ",\"exemplars\":" + spans->exemplars_json() + "}";
+    }
+    return body;
   }
   if (endpoint == "/metrics.wire") {
     return registry().scrape().to_wire();
@@ -288,6 +308,7 @@ std::string TelemetryServer::endpoint_body(const std::string& endpoint) {
     return registry().scrape().to_json();
   }
   if (endpoint == "/trace") {
+    if (!kObsEnabled) return kTracingDisabledJson;
     const TraceCollector* collector =
         collector_.load(std::memory_order_acquire);
     if (collector == nullptr) {
@@ -299,6 +320,30 @@ std::string TelemetryServer::endpoint_body(const std::string& endpoint) {
              "the collector for a full dump\"}\n";
     }
     return collector->chrome_trace_json();
+  }
+  // Longer prefix first: "/trace/slowest?..." must not swallow the .wire
+  // form (and vice versa would, since both share the /trace/slowest stem).
+  if (endpoint == "/trace/slowest.wire" ||
+      endpoint.rfind("/trace/slowest.wire?", 0) == 0) {
+    if (!kObsEnabled) return kTracingDisabledJson;
+    const SpanCollector* spans = spans_.load(std::memory_order_acquire);
+    if (spans == nullptr) return "{\"error\":\"no span collector attached\"}\n";
+    const std::uint64_t n = endpoint_query_u64(endpoint, "n", 8);
+    return spans->slowest_wire(static_cast<std::size_t>(n));
+  }
+  if (endpoint == "/trace/slowest" ||
+      endpoint.rfind("/trace/slowest?", 0) == 0) {
+    if (!kObsEnabled) return kTracingDisabledJson;
+    const SpanCollector* spans = spans_.load(std::memory_order_acquire);
+    if (spans == nullptr) return "{\"error\":\"no span collector attached\"}\n";
+    const std::uint64_t n = endpoint_query_u64(endpoint, "n", 8);
+    return spans->slowest_json(static_cast<std::size_t>(n));
+  }
+  if (endpoint == "/trace/byid" || endpoint.rfind("/trace/byid?", 0) == 0) {
+    if (!kObsEnabled) return kTracingDisabledJson;
+    const SpanCollector* spans = spans_.load(std::memory_order_acquire);
+    if (spans == nullptr) return "{\"error\":\"no span collector attached\"}\n";
+    return spans->byid_json(endpoint_query_u64(endpoint, "id", 0));
   }
   if (endpoint == "/profile/folded") {
     if (!kObsEnabled) return kProfilingDisabledJson;
@@ -322,9 +367,10 @@ std::string TelemetryServer::endpoint_body(const std::string& endpoint) {
     return Profiler::instance().collect(ms, period);
   }
   return "error: unknown endpoint '" + endpoint +
-         "' (try /metrics, /metrics.json, /metrics.wire, /trace, /healthz, "
-         "/profile?ms=N, /profile/folded, /profile/contention?n=K, reset, "
-         "snapshot-now, /subscribe <frames> [interval_ms] [filter], "
+         "' (try /metrics, /metrics.json, /metrics.wire, /trace, "
+         "/trace/slowest?n=K, /trace/slowest.wire?n=K, /trace/byid?id=N, "
+         "/healthz, /profile?ms=N, /profile/folded, /profile/contention?n=K, "
+         "reset, snapshot-now, /subscribe <frames> [interval_ms] [filter], "
          "/trace/stream <frames> [interval_ms])\n";
 }
 
@@ -396,13 +442,20 @@ bool TelemetryServer::stream_subscription(std::uint64_t frames,
 bool TelemetryServer::stream_trace(std::uint64_t frames,
                                    std::uint64_t interval_ms,
                                    net::StreamSocket& socket) {
+  if (!kObsEnabled) {
+    // Same body the rest of the /trace family returns — one error shape
+    // for tracing-off builds regardless of transport (frame vs stream).
+    (void)net::MessageCodec::send_message(
+        socket, net::to_bytes(std::string(kTracingDisabledJson)));
+    return true;
+  }
   const TraceCollector* collector = collector_.load(std::memory_order_acquire);
   if (collector == nullptr || !collector->running()) {
     (void)net::MessageCodec::send_message(
         socket, net::to_bytes(std::string(
                     collector == nullptr
-                        ? "{\"error\":\"no trace collector attached\"}"
-                        : "{\"error\":\"trace collector not running\"}")));
+                        ? "{\"error\":\"no trace collector attached\"}\n"
+                        : "{\"error\":\"trace collector not running\"}\n")));
     return true;
   }
   // The per-client stream position lives on the connection's stack, like

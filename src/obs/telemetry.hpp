@@ -14,6 +14,16 @@
 //   /trace          Chrome trace_event JSON of the attached collector's
 //                   harvested session (error JSON when none is attached
 //                   or it is still running — stream instead, below)
+//   /trace/slowest?n=K    the attached SpanCollector's K slowest kept
+//                   traces as JSON, critical-path annotated (default 8)
+//   /trace/slowest.wire?n=K   the same list in the line-oriented wire
+//                   form the Aggregator federates
+//   /trace/byid?id=N      one kept trace by trace id (error JSON when it
+//                   was sampled away)
+//                   (every /trace-family endpoint — including
+//                   /trace/stream — answers the same
+//                   {"error":"tracing disabled (PDCKIT_OBS_NOOP)"} shape
+//                   under PDCKIT_OBS_NOOP)
 //   /healthz        "ok\n"
 //   /profile?ms=N&period_us=P   collect-then-respond profile: samples the
 //                   worker slots inline for N ms (default 50) at period P
@@ -71,6 +81,7 @@
 
 #include "net/server.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace pdc::obs {
@@ -137,6 +148,12 @@ class TelemetryServer {
   /// JSON while the collector is absent or still running.
   void attach_collector(const TraceCollector* collector);
 
+  /// Points /trace/slowest, /trace/byid and the /metrics.json exemplar
+  /// splice at a span collector. Same ownership contract as
+  /// attach_collector; the span endpoints answer an error JSON while
+  /// absent.
+  void attach_spans(const SpanCollector* spans);
+
   /// Stops accepting; existing connections finish their current request.
   void stop();
 
@@ -153,6 +170,7 @@ class TelemetryServer {
 
   MetricsRegistry* registry_ = nullptr;  // nullptr = process-wide instance
   std::atomic<const TraceCollector*> collector_{nullptr};
+  std::atomic<const SpanCollector*> spans_{nullptr};
   std::unique_ptr<net::Server> server_;  // last member: threads start here
 };
 

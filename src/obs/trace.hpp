@@ -50,13 +50,18 @@ inline constexpr bool kObsEnabled = true;
 /// Causal metadata piggybacked on message envelopes and datagrams.
 /// Default-constructed (zero) means "no trace attached" — envelopes built
 /// while no collector is running carry this and cost nothing downstream.
+/// Two independent sessions share the ride: the thread-ring fields
+/// (span/lamport/flow, TraceCollector) and the request-trace fields
+/// (trace_id/trace_span, SpanCollector — see obs/span.hpp).
 struct WireTrace {
   std::uint64_t span = 0;     // originating span id (0 = none)
   std::uint64_t lamport = 0;  // sender's Lamport time at send
   std::uint64_t flow = 0;     // flow id pairing this send with its recv
+  std::uint64_t trace_id = 0;    // request trace this message belongs to
+  std::uint64_t trace_span = 0;  // sender's span id within that trace
 
   [[nodiscard]] bool empty() const noexcept {
-    return span == 0 && lamport == 0 && flow == 0;
+    return span == 0 && lamport == 0 && flow == 0 && trace_id == 0;
   }
 };
 
@@ -80,6 +85,9 @@ struct TraceEvent {
 
 namespace detail {
 extern std::atomic<bool> g_trace_enabled;
+// Request-trace session flag + hooks, defined in span.cpp (the wire
+// helpers below stamp/adopt SpanContexts when a SpanCollector runs).
+extern std::atomic<bool> g_span_enabled;
 
 void emit_slow(TraceEventKind kind, const char* name, std::uint64_t id,
                std::uint64_t arg);
@@ -88,6 +96,8 @@ void emit_slow(TraceEventKind kind, const char* name, std::uint64_t id,
 void wire_accept_slow(const WireTrace& trace, const char* name,
                       std::uint64_t arg, std::uint64_t bytes);
 void set_thread_name_slow(const char* name, std::uint64_t index);
+void span_stamp_slow(WireTrace& trace);
+void span_adopt_slow(const WireTrace& trace);
 }  // namespace detail
 
 /// True while a TraceCollector session is running (always false under
@@ -115,8 +125,12 @@ inline void trace_instant(const char* name, std::uint64_t arg = 0) {
 /// plot volume per flow.
 inline WireTrace wire_capture(const char* name, std::uint64_t arg = 0,
                               std::uint64_t bytes = 0) {
-  if (!trace_enabled()) return {};
-  return detail::wire_capture_slow(name, arg, bytes);
+  WireTrace out;
+  if (trace_enabled()) out = detail::wire_capture_slow(name, arg, bytes);
+  if (kObsEnabled && detail::g_span_enabled.load(std::memory_order_relaxed)) {
+    detail::span_stamp_slow(out);  // ambient SpanContext rides along
+  }
+  return out;
 }
 
 /// Receiver side: merges the sender's Lamport time into the calling
@@ -126,6 +140,11 @@ inline void wire_accept(const WireTrace& trace, const char* name,
                         std::uint64_t arg = 0, std::uint64_t bytes = 0) {
   if (trace_enabled() && !trace.empty()) {
     detail::wire_accept_slow(trace, name, arg, bytes);
+  }
+  if (kObsEnabled && detail::g_span_enabled.load(std::memory_order_relaxed)) {
+    // Called for *every* message, traced or not: an empty context must
+    // clear the thread's incoming slot (see take_incoming_span()).
+    detail::span_adopt_slow(trace);
   }
 }
 
